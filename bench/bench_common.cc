@@ -1,0 +1,176 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "util/strings.h"
+
+namespace aim {
+namespace bench {
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [flags]\n"
+      << "  --scale=F         dataset scale vs Table 2 (default 0.02)\n"
+      << "  --trials=N        trials per configuration (default 1)\n"
+      << "  --csv             machine-readable CSV output\n"
+      << "  --seed=N          base seed (default 0)\n"
+      << "  --eps=a,b,c       epsilon grid (default 0.1,1,10; --full: paper"
+         " grid)\n"
+      << "  --mechanisms=a,b  mechanism subset (default: standard roster)\n"
+      << "  --datasets=a,b    dataset subset (default: all six)\n"
+      << "  --max_size_mb=F   PGM model capacity (default 4)\n"
+      << "  --mwem_rounds=N   rounds for MWEM/GEM variants (0 = 2d)\n"
+      << "  --round_iters=N --final_iters=N --rp_rows=N --rp_iters=N\n"
+      << "  --full            paper-fidelity settings (slow)\n";
+  std::exit(2);
+}
+
+bool ConsumePrefix(const std::string& arg, const std::string& prefix,
+                   std::string* rest) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *rest = arg.substr(prefix.size());
+  return true;
+}
+
+std::vector<double> ParseDoubleList(const std::string& value,
+                                    const char* argv0) {
+  std::vector<double> out;
+  for (const std::string& part : SplitString(value, ',')) {
+    double v = 0.0;
+    if (!ParseDouble(part, &v)) Usage(argv0);
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") Usage(argv[0]);
+    if (arg == "--csv") {
+      flags.csv = true;
+    } else if (arg == "--full") {
+      flags.full = true;
+    } else if (ConsumePrefix(arg, "--scale=", &value)) {
+      if (!ParseDouble(value, &flags.record_scale)) Usage(argv[0]);
+    } else if (ConsumePrefix(arg, "--trials=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) Usage(argv[0]);
+      flags.trials = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--seed=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) Usage(argv[0]);
+      flags.seed = static_cast<uint64_t>(v);
+    } else if (ConsumePrefix(arg, "--eps=", &value)) {
+      flags.epsilons = ParseDoubleList(value, argv[0]);
+    } else if (ConsumePrefix(arg, "--mechanisms=", &value)) {
+      flags.mechanisms = SplitString(value, ',');
+    } else if (ConsumePrefix(arg, "--datasets=", &value)) {
+      flags.datasets = SplitString(value, ',');
+    } else if (ConsumePrefix(arg, "--max_size_mb=", &value)) {
+      if (!ParseDouble(value, &flags.max_size_mb)) Usage(argv[0]);
+    } else if (ConsumePrefix(arg, "--mwem_rounds=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) Usage(argv[0]);
+      flags.mwem_rounds = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--round_iters=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) Usage(argv[0]);
+      flags.round_iters = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--final_iters=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) Usage(argv[0]);
+      flags.final_iters = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--rp_rows=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) Usage(argv[0]);
+      flags.rp_rows = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--rp_iters=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) Usage(argv[0]);
+      flags.rp_iters = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--rp_max_cells=", &value)) {
+      if (!ParseInt64(value, &flags.rp_max_cells)) Usage(argv[0]);
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (flags.full) {
+    flags.record_scale = 1.0;
+    flags.trials = 5;
+    flags.max_size_mb = 80.0;
+    flags.round_iters = 100;
+    flags.final_iters = 1000;
+    flags.rp_rows = 1000;
+    flags.rp_iters = 200;
+    flags.rp_max_cells = 200000;
+    flags.mwem_rounds = 0;  // the mechanisms' own 2d default
+  }
+  return flags;
+}
+
+RegistryOptions ToRegistryOptions(const BenchFlags& flags) {
+  RegistryOptions options;
+  options.max_size_mb = flags.max_size_mb;
+  options.round_iters = flags.round_iters;
+  options.final_iters = flags.final_iters;
+  options.rp_rows = flags.rp_rows;
+  options.rp_iters = flags.rp_iters;
+  options.mwem_rounds = flags.mwem_rounds;
+  options.rp_max_cells = flags.rp_max_cells;
+  return options;
+}
+
+std::vector<double> EpsilonGrid(const BenchFlags& flags) {
+  if (!flags.epsilons.empty()) return flags.epsilons;
+  return flags.full ? PaperEpsilonGrid() : SmallEpsilonGrid();
+}
+
+std::vector<SimulatedData> LoadDatasets(const BenchFlags& flags) {
+  SimulatorOptions options;
+  options.record_scale = flags.record_scale;
+  std::vector<SimulatedData> out;
+  for (PaperDataset dataset : AllPaperDatasets()) {
+    std::string name = PaperDatasetName(dataset);
+    if (!flags.datasets.empty()) {
+      bool wanted = false;
+      for (const std::string& d : flags.datasets) wanted |= (d == name);
+      if (!wanted) continue;
+    }
+    out.push_back(MakePaperDataset(dataset, options));
+  }
+  if (out.empty()) {
+    std::cerr << "no datasets selected\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+Workload MakeAll3Way(const SimulatedData& sim) {
+  return AllKWayWorkload(sim.data.domain(), 3);
+}
+
+Workload MakeTarget(const SimulatedData& sim) {
+  return TargetWorkload(sim.data.domain(), 3, sim.target_attribute);
+}
+
+Workload MakeSkewed(const SimulatedData& sim) {
+  // Fixed seed (Section 6.1): the workload is identical across mechanisms
+  // and trials.
+  return SkewedWorkload(sim.data.domain(), 3, 256, 20220524);
+}
+
+std::vector<std::string> MechanismRoster(const BenchFlags& flags) {
+  if (!flags.mechanisms.empty()) return flags.mechanisms;
+  return StandardMechanismNames();
+}
+
+}  // namespace bench
+}  // namespace aim

@@ -1,0 +1,78 @@
+// Shared plumbing for the table/figure reproduction binaries: flag parsing,
+// dataset/workload construction, and the scaled-down default configuration
+// (see DESIGN.md §3: benches default to reduced record counts, a reduced
+// epsilon grid, and a smaller model-capacity cap so the full suite runs on
+// one CPU core; pass --full to approach the paper's settings).
+
+#ifndef AIM_BENCH_BENCH_COMMON_H_
+#define AIM_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/simulators.h"
+#include "marginal/workload.h"
+#include "mechanisms/registry.h"
+
+namespace aim {
+namespace bench {
+
+struct BenchFlags {
+  // Dataset scale relative to Table 2 record counts.
+  double record_scale = 0.02;
+  int trials = 1;
+  bool csv = false;
+  uint64_t seed = 0;
+  // Epsilon grid; empty = per-bench default (SmallEpsilonGrid unless
+  // --full, then PaperEpsilonGrid).
+  std::vector<double> epsilons;
+  // Mechanism subset; empty = per-bench default roster.
+  std::vector<std::string> mechanisms;
+  // Dataset subset (lowercase paper names); empty = all six.
+  std::vector<std::string> datasets;
+  // Model capacity for PGM mechanisms (paper: 80 MB; scaled default 4 MB
+  // so the capacity constraint is active at bench data sizes).
+  double max_size_mb = 4.0;
+  // Paper-fidelity mode: full epsilon grid, 5 trials, larger scale/capacity.
+  bool full = false;
+  // Fixed rounds for MWEM+PGM / MWEM+RP / GEM (0 = their 2d default);
+  // capped by default so the slowest datasets stay tractable on one core.
+  int mwem_rounds = 12;
+  // Estimation / projection effort (see RegistryOptions).
+  int round_iters = 30;
+  int final_iters = 200;
+  int rp_rows = 32;
+  int rp_iters = 20;
+  int64_t rp_max_cells = 20000;
+};
+
+// Parses --flag=value style arguments; prints usage and exits on --help or
+// malformed input. Recognized flags: --scale, --trials, --csv, --seed,
+// --eps (comma list), --mechanisms (comma list), --datasets (comma list),
+// --max_size_mb, --full, --round_iters, --final_iters, --rp_rows,
+// --rp_iters.
+BenchFlags ParseFlags(int argc, char** argv);
+
+// Registry options derived from the flags.
+RegistryOptions ToRegistryOptions(const BenchFlags& flags);
+
+// The effective epsilon grid for this run.
+std::vector<double> EpsilonGrid(const BenchFlags& flags);
+
+// The datasets selected by the flags (all six by default), simulated at
+// the flag scale.
+std::vector<SimulatedData> LoadDatasets(const BenchFlags& flags);
+
+// The three paper workloads for a dataset (Section 6.1).
+Workload MakeAll3Way(const SimulatedData& sim);
+Workload MakeTarget(const SimulatedData& sim);
+Workload MakeSkewed(const SimulatedData& sim);
+
+// Mechanism roster for the comparison figures (flags.mechanisms or the
+// standard nine).
+std::vector<std::string> MechanismRoster(const BenchFlags& flags);
+
+}  // namespace bench
+}  // namespace aim
+
+#endif  // AIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,8 @@
+// Figure 1: workload error of all mechanisms on the ALL-3WAY workload.
+
+#include "fig_workload.h"
+
+int main(int argc, char** argv) {
+  return aim::bench::RunWorkloadFigure(argc, argv, "Figure 1 (ALL-3WAY)",
+                                       &aim::bench::MakeAll3Way);
+}

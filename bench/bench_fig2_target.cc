@@ -1,0 +1,10 @@
+// Figure 2: workload error of all mechanisms on the TARGET workload
+// (all 3-way marginals involving the dataset's target attribute).
+
+#include "fig_workload.h"
+
+int main(int argc, char** argv) {
+  return aim::bench::RunWorkloadFigure(argc, argv, "Figure 2 (TARGET)",
+                                       &aim::bench::MakeTarget,
+                                       {"adult", "fire", "titanic"});
+}

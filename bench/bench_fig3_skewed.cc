@@ -1,0 +1,11 @@
+// Figure 3: workload error of all mechanisms on the SKEWED workload
+// (256 attribute triples sampled with squared-exponential attribute
+// weights under a fixed seed).
+
+#include "fig_workload.h"
+
+int main(int argc, char** argv) {
+  return aim::bench::RunWorkloadFigure(argc, argv, "Figure 3 (SKEWED)",
+                                       &aim::bench::MakeSkewed,
+                                       {"adult", "fire", "titanic"});
+}

@@ -1,0 +1,79 @@
+// Figure 4(c): true per-marginal error of AIM vs. the Section-5 confidence
+// bounds, on fire with ALL-3WAY at epsilon=10 (lambda=1.7, lambda1=2.7,
+// lambda2=3.7 for 95% one-sided coverage). Prints one row per marginal in
+// the downward closure plus a summary: coverage rate and the median
+// bound-to-error ratio for supported vs unsupported marginals.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "dp/accountant.h"
+#include "eval/experiment.h"
+#include "marginal/marginal.h"
+#include "mechanisms/aim.h"
+#include "uncertainty/bounds.h"
+#include "util/math.h"
+
+int main(int argc, char** argv) {
+  using namespace aim;
+  bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  if (flags.datasets.empty()) flags.datasets = {"fire"};
+  double eps = flags.epsilons.empty() ? 10.0 : flags.epsilons[0];
+
+  std::cout << "# Figure 4(c) — true error vs 95% error bound (eps=" << eps
+            << ")\n";
+  TablePrinter table(
+      {"dataset", "marginal", "cells", "supported", "true_error", "bound"});
+  TablePrinter summary({"dataset", "marginals", "coverage", "median_ratio_supported",
+                        "median_ratio_unsupported"});
+  for (const SimulatedData& sim : bench::LoadDatasets(flags)) {
+    Workload workload = bench::MakeAll3Way(sim);
+    AimOptions options;
+    options.max_size_mb = flags.max_size_mb;
+    options.round_estimation.max_iters = flags.round_iters;
+    options.final_estimation.max_iters = flags.final_iters;
+    AimMechanism mechanism(options);
+    Rng rng(flags.seed + 17);
+    MechanismResult result =
+        mechanism.Run(sim.data, workload, CdpRho(eps, kPaperDelta), rng);
+
+    UncertaintyQuantifier uq(sim.data.domain(), result);
+    int covered = 0, total = 0;
+    std::vector<double> ratio_supported, ratio_unsupported;
+    for (const AttrSet& r : DownwardClosure(workload)) {
+      auto bound = uq.BoundFor(r, result.synthetic);
+      if (!bound.has_value()) continue;
+      double true_error =
+          L1Distance(ComputeMarginal(sim.data, r),
+                     ComputeMarginal(result.synthetic, r)) /
+          static_cast<double>(sim.data.num_records());
+      double bound_value =
+          bound->bound / static_cast<double>(sim.data.num_records());
+      ++total;
+      if (true_error <= bound_value) ++covered;
+      if (true_error > 0.0) {
+        (bound->supported ? ratio_supported : ratio_unsupported)
+            .push_back(bound_value / true_error);
+      }
+      table.AddRow({sim.name, r.ToString(),
+                    std::to_string(MarginalSize(sim.data.domain(), r)),
+                    bound->supported ? "yes" : "no", FormatG(true_error),
+                    FormatG(bound_value)});
+    }
+    auto median = [](std::vector<double> v) {
+      if (v.empty()) return 0.0;
+      std::sort(v.begin(), v.end());
+      return v[v.size() / 2];
+    };
+    summary.AddRow({sim.name, std::to_string(total),
+                    FormatG(static_cast<double>(covered) / total, 3),
+                    FormatG(median(ratio_supported), 3),
+                    FormatG(median(ratio_unsupported), 3)});
+  }
+  table.Print(std::cout, flags.csv);
+  std::cout << "\n# Summary (paper: coverage 1.0, median ratios 4.4 "
+               "supported / 8.3 unsupported)\n";
+  summary.Print(std::cout, flags.csv);
+  return 0;
+}

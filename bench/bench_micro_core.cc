@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// factor algebra, belief propagation, junction-tree construction,
+// mirror-descent estimation, marginal computation, and synthetic-data
+// generation.
+
+#include <benchmark/benchmark.h>
+
+#include "data/simulators.h"
+#include "factor/factor.h"
+#include "marginal/marginal.h"
+#include "pgm/estimation.h"
+#include "pgm/junction_tree.h"
+#include "pgm/markov_random_field.h"
+#include "pgm/synthetic.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+Factor RandomFactor(std::vector<int> attrs, std::vector<int> sizes,
+                    uint64_t seed) {
+  Rng rng(seed);
+  Factor f(std::move(attrs), std::move(sizes));
+  for (double& v : f.mutable_values()) v = rng.Gaussian();
+  return f;
+}
+
+void BM_FactorMultiply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Factor a = RandomFactor({0, 1}, {n, n}, 1);
+  Factor b = RandomFactor({1, 2}, {n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_FactorMultiply)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_FactorLogSumExpTo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Factor a = RandomFactor({0, 1, 2}, {n, n, n}, 3);
+  AttrSet target({0, 2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.LogSumExpTo(target));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_FactorLogSumExpTo)->Arg(8)->Arg(32);
+
+void BM_JunctionTreeBuild(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Domain domain = Domain::WithSizes(std::vector<int>(d, 8));
+  std::vector<AttrSet> cliques;
+  for (int i = 0; i + 2 < d; i += 2) cliques.push_back(AttrSet({i, i + 1, i + 2}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildJunctionTree(domain, cliques));
+  }
+}
+BENCHMARK(BM_JunctionTreeBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_JtSizeOracle(benchmark::State& state) {
+  const int d = 16;
+  Domain domain = Domain::WithSizes(std::vector<int>(d, 12));
+  std::vector<AttrSet> cliques;
+  for (int i = 0; i + 1 < d; ++i) cliques.push_back(AttrSet({i, i + 1}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JtSizeMb(domain, cliques));
+  }
+}
+BENCHMARK(BM_JtSizeOracle);
+
+void BM_BeliefPropagation(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Domain domain = Domain::WithSizes(std::vector<int>(d, 6));
+  std::vector<AttrSet> cliques;
+  for (int i = 0; i + 1 < d; ++i) cliques.push_back(AttrSet({i, i + 1}));
+  MarkovRandomField model(domain, cliques);
+  Rng rng(4);
+  for (int c = 0; c < model.num_cliques(); ++c) {
+    Factor p = model.potential(c);
+    for (double& v : p.mutable_values()) v = rng.Gaussian();
+    model.SetPotential(c, std::move(p));
+  }
+  for (auto _ : state) {
+    model.Calibrate();
+    benchmark::DoNotOptimize(model.LogPartition());
+  }
+}
+BENCHMARK(BM_BeliefPropagation)->Arg(8)->Arg(16);
+
+void BM_ComputeMarginal(benchmark::State& state) {
+  Rng rng(5);
+  Domain domain = Domain::WithSizes({8, 8, 8, 8, 8, 8});
+  Dataset data = SampleRandomBayesNet(domain, state.range(0), 2, 0.4, rng);
+  AttrSet r({0, 2, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMarginal(data, r));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeMarginal)->Arg(10000)->Arg(100000);
+
+void BM_MirrorDescentEstimation(benchmark::State& state) {
+  Rng rng(6);
+  Domain domain = Domain::WithSizes({4, 4, 4, 4, 4});
+  Dataset data = SampleRandomBayesNet(domain, 5000, 2, 0.4, rng);
+  std::vector<Measurement> ms;
+  for (const AttrSet& r :
+       {AttrSet({0, 1}), AttrSet({1, 2}), AttrSet({2, 3}), AttrSet({3, 4})}) {
+    ms.push_back({r, ComputeMarginal(data, r), 10.0});
+  }
+  EstimationOptions options;
+  options.max_iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateMrf(domain, ms, 5000.0, options));
+  }
+}
+BENCHMARK(BM_MirrorDescentEstimation)->Arg(10)->Arg(50);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  Rng rng(7);
+  Domain domain = Domain::WithSizes({4, 4, 4, 4, 4, 4});
+  std::vector<AttrSet> cliques;
+  for (int i = 0; i + 1 < 6; ++i) cliques.push_back(AttrSet({i, i + 1}));
+  MarkovRandomField model(domain, cliques);
+  for (int c = 0; c < model.num_cliques(); ++c) {
+    Factor p = model.potential(c);
+    for (double& v : p.mutable_values()) v = rng.Gaussian();
+    model.SetPotential(c, std::move(p));
+  }
+  model.set_total(static_cast<double>(state.range(0)));
+  model.Calibrate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateSyntheticData(model, state.range(0), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace aim
+
+BENCHMARK_MAIN();

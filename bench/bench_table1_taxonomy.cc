@@ -1,0 +1,24 @@
+// Table 1: the taxonomy of select-measure-generate mechanisms, printed from
+// each implementation's declared traits.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  aim::bench::BenchFlags flags = aim::bench::ParseFlags(argc, argv);
+  std::cout << "# Table 1 — taxonomy of select-measure-generate mechanisms\n";
+  aim::TablePrinter table({"mechanism", "workload_aware", "data_aware",
+                           "budget_aware", "efficiency_aware"});
+  auto mark = [](bool b) { return std::string(b ? "yes" : "-"); };
+  for (const auto& mechanism :
+       aim::StandardMechanisms(aim::bench::ToRegistryOptions(flags))) {
+    aim::MechanismTraits t = mechanism->traits();
+    table.AddRow({mechanism->name(), mark(t.workload_aware),
+                  mark(t.data_aware), mark(t.budget_aware),
+                  mark(t.efficiency_aware)});
+  }
+  table.Print(std::cout, flags.csv);
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "fig_workload.h"
+
+#include <iostream>
+
+#include "eval/experiment.h"
+
+namespace aim {
+namespace bench {
+
+int RunWorkloadFigure(int argc, char** argv, const std::string& figure_name,
+                      Workload (*make_workload)(const SimulatedData&),
+                      const std::vector<std::string>& default_datasets) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  if (flags.datasets.empty() && !flags.full) {
+    flags.datasets = default_datasets;
+  }
+  RegistryOptions registry = ToRegistryOptions(flags);
+  std::vector<double> epsilons = EpsilonGrid(flags);
+  std::vector<std::string> roster = MechanismRoster(flags);
+
+  std::cout << "# " << figure_name
+            << " — workload error (Definition 2), mean over "
+            << flags.trials << " trial(s), delta=" << kPaperDelta << "\n";
+  TablePrinter table({"dataset", "epsilon", "mechanism", "error_mean",
+                      "error_min", "error_max", "seconds"});
+  for (const SimulatedData& sim : LoadDatasets(flags)) {
+    Workload workload = make_workload(sim);
+    for (double eps : epsilons) {
+      for (const std::string& name : roster) {
+        auto mechanism = MechanismByName(name, registry);
+        if (mechanism == nullptr) {
+          std::cerr << "unknown mechanism: " << name << "\n";
+          return 2;
+        }
+        TrialStats stats =
+            RunTrials(*mechanism, sim.data, workload, eps, kPaperDelta,
+                      flags.trials, flags.seed + 1);
+        table.AddRow({sim.name, FormatG(eps), name, FormatG(stats.mean),
+                      FormatG(stats.min), FormatG(stats.max),
+                      FormatG(stats.mean_seconds, 3)});
+        std::cerr << "[" << figure_name << "] " << sim.name << " eps=" << eps
+                  << " " << name << " error=" << stats.mean << "\n";
+      }
+    }
+  }
+  table.Print(std::cout, flags.csv);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace aim

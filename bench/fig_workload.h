@@ -1,0 +1,25 @@
+// Shared driver for the Figure 1/2/3 reproductions: every mechanism × every
+// dataset × the epsilon grid, printing mean/min/max workload error per
+// configuration (the series the paper plots).
+
+#ifndef AIM_BENCH_FIG_WORKLOAD_H_
+#define AIM_BENCH_FIG_WORKLOAD_H_
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace aim {
+namespace bench {
+
+// `default_datasets` (may be empty = all six) applies when --datasets is
+// not passed; Figures 2/3 default to a representative subset so the full
+// default sweep fits a single-core budget (--datasets=... restores any set).
+int RunWorkloadFigure(int argc, char** argv, const std::string& figure_name,
+                      Workload (*make_workload)(const SimulatedData&),
+                      const std::vector<std::string>& default_datasets = {});
+
+}  // namespace bench
+}  // namespace aim
+
+#endif  // AIM_BENCH_FIG_WORKLOAD_H_

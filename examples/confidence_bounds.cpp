@@ -1,0 +1,62 @@
+// Uncertainty quantification demo (Section 5): run AIM, then compute
+// per-query one-sided 95% confidence bounds on the L1 error of the
+// generated synthetic data — with no extra privacy cost — and compare
+// against the (normally unknowable) true errors.
+
+#include <iostream>
+
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/experiment.h"
+#include "marginal/marginal.h"
+#include "mechanisms/aim.h"
+#include "uncertainty/bounds.h"
+#include "util/math.h"
+
+int main() {
+  using namespace aim;
+
+  SimulatorOptions sim_options;
+  sim_options.record_scale = 0.05;
+  SimulatedData sim = MakePaperDataset(PaperDataset::kTitanic, sim_options);
+  const Dataset& data = sim.data;
+  Workload workload = AllKWayWorkload(data.domain(), 3);
+
+  AimOptions options;
+  options.max_size_mb = 4.0;
+  options.round_estimation.max_iters = 50;
+  options.final_estimation.max_iters = 300;
+  // Candidate sets must be recorded for the unsupported-marginal bounds.
+  options.record_candidates = true;
+  AimMechanism aim(options);
+  Rng rng(7);
+  MechanismResult result =
+      aim.Run(data, workload, CdpRho(10.0, 1e-9), rng);
+  std::cout << "AIM finished: " << result.rounds << " rounds\n\n";
+
+  // lambda = 1.7 / (2.7, 3.7) give ~95% one-sided coverage (Section 6.6).
+  UncertaintyQuantifier uq(data.domain(), result);
+
+  TablePrinter table({"marginal", "supported", "bound(L1)", "true(L1)",
+                      "bound_holds"});
+  int covered = 0, total = 0;
+  for (const AttrSet& r : DownwardClosure(workload)) {
+    if (r.size() != 2) continue;  // show the 2-way marginals
+    auto bound = uq.BoundFor(r, result.synthetic);
+    if (!bound.has_value()) continue;
+    double true_error = L1Distance(ComputeMarginal(data, r),
+                                   ComputeMarginal(result.synthetic, r));
+    ++total;
+    if (true_error <= bound->bound) ++covered;
+    table.AddRow({r.ToString(), bound->supported ? "yes" : "no",
+                  FormatG(bound->bound), FormatG(true_error),
+                  true_error <= bound->bound ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\ncoverage: " << covered << "/" << total
+            << " two-way marginals within their 95% bound\n"
+            << "An analyst sees only the 'bound' column — it certifies the "
+               "quality of each query answer without touching the real "
+               "data again.\n";
+  return 0;
+}

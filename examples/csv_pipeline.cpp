@@ -1,0 +1,87 @@
+// End-to-end file pipeline: raw CSV in, private synthetic CSV out.
+//
+// Demonstrates the Appendix-A preprocessing path on a real file: a raw CSV
+// with mixed categorical/numerical columns is loaded, the domain is
+// identified from the active domain, numerical columns are discretized into
+// 32 equal-width bins, AIM generates synthetic data, and the result is
+// written back to disk. (The demo writes its own input file first so it is
+// self-contained; point `input_path` at your data to use it for real.)
+
+#include <fstream>
+#include <iostream>
+
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/error.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aim;
+  const std::string input_path = "csv_pipeline_input.csv";
+  const std::string output_path = "csv_pipeline_synth.csv";
+
+  // --- Write a demo input file: mixed categorical + numerical columns.
+  {
+    Rng rng(31);
+    std::ofstream file(input_path);
+    file << "department,tenure_years,salary,remote\n";
+    const char* departments[] = {"eng", "sales", "hr", "ops"};
+    for (int i = 0; i < 3000; ++i) {
+      int dept = static_cast<int>(rng.UniformInt(4));
+      double tenure = std::max(0.0, rng.Gaussian(4.0 + 2.0 * dept, 2.0));
+      double salary = 40000 + 15000 * dept + 4000 * tenure +
+                      5000 * rng.Gaussian();
+      bool remote = rng.Uniform() < (dept == 0 ? 0.7 : 0.3);
+      file << departments[dept] << ',' << tenure << ',' << salary << ','
+           << (remote ? "yes" : "no") << '\n';
+    }
+  }
+
+  // --- Load and preprocess (Appendix A).
+  StatusOr<RawTable> table = ReadCsv(input_path);
+  if (!table.ok()) {
+    std::cerr << table.status().ToString() << "\n";
+    return 1;
+  }
+  StatusOr<PreprocessResult> prep = Preprocess(*table);
+  if (!prep.ok()) {
+    std::cerr << prep.status().ToString() << "\n";
+    return 1;
+  }
+  const Dataset& data = prep->dataset;
+  std::cout << "loaded " << data.num_records() << " records; domain:";
+  for (int a = 0; a < data.domain().num_attributes(); ++a) {
+    std::cout << " " << data.domain().name(a) << "("
+              << data.domain().size(a)
+              << (prep->specs[a].numeric ? " bins)" : " values)");
+  }
+  std::cout << "\n";
+
+  // --- Synthesize with AIM at eps=2.
+  Workload workload = AllKWayWorkload(data.domain(), 2);
+  AimOptions options;
+  options.round_estimation.max_iters = 50;
+  options.final_estimation.max_iters = 300;
+  options.record_candidates = false;
+  AimMechanism aim(options);
+  Rng rng(32);
+  MechanismResult result =
+      aim.Run(data, workload, CdpRho(2.0, 1e-9), rng);
+  std::cout << "workload error (all 2-way marginals): "
+            << WorkloadError(data, result.synthetic, workload) << "\n";
+
+  // --- Write the synthetic (integer-coded) records.
+  Status status = WriteCsv(result.synthetic, output_path);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << output_path
+            << " (values are category/bin codes; see the preprocessing "
+               "specs for the mapping)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Downstream-utility demo: beyond the workload error the mechanism
+// optimizes, how useful is AIM's synthetic data for (a) training a
+// classifier and (b) answering range queries it was never tuned for?
+//
+// (a) ML efficacy: a naive-Bayes model trained on synthetic data is
+//     evaluated on held-out REAL records and compared with a model trained
+//     on the real training split (the privacy-free ceiling).
+// (b) Range queries: random 2-D range queries (Section 7's "more general
+//     workloads") answered from the synthetic data.
+
+#include <iostream>
+
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/experiment.h"
+#include "eval/ml_efficacy.h"
+#include "marginal/linear_query.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aim;
+
+  SimulatorOptions sim_options;
+  sim_options.record_scale = 0.1;
+  SimulatedData sim = MakePaperDataset(PaperDataset::kAdult, sim_options);
+  auto [train, test] = TrainTestSplit(sim.data);
+  const int label = sim.target_attribute;  // "income"
+  std::cout << "adult (simulated): train " << train.num_records()
+            << ", test " << test.num_records() << ", predicting '"
+            << sim.data.domain().name(label) << "'\n";
+
+  const double real_accuracy = MlEfficacy(train, test, label);
+  auto range_queries =
+      RandomRangeQueryWorkload(sim.data.domain(), 100, 2022);
+
+  Workload workload = TargetWorkload(train.domain(), 3, label);
+  TablePrinter table({"epsilon", "synthetic_accuracy", "real_accuracy",
+                      "range_query_error"});
+  for (double eps : {0.5, 2.0, 8.0}) {
+    AimOptions options;
+    options.max_size_mb = 4.0;
+    options.round_estimation.max_iters = 40;
+    options.final_estimation.max_iters = 200;
+    options.record_candidates = false;
+    AimMechanism aim(options);
+    Rng rng(99);
+    MechanismResult result =
+        aim.Run(train, workload, CdpRho(eps, 1e-9), rng);
+    double synth_accuracy = MlEfficacy(result.synthetic, test, label);
+    double range_error =
+        LinearQueryError(train, result.synthetic, range_queries);
+    table.AddRow({FormatG(eps), FormatG(synth_accuracy, 3),
+                  FormatG(real_accuracy, 3), FormatG(range_error, 3)});
+    std::cerr << "eps=" << eps << " done\n";
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe synthetic-trained accuracy should approach the "
+               "real-trained ceiling as epsilon grows, and range queries "
+               "inherit accuracy from the marginals AIM preserved.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Compares every implemented mechanism on one dataset and workload at a
+// practical privacy level, printing a ranked leaderboard — a miniature of
+// the paper's Figure 1 for a single panel.
+
+#include <algorithm>
+#include <iostream>
+
+#include "data/simulators.h"
+#include "eval/experiment.h"
+#include "mechanisms/registry.h"
+
+int main() {
+  using namespace aim;
+
+  SimulatorOptions sim_options;
+  sim_options.record_scale = 0.05;
+  SimulatedData sim = MakePaperDataset(PaperDataset::kNltcs, sim_options);
+  Workload workload = AllKWayWorkload(sim.data.domain(), 3);
+  const double epsilon = 10.0;
+
+  RegistryOptions registry;
+  registry.max_size_mb = 4.0;
+  registry.round_iters = 50;
+  registry.final_iters = 300;
+  registry.rp_rows = 60;
+  registry.rp_iters = 40;
+
+  struct Row {
+    std::string name;
+    double error;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  for (const auto& mechanism : StandardMechanisms(registry)) {
+    TrialStats stats = RunTrials(*mechanism, sim.data, workload, epsilon,
+                                 kPaperDelta, /*trials=*/2, /*seed=*/5);
+    rows.push_back({mechanism->name(), stats.mean, stats.mean_seconds});
+    std::cerr << "ran " << mechanism->name() << " (error " << stats.mean
+              << ")\n";
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.error < b.error; });
+
+  std::cout << "\n" << sim.name << ", ALL-3WAY, eps=" << epsilon << ":\n";
+  TablePrinter table({"rank", "mechanism", "workload_error", "seconds"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), rows[i].name,
+                  FormatG(rows[i].error), FormatG(rows[i].seconds, 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

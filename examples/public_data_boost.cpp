@@ -1,0 +1,67 @@
+// Public-data extension demo (Section 7, "Utilizing Public Data"): when a
+// related public dataset exists — an earlier release, a neighboring
+// region — its low-order marginals can seed AIM's model as weak priors at
+// zero privacy cost. At small epsilon this markedly reduces error; at large
+// epsilon the private measurements dominate and the prior washes out.
+
+#include <iostream>
+
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/error.h"
+#include "eval/experiment.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aim;
+
+  // Simulate a population, then split disjointly: 30% becomes the public
+  // release, 70% is the sensitive dataset. Same distribution, distinct
+  // records.
+  SimulatorOptions sim_options;
+  sim_options.record_scale = 0.1;
+  SimulatedData sim = MakePaperDataset(PaperDataset::kNltcs, sim_options);
+  const int64_t split = sim.data.num_records() * 3 / 10;
+  std::vector<int64_t> public_rows, private_rows;
+  for (int64_t row = 0; row < sim.data.num_records(); ++row) {
+    (row < split ? public_rows : private_rows).push_back(row);
+  }
+  Dataset public_data = sim.data.Subsample(public_rows);
+  Dataset private_data = sim.data.Subsample(private_rows);
+  std::cout << "public: " << public_data.num_records()
+            << " records; private: " << private_data.num_records()
+            << " records\n\n";
+
+  Workload workload = AllKWayWorkload(private_data.domain(), 3);
+
+  TablePrinter table({"epsilon", "AIM", "AIM+public", "improvement"});
+  for (double eps : {0.05, 0.2}) {
+    AimOptions plain;
+    plain.round_estimation.max_iters = 30;
+    plain.final_estimation.max_iters = 150;
+    plain.record_candidates = false;
+    AimOptions boosted = plain;
+    boosted.public_data = &public_data;
+
+    const double rho = CdpRho(eps, 1e-9);
+    Rng rng_a(3), rng_b(3);
+    double base = WorkloadError(
+        private_data,
+        AimMechanism(plain).Run(private_data, workload, rho, rng_a)
+            .synthetic,
+        workload);
+    double with_public = WorkloadError(
+        private_data,
+        AimMechanism(boosted).Run(private_data, workload, rho, rng_b)
+            .synthetic,
+        workload);
+    table.AddRow({FormatG(eps), FormatG(base), FormatG(with_public),
+                  FormatG(base / with_public, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(>1 improvement means the public prior helped; the boost "
+               "should shrink as epsilon grows)\n";
+  return 0;
+}

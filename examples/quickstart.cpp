@@ -1,0 +1,74 @@
+// Quickstart: generate differentially private synthetic data with AIM.
+//
+// Builds a correlated demo dataset (a scaled-down simulated ADULT), defines
+// the workload of all 3-way marginals, runs AIM at (epsilon=1, delta=1e-9),
+// and reports the Definition-2 workload error plus a comparison against the
+// Independent baseline. Writes the synthetic records to quickstart_synth.csv.
+
+#include <iostream>
+
+#include "data/csv.h"
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/error.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "mechanisms/independent.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aim;
+
+  // 1. Data: any discrete Dataset works; here we simulate the paper's ADULT
+  //    dataset at 5% scale (see data/simulators.h).
+  SimulatorOptions sim_options;
+  sim_options.record_scale = 0.05;
+  SimulatedData sim = MakePaperDataset(PaperDataset::kAdult, sim_options);
+  const Dataset& data = sim.data;
+  std::cout << "dataset: " << sim.name << " with " << data.num_records()
+            << " records over " << data.domain().num_attributes()
+            << " attributes\n";
+
+  // 2. Workload: the queries the synthetic data should preserve.
+  Workload workload = AllKWayWorkload(data.domain(), 3);
+  std::cout << "workload: " << workload.num_queries()
+            << " three-way marginals\n";
+
+  // 3. Privacy budget: (epsilon, delta)-DP converted to zCDP.
+  const double epsilon = 1.0, delta = 1e-9;
+  const double rho = CdpRho(epsilon, delta);
+  std::cout << "privacy: eps=" << epsilon << " delta=" << delta
+            << " -> rho=" << rho << " zCDP\n";
+
+  // 4. Run AIM.
+  AimOptions options;
+  options.max_size_mb = 4.0;  // scaled-down model capacity for the demo
+  options.round_estimation.max_iters = 50;
+  options.final_estimation.max_iters = 300;
+  AimMechanism aim(options);
+  Rng rng(2022);
+  MechanismResult result = aim.Run(data, workload, rho, rng);
+  std::cout << "AIM: " << result.rounds << " rounds, "
+            << result.log.measurements.size() << " measurements, "
+            << result.seconds << "s, rho used " << result.rho_used << "\n";
+
+  // 5. Evaluate.
+  double aim_error = WorkloadError(data, result.synthetic, workload);
+  Rng ind_rng(2022);
+  IndependentMechanism independent;
+  MechanismResult ind_result = independent.Run(data, workload, rho, ind_rng);
+  double ind_error = WorkloadError(data, ind_result.synthetic, workload);
+  std::cout << "workload error: AIM=" << aim_error
+            << "  Independent=" << ind_error << "  (improvement "
+            << ind_error / aim_error << "x)\n";
+
+  // 6. Export the synthetic records.
+  Status status = WriteCsv(result.synthetic, "quickstart_synth.csv");
+  if (!status.ok()) {
+    std::cerr << "write failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << result.synthetic.num_records()
+            << " synthetic records to quickstart_synth.csv\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Structural zeros demo (Appendix D): attribute combinations that cannot
+// occur in reality (here: FIRE's correlated location attributes) are
+// enforced in the model, so the synthetic data never contains impossible
+// records — and accuracy on the workload typically improves.
+
+#include <iostream>
+
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/error.h"
+#include "marginal/marginal.h"
+#include "mechanisms/aim.h"
+#include "pgm/estimation.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aim;
+
+  SimulatorOptions sim_options;
+  sim_options.record_scale = 0.02;
+  SimulatedData sim = MakePaperDataset(PaperDataset::kFire, sim_options);
+  const Dataset& data = sim.data;
+  Workload workload = AllKWayWorkload(data.domain(), 3);
+
+  // The FIRE simulator embeds nine attribute pairs with known-impossible
+  // combinations (like zipcode/city pairs that do not co-occur).
+  std::vector<ZeroConstraint> zeros;
+  int64_t zero_tuples = 0;
+  for (const StructuralZeroConstraint& c : sim.structural_zeros) {
+    ZeroConstraint z;
+    z.attrs = AttrSet(c.attributes);
+    MarginalIndexer indexer(data.domain(), z.attrs);
+    for (const auto& tuple : c.zero_tuples) {
+      z.zero_cells.push_back(indexer.IndexOfTuple(tuple));
+    }
+    zero_tuples += static_cast<int64_t>(z.zero_cells.size());
+    zeros.push_back(std::move(z));
+  }
+  std::cout << "fire: " << zeros.size() << " constrained attribute pairs, "
+            << zero_tuples << " impossible combinations\n";
+
+  const double rho = CdpRho(1.0, 1e-9);
+  AimOptions plain;
+  plain.max_size_mb = 4.0;
+  plain.round_estimation.max_iters = 50;
+  plain.final_estimation.max_iters = 300;
+  plain.record_candidates = false;
+  AimOptions constrained = plain;
+  constrained.structural_zeros = zeros;
+
+  Rng rng_a(1), rng_b(1);
+  MechanismResult base = AimMechanism(plain).Run(data, workload, rho, rng_a);
+  MechanismResult with_zeros =
+      AimMechanism(constrained).Run(data, workload, rho, rng_b);
+
+  // Count impossible records produced by each run.
+  auto violations = [&](const Dataset& synth) {
+    int64_t count = 0;
+    for (const StructuralZeroConstraint& c : sim.structural_zeros) {
+      AttrSet attrs(c.attributes);
+      MarginalIndexer indexer(data.domain(), attrs);
+      std::vector<double> marginal = ComputeMarginal(synth, attrs);
+      for (const auto& tuple : c.zero_tuples) {
+        count += static_cast<int64_t>(marginal[indexer.IndexOfTuple(tuple)]);
+      }
+    }
+    return count;
+  };
+
+  std::cout << "without constraints: error="
+            << WorkloadError(data, base.synthetic, workload)
+            << ", impossible records=" << violations(base.synthetic) << "\n";
+  std::cout << "with constraints:    error="
+            << WorkloadError(data, with_zeros.synthetic, workload)
+            << ", impossible records=" << violations(with_zeros.synthetic)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Appends the measured bench tables to EXPERIMENTS.md (run after the
+default sweep has produced bench_output.txt)."""
+
+SECTIONS = [
+    ("bench_table2_datasets", "Table 2 (measured)"),
+    ("bench_fig1_all3way", "Figure 1 (measured)"),
+    ("bench_fig2_target", "Figure 2 (measured)"),
+    ("bench_fig3_skewed", "Figure 3 (measured)"),
+    ("bench_fig4ab_capacity", "Figure 4(a,b) (measured)"),
+    ("bench_fig4c_uncertainty", "Figure 4(c) (measured, summary only)"),
+    ("bench_fig5_subsampling", "Figure 5 (measured)"),
+    ("bench_table3_structural_zeros", "Table 3 (measured)"),
+    ("bench_fig6_runtime", "Figure 6 (measured)"),
+    ("bench_fig7_pgm_vs_rp", "Figure 7 (measured)"),
+    ("bench_ablation_aim", "Ablations (measured)"),
+]
+
+
+def extract(lines, name):
+    out, active = [], False
+    for line in lines:
+        if line.startswith("====="):
+            active = name in line
+            continue
+        if active:
+            out.append(line)
+    # Trim trailing blanks.
+    while out and not out[-1].strip():
+        out.pop()
+    return out
+
+
+def main():
+    bench = open("bench_output.txt").read().split("\n")
+    doc = open("EXPERIMENTS.md").read()
+    marker = "<!-- measured -->"
+    assert marker in doc
+    parts = [doc.split(marker)[0], marker, "\n"]
+    for name, title in SECTIONS:
+        body = extract(bench, name)
+        if name == "bench_fig4c_uncertainty":
+            # The full per-marginal table is long; keep the summary block.
+            keep, seen_summary = [], False
+            for line in body:
+                if line.startswith("# Summary"):
+                    seen_summary = True
+                if seen_summary:
+                    keep.append(line)
+            body = keep if keep else body
+        if not body:
+            continue
+        parts.append(f"### {title}\n\n```\n" + "\n".join(body) + "\n```\n\n")
+    open("EXPERIMENTS.md", "w").write("".join(parts))
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

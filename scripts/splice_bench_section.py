@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Replaces one binary's section in bench_output.txt with a fresh run's
+output (used to refresh a single bench without re-running the whole sweep).
+
+usage: splice_bench_section.py bench_output.txt section_name new_output.txt
+"""
+import sys
+
+def main():
+    path, section, new_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    lines = open(path).read().split("\n")
+    new_body = open(new_path).read().rstrip("\n")
+    out, i, replaced = [], 0, False
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("=====") and section in line:
+            out.append(line)
+            out.append(new_body)
+            out.append("")
+            i += 1
+            while i < len(lines) and not lines[i].startswith("====="):
+                i += 1
+            replaced = True
+        else:
+            out.append(line)
+            i += 1
+    open(path, "w").write("\n".join(out))
+    print("replaced" if replaced else "section not found")
+
+if __name__ == "__main__":
+    main()

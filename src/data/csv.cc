@@ -1,0 +1,68 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace aim {
+
+StatusOr<RawTable> ParseCsv(const std::string& content) {
+  RawTable table;
+  std::istringstream in(content);
+  std::string line;
+  bool have_header = false;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitString(line, ',');
+    for (auto& field : fields) field = StripWhitespace(field);
+    if (!have_header) {
+      table.header = std::move(fields);
+      have_header = true;
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      return InvalidArgumentError(
+          "row " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  if (!have_header) return InvalidArgumentError("empty CSV input");
+  return table;
+}
+
+StatusOr<RawTable> ReadCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return InvalidArgumentError("cannot open " + path + " for write");
+  const Domain& domain = dataset.domain();
+  for (int a = 0; a < domain.num_attributes(); ++a) {
+    if (a > 0) file << ',';
+    file << domain.name(a);
+  }
+  file << '\n';
+  for (int64_t row = 0; row < dataset.num_records(); ++row) {
+    for (int a = 0; a < domain.num_attributes(); ++a) {
+      if (a > 0) file << ',';
+      file << dataset.value(row, a);
+    }
+    file << '\n';
+  }
+  if (!file) return InternalError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace aim

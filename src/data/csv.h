@@ -1,0 +1,37 @@
+// CSV reading/writing for raw (string-valued) tables and discretized Datasets.
+
+#ifndef AIM_DATA_CSV_H_
+#define AIM_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace aim {
+
+// A raw table of strings, as loaded from a CSV file (before preprocessing).
+struct RawTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  int num_columns() const { return static_cast<int>(header.size()); }
+  int64_t num_rows() const { return static_cast<int64_t>(rows.size()); }
+};
+
+// Reads a CSV file with a header row. Fields are split on commas; no quoting
+// support (the paper's datasets are plain). Rows whose field count differs
+// from the header are rejected.
+StatusOr<RawTable> ReadCsv(const std::string& path);
+
+// Parses CSV content provided directly (used by tests).
+StatusOr<RawTable> ParseCsv(const std::string& content);
+
+// Writes a discretized dataset to CSV (integer-coded values, header from the
+// domain's attribute names).
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace aim
+
+#endif  // AIM_DATA_CSV_H_

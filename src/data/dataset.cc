@@ -1,0 +1,71 @@
+#include "data/dataset.h"
+
+#include "util/logging.h"
+
+namespace aim {
+
+Dataset::Dataset(Domain domain) : domain_(std::move(domain)) {
+  columns_.resize(domain_.num_attributes());
+}
+
+Dataset Dataset::FromColumns(Domain domain,
+                             std::vector<std::vector<int32_t>> columns) {
+  AIM_CHECK_EQ(static_cast<int>(columns.size()), domain.num_attributes());
+  Dataset out(std::move(domain));
+  int64_t n = columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  for (int a = 0; a < out.domain_.num_attributes(); ++a) {
+    AIM_CHECK_EQ(static_cast<int64_t>(columns[a].size()), n);
+    for (int32_t v : columns[a]) {
+      AIM_CHECK(v >= 0 && v < out.domain_.size(a))
+          << "value" << v << "out of domain for attribute" << a;
+    }
+  }
+  out.columns_ = std::move(columns);
+  out.num_records_ = n;
+  return out;
+}
+
+void Dataset::AppendRecord(const std::vector<int>& values) {
+  AIM_CHECK_EQ(static_cast<int>(values.size()), domain_.num_attributes());
+  for (int a = 0; a < domain_.num_attributes(); ++a) {
+    AIM_CHECK(values[a] >= 0 && values[a] < domain_.size(a))
+        << "value" << values[a] << "out of domain for attribute" << a;
+    columns_[a].push_back(values[a]);
+  }
+  ++num_records_;
+}
+
+void Dataset::Reserve(int64_t n) {
+  for (auto& column : columns_) column.reserve(n);
+}
+
+const std::vector<int32_t>& Dataset::column(int attr) const {
+  AIM_CHECK_GE(attr, 0);
+  AIM_CHECK_LT(attr, domain_.num_attributes());
+  return columns_[attr];
+}
+
+std::vector<int> Dataset::Record(int64_t row) const {
+  AIM_CHECK(row >= 0 && row < num_records_);
+  std::vector<int> record(domain_.num_attributes());
+  for (int a = 0; a < domain_.num_attributes(); ++a) {
+    record[a] = columns_[a][row];
+  }
+  return record;
+}
+
+Dataset Dataset::Subsample(const std::vector<int64_t>& rows) const {
+  Dataset out(domain_);
+  out.Reserve(rows.size());
+  for (int a = 0; a < domain_.num_attributes(); ++a) {
+    out.columns_[a].reserve(rows.size());
+    for (int64_t row : rows) {
+      AIM_CHECK(row >= 0 && row < num_records_);
+      out.columns_[a].push_back(columns_[a][row]);
+    }
+  }
+  out.num_records_ = static_cast<int64_t>(rows.size());
+  return out;
+}
+
+}  // namespace aim

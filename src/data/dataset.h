@@ -1,0 +1,59 @@
+// Dataset: a column-oriented multiset of discretized records over a Domain.
+
+#ifndef AIM_DATA_DATASET_H_
+#define AIM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/domain.h"
+#include "util/logging.h"
+
+namespace aim {
+
+// Stores N records, each a d-tuple of small integers x_i in [0, n_i).
+// Column-major layout: marginal computation scans only the needed columns.
+class Dataset {
+ public:
+  // Empty dataset over the empty domain.
+  Dataset() : Dataset(Domain()) {}
+
+  explicit Dataset(Domain domain);
+
+  // Builds a dataset directly from columns. All columns must have equal
+  // length and values within the attribute domain.
+  static Dataset FromColumns(Domain domain,
+                             std::vector<std::vector<int32_t>> columns);
+
+  const Domain& domain() const { return domain_; }
+  int64_t num_records() const { return num_records_; }
+
+  // Appends one record; `values` must have one in-domain entry per attribute.
+  void AppendRecord(const std::vector<int>& values);
+
+  void Reserve(int64_t n);
+
+  // Value of attribute `attr` in record `row`.
+  int32_t value(int64_t row, int attr) const {
+    AIM_DCHECK(row >= 0 && row < num_records_);
+    return columns_[attr][row];
+  }
+
+  const std::vector<int32_t>& column(int attr) const;
+
+  // Returns the record at `row` as a d-tuple.
+  std::vector<int> Record(int64_t row) const;
+
+  // Returns a dataset containing `rows.size()` records copied from the given
+  // row indices (with repetition allowed) — used by the subsampling baseline.
+  Dataset Subsample(const std::vector<int64_t>& rows) const;
+
+ private:
+  Domain domain_;
+  int64_t num_records_ = 0;
+  std::vector<std::vector<int32_t>> columns_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_DATA_DATASET_H_

@@ -1,0 +1,57 @@
+#include "data/domain.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace aim {
+
+Domain::Domain(std::vector<std::string> names, std::vector<int> sizes)
+    : names_(std::move(names)), sizes_(std::move(sizes)) {
+  AIM_CHECK_EQ(names_.size(), sizes_.size());
+  for (int size : sizes_) AIM_CHECK_GE(size, 1);
+}
+
+Domain Domain::WithSizes(std::vector<int> sizes) {
+  std::vector<std::string> names;
+  names.reserve(sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    names.push_back("attr" + std::to_string(i));
+  }
+  return Domain(std::move(names), std::move(sizes));
+}
+
+int Domain::size(int attr) const {
+  AIM_CHECK_GE(attr, 0);
+  AIM_CHECK_LT(attr, num_attributes());
+  return sizes_[attr];
+}
+
+const std::string& Domain::name(int attr) const {
+  AIM_CHECK_GE(attr, 0);
+  AIM_CHECK_LT(attr, num_attributes());
+  return names_[attr];
+}
+
+int Domain::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return -1;
+}
+
+double Domain::Log10TotalSize() const {
+  double total = 0.0;
+  for (int size : sizes_) total += std::log10(static_cast<double>(size));
+  return total;
+}
+
+int64_t Domain::ProjectionSize(const std::vector<int>& attrs) const {
+  int64_t total = 1;
+  for (int attr : attrs) {
+    total *= size(attr);
+  }
+  return total;
+}
+
+}  // namespace aim

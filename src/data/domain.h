@@ -1,0 +1,55 @@
+// Domain: the schema of a discrete dataset — attribute names and finite
+// per-attribute domain sizes (Section 2.1 of the paper).
+
+#ifndef AIM_DATA_DOMAIN_H_
+#define AIM_DATA_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aim {
+
+// Immutable description of a discrete data domain Omega = Omega_1 x ... x
+// Omega_d. Attribute i has n_i = size(i) possible values {0, ..., n_i - 1}.
+class Domain {
+ public:
+  Domain() = default;
+
+  // `names` and `sizes` must have equal length; every size must be >= 1.
+  Domain(std::vector<std::string> names, std::vector<int> sizes);
+
+  // Convenience: attributes named "attr0", "attr1", ...
+  static Domain WithSizes(std::vector<int> sizes);
+
+  int num_attributes() const { return static_cast<int>(sizes_.size()); }
+
+  // Domain size n_i of attribute `attr`.
+  int size(int attr) const;
+
+  const std::string& name(int attr) const;
+  const std::vector<int>& sizes() const { return sizes_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  // Index of the attribute with the given name, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  // log10 of the full domain size prod_i n_i (the paper's "Total Domain
+  // Size" column, reported in log form to avoid overflow).
+  double Log10TotalSize() const;
+
+  // Product of sizes of the given attributes. Attributes must be valid.
+  int64_t ProjectionSize(const std::vector<int>& attrs) const;
+
+  bool operator==(const Domain& other) const {
+    return sizes_ == other.sizes_ && names_ == other.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> sizes_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_DATA_DOMAIN_H_

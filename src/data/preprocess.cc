@@ -1,0 +1,116 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace aim {
+namespace {
+
+// Bins `value` into [0, num_bins) by equal-width binning on [lo, hi].
+int Discretize(double value, double lo, double hi, int num_bins) {
+  if (hi <= lo) return 0;
+  double scaled = (value - lo) / (hi - lo) * num_bins;
+  int bin = static_cast<int>(std::floor(scaled));
+  if (bin < 0) bin = 0;
+  if (bin >= num_bins) bin = num_bins - 1;
+  return bin;
+}
+
+}  // namespace
+
+StatusOr<PreprocessResult> Preprocess(const RawTable& table,
+                                      const PreprocessOptions& options) {
+  if (options.num_bins < 1) {
+    return InvalidArgumentError("num_bins must be >= 1");
+  }
+  const int num_cols = table.num_columns();
+  if (num_cols == 0) return InvalidArgumentError("table has no columns");
+
+  std::vector<AttributeSpec> specs(num_cols);
+  // Pass 1: identify each column as numerical or categorical.
+  for (int c = 0; c < num_cols; ++c) {
+    AttributeSpec& spec = specs[c];
+    spec.name = table.header[c];
+    bool all_numeric = true;
+    std::set<std::string> distinct;
+    double lo = 0.0, hi = 0.0;
+    bool have_range = false;
+    for (const auto& row : table.rows) {
+      const std::string& field = row[c];
+      distinct.insert(field);
+      if (field.empty()) continue;  // nulls do not block numeric treatment
+      double value;
+      if (!ParseDouble(field, &value)) {
+        all_numeric = false;
+      } else if (!have_range) {
+        lo = hi = value;
+        have_range = true;
+      } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+    }
+    const bool has_null = distinct.count("") > 0;
+    if (all_numeric && have_range &&
+        static_cast<int>(distinct.size()) > options.numeric_threshold) {
+      spec.numeric = true;
+      spec.min_value = lo;
+      spec.max_value = hi;
+      // Null values, if present, get their own final bin.
+      spec.num_bins = options.num_bins + (has_null ? 1 : 0);
+    } else {
+      spec.numeric = false;
+      spec.categories.assign(distinct.begin(), distinct.end());
+      if (spec.categories.empty()) spec.categories.push_back("");
+    }
+  }
+
+  std::vector<std::string> names;
+  std::vector<int> sizes;
+  for (const auto& spec : specs) {
+    names.push_back(spec.name);
+    sizes.push_back(spec.domain_size());
+  }
+  Dataset dataset{Domain(names, sizes)};
+  dataset.Reserve(table.num_rows());
+
+  // Pass 2: encode records.
+  std::vector<std::map<std::string, int>> category_index(num_cols);
+  for (int c = 0; c < num_cols; ++c) {
+    for (size_t i = 0; i < specs[c].categories.size(); ++i) {
+      category_index[c][specs[c].categories[i]] = static_cast<int>(i);
+    }
+  }
+  std::vector<int> record(num_cols);
+  for (const auto& row : table.rows) {
+    for (int c = 0; c < num_cols; ++c) {
+      const AttributeSpec& spec = specs[c];
+      const std::string& field = row[c];
+      if (spec.numeric) {
+        if (field.empty()) {
+          record[c] = spec.num_bins - 1;  // dedicated null bin
+        } else {
+          double value = 0.0;
+          AIM_CHECK(ParseDouble(field, &value));
+          int data_bins =
+              spec.num_bins - (spec.num_bins > options.num_bins ? 1 : 0);
+          record[c] =
+              Discretize(value, spec.min_value, spec.max_value, data_bins);
+        }
+      } else {
+        auto it = category_index[c].find(field);
+        AIM_CHECK(it != category_index[c].end());
+        record[c] = it->second;
+      }
+    }
+    dataset.AppendRecord(record);
+  }
+  return PreprocessResult{std::move(dataset), std::move(specs)};
+}
+
+}  // namespace aim

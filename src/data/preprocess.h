@@ -1,0 +1,55 @@
+// Appendix-A preprocessing: domain identification from the active domain and
+// equal-width discretization of numerical attributes.
+
+#ifndef AIM_DATA_PREPROCESS_H_
+#define AIM_DATA_PREPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace aim {
+
+struct PreprocessOptions {
+  // Number of equal-width bins for numerical attributes (paper default: 32).
+  int num_bins = 32;
+
+  // A column is treated as numerical if every non-empty field parses as a
+  // double and it has more than `numeric_threshold` distinct values;
+  // otherwise it is categorical.
+  int numeric_threshold = 32;
+};
+
+// Per-attribute description produced by domain identification.
+struct AttributeSpec {
+  std::string name;
+  bool numeric = false;
+  // Categorical: observed distinct values (including "" for null), sorted.
+  std::vector<std::string> categories;
+  // Numerical: observed range, discretized into `num_bins` bins.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  int num_bins = 0;
+
+  int domain_size() const {
+    return numeric ? num_bins : static_cast<int>(categories.size());
+  }
+};
+
+struct PreprocessResult {
+  Dataset dataset;
+  std::vector<AttributeSpec> specs;
+};
+
+// Applies the paper's preprocessing (Appendix A) to a raw table: identifies
+// each column as categorical or numerical from the active domain, then
+// discretizes numerical columns into equal-width bins.
+StatusOr<PreprocessResult> Preprocess(const RawTable& table,
+                                      const PreprocessOptions& options = {});
+
+}  // namespace aim
+
+#endif  // AIM_DATA_PREPROCESS_H_

@@ -1,0 +1,315 @@
+#include "data/simulators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+// Gamma(alpha, 1) sampler (Marsaglia-Tsang, with the alpha<1 boost).
+double SampleGamma(double alpha, Rng& rng) {
+  AIM_CHECK_GT(alpha, 0.0);
+  if (alpha < 1.0) {
+    double u = 1.0 - rng.Uniform();
+    return SampleGamma(alpha + 1.0, rng) * std::pow(u, 1.0 / alpha);
+  }
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = rng.Gaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = 1.0 - rng.Uniform();
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+      return d * v;
+    }
+  }
+}
+
+// Dirichlet(alpha) draw of length k, returned unnormalized-safe.
+std::vector<double> SampleDirichlet(int k, double alpha, Rng& rng) {
+  std::vector<double> probs(k);
+  double total = 0.0;
+  for (int i = 0; i < k; ++i) {
+    probs[i] = SampleGamma(alpha, rng);
+    total += probs[i];
+  }
+  if (total <= 0.0) {
+    std::fill(probs.begin(), probs.end(), 1.0 / k);
+    return probs;
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+// A Bayesian network over the domain: per attribute, a parent list and a CPT
+// with one conditional distribution per joint parent configuration.
+struct BayesNet {
+  struct Node {
+    std::vector<int> parents;                      // strictly earlier attrs
+    std::vector<std::vector<double>> conditionals;  // [parent cfg][value]
+  };
+  std::vector<Node> nodes;
+
+  int ParentConfig(const std::vector<int>& record, int attr,
+                   const Domain& domain) const {
+    int index = 0;
+    for (int parent : nodes[attr].parents) {
+      index = index * domain.size(parent) + record[parent];
+    }
+    return index;
+  }
+};
+
+constexpr int64_t kMaxCptCells = 1 << 14;
+
+BayesNet DrawRandomBayesNet(const Domain& domain, int max_parents,
+                            double alpha, Rng& rng) {
+  const int d = domain.num_attributes();
+  BayesNet net;
+  net.nodes.resize(d);
+  for (int attr = 0; attr < d; ++attr) {
+    auto& node = net.nodes[attr];
+    if (attr > 0) {
+      // Prefer the previous attribute (chain backbone) and add extra
+      // earlier parents while the CPT stays small.
+      int64_t cfgs = 1;
+      auto try_add = [&](int candidate) {
+        if (candidate < 0 || candidate >= attr) return;
+        if (std::find(node.parents.begin(), node.parents.end(), candidate) !=
+            node.parents.end()) {
+          return;
+        }
+        if (static_cast<int>(node.parents.size()) >= max_parents) return;
+        int64_t next = cfgs * domain.size(candidate) * domain.size(attr);
+        if (next > kMaxCptCells) return;
+        node.parents.push_back(candidate);
+        cfgs *= domain.size(candidate);
+      };
+      try_add(attr - 1);
+      if (attr >= 2 && rng.Uniform() < 0.6) {
+        try_add(static_cast<int>(rng.UniformInt(attr)));
+      }
+      std::sort(node.parents.begin(), node.parents.end());
+    }
+    int64_t num_configs = 1;
+    for (int parent : node.parents) num_configs *= domain.size(parent);
+    node.conditionals.resize(num_configs);
+    for (auto& conditional : node.conditionals) {
+      conditional = SampleDirichlet(domain.size(attr), alpha, rng);
+    }
+  }
+  return net;
+}
+
+Dataset SampleFromBayesNet(const Domain& domain, const BayesNet& net,
+                           int64_t n, Rng& rng) {
+  Dataset data(domain);
+  data.Reserve(n);
+  std::vector<int> record(domain.num_attributes());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int attr = 0; attr < domain.num_attributes(); ++attr) {
+      int config = net.ParentConfig(record, attr, domain);
+      record[attr] = rng.SampleDiscrete(net.nodes[attr].conditionals[config]);
+    }
+    data.AppendRecord(record);
+  }
+  return data;
+}
+
+struct DatasetSpec {
+  std::string name;
+  int64_t paper_records;
+  std::vector<std::string> attr_names;
+  std::vector<int> sizes;
+  // Name of the TARGET workload attribute, or "" for seeded-random choice.
+  std::string target_name;
+};
+
+DatasetSpec SpecFor(PaperDataset which) {
+  switch (which) {
+    case PaperDataset::kAdult:
+      // 48842 records, 15 attributes, domains 2-42 (Table 2).
+      return {"adult",
+              48842,
+              {"income", "age", "workclass", "fnlwgt", "education",
+               "education_num", "marital_status", "occupation", "relationship",
+               "race", "sex", "capital_gain", "capital_loss", "hours_per_week",
+               "native_country"},
+              {2, 32, 9, 32, 16, 16, 7, 15, 6, 5, 2, 32, 32, 32, 42},
+              "income"};
+    case PaperDataset::kSalary:
+      // 135727 records, 9 attributes, domains 3-501.
+      return {"salary",
+              135727,
+              {"agency", "title", "grade", "status", "pay_basis", "step",
+               "location", "schedule", "category"},
+              {120, 501, 51, 3, 13, 13, 32, 4, 12},
+              ""};
+    case PaperDataset::kMsnbc: {
+      // 989818 records, 16 attributes, every domain 18.
+      std::vector<std::string> names;
+      for (int i = 0; i < 16; ++i) names.push_back("page" + std::to_string(i));
+      return {"msnbc", 989818, names, std::vector<int>(16, 18), ""};
+    }
+    case PaperDataset::kFire:
+      // 305119 records, 15 attributes, domains 2-46.
+      return {"fire",
+              305119,
+              {"call_type", "zipcode", "city", "battalion", "station_area",
+               "box", "priority", "als_unit", "call_final_disposition",
+               "neighborhood", "unit_type", "first_unit", "supervisor",
+               "fire_prevention", "ems"},
+              {32, 46, 12, 10, 40, 32, 4, 2, 16, 24, 9, 6, 8, 3, 2},
+              ""};
+    case PaperDataset::kNltcs: {
+      // 21574 records, 16 binary attributes.
+      std::vector<std::string> names;
+      for (int i = 0; i < 16; ++i) names.push_back("adl" + std::to_string(i));
+      return {"nltcs", 21574, names, std::vector<int>(16, 2), ""};
+    }
+    case PaperDataset::kTitanic:
+      // 1304 records, 9 attributes, domains 2-91.
+      return {"titanic",
+              1304,
+              {"survived", "pclass", "sex", "age", "sibsp", "parch", "fare",
+               "embarked", "deck"},
+              {2, 3, 2, 32, 8, 8, 91, 4, 9},
+              "survived"};
+  }
+  AIM_CHECK(false) << "unknown dataset";
+  return {};
+}
+
+// Embeds structural zeros in FIRE: for each chosen (a, b) attribute pair,
+// every a-value is mapped to a small allowed set of b-values; b is then
+// regenerated conditioned on a within the allowed set, and the complement is
+// reported as the zero set.
+std::vector<StructuralZeroConstraint> EmbedFireStructuralZeros(
+    Dataset* data, Rng& rng) {
+  const Domain& domain = data->domain();
+  // Nine pairs of related attributes (paper: nine pairs, 2696 zero cells).
+  // Each pair (source, target) regenerates the target column conditioned on
+  // the source. Sources {0,1,3,5,6,9} are never targets and targets are all
+  // distinct, so no constraint is invalidated by a later regeneration.
+  const std::vector<std::pair<int, int>> pairs = {
+      {1, 2},  {3, 4},  {5, 7},  {9, 8},  {1, 10},
+      {3, 11}, {5, 12}, {0, 13}, {6, 14},
+  };
+  std::vector<StructuralZeroConstraint> constraints;
+  std::vector<std::vector<int32_t>> columns(domain.num_attributes());
+  for (int a = 0; a < domain.num_attributes(); ++a) columns[a] = data->column(a);
+
+  for (const auto& [a, b] : pairs) {
+    const int na = domain.size(a);
+    const int nb = domain.size(b);
+    // Allowed b-values per a-value: between 1 and ceil(nb/2), skew-sampled.
+    std::vector<std::vector<int>> allowed(na);
+    std::vector<std::vector<char>> mask(na, std::vector<char>(nb, 0));
+    for (int va = 0; va < na; ++va) {
+      int count = 1 + static_cast<int>(rng.UniformInt(std::max(1, nb / 2)));
+      std::vector<int> perm = rng.Permutation(nb);
+      for (int i = 0; i < count; ++i) {
+        allowed[va].push_back(perm[i]);
+        mask[va][perm[i]] = 1;
+      }
+      std::sort(allowed[va].begin(), allowed[va].end());
+    }
+    // Regenerate column b within the allowed sets, with skewed conditionals.
+    std::vector<std::vector<double>> conditional(na);
+    for (int va = 0; va < na; ++va) {
+      conditional[va] =
+          SampleDirichlet(static_cast<int>(allowed[va].size()), 0.4, rng);
+    }
+    for (int64_t row = 0; row < data->num_records(); ++row) {
+      int va = columns[a][row];
+      int pick = rng.SampleDiscrete(conditional[va]);
+      columns[b][row] = allowed[va][pick];
+    }
+    StructuralZeroConstraint constraint;
+    constraint.attributes = {std::min(a, b), std::max(a, b)};
+    for (int va = 0; va < na; ++va) {
+      for (int vb = 0; vb < nb; ++vb) {
+        if (!mask[va][vb]) {
+          if (a < b) {
+            constraint.zero_tuples.push_back({va, vb});
+          } else {
+            constraint.zero_tuples.push_back({vb, va});
+          }
+        }
+      }
+    }
+    constraints.push_back(std::move(constraint));
+  }
+  *data = Dataset::FromColumns(domain, std::move(columns));
+  return constraints;
+}
+
+}  // namespace
+
+std::vector<PaperDataset> AllPaperDatasets() {
+  return {PaperDataset::kAdult, PaperDataset::kSalary, PaperDataset::kMsnbc,
+          PaperDataset::kFire,  PaperDataset::kNltcs,  PaperDataset::kTitanic};
+}
+
+std::string PaperDatasetName(PaperDataset dataset) {
+  return SpecFor(dataset).name;
+}
+
+bool ParsePaperDataset(const std::string& name, PaperDataset* out) {
+  for (PaperDataset dataset : AllPaperDatasets()) {
+    if (PaperDatasetName(dataset) == name) {
+      *out = dataset;
+      return true;
+    }
+  }
+  return false;
+}
+
+Dataset SampleRandomBayesNet(const Domain& domain, int64_t n, int max_parents,
+                             double alpha, Rng& rng) {
+  BayesNet net = DrawRandomBayesNet(domain, max_parents, alpha, rng);
+  return SampleFromBayesNet(domain, net, n, rng);
+}
+
+SimulatedData MakePaperDataset(PaperDataset which,
+                               const SimulatorOptions& options) {
+  DatasetSpec spec = SpecFor(which);
+  Domain domain(spec.attr_names, spec.sizes);
+
+  int64_t records = static_cast<int64_t>(
+      std::llround(static_cast<double>(spec.paper_records) *
+                   options.record_scale));
+  records = std::max<int64_t>(records, options.min_records);
+  records = std::min(records, spec.paper_records);
+
+  // Dataset-specific deterministic stream: same seed, different datasets
+  // produce unrelated networks.
+  uint64_t stream = options.seed;
+  for (char c : spec.name) stream = stream * 1000003ULL + static_cast<uint64_t>(c);
+  Rng rng(stream);
+
+  SimulatedData out;
+  out.name = spec.name;
+  out.data = SampleRandomBayesNet(domain, records, options.max_parents,
+                                  options.dirichlet_alpha, rng);
+
+  if (which == PaperDataset::kFire) {
+    out.structural_zeros = EmbedFireStructuralZeros(&out.data, rng);
+  }
+
+  if (!spec.target_name.empty()) {
+    out.target_attribute = domain.IndexOf(spec.target_name);
+    AIM_CHECK_GE(out.target_attribute, 0);
+  } else {
+    // Paper: target chosen uniformly at random with a fixed seed.
+    out.target_attribute =
+        static_cast<int>(rng.UniformInt(domain.num_attributes()));
+  }
+  return out;
+}
+
+}  // namespace aim

@@ -1,0 +1,103 @@
+#include "dp/accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+namespace {
+
+struct DeltaContext {
+  double rho;
+  double eps;
+};
+
+// log delta(alpha) from Proposition 4, parameterized as alpha = 1 + e^u so
+// the search domain is unconstrained and the function stays unimodal.
+double LogDeltaOfU(double u, const void* ctx_ptr) {
+  const auto* ctx = static_cast<const DeltaContext*>(ctx_ptr);
+  double alpha = 1.0 + std::exp(u);
+  double log_delta = (alpha - 1.0) * (alpha * ctx->rho - ctx->eps) -
+                     std::log(alpha - 1.0) +
+                     alpha * std::log1p(-1.0 / alpha);
+  return log_delta;
+}
+
+}  // namespace
+
+double CdpDelta(double rho, double eps) {
+  AIM_CHECK_GE(rho, 0.0);
+  AIM_CHECK_GE(eps, 0.0);
+  if (rho == 0.0) return 0.0;
+  DeltaContext ctx{rho, eps};
+  double best_u = GoldenSectionMinimize(&LogDeltaOfU, &ctx, -40.0, 40.0, 200);
+  double log_delta = LogDeltaOfU(best_u, &ctx);
+  double delta = std::exp(log_delta);
+  return std::min(delta, 1.0);
+}
+
+double CdpEps(double rho, double delta) {
+  AIM_CHECK_GE(rho, 0.0);
+  AIM_CHECK_GT(delta, 0.0);
+  if (rho == 0.0) return 0.0;
+  // CdpDelta is decreasing in eps. Find an upper bracket, then bisect.
+  double lo = 0.0;
+  double hi = rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta)) + 1.0;
+  while (CdpDelta(rho, hi) > delta) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (CdpDelta(rho, mid) > delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double CdpRho(double eps, double delta) {
+  AIM_CHECK_GE(eps, 0.0);
+  AIM_CHECK_GT(delta, 0.0);
+  // CdpDelta is increasing in rho. Largest rho with delta(rho, eps) <= delta.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (CdpDelta(hi, eps) < delta) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (CdpDelta(mid, eps) <= delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double GaussianRho(double sigma) {
+  AIM_CHECK_GT(sigma, 0.0);
+  return 1.0 / (2.0 * sigma * sigma);
+}
+
+double ExponentialRho(double eps) {
+  AIM_CHECK_GE(eps, 0.0);
+  return eps * eps / 8.0;
+}
+
+PrivacyFilter::PrivacyFilter(double rho_budget) : budget_(rho_budget) {
+  AIM_CHECK_GE(rho_budget, 0.0);
+}
+
+bool PrivacyFilter::CanSpend(double rho) const {
+  AIM_CHECK_GE(rho, 0.0);
+  return spent_ + rho <= budget_ * (1.0 + 1e-9) + 1e-12;
+}
+
+void PrivacyFilter::Spend(double rho) {
+  AIM_CHECK(CanSpend(rho)) << "privacy filter overspend: spent=" << spent_
+                           << " rho=" << rho << " budget=" << budget_;
+  spent_ += rho;
+}
+
+}  // namespace aim

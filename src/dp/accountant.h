@@ -1,0 +1,56 @@
+// zCDP accounting: composition ledger (privacy filter), and the conversion
+// between rho-zCDP and (epsilon, delta)-DP (Propositions 1-4 of the paper).
+
+#ifndef AIM_DP_ACCOUNTANT_H_
+#define AIM_DP_ACCOUNTANT_H_
+
+namespace aim {
+
+// delta such that rho-zCDP implies (eps, delta)-DP (Proposition 4):
+//   delta = min_{alpha>1} exp((alpha-1)(alpha*rho - eps)) / (alpha-1)
+//           * (1 - 1/alpha)^alpha
+// computed by numeric minimization over alpha.
+double CdpDelta(double rho, double eps);
+
+// Smallest eps such that rho-zCDP implies (eps, delta)-DP, via bisection.
+double CdpEps(double rho, double delta);
+
+// Largest rho such that rho-zCDP implies (eps, delta)-DP, via bisection.
+// This is how a mechanism's (eps, delta) privacy budget is converted to the
+// zCDP budget it actually spends.
+double CdpRho(double eps, double delta);
+
+// zCDP cost of the Gaussian mechanism with noise scale sigma and L2
+// sensitivity 1 (Proposition 1): 1 / (2 sigma^2).
+double GaussianRho(double sigma);
+
+// zCDP cost of the exponential mechanism run with parameter eps
+// (Proposition 2): eps^2 / 8.
+double ExponentialRho(double eps);
+
+// Privacy filter (Rogers et al.): a ledger of adaptively-spent zCDP budget
+// that refuses to overspend. AIM's stopping rule is "run until the filter
+// is exactly exhausted".
+class PrivacyFilter {
+ public:
+  explicit PrivacyFilter(double rho_budget);
+
+  double budget() const { return budget_; }
+  double spent() const { return spent_; }
+  double remaining() const { return budget_ - spent_; }
+
+  // True if an additional `rho` can be spent without exceeding the budget
+  // (with a small numerical tolerance).
+  bool CanSpend(double rho) const;
+
+  // Records spending `rho`; CHECK-fails on overspend beyond tolerance.
+  void Spend(double rho);
+
+ private:
+  double budget_;
+  double spent_ = 0.0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_DP_ACCOUNTANT_H_

@@ -1,0 +1,95 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace aim {
+
+std::vector<double> AddGaussianNoise(const std::vector<double>& values,
+                                     double sigma, Rng& rng) {
+  AIM_CHECK_GE(sigma, 0.0);
+  std::vector<double> noisy(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    noisy[i] = values[i] + sigma * rng.Gaussian();
+  }
+  return noisy;
+}
+
+int NoisyMax(const std::vector<double>& scores, double gumbel_scale,
+             Rng& rng) {
+  AIM_CHECK(!scores.empty());
+  int best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double s = scores[i] + rng.Gumbel(gumbel_scale);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int ExponentialMechanism(const std::vector<double>& scores, double eps,
+                         double sensitivity, Rng& rng) {
+  AIM_CHECK(!scores.empty());
+  AIM_CHECK_GT(sensitivity, 0.0);
+  AIM_CHECK_GE(eps, 0.0);
+  if (std::isinf(eps)) {
+    int best = 0;
+    for (size_t i = 1; i < scores.size(); ++i) {
+      if (scores[i] > scores[best]) best = static_cast<int>(i);
+    }
+    return best;
+  }
+  double scale = 2.0 * sensitivity / eps;
+  if (std::isinf(scale)) {
+    // eps == 0: uniform choice.
+    return static_cast<int>(rng.UniformInt(scores.size()));
+  }
+  return NoisyMax(scores, scale, rng);
+}
+
+int GeneralizedExponentialMechanism(const std::vector<double>& scores,
+                                    const std::vector<double>& sensitivities,
+                                    double eps, Rng& rng) {
+  AIM_CHECK(!scores.empty());
+  AIM_CHECK_EQ(scores.size(), sensitivities.size());
+  const size_t k = scores.size();
+  std::vector<double> normalized(k);
+  for (size_t i = 0; i < k; ++i) {
+    AIM_CHECK_GT(sensitivities[i], 0.0);
+    double margin = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      margin = std::min(margin, (scores[i] - scores[j]) /
+                                    (sensitivities[i] + sensitivities[j]));
+    }
+    normalized[i] = k > 1 ? margin : 0.0;
+  }
+  return ExponentialMechanism(normalized, eps, 1.0, rng);
+}
+
+std::vector<double> AddLaplaceNoise(const std::vector<double>& values,
+                                    double scale, Rng& rng) {
+  AIM_CHECK_GE(scale, 0.0);
+  std::vector<double> noisy(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Inverse-CDF sampling: Laplace = -scale * sign(u) * ln(1 - 2|u|),
+    // u uniform on (-1/2, 1/2).
+    double u = rng.Uniform() - 0.5;
+    double magnitude = -scale * std::log(1.0 - 2.0 * std::fabs(u));
+    noisy[i] = values[i] + (u < 0 ? -magnitude : magnitude);
+  }
+  return noisy;
+}
+
+double LaplaceRho(double scale) {
+  AIM_CHECK_GT(scale, 0.0);
+  const double eps = 1.0 / scale;
+  return eps * eps / 2.0;
+}
+
+}  // namespace aim

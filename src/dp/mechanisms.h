@@ -1,0 +1,56 @@
+// Building-block randomized mechanisms: Gaussian noise addition
+// (Definition 5) and the exponential mechanism (Definition 6).
+
+#ifndef AIM_DP_MECHANISMS_H_
+#define AIM_DP_MECHANISMS_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aim {
+
+// Adds iid N(0, sigma^2) noise to every entry (Gaussian mechanism with L2
+// sensitivity folded into sigma). Costs GaussianRho(sigma) zCDP when the
+// underlying query has L2 sensitivity 1.
+std::vector<double> AddGaussianNoise(const std::vector<double>& values,
+                                     double sigma, Rng& rng);
+
+// Exponential mechanism: samples index i with probability proportional to
+// exp(eps * scores[i] / (2 * sensitivity)), exactly, via the Gumbel-max
+// trick. Costs ExponentialRho(eps) zCDP. With eps = +inf this degenerates to
+// argmax. `sensitivity` must be positive.
+int ExponentialMechanism(const std::vector<double>& scores, double eps,
+                         double sensitivity, Rng& rng);
+
+// Report-noisy-max with Gumbel noise of the given scale added to each score
+// (equivalent to the exponential mechanism with eps/(2*sensitivity) =
+// 1/scale). Exposed for mechanisms (RAP) specified in this form.
+int NoisyMax(const std::vector<double>& scores, double gumbel_scale, Rng& rng);
+
+// Generalized exponential mechanism (Raskhodnikova & Smith [39]) for
+// quality scores with heterogeneous sensitivities: candidate i's score is
+// replaced by the sensitivity-normalized margin
+//   s_i = min_{j != i} (scores[i] - scores[j]) / (sensitivities[i] +
+//   sensitivities[j]),
+// which has sensitivity 1, and the standard exponential mechanism is run on
+// s with parameter eps. Costs ExponentialRho(eps) zCDP. This is the
+// alternative the AIM paper mentions to using Delta_t = max_r w_r.
+// All sensitivities must be positive. O(k^2).
+int GeneralizedExponentialMechanism(const std::vector<double>& scores,
+                                    const std::vector<double>& sensitivities,
+                                    double eps, Rng& rng);
+
+// Adds iid Laplace(scale) noise to every entry. For a query with L1
+// sensitivity 1 this satisfies (1/scale)-DP, hence 1/(2*scale^2)-zCDP —
+// the Section-3.2 "use Gaussian noise" comparison point.
+std::vector<double> AddLaplaceNoise(const std::vector<double>& values,
+                                    double scale, Rng& rng);
+
+// zCDP cost of the Laplace mechanism with the given scale and L1
+// sensitivity 1: (1/scale)^2 / 2 (pure-DP epsilon squared over two).
+double LaplaceRho(double scale);
+
+}  // namespace aim
+
+#endif  // AIM_DP_MECHANISMS_H_

@@ -1,0 +1,61 @@
+#include "eval/error.h"
+
+#include "marginal/marginal.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+
+double WorkloadError(const Dataset& data, const Dataset& synthetic,
+                     const Workload& workload) {
+  AIM_CHECK_GT(workload.num_queries(), 0);
+  AIM_CHECK_GT(data.num_records(), 0);
+  double total = 0.0;
+  for (const auto& q : workload.queries()) {
+    total += q.weight * L1Distance(ComputeMarginal(data, q.attrs),
+                                   ComputeMarginal(synthetic, q.attrs));
+  }
+  return total / (workload.num_queries() *
+                  static_cast<double>(data.num_records()));
+}
+
+double NormalizedWorkloadError(const Dataset& data, const Dataset& synthetic,
+                               const Workload& workload) {
+  AIM_CHECK_GT(workload.num_queries(), 0);
+  AIM_CHECK_GT(data.num_records(), 0);
+  AIM_CHECK_GT(synthetic.num_records(), 0);
+  double total = 0.0;
+  const double data_w = 1.0 / static_cast<double>(data.num_records());
+  const double synth_w = 1.0 / static_cast<double>(synthetic.num_records());
+  for (const auto& q : workload.queries()) {
+    total +=
+        q.weight * L1Distance(ComputeMarginal(data, q.attrs, data_w),
+                              ComputeMarginal(synthetic, q.attrs, synth_w));
+  }
+  return total / workload.num_queries();
+}
+
+double WorkloadErrorFromAnswers(
+    const Dataset& data, const std::vector<std::vector<double>>& answers,
+    const Workload& workload) {
+  AIM_CHECK_EQ(static_cast<int>(answers.size()), workload.num_queries());
+  AIM_CHECK_GT(data.num_records(), 0);
+  double total = 0.0;
+  for (int i = 0; i < workload.num_queries(); ++i) {
+    const auto& q = workload.query(i);
+    total += q.weight *
+             L1Distance(ComputeMarginal(data, q.attrs), answers[i]);
+  }
+  return total / (workload.num_queries() *
+                  static_cast<double>(data.num_records()));
+}
+
+double WorkloadError(const Dataset& data, const MechanismResult& result,
+                     const Workload& workload) {
+  if (result.has_synthetic) {
+    return WorkloadError(data, result.synthetic, workload);
+  }
+  return WorkloadErrorFromAnswers(data, result.query_answers, workload);
+}
+
+}  // namespace aim

@@ -1,0 +1,38 @@
+// Workload error (Definition 2) evaluation for synthetic datasets and for
+// answer-only mechanisms.
+
+#ifndef AIM_EVAL_ERROR_H_
+#define AIM_EVAL_ERROR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "marginal/workload.h"
+#include "mechanisms/mechanism.h"
+
+namespace aim {
+
+// Definition 2: Error(D, D̂) = (1 / (k |D|)) sum_i c_i ||M_{r_i}(D) -
+// M_{r_i}(D̂)||_1.
+double WorkloadError(const Dataset& data, const Dataset& synthetic,
+                     const Workload& workload);
+
+// As above but with each dataset's marginals normalized by its own record
+// count (used by the Appendix-C subsampling comparison, where the synthetic
+// dataset intentionally has fewer records).
+double NormalizedWorkloadError(const Dataset& data, const Dataset& synthetic,
+                               const Workload& workload);
+
+// Definition-2 error for an answer-only mechanism: the noisy answers stand
+// in for M_{r_i}(D̂). `answers` must be aligned with workload.queries().
+double WorkloadErrorFromAnswers(
+    const Dataset& data, const std::vector<std::vector<double>>& answers,
+    const Workload& workload);
+
+// Dispatches on the result type (synthetic data vs. query answers).
+double WorkloadError(const Dataset& data, const MechanismResult& result,
+                     const Workload& workload);
+
+}  // namespace aim
+
+#endif  // AIM_EVAL_ERROR_H_

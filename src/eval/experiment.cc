@@ -1,0 +1,95 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "dp/accountant.h"
+#include "eval/error.h"
+#include "util/logging.h"
+
+namespace aim {
+
+std::vector<double> PaperEpsilonGrid() {
+  // Half-decade grid from 0.01 to 100.
+  return {0.01, 0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0};
+}
+
+std::vector<double> SmallEpsilonGrid() { return {0.1, 1.0, 10.0}; }
+
+TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
+                     const Workload& workload, double epsilon, double delta,
+                     int trials, uint64_t seed) {
+  AIM_CHECK_GT(trials, 0);
+  const double rho = CdpRho(epsilon, delta);
+  TrialStats stats;
+  stats.values.reserve(trials);
+  double seconds = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(t) + 1);
+    MechanismResult result = mechanism.Run(data, workload, rho, rng);
+    stats.values.push_back(WorkloadError(data, result, workload));
+    seconds += result.seconds;
+  }
+  stats.min = *std::min_element(stats.values.begin(), stats.values.end());
+  stats.max = *std::max_element(stats.values.begin(), stats.values.end());
+  double sum = 0.0;
+  for (double v : stats.values) sum += v;
+  stats.mean = sum / trials;
+  stats.mean_seconds = seconds / trials;
+  return stats;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  AIM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& out, bool csv) const {
+  if (csv) {
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out << ',';
+        out << row[i];
+      }
+      out << '\n';
+    };
+    print_row(header_);
+    for (const auto& row : rows_) print_row(row);
+    return;
+  }
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+          << row[i];
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    rule += std::string(widths[i], '-') + "  ";
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatG(double value, int precision) {
+  std::ostringstream out;
+  out << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace aim

@@ -1,0 +1,64 @@
+// Experiment harness shared by the bench binaries: the paper's epsilon
+// grid, multi-trial runner, and aligned-table / CSV printing.
+
+#ifndef AIM_EVAL_EXPERIMENT_H_
+#define AIM_EVAL_EXPERIMENT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "marginal/workload.h"
+#include "mechanisms/mechanism.h"
+
+namespace aim {
+
+// The nine log-spaced privacy parameters of Section 6:
+// {0.01, 0.0316, 0.1, 0.316, 1, 3.16, 10, 31.6, 100}.
+std::vector<double> PaperEpsilonGrid();
+
+// A reduced grid for quick runs: {0.1, 1, 10}.
+std::vector<double> SmallEpsilonGrid();
+
+// The paper's delta.
+constexpr double kPaperDelta = 1e-9;
+
+// Aggregate of repeated trials (the paper reports mean with min/max bars).
+struct TrialStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean_seconds = 0.0;
+  std::vector<double> values;
+};
+
+// Runs `trials` independent executions of the mechanism at (eps, delta)
+// (converted to the zCDP budget via CdpRho) and reports workload-error
+// statistics. Trial t uses an Rng seeded deterministically from `seed` + t.
+TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
+                     const Workload& workload, double epsilon, double delta,
+                     int trials, uint64_t seed);
+
+// Fixed-width text table, printed with aligned columns; optional CSV mode
+// for machine consumption.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Pretty-prints with aligned columns (csv=false) or comma-separated rows.
+  void Print(std::ostream& out, bool csv = false) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double compactly ("0.0316", "12.3", "1.2e-05").
+std::string FormatG(double value, int precision = 4);
+
+}  // namespace aim
+
+#endif  // AIM_EVAL_EXPERIMENT_H_

@@ -1,0 +1,102 @@
+#include "eval/ml_efficacy.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace aim {
+
+NaiveBayesClassifier::NaiveBayesClassifier(const Dataset& train,
+                                           int label_attr, double smoothing)
+    : label_attr_(label_attr) {
+  const Domain& domain = train.domain();
+  AIM_CHECK_GE(label_attr, 0);
+  AIM_CHECK_LT(label_attr, domain.num_attributes());
+  AIM_CHECK_GT(train.num_records(), 0);
+  AIM_CHECK_GT(smoothing, 0.0);
+  num_labels_ = domain.size(label_attr);
+
+  // Class counts.
+  std::vector<double> class_count(num_labels_, smoothing);
+  for (int64_t row = 0; row < train.num_records(); ++row) {
+    class_count[train.value(row, label_attr_)] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : class_count) total += c;
+  log_prior_.resize(num_labels_);
+  for (int y = 0; y < num_labels_; ++y) {
+    log_prior_[y] = std::log(class_count[y] / total);
+  }
+
+  // Per-attribute conditionals.
+  log_conditional_.resize(domain.num_attributes());
+  for (int a = 0; a < domain.num_attributes(); ++a) {
+    if (a == label_attr_) continue;
+    const int n = domain.size(a);
+    std::vector<double> counts(static_cast<size_t>(num_labels_) * n,
+                               smoothing);
+    for (int64_t row = 0; row < train.num_records(); ++row) {
+      counts[train.value(row, label_attr_) * n + train.value(row, a)] += 1.0;
+    }
+    log_conditional_[a].resize(counts.size());
+    for (int y = 0; y < num_labels_; ++y) {
+      double row_total = 0.0;
+      for (int v = 0; v < n; ++v) row_total += counts[y * n + v];
+      for (int v = 0; v < n; ++v) {
+        log_conditional_[a][y * n + v] =
+            std::log(counts[y * n + v] / row_total);
+      }
+    }
+  }
+}
+
+int NaiveBayesClassifier::Predict(const Dataset& data, int64_t row) const {
+  const Domain& domain = data.domain();
+  int best = 0;
+  double best_score = -1e300;
+  for (int y = 0; y < num_labels_; ++y) {
+    double score = log_prior_[y];
+    for (int a = 0; a < domain.num_attributes(); ++a) {
+      if (a == label_attr_) continue;
+      const int n = domain.size(a);
+      score += log_conditional_[a][y * n + data.value(row, a)];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = y;
+    }
+  }
+  return best;
+}
+
+double NaiveBayesClassifier::Accuracy(const Dataset& test) const {
+  AIM_CHECK_GT(test.num_records(), 0);
+  int64_t correct = 0;
+  for (int64_t row = 0; row < test.num_records(); ++row) {
+    if (Predict(test, row) == test.value(row, label_attr_)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(test.num_records());
+}
+
+double MlEfficacy(const Dataset& train, const Dataset& real_test,
+                  int label_attr, double smoothing) {
+  NaiveBayesClassifier model(train, label_attr, smoothing);
+  return model.Accuracy(real_test);
+}
+
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           int holdout_period) {
+  AIM_CHECK_GE(holdout_period, 2);
+  std::vector<int64_t> train_rows, test_rows;
+  for (int64_t row = 0; row < data.num_records(); ++row) {
+    if (row % holdout_period == 0) {
+      test_rows.push_back(row);
+    } else {
+      train_rows.push_back(row);
+    }
+  }
+  return {data.Subsample(train_rows), data.Subsample(test_rows)};
+}
+
+}  // namespace aim

@@ -1,0 +1,57 @@
+// Machine-learning efficacy evaluation (Section 7 discusses ML efficacy as
+// the downstream metric synthetic data is often judged by; the TARGET
+// workload exists because ADULT/TITANIC are prediction tasks).
+//
+// A naive-Bayes classifier is trained on (synthetic or real) data and
+// evaluated on held-out real records: if the synthetic data preserves the
+// 1-way class-conditional structure, the accuracy gap to a real-data-trained
+// model is small.
+
+#ifndef AIM_EVAL_ML_EFFICACY_H_
+#define AIM_EVAL_ML_EFFICACY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace aim {
+
+// Multinomial naive Bayes over discrete attributes with Laplace smoothing.
+class NaiveBayesClassifier {
+ public:
+  // Trains P(label) and P(attr = v | label) from `train`; `label_attr`
+  // names the class attribute. `smoothing` is the Laplace pseudo-count.
+  NaiveBayesClassifier(const Dataset& train, int label_attr,
+                       double smoothing = 1.0);
+
+  int label_attr() const { return label_attr_; }
+
+  // Most likely label for record `row` of `data` (the label attribute of
+  // the record is ignored).
+  int Predict(const Dataset& data, int64_t row) const;
+
+  // Fraction of records of `test` whose label is predicted correctly.
+  double Accuracy(const Dataset& test) const;
+
+ private:
+  int label_attr_;
+  int num_labels_;
+  std::vector<double> log_prior_;
+  // log_conditional_[attr][label * n_attr + value]
+  std::vector<std::vector<double>> log_conditional_;
+};
+
+// Convenience: accuracy on `real_test` of a naive-Bayes model trained on
+// `train` (typically synthetic data). Compare against training on real data
+// to quantify the utility cost of privacy.
+double MlEfficacy(const Dataset& train, const Dataset& real_test,
+                  int label_attr, double smoothing = 1.0);
+
+// Splits `data` into train/test by taking every `holdout_period`-th record
+// as test (deterministic). Returns {train, test}.
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           int holdout_period = 5);
+
+}  // namespace aim
+
+#endif  // AIM_EVAL_ML_EFFICACY_H_

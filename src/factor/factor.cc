@@ -1,0 +1,269 @@
+#include "factor/factor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Strides of `sub`'s cells when iterating over the axes of `super`.
+// Axis j of `super` gets sub-stride 0 if super.attrs[j] is not in `sub`.
+std::vector<int64_t> StridesInto(const std::vector<int>& super_attrs,
+                                 const std::vector<int>& sub_attrs,
+                                 const std::vector<int>& sub_sizes) {
+  std::vector<int64_t> sub_strides(sub_attrs.size(), 1);
+  for (int j = static_cast<int>(sub_attrs.size()) - 2; j >= 0; --j) {
+    sub_strides[j] = sub_strides[j + 1] * sub_sizes[j + 1];
+  }
+  std::vector<int64_t> out(super_attrs.size(), 0);
+  for (size_t i = 0; i < super_attrs.size(); ++i) {
+    auto it =
+        std::find(sub_attrs.begin(), sub_attrs.end(), super_attrs[i]);
+    if (it != sub_attrs.end()) {
+      out[i] = sub_strides[it - sub_attrs.begin()];
+    }
+  }
+  return out;
+}
+
+// Iterates over all cells of a factor with axes `sizes`, maintaining a set
+// of derived linear indices (one per stride vector). Calls fn(cell_indices)
+// once per cell in row-major order (last axis fastest).
+template <int kNumDerived, typename Fn>
+void ForEachCell(const std::vector<int>& sizes,
+                 const std::vector<int64_t>* strides[kNumDerived], Fn&& fn) {
+  const int rank = static_cast<int>(sizes.size());
+  int64_t total = 1;
+  for (int s : sizes) total *= s;
+  std::vector<int> coord(rank, 0);
+  int64_t derived[kNumDerived] = {};
+  for (int64_t cell = 0; cell < total; ++cell) {
+    fn(derived);
+    // Odometer increment (last axis fastest).
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      ++coord[axis];
+      if (coord[axis] < sizes[axis]) {
+        for (int k = 0; k < kNumDerived; ++k) {
+          derived[k] += (*strides[k])[axis];
+        }
+        break;
+      }
+      coord[axis] = 0;
+      for (int k = 0; k < kNumDerived; ++k) {
+        derived[k] -= (*strides[k])[axis] * (sizes[axis] - 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Factor::Factor() : values_(1, 0.0) {}
+
+Factor::Factor(std::vector<int> attrs, std::vector<int> sizes, double fill)
+    : attrs_(std::move(attrs)), sizes_(std::move(sizes)) {
+  AIM_CHECK_EQ(attrs_.size(), sizes_.size());
+  AIM_CHECK(std::is_sorted(attrs_.begin(), attrs_.end()));
+  AIM_CHECK(std::adjacent_find(attrs_.begin(), attrs_.end()) == attrs_.end());
+  int64_t total = 1;
+  for (int s : sizes_) {
+    AIM_CHECK_GE(s, 1);
+    total *= s;
+  }
+  values_.assign(total, fill);
+}
+
+Factor Factor::FromDomain(const Domain& domain, const AttrSet& r,
+                          double fill) {
+  std::vector<int> sizes;
+  sizes.reserve(r.size());
+  for (int attr : r) sizes.push_back(domain.size(attr));
+  return Factor(r.attrs(), std::move(sizes), fill);
+}
+
+Factor Factor::FromValues(std::vector<int> attrs, std::vector<int> sizes,
+                          std::vector<double> values) {
+  Factor out(std::move(attrs), std::move(sizes));
+  AIM_CHECK_EQ(out.values_.size(), values.size());
+  out.values_ = std::move(values);
+  return out;
+}
+
+int Factor::AxisOf(int attr) const {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), attr);
+  if (it == attrs_.end() || *it != attr) return -1;
+  return static_cast<int>(it - attrs_.begin());
+}
+
+namespace {
+
+template <typename Op>
+Factor BinaryOp(const Factor& a, const Factor& b, Op op) {
+  // Union domain.
+  std::vector<int> attrs;
+  std::vector<int> sizes;
+  {
+    size_t i = 0, j = 0;
+    const auto& aa = a.attrs();
+    const auto& ba = b.attrs();
+    while (i < aa.size() || j < ba.size()) {
+      if (j >= ba.size() || (i < aa.size() && aa[i] < ba[j])) {
+        attrs.push_back(aa[i]);
+        sizes.push_back(a.sizes()[i]);
+        ++i;
+      } else if (i >= aa.size() || ba[j] < aa[i]) {
+        attrs.push_back(ba[j]);
+        sizes.push_back(b.sizes()[j]);
+        ++j;
+      } else {
+        AIM_CHECK_EQ(a.sizes()[i], b.sizes()[j]);
+        attrs.push_back(aa[i]);
+        sizes.push_back(a.sizes()[i]);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  Factor out(attrs, sizes);
+  std::vector<int64_t> a_strides = StridesInto(attrs, a.attrs(), a.sizes());
+  std::vector<int64_t> b_strides = StridesInto(attrs, b.attrs(), b.sizes());
+  const std::vector<int64_t>* strides[2] = {&a_strides, &b_strides};
+  double* dst = out.mutable_values().data();
+  const double* av = a.values().data();
+  const double* bv = b.values().data();
+  int64_t cell = 0;
+  ForEachCell<2>(sizes, strides, [&](const int64_t* idx) {
+    dst[cell++] = op(av[idx[0]], bv[idx[1]]);
+  });
+  return out;
+}
+
+}  // namespace
+
+Factor Factor::Add(const Factor& other) const {
+  return BinaryOp(*this, other, [](double x, double y) { return x + y; });
+}
+
+Factor Factor::Subtract(const Factor& other) const {
+  return BinaryOp(*this, other, [](double x, double y) { return x - y; });
+}
+
+Factor Factor::Multiply(const Factor& other) const {
+  return BinaryOp(*this, other, [](double x, double y) { return x * y; });
+}
+
+void Factor::AddInPlace(const Factor& other, double scale) {
+  AIM_CHECK(AttrSet(other.attrs_).IsSubsetOf(AttrSet(attrs_)))
+      << "AddInPlace requires other.attrs ⊆ attrs";
+  std::vector<int64_t> other_strides =
+      StridesInto(attrs_, other.attrs_, other.sizes_);
+  const std::vector<int64_t>* strides[1] = {&other_strides};
+  double* dst = values_.data();
+  const double* src = other.values_.data();
+  int64_t cell = 0;
+  ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
+    dst[cell++] += scale * src[idx[0]];
+  });
+}
+
+void Factor::ScaleInPlace(double factor) {
+  for (double& v : values_) v *= factor;
+}
+
+void Factor::AddScalarInPlace(double shift) {
+  for (double& v : values_) v += shift;
+}
+
+Factor Factor::SumTo(const AttrSet& target) const {
+  AIM_CHECK(target.IsSubsetOf(AttrSet(attrs_)));
+  std::vector<int> t_sizes;
+  for (int attr : target) t_sizes.push_back(sizes_[AxisOf(attr)]);
+  Factor out(target.attrs(), t_sizes, 0.0);
+  std::vector<int64_t> out_strides =
+      StridesInto(attrs_, out.attrs_, out.sizes_);
+  const std::vector<int64_t>* strides[1] = {&out_strides};
+  double* dst = out.values_.data();
+  const double* src = values_.data();
+  int64_t cell = 0;
+  ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
+    dst[idx[0]] += src[cell++];
+  });
+  return out;
+}
+
+Factor Factor::LogSumExpTo(const AttrSet& target) const {
+  AIM_CHECK(target.IsSubsetOf(AttrSet(attrs_)));
+  std::vector<int> t_sizes;
+  for (int attr : target) t_sizes.push_back(sizes_[AxisOf(attr)]);
+  Factor maxes(target.attrs(), t_sizes, kNegInf);
+  std::vector<int64_t> out_strides =
+      StridesInto(attrs_, maxes.attrs_, maxes.sizes_);
+  const std::vector<int64_t>* strides[1] = {&out_strides};
+  // Pass 1: per-destination max.
+  {
+    double* dst = maxes.values_.data();
+    const double* src = values_.data();
+    int64_t cell = 0;
+    ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
+      dst[idx[0]] = std::max(dst[idx[0]], src[cell++]);
+    });
+  }
+  // Pass 2: accumulate exp(v - max).
+  Factor out(maxes.attrs_, maxes.sizes_, 0.0);
+  {
+    double* dst = out.values_.data();
+    const double* mx = maxes.values_.data();
+    const double* src = values_.data();
+    int64_t cell = 0;
+    ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
+      double m = mx[idx[0]];
+      double v = src[cell++];
+      if (!(std::isinf(m) && m < 0)) dst[idx[0]] += std::exp(v - m);
+    });
+  }
+  for (int64_t i = 0; i < out.num_cells(); ++i) {
+    double m = maxes.values_[i];
+    out.values_[i] =
+        (std::isinf(m) && m < 0) ? kNegInf : m + std::log(out.values_[i]);
+  }
+  return out;
+}
+
+double Factor::Sum() const { return aim::Sum(values_); }
+
+double Factor::LogSumExp() const { return aim::LogSumExp(values_); }
+
+double Factor::Max() const {
+  double m = kNegInf;
+  for (double v : values_) m = std::max(m, v);
+  return m;
+}
+
+Factor Factor::Exp(double shift) const {
+  Factor out(attrs_, sizes_);
+  for (int64_t i = 0; i < num_cells(); ++i) {
+    out.values_[i] = std::exp(values_[i] - shift);
+  }
+  return out;
+}
+
+Factor Factor::Log() const {
+  Factor out(attrs_, sizes_);
+  for (int64_t i = 0; i < num_cells(); ++i) {
+    out.values_[i] = values_[i] > 0 ? std::log(values_[i]) : kNegInf;
+  }
+  return out;
+}
+
+double Factor::L1DistanceTo(const Factor& other) const {
+  AIM_CHECK(attrs_ == other.attrs_);
+  return L1Distance(values_, other.values_);
+}
+
+}  // namespace aim

@@ -1,0 +1,91 @@
+// Dense factor (multi-dimensional table) over a subset of attributes.
+//
+// Factors are the arithmetic substrate of the Private-PGM engine: clique
+// log-potentials, belief-propagation messages, and marginals are all
+// factors. Cells are laid out with the same convention as marginals
+// (attributes ascending, last attribute fastest; see marginal/marginal.h),
+// so a Factor's flat values are directly comparable to ComputeMarginal
+// output for the same attribute set.
+
+#ifndef AIM_FACTOR_FACTOR_H_
+#define AIM_FACTOR_FACTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/domain.h"
+#include "marginal/attr_set.h"
+
+namespace aim {
+
+class Factor {
+ public:
+  // The empty factor: a single scalar cell over no attributes.
+  Factor();
+
+  // Factor over `attrs` (must be sorted ascending, distinct) with the given
+  // per-attribute sizes, every cell set to `fill`.
+  Factor(std::vector<int> attrs, std::vector<int> sizes, double fill = 0.0);
+
+  // Factor over the attributes in `r`, sizes taken from `domain`.
+  static Factor FromDomain(const Domain& domain, const AttrSet& r,
+                           double fill = 0.0);
+
+  // Factor with explicit cell values (row-major; size must match).
+  static Factor FromValues(std::vector<int> attrs, std::vector<int> sizes,
+                           std::vector<double> values);
+
+  const std::vector<int>& attrs() const { return attrs_; }
+  const std::vector<int>& sizes() const { return sizes_; }
+  AttrSet attr_set() const { return AttrSet(attrs_); }
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+  int64_t num_cells() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+  double value(int64_t i) const { return values_[i]; }
+
+  // Position of `attr` among attrs(), or -1 if absent.
+  int AxisOf(int attr) const;
+
+  // --- Elementwise binary operations over the union domain (broadcast). ---
+  Factor Add(const Factor& other) const;
+  Factor Subtract(const Factor& other) const;
+  Factor Multiply(const Factor& other) const;
+
+  // In-place accumulate of a factor whose attrs are a subset of this one's
+  // (broadcast over the missing axes). Much cheaper than Add when shapes
+  // already agree.
+  void AddInPlace(const Factor& other, double scale = 1.0);
+
+  void ScaleInPlace(double factor);
+  void AddScalarInPlace(double shift);
+
+  // --- Marginalization. `target` must be a subset of attrs(). ---
+  // Sums out all attributes not in `target`.
+  Factor SumTo(const AttrSet& target) const;
+  // Log-space marginalization: logsumexp over the summed-out attributes.
+  // Stable under -inf cells (structural zeros).
+  Factor LogSumExpTo(const AttrSet& target) const;
+
+  double Sum() const;
+  double LogSumExp() const;
+  double Max() const;
+
+  // Returns exp(v - shift) cellwise (shift typically the log-partition).
+  Factor Exp(double shift = 0.0) const;
+  // Returns log(v) cellwise; log(0) = -inf.
+  Factor Log() const;
+
+  // ||this - other||_1 over identical shapes.
+  double L1DistanceTo(const Factor& other) const;
+
+ private:
+  std::vector<int> attrs_;
+  std::vector<int> sizes_;
+  std::vector<double> values_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_FACTOR_FACTOR_H_

@@ -1,0 +1,97 @@
+#include "marginal/attr_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+std::vector<int> Normalize(std::vector<int> attrs) {
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  for (int attr : attrs) AIM_CHECK_GE(attr, 0);
+  return attrs;
+}
+
+}  // namespace
+
+AttrSet::AttrSet(std::initializer_list<int> attrs)
+    : attrs_(Normalize(std::vector<int>(attrs))) {}
+
+AttrSet::AttrSet(std::vector<int> attrs) : attrs_(Normalize(std::move(attrs))) {}
+
+bool AttrSet::Contains(int attr) const {
+  return std::binary_search(attrs_.begin(), attrs_.end(), attr);
+}
+
+bool AttrSet::IsSubsetOf(const AttrSet& other) const {
+  return std::includes(other.attrs_.begin(), other.attrs_.end(),
+                       attrs_.begin(), attrs_.end());
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  std::vector<int> merged;
+  merged.reserve(attrs_.size() + other.attrs_.size());
+  std::set_union(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                 other.attrs_.end(), std::back_inserter(merged));
+  AttrSet out;
+  out.attrs_ = std::move(merged);
+  return out;
+}
+
+AttrSet AttrSet::Intersect(const AttrSet& other) const {
+  std::vector<int> shared;
+  std::set_intersection(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                        other.attrs_.end(), std::back_inserter(shared));
+  AttrSet out;
+  out.attrs_ = std::move(shared);
+  return out;
+}
+
+AttrSet AttrSet::Difference(const AttrSet& other) const {
+  std::vector<int> rest;
+  std::set_difference(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                      other.attrs_.end(), std::back_inserter(rest));
+  AttrSet out;
+  out.attrs_ = std::move(rest);
+  return out;
+}
+
+int AttrSet::IntersectionSize(const AttrSet& other) const {
+  int count = 0;
+  size_t i = 0, j = 0;
+  while (i < attrs_.size() && j < other.attrs_.size()) {
+    if (attrs_[i] == other.attrs_[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (attrs_[i] < other.attrs_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::string AttrSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(attrs_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+size_t AttrSet::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  for (int attr : attrs_) {
+    h ^= static_cast<size_t>(attr) + 0x9E3779B9;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace aim

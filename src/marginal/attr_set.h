@@ -1,0 +1,58 @@
+// AttrSet: an immutable sorted set of attribute indices, used to identify
+// marginal queries (the sets `r` of the paper).
+
+#ifndef AIM_MARGINAL_ATTR_SET_H_
+#define AIM_MARGINAL_ATTR_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace aim {
+
+// A subset r of attribute indices, stored sorted and de-duplicated.
+class AttrSet {
+ public:
+  AttrSet() = default;
+  AttrSet(std::initializer_list<int> attrs);
+  explicit AttrSet(std::vector<int> attrs);
+
+  int size() const { return static_cast<int>(attrs_.size()); }
+  bool empty() const { return attrs_.empty(); }
+  const std::vector<int>& attrs() const { return attrs_; }
+  int operator[](int i) const { return attrs_[i]; }
+
+  bool Contains(int attr) const;
+  bool IsSubsetOf(const AttrSet& other) const;
+  AttrSet Union(const AttrSet& other) const;
+  AttrSet Intersect(const AttrSet& other) const;
+  AttrSet Difference(const AttrSet& other) const;
+
+  // Number of shared attributes |r ∩ s| (used by workload weights w_r).
+  int IntersectionSize(const AttrSet& other) const;
+
+  // e.g. "{0,3,7}".
+  std::string ToString() const;
+
+  bool operator==(const AttrSet& other) const { return attrs_ == other.attrs_; }
+  bool operator!=(const AttrSet& other) const { return attrs_ != other.attrs_; }
+  bool operator<(const AttrSet& other) const { return attrs_ < other.attrs_; }
+
+  // FNV-style hash for use in unordered containers.
+  size_t Hash() const;
+
+  std::vector<int>::const_iterator begin() const { return attrs_.begin(); }
+  std::vector<int>::const_iterator end() const { return attrs_.end(); }
+
+ private:
+  std::vector<int> attrs_;
+};
+
+struct AttrSetHash {
+  size_t operator()(const AttrSet& s) const { return s.Hash(); }
+};
+
+}  // namespace aim
+
+#endif  // AIM_MARGINAL_ATTR_SET_H_

@@ -1,0 +1,84 @@
+#include "marginal/linear_query.h"
+
+#include <cmath>
+
+#include "marginal/marginal.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace aim {
+
+double AnswerLinearQuery(const std::vector<double>& marginal,
+                         const LinearQuery& query) {
+  AIM_CHECK_EQ(marginal.size(), query.coefficients.size());
+  double answer = 0.0;
+  for (size_t t = 0; t < marginal.size(); ++t) {
+    answer += query.coefficients[t] * marginal[t];
+  }
+  return answer;
+}
+
+double AnswerLinearQuery(const Dataset& data, const LinearQuery& query) {
+  return AnswerLinearQuery(ComputeMarginal(data, query.attrs), query);
+}
+
+std::vector<LinearQuery> PrefixRangeQueries(const Domain& domain, int attr) {
+  AIM_CHECK_GE(attr, 0);
+  AIM_CHECK_LT(attr, domain.num_attributes());
+  const int n = domain.size(attr);
+  std::vector<LinearQuery> queries;
+  for (int k = 0; k + 1 < n; ++k) {
+    LinearQuery q;
+    q.attrs = AttrSet({attr});
+    q.coefficients.assign(n, 0.0);
+    for (int v = 0; v <= k; ++v) q.coefficients[v] = 1.0;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<LinearQuery> RandomRangeQueryWorkload(const Domain& domain,
+                                                  int count, uint64_t seed) {
+  AIM_CHECK_GE(domain.num_attributes(), 2);
+  Rng rng(seed);
+  std::vector<LinearQuery> queries;
+  queries.reserve(count);
+  while (static_cast<int>(queries.size()) < count) {
+    int a = static_cast<int>(rng.UniformInt(domain.num_attributes()));
+    int b = static_cast<int>(rng.UniformInt(domain.num_attributes()));
+    if (a == b) continue;
+    AttrSet attrs({a, b});
+    const int first = attrs[0], second = attrs[1];
+    const int n1 = domain.size(first), n2 = domain.size(second);
+    // Random sub-rectangle [lo1, hi1] x [lo2, hi2].
+    int lo1 = static_cast<int>(rng.UniformInt(n1));
+    int hi1 = lo1 + static_cast<int>(rng.UniformInt(n1 - lo1));
+    int lo2 = static_cast<int>(rng.UniformInt(n2));
+    int hi2 = lo2 + static_cast<int>(rng.UniformInt(n2 - lo2));
+    LinearQuery q;
+    q.attrs = attrs;
+    q.coefficients.assign(static_cast<size_t>(n1) * n2, 0.0);
+    for (int v1 = lo1; v1 <= hi1; ++v1) {
+      for (int v2 = lo2; v2 <= hi2; ++v2) {
+        q.coefficients[static_cast<size_t>(v1) * n2 + v2] = 1.0;
+      }
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+double LinearQueryError(const Dataset& data, const Dataset& synthetic,
+                        const std::vector<LinearQuery>& queries) {
+  AIM_CHECK(!queries.empty());
+  AIM_CHECK_GT(data.num_records(), 0);
+  double total = 0.0;
+  for (const LinearQuery& q : queries) {
+    total += std::fabs(AnswerLinearQuery(data, q) -
+                       AnswerLinearQuery(synthetic, q));
+  }
+  return total / (static_cast<double>(queries.size()) *
+                  static_cast<double>(data.num_records()));
+}
+
+}  // namespace aim

@@ -1,0 +1,55 @@
+// Linear queries over low-dimensional marginals (Section 7, "Handling More
+// General Workloads"): a linear query is <coefficients, M_r(D)> for some
+// attribute set r. Range queries over discretized numerical attributes are
+// the canonical example; this module provides evaluation of arbitrary
+// linear-query workloads on real or synthetic data, plus generators for
+// prefix-range and random-range workloads.
+//
+// Synthetic data from any select-measure-generate mechanism answers these
+// for free — this module quantifies how well, beyond the marginal workload
+// the mechanism optimized.
+
+#ifndef AIM_MARGINAL_LINEAR_QUERY_H_
+#define AIM_MARGINAL_LINEAR_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "marginal/attr_set.h"
+
+namespace aim {
+
+// answer = sum_t coefficients[t] * M_r(D)[t], with t indexed by the
+// library's row-major marginal convention.
+struct LinearQuery {
+  AttrSet attrs;
+  std::vector<double> coefficients;
+};
+
+// Evaluates the query against a dataset.
+double AnswerLinearQuery(const Dataset& data, const LinearQuery& query);
+
+// Evaluates the query against a precomputed marginal on query.attrs.
+double AnswerLinearQuery(const std::vector<double>& marginal,
+                         const LinearQuery& query);
+
+// All prefix-range queries over a single attribute: query k counts records
+// with value <= k (k = 0 .. n_attr - 2; the full range is omitted as
+// trivial).
+std::vector<LinearQuery> PrefixRangeQueries(const Domain& domain, int attr);
+
+// `count` random axis-aligned 2-dimensional range queries: a random
+// attribute pair and a random sub-rectangle of their joint domain.
+// Deterministic in `seed`.
+std::vector<LinearQuery> RandomRangeQueryWorkload(const Domain& domain,
+                                                  int count, uint64_t seed);
+
+// Mean absolute error of `synthetic` on the queries, normalized by the real
+// record count (comparable across workloads like Definition 2).
+double LinearQueryError(const Dataset& data, const Dataset& synthetic,
+                        const std::vector<LinearQuery>& queries);
+
+}  // namespace aim
+
+#endif  // AIM_MARGINAL_LINEAR_QUERY_H_

@@ -1,0 +1,57 @@
+#include "marginal/marginal.h"
+
+#include "util/logging.h"
+
+namespace aim {
+
+int64_t MarginalSize(const Domain& domain, const AttrSet& attrs) {
+  return domain.ProjectionSize(attrs.attrs());
+}
+
+MarginalIndexer::MarginalIndexer(const Domain& domain, const AttrSet& attrs)
+    : attrs_(attrs), attr_ids_(attrs.attrs()) {
+  sizes_.reserve(attr_ids_.size());
+  for (int attr : attr_ids_) sizes_.push_back(domain.size(attr));
+  strides_.assign(attr_ids_.size(), 1);
+  for (int j = static_cast<int>(attr_ids_.size()) - 2; j >= 0; --j) {
+    strides_[j] = strides_[j + 1] * sizes_[j + 1];
+  }
+  size_ = attr_ids_.empty() ? 1 : strides_[0] * sizes_[0];
+}
+
+int64_t MarginalIndexer::IndexOfTuple(const std::vector<int>& tuple) const {
+  AIM_CHECK_EQ(tuple.size(), attr_ids_.size());
+  int64_t index = 0;
+  for (size_t j = 0; j < tuple.size(); ++j) {
+    AIM_DCHECK(tuple[j] >= 0 && tuple[j] < sizes_[j]);
+    index += static_cast<int64_t>(tuple[j]) * strides_[j];
+  }
+  return index;
+}
+
+std::vector<int> MarginalIndexer::TupleOfIndex(int64_t index) const {
+  AIM_CHECK(index >= 0 && index < size_);
+  std::vector<int> tuple(attr_ids_.size());
+  for (size_t j = 0; j < attr_ids_.size(); ++j) {
+    tuple[j] = static_cast<int>(index / strides_[j]);
+    index %= strides_[j];
+  }
+  return tuple;
+}
+
+std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs,
+                                    double weight) {
+  MarginalIndexer indexer(data.domain(), attrs);
+  std::vector<double> counts(indexer.size(), 0.0);
+  for (int64_t row = 0; row < data.num_records(); ++row) {
+    counts[indexer.IndexOfRecord(data, row)] += weight;
+  }
+  return counts;
+}
+
+std::vector<double> ComputeMarginal(const Dataset& data,
+                                    const AttrSet& attrs) {
+  return ComputeMarginal(data, attrs, 1.0);
+}
+
+}  // namespace aim

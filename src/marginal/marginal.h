@@ -1,0 +1,66 @@
+// Marginal computation M_r(D) (Definition 1) and the indexing conventions
+// shared across the library.
+//
+// Convention: the marginal vector for attribute set r = {a_1 < ... < a_m} is
+// laid out row-major with the LAST attribute varying fastest:
+//   index(t) = sum_j t[a_j] * stride[j],  stride[m-1] = 1,
+//   stride[j] = stride[j+1] * n_{a_{j+1}}.
+
+#ifndef AIM_MARGINAL_MARGINAL_H_
+#define AIM_MARGINAL_MARGINAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "marginal/attr_set.h"
+
+namespace aim {
+
+// Product of the domain sizes of the attributes in r (n_r in the paper).
+int64_t MarginalSize(const Domain& domain, const AttrSet& attrs);
+
+// Precomputed strides for mapping records / coordinate tuples to cells of
+// the marginal on `attrs`.
+class MarginalIndexer {
+ public:
+  MarginalIndexer(const Domain& domain, const AttrSet& attrs);
+
+  int64_t size() const { return size_; }
+  const AttrSet& attrs() const { return attrs_; }
+
+  // Cell index for a record of the dataset.
+  int64_t IndexOfRecord(const Dataset& data, int64_t row) const {
+    int64_t index = 0;
+    for (size_t j = 0; j < attr_ids_.size(); ++j) {
+      index += static_cast<int64_t>(data.value(row, attr_ids_[j])) *
+               strides_[j];
+    }
+    return index;
+  }
+
+  // Cell index for a coordinate tuple aligned with attrs() order.
+  int64_t IndexOfTuple(const std::vector<int>& tuple) const;
+
+  // Inverse of IndexOfTuple.
+  std::vector<int> TupleOfIndex(int64_t index) const;
+
+ private:
+  AttrSet attrs_;
+  std::vector<int> attr_ids_;
+  std::vector<int> sizes_;
+  std::vector<int64_t> strides_;
+  int64_t size_;
+};
+
+// Computes the marginal (vector of counts) of `data` on `attrs`.
+std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs);
+
+// As above but each record contributes `weight` instead of 1 (used to
+// compare datasets of different sizes on a common scale).
+std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs,
+                                    double weight);
+
+}  // namespace aim
+
+#endif  // AIM_MARGINAL_MARGINAL_H_

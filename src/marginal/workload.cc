@@ -1,0 +1,139 @@
+#include "marginal/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// Enumerates all size-k subsets of {0..d-1}, invoking `fn` on each.
+template <typename Fn>
+void ForEachSubset(int d, int k, Fn&& fn) {
+  AIM_CHECK_GE(k, 1);
+  if (k > d) return;
+  std::vector<int> subset(k);
+  for (int i = 0; i < k; ++i) subset[i] = i;
+  while (true) {
+    fn(subset);
+    int i = k - 1;
+    while (i >= 0 && subset[i] == d - k + i) --i;
+    if (i < 0) break;
+    ++subset[i];
+    for (int j = i + 1; j < k; ++j) subset[j] = subset[j - 1] + 1;
+  }
+}
+
+// Enumerates all non-empty subsets of the (small) attribute set `base`.
+void AddAllNonEmptySubsets(const AttrSet& base, std::set<AttrSet>* out) {
+  const std::vector<int>& attrs = base.attrs();
+  const int m = static_cast<int>(attrs.size());
+  AIM_CHECK_LE(m, 20) << "workload query too wide for subset enumeration";
+  for (int mask = 1; mask < (1 << m); ++mask) {
+    std::vector<int> subset;
+    for (int j = 0; j < m; ++j) {
+      if (mask & (1 << j)) subset.push_back(attrs[j]);
+    }
+    out->insert(AttrSet(std::move(subset)));
+  }
+}
+
+}  // namespace
+
+Workload::Workload(std::vector<WorkloadQuery> queries)
+    : queries_(std::move(queries)) {
+  for (const auto& q : queries_) {
+    AIM_CHECK(!q.attrs.empty());
+    AIM_CHECK_GE(q.weight, 0.0);
+  }
+}
+
+void Workload::Add(AttrSet attrs, double weight) {
+  AIM_CHECK(!attrs.empty());
+  AIM_CHECK_GE(weight, 0.0);
+  queries_.push_back({std::move(attrs), weight});
+}
+
+bool Workload::CoveredBy(const AttrSet& attrs) const {
+  for (const auto& q : queries_) {
+    if (q.attrs.IsSubsetOf(attrs)) return true;
+  }
+  return false;
+}
+
+Workload AllKWayWorkload(const Domain& domain, int k) {
+  Workload workload;
+  ForEachSubset(domain.num_attributes(), k, [&](const std::vector<int>& s) {
+    workload.Add(AttrSet(s));
+  });
+  return workload;
+}
+
+Workload TargetWorkload(const Domain& domain, int k, int target_attr) {
+  AIM_CHECK_GE(target_attr, 0);
+  AIM_CHECK_LT(target_attr, domain.num_attributes());
+  Workload workload;
+  ForEachSubset(domain.num_attributes(), k, [&](const std::vector<int>& s) {
+    if (std::find(s.begin(), s.end(), target_attr) != s.end()) {
+      workload.Add(AttrSet(s));
+    }
+  });
+  return workload;
+}
+
+Workload SkewedWorkload(const Domain& domain, int k, int num_queries,
+                        uint64_t seed) {
+  const int d = domain.num_attributes();
+  AIM_CHECK_GE(d, k);
+  Rng rng(seed);
+  // Squared-exponential attribute weights: w_i = exp(Z_i)^2 with Z ~ N(0,1).
+  std::vector<double> attr_weights(d);
+  for (int i = 0; i < d; ++i) {
+    double z = rng.Gaussian();
+    attr_weights[i] = std::exp(z) * std::exp(z);
+  }
+  std::set<AttrSet> chosen;
+  Workload workload;
+  int attempts = 0;
+  const int max_attempts = num_queries * 1000;
+  while (static_cast<int>(chosen.size()) < num_queries &&
+         attempts < max_attempts) {
+    ++attempts;
+    // Sample k distinct attributes proportional to their weights.
+    std::vector<double> weights = attr_weights;
+    std::vector<int> picked;
+    for (int j = 0; j < k; ++j) {
+      int attr = rng.SampleDiscrete(weights);
+      picked.push_back(attr);
+      weights[attr] = 0.0;
+    }
+    AttrSet attrs(picked);
+    if (chosen.insert(attrs).second) {
+      workload.Add(attrs);
+    }
+  }
+  // Small domains may not have `num_queries` distinct triples; the loop
+  // above terminates with all of them in that case.
+  return workload;
+}
+
+std::vector<AttrSet> DownwardClosure(const Workload& workload) {
+  std::set<AttrSet> closure;
+  for (const auto& q : workload.queries()) {
+    AddAllNonEmptySubsets(q.attrs, &closure);
+  }
+  return std::vector<AttrSet>(closure.begin(), closure.end());
+}
+
+double WorkloadWeight(const Workload& workload, const AttrSet& r) {
+  double weight = 0.0;
+  for (const auto& q : workload.queries()) {
+    weight += q.weight * r.IntersectionSize(q.attrs);
+  }
+  return weight;
+}
+
+}  // namespace aim

@@ -1,0 +1,66 @@
+// Workloads of weighted marginal queries (Definition 2) and the paper's
+// three workload generators: ALL-3WAY, TARGET, and SKEWED (Section 6.1).
+
+#ifndef AIM_MARGINAL_WORKLOAD_H_
+#define AIM_MARGINAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/domain.h"
+#include "marginal/attr_set.h"
+
+namespace aim {
+
+struct WorkloadQuery {
+  AttrSet attrs;
+  double weight = 1.0;
+};
+
+// An ordered list of weighted marginal queries.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<WorkloadQuery> queries);
+
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+  const WorkloadQuery& query(int i) const { return queries_[i]; }
+  const std::vector<WorkloadQuery>& queries() const { return queries_; }
+
+  void Add(AttrSet attrs, double weight = 1.0);
+
+  // True if some query's attribute set contains `attrs`.
+  bool CoveredBy(const AttrSet& attrs) const;
+
+ private:
+  std::vector<WorkloadQuery> queries_;
+};
+
+// All k-way marginal queries over the domain, unit weight. (ALL-3WAY uses
+// k = 3.)
+Workload AllKWayWorkload(const Domain& domain, int k);
+
+// All k-way marginal queries that include `target_attr` (the TARGET
+// workload).
+Workload TargetWorkload(const Domain& domain, int k, int target_attr);
+
+// The SKEWED workload: each attribute receives a weight sampled from a
+// squared-exponential distribution; `num_queries` attribute triples are then
+// sampled (without replacement) with probability proportional to the product
+// of their weights. Deterministic given `seed` (the paper fixes the seed so
+// all mechanisms see the same workload).
+Workload SkewedWorkload(const Domain& domain, int k, int num_queries,
+                        uint64_t seed);
+
+// The downward closure W+ = {r | r ⊆ s for some s in W}, excluding the empty
+// set, in deterministic (sorted) order.
+std::vector<AttrSet> DownwardClosure(const Workload& workload);
+
+// The AIM candidate weight w_r = sum_{s in W} c_s * |r ∩ s| (Line 8 of
+// Algorithm 4).
+double WorkloadWeight(const Workload& workload, const AttrSet& r);
+
+}  // namespace aim
+
+#endif  // AIM_MARGINAL_WORKLOAD_H_

@@ -1,0 +1,316 @@
+#include "mechanisms/aim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "marginal/marginal.h"
+#include "pgm/junction_tree.h"
+#include "pgm/synthetic.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+namespace {
+
+constexpr double kSqrt2OverPi = 0.7978845608028654;  // sqrt(2/pi)
+
+}  // namespace
+
+MechanismResult AimMechanism::Run(const Dataset& data,
+                                  const Workload& workload, double rho,
+                                  Rng& rng) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  AIM_CHECK_GT(rho, 0.0);
+  AIM_CHECK_GT(workload.num_queries(), 0);
+  const Domain& domain = data.domain();
+  const int d = domain.num_attributes();
+  const double T =
+      static_cast<double>(options_.rounds_per_attribute) * d;  // Line 3
+  const double alpha = options_.alpha;
+  AIM_CHECK(alpha > 0.0 && alpha < 1.0);
+
+  MechanismResult result;
+  result.rho_budget = rho;
+  PrivacyFilter filter(rho);
+
+  // Candidate pool: downward closure W+ (or the raw workload queries for the
+  // ablation), with workload weights w_r (Line 8).
+  std::vector<AttrSet> pool;
+  if (options_.use_downward_closure) {
+    pool = DownwardClosure(workload);
+  } else {
+    std::set<AttrSet> distinct;
+    for (const auto& q : workload.queries()) distinct.insert(q.attrs);
+    pool.assign(distinct.begin(), distinct.end());
+  }
+  std::unordered_map<AttrSet, double, AttrSetHash> weights;
+  for (const AttrSet& r : pool) {
+    weights[r] = options_.use_workload_weights ? WorkloadWeight(workload, r)
+                                               : 1.0;
+  }
+
+  // Cache of true data marginals (reused across rounds; no privacy cost —
+  // only noisy / selected quantities are released).
+  std::unordered_map<AttrSet, std::vector<double>, AttrSetHash> data_marginals;
+  auto true_marginal =
+      [&](const AttrSet& r) -> const std::vector<double>& {
+    auto it = data_marginals.find(r);
+    if (it == data_marginals.end()) {
+      it = data_marginals.emplace(r, ComputeMarginal(data, r)).first;
+    }
+    return it->second;
+  };
+
+  const std::vector<ZeroConstraint>* zeros =
+      options_.structural_zeros.empty() ? nullptr
+                                        : &options_.structural_zeros;
+  // Cliques that count toward JT-SIZE: measured sets plus zero constraints.
+  std::vector<AttrSet> model_cliques;
+  for (const auto& z : options_.structural_zeros) {
+    model_cliques.push_back(z.attrs);
+  }
+
+  std::vector<Measurement> measurements;
+  const double sigma0 = std::sqrt(T / (2.0 * alpha * rho));  // Line 4
+
+  // Measure-step noise: Gaussian by default; Laplace has the identical
+  // per-measurement zCDP cost 1/(2 scale^2), so the accounting is shared.
+  auto measure_noise = [&](const std::vector<double>& values, double scale) {
+    return options_.noise == AimOptions::Noise::kGaussian
+               ? AddGaussianNoise(values, scale, rng)
+               : AddLaplaceNoise(values, scale, rng);
+  };
+
+  // ---- Initialization (Algorithm 2): measure the 1-way marginals of W+.
+  // Computed from the workload directly (not the candidate pool) so the
+  // no-downward-closure ablation still initializes per Algorithm 2.
+  if (options_.use_initialization) {
+    std::set<int> workload_attrs;
+    for (const auto& q : workload.queries()) {
+      for (int attr : q.attrs) workload_attrs.insert(attr);
+    }
+    for (int attr : workload_attrs) {
+      AttrSet r({attr});
+      filter.Spend(GaussianRho(sigma0));
+      Measurement m{r, measure_noise(true_marginal(r), sigma0), sigma0};
+      measurements.push_back(std::move(m));
+      model_cliques.push_back(r);
+    }
+  }
+  double total = measurements.empty() ? 1.0 : EstimateTotal(measurements);
+
+  // Optional public-data prior (Section 7): low-order public marginals,
+  // rescaled to the estimated total, enter estimation as weak
+  // pseudo-measurements. Zero privacy cost — the public data is public —
+  // and excluded from the measurement log (they are not unbiased
+  // observations of D, so the Section-5 estimators must not use them).
+  std::vector<Measurement> priors;
+  if (options_.public_data != nullptr) {
+    const Dataset& pub = *options_.public_data;
+    AIM_CHECK(pub.domain() == domain)
+        << "public data must share the private data's domain";
+    AIM_CHECK_GT(pub.num_records(), 0);
+    const double rescale =
+        total / static_cast<double>(pub.num_records());
+    const double prior_sigma =
+        sigma0 * std::max(1e-3, options_.public_prior_weight);
+    for (const AttrSet& r : pool) {
+      if (r.size() > 2) continue;
+      priors.push_back(
+          {r, ComputeMarginal(pub, r, rescale), prior_sigma});
+      model_cliques.push_back(r);
+    }
+  }
+  auto with_priors = [&]() {
+    std::vector<Measurement> combined = measurements;
+    combined.insert(combined.end(), priors.begin(), priors.end());
+    return combined;
+  };
+
+  MarkovRandomField model =
+      measurements.empty() && priors.empty()
+          ? MarkovRandomField(domain, model_cliques)
+          : EstimateMrf(domain, with_priors(), total,
+                        options_.round_estimation, nullptr, zeros);
+  if (measurements.empty() && priors.empty()) {
+    model.Calibrate();
+  }
+
+  // Line 9: initial per-round parameters.
+  double sigma = sigma0;
+  double epsilon = std::sqrt(8.0 * (1.0 - alpha) * rho / T);
+  if (!options_.use_annealing) {
+    // Ablation: fixed schedule with exactly T equal-budget rounds.
+    double per_round = filter.remaining() / T;
+    sigma = std::sqrt(1.0 / (2.0 * alpha * per_round));
+    epsilon = std::sqrt(8.0 * (1.0 - alpha) * per_round);
+  }
+
+  std::optional<MarkovRandomField> penultimate;
+  const double budget_floor = 1e-9 * rho;
+  int round = 0;
+  const int max_rounds = 10 * static_cast<int>(T) + 10;
+  double time_filter = 0.0, time_score = 0.0, time_estimate = 0.0;
+  auto now = [] { return std::chrono::steady_clock::now(); };
+
+  // ---- Main loop (Lines 10-18).
+  while (filter.remaining() > budget_floor && round < max_rounds) {
+    ++round;
+    double round_rho = ExponentialRho(epsilon) + GaussianRho(sigma);
+    if (!filter.CanSpend(round_rho)) {
+      // Numerical guard: consume exactly what is left.
+      double remaining = filter.remaining();
+      epsilon = std::sqrt(8.0 * (1.0 - alpha) * remaining);
+      sigma = std::sqrt(1.0 / (2.0 * alpha * remaining));
+      round_rho = ExponentialRho(epsilon) + GaussianRho(sigma);
+    }
+    filter.Spend(round_rho);  // Line 12
+
+    // Line 13: candidates filtered by the growing JT-SIZE allowance.
+    auto t_filter = now();
+    const double size_cap =
+        (filter.spent() / rho) * options_.max_size_mb;
+    std::vector<int> candidate_ids;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      model_cliques.push_back(pool[i]);
+      double size_mb = JtSizeMb(domain, model_cliques);
+      model_cliques.pop_back();
+      if (size_mb <= size_cap) candidate_ids.push_back(static_cast<int>(i));
+    }
+    if (candidate_ids.empty()) {
+      // Degenerate cap: admit the candidate with the smallest model.
+      int best = 0;
+      double best_size = 0.0;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        model_cliques.push_back(pool[i]);
+        double size_mb = JtSizeMb(domain, model_cliques);
+        model_cliques.pop_back();
+        if (i == 0 || size_mb < best_size) {
+          best = static_cast<int>(i);
+          best_size = size_mb;
+        }
+      }
+      candidate_ids.push_back(best);
+    }
+
+    // Line 14: exponential mechanism with the Equation-(1) quality score.
+    auto t_score = now();
+    time_filter += std::chrono::duration<double>(t_score - t_filter).count();
+    std::vector<double> scores(candidate_ids.size());
+    std::vector<double> sensitivities(candidate_ids.size());
+    double sensitivity = 0.0;
+    for (size_t j = 0; j < candidate_ids.size(); ++j) {
+      const AttrSet& r = pool[candidate_ids[j]];
+      double n_r = static_cast<double>(MarginalSize(domain, r));
+      double penalty =
+          options_.use_noise_penalty ? kSqrt2OverPi * sigma * n_r : n_r;
+      double model_error =
+          L1Distance(true_marginal(r), model.MarginalVector(r));
+      scores[j] = weights[r] * (model_error - penalty);
+      sensitivities[j] = std::max(weights[r], 1e-12);
+      sensitivity = std::max(sensitivity, weights[r]);
+    }
+    if (sensitivity <= 0.0) sensitivity = 1.0;
+    time_score += std::chrono::duration<double>(now() - t_score).count();
+    int pick =
+        options_.use_generalized_em
+            ? GeneralizedExponentialMechanism(scores, sensitivities, epsilon,
+                                              rng)
+            : ExponentialMechanism(scores, epsilon, sensitivity, rng);
+    const AttrSet r_t = pool[candidate_ids[pick]];
+    const double n_rt = static_cast<double>(MarginalSize(domain, r_t));
+
+    // Line 15: measure.
+    Measurement m{r_t, measure_noise(true_marginal(r_t), sigma), sigma};
+    std::vector<double> prev_model_marginal = model.MarginalVector(r_t);
+    double estimated_error = L1Distance(prev_model_marginal, m.values);
+    measurements.push_back(std::move(m));
+    model_cliques.push_back(r_t);
+    if (!options_.use_initialization) total = EstimateTotal(measurements);
+
+    // Line 16: re-estimate with warm start.
+    auto t_estimate = now();
+    penultimate = model;
+    model = EstimateMrf(domain, with_priors(), total,
+                        options_.round_estimation, &model, zeros);
+    time_estimate +=
+        std::chrono::duration<double>(now() - t_estimate).count();
+
+    // Log the round.
+    RoundInfo info;
+    info.selected = r_t;
+    info.sigma = sigma;
+    info.epsilon = epsilon;
+    info.estimated_error_on_selected = estimated_error;
+    info.sensitivity = sensitivity;
+    info.selected_candidate = pick;
+    if (options_.record_candidates) {
+      info.candidates.reserve(candidate_ids.size());
+      for (int id : candidate_ids) {
+        const AttrSet& r = pool[id];
+        info.candidates.push_back(
+            {r, weights[r], MarginalSize(domain, r)});
+      }
+    }
+    result.log.rounds.push_back(std::move(info));
+
+    if (std::getenv("AIM_TRACE") != nullptr) {
+      std::cerr << "[aim] round=" << round << " selected=" << r_t.ToString()
+                << " n_rt=" << n_rt << " sigma=" << sigma
+                << " eps=" << epsilon << " score=" << scores[pick]
+                << " est_err=" << estimated_error << " model_change="
+                << L1Distance(model.MarginalVector(r_t), prev_model_marginal)
+                << " threshold=" << kSqrt2OverPi * sigma * n_rt
+                << " spent=" << filter.spent() << "\n";
+    }
+
+    // Line 17 (Algorithm 3): budget annealing.
+    if (options_.use_annealing) {
+      std::vector<double> new_model_marginal = model.MarginalVector(r_t);
+      if (L1Distance(new_model_marginal, prev_model_marginal) <=
+          kSqrt2OverPi * sigma * n_rt) {
+        epsilon *= 2.0;
+        sigma /= 2.0;
+      }
+      double next_round_rho = GaussianRho(sigma) + ExponentialRho(epsilon);
+      double remaining = filter.remaining();
+      if (remaining <= 2.0 * next_round_rho && remaining > budget_floor) {
+        epsilon = std::sqrt(8.0 * (1.0 - alpha) * remaining);
+        sigma = std::sqrt(1.0 / (2.0 * alpha * remaining));
+      }
+    }
+  }
+
+  if (std::getenv("AIM_TRACE") != nullptr) {
+    std::cerr << "[aim] timings: filter=" << time_filter
+              << "s score=" << time_score << "s estimate=" << time_estimate
+              << "s rounds=" << round << "\n";
+  }
+
+  // ---- Final estimation and generation (Line 19).
+  model = EstimateMrf(domain, with_priors(), total,
+                      options_.final_estimation, &model, zeros);
+  int64_t synth_records = options_.synthetic_records > 0
+                              ? options_.synthetic_records
+                              : static_cast<int64_t>(std::llround(total));
+  result.synthetic = GenerateSyntheticData(model, synth_records, rng);
+  result.log.measurements = std::move(measurements);
+  result.rho_used = filter.spent();
+  result.rounds = round;
+  result.total_estimate = total;
+  result.final_model = std::move(model);
+  result.penultimate_model = std::move(penultimate);
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_time)
+                       .count();
+  return result;
+}
+
+}  // namespace aim

@@ -1,0 +1,108 @@
+// AIM: the paper's Adaptive and Iterative Mechanism (Algorithm 4), with
+// intelligent initialization (Algorithm 2), budget annealing (Algorithm 3),
+// workload-weighted quality scores (Equation 1), JT-SIZE-filtered candidates
+// from the downward closure, a privacy filter, and optional structural-zero
+// constraints (Appendix D).
+
+#ifndef AIM_MECHANISMS_AIM_H_
+#define AIM_MECHANISMS_AIM_H_
+
+#include <vector>
+
+#include "mechanisms/mechanism.h"
+#include "pgm/estimation.h"
+
+namespace aim {
+
+struct AimOptions {
+  // Model-capacity limit in MB (paper default: 80 MB; Section 6.5 sweeps
+  // this to trade accuracy for runtime).
+  double max_size_mb = 80.0;
+
+  // Fraction of each round's budget devoted to the measure step (paper
+  // default 0.9: "10% of the budget for the select steps").
+  double alpha = 0.9;
+
+  // T = rounds_per_attribute * d is the conservative round-count upper
+  // bound used to size sigma_0 (paper default 16).
+  int rounds_per_attribute = 16;
+
+  // Estimation effort: intermediate rounds warm-start and run fewer
+  // iterations; the final fit runs longer.
+  EstimationOptions round_estimation{.max_iters = 100};
+  EstimationOptions final_estimation{.max_iters = 1000};
+
+  // Known-impossible attribute combinations to enforce (Appendix D). These
+  // cliques count toward JT-SIZE and are pinned to zero in the model.
+  std::vector<ZeroConstraint> structural_zeros;
+
+  // Record per-round candidate sets in the log (needed by the Section-5
+  // uncertainty quantification; costs memory on large workloads).
+  bool record_candidates = true;
+
+  // Number of synthetic records to emit; <= 0 means "the estimated total".
+  int64_t synthetic_records = -1;
+
+  // Use the generalized exponential mechanism [39] for selection, handling
+  // the per-candidate sensitivities w_r directly instead of the global
+  // Delta_t = max_r w_r (the paper mentions both; default matches the
+  // pseudo-code).
+  bool use_generalized_em = false;
+
+  // Optional public dataset (Section 7, "Utilizing Public Data"):
+  // low-order marginals of this dataset are folded into the estimation as
+  // weak prior pseudo-measurements at zero privacy cost. Must share the
+  // private data's domain. Experimental extension; not part of Algorithm 4.
+  const Dataset* public_data = nullptr;
+  // Pseudo-measurement noise scale multiplier relative to sigma_0 (larger =
+  // weaker prior).
+  double public_prior_weight = 1.0;
+
+  // Measure-step noise distribution. The paper (Section 3.2) argues for
+  // Gaussian over Laplace; kLaplace enables that comparison (same zCDP cost
+  // per measurement).
+  enum class Noise { kGaussian, kLaplace };
+  Noise noise = Noise::kGaussian;
+
+  // --- Ablation switches (all true = the paper's AIM). ---
+  // Use the downward closure W+ as the candidate pool (false: workload
+  // queries only, as in MWEM+PGM).
+  bool use_downward_closure = true;
+  // Weight quality scores by workload relevance w_r (false: w_r = 1).
+  bool use_workload_weights = true;
+  // Subtract the expected-noise penalty sqrt(2/pi)*sigma*n_r (false: the
+  // MWEM-style "- n_r" penalty).
+  bool use_noise_penalty = true;
+  // Anneal epsilon_t / sigma_t via Algorithm 3 (false: fixed schedule with
+  // exactly T rounds).
+  bool use_annealing = true;
+  // Spend a first slice of budget measuring all 1-way marginals
+  // (Algorithm 2); false starts from the uniform model.
+  bool use_initialization = true;
+};
+
+class AimMechanism : public Mechanism {
+ public:
+  AimMechanism() = default;
+  explicit AimMechanism(AimOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "AIM"; }
+  MechanismTraits traits() const override {
+    return {.workload_aware = true,
+            .data_aware = true,
+            .budget_aware = true,
+            .efficiency_aware = true};
+  }
+
+  MechanismResult Run(const Dataset& data, const Workload& workload,
+                      double rho, Rng& rng) const override;
+
+  const AimOptions& options() const { return options_; }
+
+ private:
+  AimOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_AIM_H_

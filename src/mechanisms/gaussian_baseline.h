@@ -1,0 +1,27 @@
+// Gaussian baseline: answers every workload query directly with Gaussian
+// noise, using the optimal budget allocation across marginals of different
+// sizes from PrivSyn [55] (sigma_i^2 ∝ n_i^{-2/3}, minimizing total expected
+// L1 error subject to the zCDP budget). Produces query answers only — no
+// synthetic records (Section 6.1).
+
+#ifndef AIM_MECHANISMS_GAUSSIAN_BASELINE_H_
+#define AIM_MECHANISMS_GAUSSIAN_BASELINE_H_
+
+#include "mechanisms/mechanism.h"
+
+namespace aim {
+
+class GaussianBaselineMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "Gaussian"; }
+  MechanismTraits traits() const override {
+    return {.workload_aware = true};
+  }
+
+  MechanismResult Run(const Dataset& data, const Workload& workload,
+                      double rho, Rng& rng) const override;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_GAUSSIAN_BASELINE_H_

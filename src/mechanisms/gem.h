@@ -1,0 +1,49 @@
+// GEM analog (Liu, Vietri, Wu [32]): iterative workload-aware mechanism
+// whose generate step uses a parametric generator instead of Private-PGM.
+// The original trains a neural generator network; this CPU analog uses a
+// mixture of product distributions (the relaxed-projection substrate with a
+// small number of mixture components) fit by gradient descent — the same
+// "generator fit to noisy measurements" role with a tractable family.
+// Selection follows the full-marginal GEM variant the paper evaluates
+// (footnote 8). See DESIGN.md §3 for the substitution rationale.
+
+#ifndef AIM_MECHANISMS_GEM_H_
+#define AIM_MECHANISMS_GEM_H_
+
+#include "mechanisms/mechanism.h"
+#include "mechanisms/relaxed_projection.h"
+
+namespace aim {
+
+struct GemOptions {
+  // Rounds; <= 0 means the 2d default.
+  int rounds = 0;
+  // Mixture components of the generator.
+  RelaxedProjectionOptions generator{.rows = 64, .iters = 150};
+  // Queries with more cells than this are never scored or selected (the
+  // CPU port's efficiency guard; the originals rely on GPU batching).
+  int64_t max_query_cells = 100000;
+  int64_t synthetic_records = -1;
+};
+
+class GemMechanism : public Mechanism {
+ public:
+  GemMechanism() = default;
+  explicit GemMechanism(GemOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "GEM"; }
+  MechanismTraits traits() const override {
+    return {.workload_aware = true, .data_aware = true,
+            .efficiency_aware = true};
+  }
+
+  MechanismResult Run(const Dataset& data, const Workload& workload,
+                      double rho, Rng& rng) const override;
+
+ private:
+  GemOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_GEM_H_

@@ -1,0 +1,98 @@
+// Common interface for differentially private synthetic-data mechanisms in
+// the select-measure-generate paradigm (Section 3.1).
+//
+// Every mechanism consumes a dataset, a workload of weighted marginal
+// queries, and a total zCDP budget rho, and produces synthetic data plus a
+// log of everything it measured (the log powers the Section-5 uncertainty
+// quantification without any additional privacy cost).
+
+#ifndef AIM_MECHANISMS_MECHANISM_H_
+#define AIM_MECHANISMS_MECHANISM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "marginal/workload.h"
+#include "pgm/estimation.h"
+#include "pgm/markov_random_field.h"
+#include "util/rng.h"
+
+namespace aim {
+
+// One candidate considered by an iterative selection round.
+struct CandidateInfo {
+  AttrSet attrs;
+  double weight = 1.0;  // w_r
+  int64_t cells = 0;    // n_r
+};
+
+// One select/measure round of an iterative mechanism (AIM, MWEM+PGM, ...).
+struct RoundInfo {
+  AttrSet selected;
+  double sigma = 0.0;    // measure-step noise scale
+  double epsilon = 0.0;  // select-step exponential-mechanism parameter
+  // ||M_{r_t}(p̂_{t-1}) - ỹ_t||_1 — the estimated error on the selected
+  // marginal (term 1 of B_r in Theorem 4).
+  double estimated_error_on_selected = 0.0;
+  double sensitivity = 1.0;  // Δ_t = max_{r in C_t} w_r
+  std::vector<CandidateInfo> candidates;  // C_t
+  int selected_candidate = -1;            // index into candidates
+};
+
+// Every noisy measurement taken plus per-round selection metadata.
+struct MeasurementLog {
+  std::vector<Measurement> measurements;
+  std::vector<RoundInfo> rounds;
+};
+
+struct MechanismResult {
+  // The synthetic dataset (empty, with has_synthetic=false, for mechanisms
+  // like the Gaussian baseline that only produce query answers).
+  Dataset synthetic;
+  bool has_synthetic = true;
+
+  // Noisy workload-query answers, aligned with workload.queries(); filled
+  // only by answer-only mechanisms.
+  std::vector<std::vector<double>> query_answers;
+
+  MeasurementLog log;
+
+  double rho_budget = 0.0;
+  double rho_used = 0.0;
+  int rounds = 0;
+  double total_estimate = 0.0;
+  double seconds = 0.0;
+
+  // Final fitted model and (for AIM) the model one estimation step before
+  // the end — p̂_{T-1} — used by the Corollary-2 confidence bounds.
+  std::optional<MarkovRandomField> final_model;
+  std::optional<MarkovRandomField> penultimate_model;
+};
+
+// Taxonomy flags (Table 1).
+struct MechanismTraits {
+  bool workload_aware = false;
+  bool data_aware = false;
+  bool budget_aware = false;
+  bool efficiency_aware = false;
+};
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  virtual std::string name() const = 0;
+  virtual MechanismTraits traits() const = 0;
+
+  // Runs the mechanism under a total budget of `rho`-zCDP. Implementations
+  // must not exceed the budget (they use a PrivacyFilter internally).
+  virtual MechanismResult Run(const Dataset& data, const Workload& workload,
+                              double rho, Rng& rng) const = 0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_MECHANISM_H_

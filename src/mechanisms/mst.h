@@ -1,0 +1,41 @@
+// MST (McKenna, Miklau, Sheldon 2021): the NIST-winning workload-agnostic
+// mechanism. Budget is split in thirds: (1) measure all 1-way marginals,
+// (2) privately select a maximum spanning tree over attribute pairs scored
+// by the L1 gap between the true pairwise marginal and the independent
+// model's estimate (Kruskal with one exponential-mechanism draw per edge),
+// (3) measure the selected 2-way marginals; Private-PGM estimates and
+// generates.
+
+#ifndef AIM_MECHANISMS_MST_H_
+#define AIM_MECHANISMS_MST_H_
+
+#include "mechanisms/mechanism.h"
+#include "pgm/estimation.h"
+
+namespace aim {
+
+struct MstOptions {
+  EstimationOptions estimation{.max_iters = 1000};
+  int64_t synthetic_records = -1;
+};
+
+class MstMechanism : public Mechanism {
+ public:
+  MstMechanism() = default;
+  explicit MstMechanism(MstOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "MST"; }
+  MechanismTraits traits() const override {
+    return {.data_aware = true, .efficiency_aware = true};
+  }
+
+  MechanismResult Run(const Dataset& data, const Workload& workload,
+                      double rho, Rng& rng) const override;
+
+ private:
+  MstOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_MST_H_

@@ -1,0 +1,128 @@
+#include "mechanisms/mwem_pgm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "marginal/marginal.h"
+#include "pgm/junction_tree.h"
+#include "pgm/synthetic.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+
+MechanismResult MwemPgmMechanism::Run(const Dataset& data,
+                                      const Workload& workload, double rho,
+                                      Rng& rng) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  AIM_CHECK_GT(rho, 0.0);
+  AIM_CHECK_GT(workload.num_queries(), 0);
+  const Domain& domain = data.domain();
+  const int d = domain.num_attributes();
+  const int T = options_.rounds > 0 ? options_.rounds : 2 * d;
+
+  MechanismResult result;
+  result.rho_budget = rho;
+  PrivacyFilter filter(rho);
+
+  // Algorithm 1: epsilon = 2 sqrt(rho/T), sigma = sqrt(T/rho); each round
+  // costs eps^2/8 + 1/(2 sigma^2) = rho/T.
+  const double epsilon = 2.0 * std::sqrt(rho / T);
+  const double sigma = std::sqrt(T / rho);
+
+  // Candidates: exactly the workload queries (deduplicated).
+  std::vector<AttrSet> pool;
+  {
+    std::set<AttrSet> distinct;
+    for (const auto& q : workload.queries()) distinct.insert(q.attrs);
+    pool.assign(distinct.begin(), distinct.end());
+  }
+
+  std::unordered_map<AttrSet, std::vector<double>, AttrSetHash> cache;
+  auto true_marginal =
+      [&](const AttrSet& r) -> const std::vector<double>& {
+    auto it = cache.find(r);
+    if (it == cache.end()) {
+      it = cache.emplace(r, ComputeMarginal(data, r)).first;
+    }
+    return it->second;
+  };
+
+  // Initialize p̂_0 = Uniform[X]. The uniform model needs a scale; MWEM
+  // assumes the dataset size is public, so use N directly (the original
+  // MWEM takes n as input).
+  double total = static_cast<double>(std::max<int64_t>(1, data.num_records()));
+  MarkovRandomField model(domain, {});
+  model.set_total(total);
+  model.Calibrate();
+
+  std::vector<Measurement> measurements;
+  std::vector<AttrSet> model_cliques;
+  for (int t = 0; t < T; ++t) {
+    double round_rho = ExponentialRho(epsilon) + GaussianRho(sigma);
+    if (!filter.CanSpend(round_rho)) break;
+    filter.Spend(round_rho);
+
+    // Select via the exponential mechanism with the MWEM score.
+    std::vector<double> scores(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const AttrSet& r = pool[i];
+      // Efficiency guard (see MwemPgmOptions::max_size_mb).
+      model_cliques.push_back(r);
+      double size_mb = JtSizeMb(domain, model_cliques);
+      model_cliques.pop_back();
+      if (size_mb > options_.max_size_mb) {
+        scores[i] = -std::numeric_limits<double>::infinity();
+        continue;
+      }
+      double n_r = static_cast<double>(MarginalSize(domain, r));
+      scores[i] =
+          L1Distance(true_marginal(r), model.MarginalVector(r)) - n_r;
+    }
+    int pick = ExponentialMechanism(scores, epsilon, 1.0, rng);
+    const AttrSet r_t = pool[pick];
+
+    Measurement m{r_t, AddGaussianNoise(true_marginal(r_t), sigma, rng),
+                  sigma};
+    double estimated_error =
+        L1Distance(model.MarginalVector(r_t), m.values);
+    measurements.push_back(std::move(m));
+    model_cliques.push_back(r_t);
+
+    model = EstimateMrf(domain, measurements, total,
+                        options_.round_estimation,
+                        measurements.size() > 1 ? &model : nullptr);
+
+    RoundInfo info;
+    info.selected = r_t;
+    info.sigma = sigma;
+    info.epsilon = epsilon;
+    info.estimated_error_on_selected = estimated_error;
+    info.sensitivity = 1.0;
+    result.log.rounds.push_back(std::move(info));
+  }
+
+  model = EstimateMrf(domain, measurements, total, options_.final_estimation,
+                      &model);
+  int64_t synth_records = options_.synthetic_records > 0
+                              ? options_.synthetic_records
+                              : static_cast<int64_t>(std::llround(total));
+  result.synthetic = GenerateSyntheticData(model, synth_records, rng);
+  result.log.measurements = std::move(measurements);
+  result.rho_used = filter.spent();
+  result.rounds = static_cast<int>(result.log.rounds.size());
+  result.total_estimate = total;
+  result.final_model = std::move(model);
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_time)
+                       .count();
+  return result;
+}
+
+}  // namespace aim

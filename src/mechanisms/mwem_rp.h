@@ -1,0 +1,46 @@
+// MWEM+RelaxedProjection (Appendix F): identical to MWEM+PGM in every way —
+// same selection rule, budget split, and round structure — except the
+// Private-PGM estimation step is replaced by the relaxed-projection
+// optimizer. Used by the Figure-7 comparison to isolate the effect of the
+// generate step.
+
+#ifndef AIM_MECHANISMS_MWEM_RP_H_
+#define AIM_MECHANISMS_MWEM_RP_H_
+
+#include "mechanisms/mechanism.h"
+#include "mechanisms/relaxed_projection.h"
+
+namespace aim {
+
+struct MwemRpOptions {
+  // Number of rounds; <= 0 means the 2d default (Figure 7 sweeps this).
+  int rounds = 0;
+  RelaxedProjectionOptions projection{.rows = 200, .iters = 100};
+  // Queries with more cells than this are never scored or selected (the
+  // CPU port's efficiency guard; the originals rely on GPU batching).
+  int64_t max_query_cells = 100000;
+  int64_t synthetic_records = -1;
+};
+
+class MwemRpMechanism : public Mechanism {
+ public:
+  MwemRpMechanism() = default;
+  explicit MwemRpMechanism(MwemRpOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "MWEM+RP"; }
+  MechanismTraits traits() const override {
+    return {.workload_aware = true, .data_aware = true,
+            .efficiency_aware = true};
+  }
+
+  MechanismResult Run(const Dataset& data, const Workload& workload,
+                      double rho, Rng& rng) const override;
+
+ private:
+  MwemRpOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_MWEM_RP_H_

@@ -1,0 +1,55 @@
+// PrivMRF analog (Cai, Lei, Wei, Xiao [8]): workload-AGNOSTIC but data-,
+// budget-, and efficiency-aware iterative Markov-random-field construction.
+// The reference implementation is GPU-only; this CPU analog shares our
+// Private-PGM engine and reproduces PrivMRF's taxonomy row (Table 1):
+// candidates are all low-order marginals of the domain (not the workload),
+// the candidate pool is filtered by a model-capacity limit, selection is
+// data-driven (noisy L1 improvement with the expected-noise penalty, so
+// candidate size adapts to the budget), and the number of rounds grows with
+// the available budget. See DESIGN.md §3 for the substitution rationale.
+
+#ifndef AIM_MECHANISMS_PRIVMRF_H_
+#define AIM_MECHANISMS_PRIVMRF_H_
+
+#include "mechanisms/mechanism.h"
+#include "pgm/estimation.h"
+
+namespace aim {
+
+struct PrivMrfOptions {
+  // Maximum order of candidate marginals.
+  int max_order = 3;
+  // Model capacity limit (same convention as AIM's MAX-SIZE).
+  double max_size_mb = 80.0;
+  // Fraction of the budget spent on the 1-way initialization.
+  double init_fraction = 0.1;
+  // Measure/select split within each round.
+  double alpha = 0.9;
+
+  EstimationOptions round_estimation{.max_iters = 100};
+  EstimationOptions final_estimation{.max_iters = 1000};
+  int64_t synthetic_records = -1;
+};
+
+class PrivMrfMechanism : public Mechanism {
+ public:
+  PrivMrfMechanism() = default;
+  explicit PrivMrfMechanism(PrivMrfOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "PrivMRF"; }
+  MechanismTraits traits() const override {
+    return {.data_aware = true, .budget_aware = true,
+            .efficiency_aware = true};
+  }
+
+  MechanismResult Run(const Dataset& data, const Workload& workload,
+                      double rho, Rng& rng) const override;
+
+ private:
+  PrivMrfOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_PRIVMRF_H_

@@ -1,0 +1,126 @@
+#include "mechanisms/rap.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "marginal/marginal.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+
+MechanismResult RapMechanism::Run(const Dataset& data,
+                                  const Workload& workload, double rho,
+                                  Rng& rng) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  AIM_CHECK_GT(rho, 0.0);
+  AIM_CHECK_GT(workload.num_queries(), 0);
+  const Domain& domain = data.domain();
+  const double total =
+      static_cast<double>(std::max<int64_t>(1, data.num_records()));
+
+  MechanismResult result;
+  result.rho_budget = rho;
+  PrivacyFilter filter(rho);
+
+  std::vector<AttrSet> pool;
+  {
+    std::set<AttrSet> distinct;
+    for (const auto& q : workload.queries()) distinct.insert(q.attrs);
+    pool.assign(distinct.begin(), distinct.end());
+  }
+  {
+    // Efficiency guard: drop queries whose marginal exceeds the cell cap.
+    std::vector<AttrSet> kept;
+    for (const AttrSet& r : pool) {
+      if (MarginalSize(domain, r) <= options_.max_query_cells) {
+        kept.push_back(r);
+      }
+    }
+    if (!kept.empty()) pool = std::move(kept);
+  }
+  std::unordered_map<AttrSet, std::vector<double>, AttrSetHash> cache;
+  auto true_marginal =
+      [&](const AttrSet& r) -> const std::vector<double>& {
+    auto it = cache.find(r);
+    if (it == cache.end()) {
+      it = cache.emplace(r, ComputeMarginal(data, r)).first;
+    }
+    return it->second;
+  };
+
+  const int T = options_.rounds;
+  const int K =
+      std::min<int>(options_.queries_per_round, static_cast<int>(pool.size()));
+  // Per round: K exponential-mechanism draws at eps_sel (rho/(2T) total) and
+  // K Gaussian measurements at sigma (rho/(2T) total).
+  const double eps_sel = std::sqrt(4.0 * rho / (T * K));
+  const double sigma = std::sqrt(static_cast<double>(T) * K / rho);
+
+  RelaxedDataset relaxed(domain, options_.projection, rng);
+  std::vector<Measurement> measurements;
+  std::set<AttrSet> measured_set;
+  for (int t = 0; t < T; ++t) {
+    std::vector<double> scores(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      scores[i] = L1Distance(true_marginal(pool[i]),
+                             relaxed.Marginal(pool[i], total));
+    }
+    std::vector<int> picked;
+    for (int k = 0; k < K; ++k) {
+      filter.Spend(ExponentialRho(eps_sel));
+      int pick = ExponentialMechanism(scores, eps_sel, 1.0, rng);
+      scores[pick] = -std::numeric_limits<double>::infinity();
+      picked.push_back(pick);
+    }
+    for (int pick : picked) {
+      const AttrSet& r = pool[pick];
+      filter.Spend(GaussianRho(sigma));
+      if (measured_set.insert(r).second) {
+        measurements.push_back(
+            {r, AddGaussianNoise(true_marginal(r), sigma, rng), sigma});
+      } else {
+        // Re-measured marginal: average into the existing measurement with
+        // reduced effective sigma.
+        for (Measurement& m : measurements) {
+          if (m.attrs == r) {
+            std::vector<double> fresh =
+                AddGaussianNoise(true_marginal(r), sigma, rng);
+            for (size_t c = 0; c < m.values.size(); ++c) {
+              m.values[c] = 0.5 * (m.values[c] + fresh[c]);
+            }
+            m.sigma /= std::sqrt(2.0);
+            break;
+          }
+        }
+      }
+      RoundInfo info;
+      info.selected = r;
+      info.sigma = sigma;
+      info.epsilon = eps_sel;
+      info.sensitivity = 1.0;
+      result.log.rounds.push_back(std::move(info));
+    }
+    relaxed.FitTo(measurements, total);
+  }
+
+  int64_t synth_records = options_.synthetic_records > 0
+                              ? options_.synthetic_records
+                              : static_cast<int64_t>(total);
+  result.synthetic = relaxed.Round(synth_records, rng);
+  result.log.measurements = std::move(measurements);
+  result.rho_used = filter.spent();
+  result.rounds = T;
+  result.total_estimate = total;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_time)
+                       .count();
+  return result;
+}
+
+}  // namespace aim

@@ -1,0 +1,48 @@
+// RAP (Aydore et al. [3]), simplified CPU port: per adaptivity round,
+// report-noisy-max selects the K worst-approximated workload marginals, the
+// Gaussian mechanism measures them, and relaxed projection re-fits the
+// continuous pseudo-dataset to all measurements so far. The original selects
+// individual counting queries and runs on JAX/GPU; this port selects entire
+// marginals (the stronger variant per the paper's footnote 8) and uses the
+// analytic-gradient relaxed projection in relaxed_projection.h. As in the
+// original (bounded DP), N is treated as public.
+
+#ifndef AIM_MECHANISMS_RAP_H_
+#define AIM_MECHANISMS_RAP_H_
+
+#include "mechanisms/mechanism.h"
+#include "mechanisms/relaxed_projection.h"
+
+namespace aim {
+
+struct RapOptions {
+  int rounds = 8;
+  int queries_per_round = 4;
+  RelaxedProjectionOptions projection{.rows = 200, .iters = 100};
+  // Queries with more cells than this are never scored or selected (the
+  // CPU port's efficiency guard; the originals rely on GPU batching).
+  int64_t max_query_cells = 100000;
+  int64_t synthetic_records = -1;
+};
+
+class RapMechanism : public Mechanism {
+ public:
+  RapMechanism() = default;
+  explicit RapMechanism(RapOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "RAP"; }
+  MechanismTraits traits() const override {
+    return {.workload_aware = true, .data_aware = true,
+            .efficiency_aware = true};
+  }
+
+  MechanismResult Run(const Dataset& data, const Workload& workload,
+                      double rho, Rng& rng) const override;
+
+ private:
+  RapOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_RAP_H_

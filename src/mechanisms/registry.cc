@@ -1,0 +1,121 @@
+#include "mechanisms/registry.h"
+
+#include "mechanisms/aim.h"
+#include "mechanisms/gaussian_baseline.h"
+#include "mechanisms/gem.h"
+#include "mechanisms/independent.h"
+#include "mechanisms/mst.h"
+#include "mechanisms/mwem_pgm.h"
+#include "mechanisms/mwem_rp.h"
+#include "mechanisms/privbayes_pgm.h"
+#include "mechanisms/privmrf.h"
+#include "mechanisms/rap.h"
+
+namespace aim {
+namespace {
+
+EstimationOptions RoundEstimation(const RegistryOptions& o) {
+  EstimationOptions e;
+  e.max_iters = o.round_iters;
+  return e;
+}
+
+EstimationOptions FinalEstimation(const RegistryOptions& o) {
+  EstimationOptions e;
+  e.max_iters = o.final_iters;
+  return e;
+}
+
+RelaxedProjectionOptions Projection(const RegistryOptions& o) {
+  RelaxedProjectionOptions p;
+  p.rows = o.rp_rows;
+  p.iters = o.rp_iters;
+  return p;
+}
+
+}  // namespace
+
+std::unique_ptr<Mechanism> MechanismByName(const std::string& name,
+                                           const RegistryOptions& options) {
+  if (name == "Independent") {
+    IndependentOptions o;
+    o.estimation = FinalEstimation(options);
+    return std::make_unique<IndependentMechanism>(o);
+  }
+  if (name == "Gaussian") {
+    return std::make_unique<GaussianBaselineMechanism>();
+  }
+  if (name == "MST") {
+    MstOptions o;
+    o.estimation = FinalEstimation(options);
+    return std::make_unique<MstMechanism>(o);
+  }
+  if (name == "PrivBayes+PGM") {
+    PrivBayesOptions o;
+    o.estimation = FinalEstimation(options);
+    return std::make_unique<PrivBayesPgmMechanism>(o);
+  }
+  if (name == "PrivMRF") {
+    PrivMrfOptions o;
+    o.max_size_mb = options.max_size_mb;
+    o.round_estimation = RoundEstimation(options);
+    o.final_estimation = FinalEstimation(options);
+    return std::make_unique<PrivMrfMechanism>(o);
+  }
+  if (name == "MWEM+PGM") {
+    MwemPgmOptions o;
+    o.rounds = options.mwem_rounds;
+    o.round_estimation = RoundEstimation(options);
+    o.final_estimation = FinalEstimation(options);
+    // MWEM+PGM has no efficiency-awareness in the paper; give the safety
+    // valve 4x AIM's capacity so it keeps its disadvantage without
+    // exhausting bench machines.
+    o.max_size_mb = options.max_size_mb * 4.0;
+    return std::make_unique<MwemPgmMechanism>(o);
+  }
+  if (name == "MWEM+RP") {
+    MwemRpOptions o;
+    o.rounds = options.mwem_rounds;
+    o.projection = Projection(options);
+    o.max_query_cells = options.rp_max_cells;
+    return std::make_unique<MwemRpMechanism>(o);
+  }
+  if (name == "RAP") {
+    RapOptions o;
+    o.projection = Projection(options);
+    o.max_query_cells = options.rp_max_cells;
+    return std::make_unique<RapMechanism>(o);
+  }
+  if (name == "GEM") {
+    GemOptions o;
+    o.rounds = options.mwem_rounds;
+    o.generator = Projection(options);
+    o.generator.rows = std::min(64, options.rp_rows);
+    o.max_query_cells = options.rp_max_cells;
+    return std::make_unique<GemMechanism>(o);
+  }
+  if (name == "AIM") {
+    AimOptions o;
+    o.max_size_mb = options.max_size_mb;
+    o.round_estimation = RoundEstimation(options);
+    o.final_estimation = FinalEstimation(options);
+    return std::make_unique<AimMechanism>(o);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> StandardMechanismNames() {
+  return {"Independent", "Gaussian",  "MST", "PrivBayes+PGM", "PrivMRF",
+          "MWEM+PGM",    "RAP",       "GEM", "AIM"};
+}
+
+std::vector<std::unique_ptr<Mechanism>> StandardMechanisms(
+    const RegistryOptions& options) {
+  std::vector<std::unique_ptr<Mechanism>> mechanisms;
+  for (const std::string& name : StandardMechanismNames()) {
+    mechanisms.push_back(MechanismByName(name, options));
+  }
+  return mechanisms;
+}
+
+}  // namespace aim

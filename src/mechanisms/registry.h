@@ -1,0 +1,47 @@
+// Factory for the mechanisms evaluated in Section 6, with a single knob set
+// to scale the computational effort (estimation iterations, relaxed-
+// projection size, model capacity) for bench environments.
+
+#ifndef AIM_MECHANISMS_REGISTRY_H_
+#define AIM_MECHANISMS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mechanisms/mechanism.h"
+
+namespace aim {
+
+struct RegistryOptions {
+  // Model capacity for the PGM-based mechanisms (paper default 80 MB).
+  double max_size_mb = 80.0;
+  // Mirror-descent iterations for per-round / final estimation.
+  int round_iters = 100;
+  int final_iters = 1000;
+  // Relaxed-projection / generator fitting effort.
+  int rp_rows = 200;
+  int rp_iters = 100;
+  // Efficiency guard for the RP-based mechanisms (cells per query).
+  int64_t rp_max_cells = 100000;
+  // Rounds for the fixed-round mechanisms; 0 = their 2d default.
+  int mwem_rounds = 0;
+};
+
+// The evaluation roster of Section 6, in the paper's plotting order:
+// Independent, Gaussian, MST, PrivBayes+PGM, PrivMRF (workload-agnostic);
+// MWEM+PGM, RAP, GEM, AIM (workload-aware).
+std::vector<std::unique_ptr<Mechanism>> StandardMechanisms(
+    const RegistryOptions& options = {});
+
+// Builds one mechanism by name (as returned by Mechanism::name()); returns
+// nullptr for unknown names.
+std::unique_ptr<Mechanism> MechanismByName(const std::string& name,
+                                           const RegistryOptions& options = {});
+
+// Names accepted by MechanismByName.
+std::vector<std::string> StandardMechanismNames();
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_REGISTRY_H_

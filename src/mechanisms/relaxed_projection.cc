@@ -1,0 +1,212 @@
+#include "mechanisms/relaxed_projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marginal/marginal.h"
+#include "util/logging.h"
+
+namespace aim {
+
+RelaxedDataset::RelaxedDataset(const Domain& domain,
+                               const RelaxedProjectionOptions& options,
+                               Rng& rng)
+    : domain_(domain), options_(options), rng_(rng.Fork()) {
+  AIM_CHECK_GT(options_.rows, 0);
+  offsets_.resize(domain_.num_attributes());
+  total_values_ = 0;
+  for (int a = 0; a < domain_.num_attributes(); ++a) {
+    offsets_[a] = total_values_;
+    total_values_ += domain_.size(a);
+  }
+  logits_.resize(static_cast<size_t>(options_.rows) * total_values_);
+  for (double& l : logits_) l = 0.1 * rng_.Gaussian();
+  m_.assign(logits_.size(), 0.0);
+  v_.assign(logits_.size(), 0.0);
+  probs_.resize(logits_.size());
+  ComputeProbs();
+}
+
+void RelaxedDataset::ComputeProbs() {
+  for (int row = 0; row < options_.rows; ++row) {
+    const size_t base = static_cast<size_t>(row) * total_values_;
+    for (int a = 0; a < domain_.num_attributes(); ++a) {
+      const size_t off = base + offsets_[a];
+      const int n = domain_.size(a);
+      double max_logit = logits_[off];
+      for (int v = 1; v < n; ++v) {
+        max_logit = std::max(max_logit, logits_[off + v]);
+      }
+      double z = 0.0;
+      for (int v = 0; v < n; ++v) {
+        probs_[off + v] = std::exp(logits_[off + v] - max_logit);
+        z += probs_[off + v];
+      }
+      for (int v = 0; v < n; ++v) probs_[off + v] /= z;
+    }
+  }
+}
+
+namespace {
+
+// Per-measurement cell decoding: values[cell * width + j] is the value of
+// the j-th attribute of r in that cell.
+std::vector<int> DecodeCells(const Domain& domain, const AttrSet& r) {
+  MarginalIndexer indexer(domain, r);
+  const int width = r.size();
+  std::vector<int> values(indexer.size() * width);
+  for (int64_t cell = 0; cell < indexer.size(); ++cell) {
+    std::vector<int> tuple = indexer.TupleOfIndex(cell);
+    for (int j = 0; j < width; ++j) values[cell * width + j] = tuple[j];
+  }
+  return values;
+}
+
+}  // namespace
+
+std::vector<double> RelaxedDataset::Marginal(const AttrSet& r,
+                                             double total) const {
+  MarginalIndexer indexer(domain_, r);
+  std::vector<int> cells = DecodeCells(domain_, r);
+  const int width = r.size();
+  const std::vector<int>& attrs = r.attrs();
+  std::vector<double> out(indexer.size(), 0.0);
+  const double row_mass = total / options_.rows;
+  for (int row = 0; row < options_.rows; ++row) {
+    const size_t base = static_cast<size_t>(row) * total_values_;
+    for (int64_t cell = 0; cell < indexer.size(); ++cell) {
+      double product = row_mass;
+      for (int j = 0; j < width; ++j) {
+        product *=
+            probs_[base + offsets_[attrs[j]] + cells[cell * width + j]];
+      }
+      out[cell] += product;
+    }
+  }
+  return out;
+}
+
+void RelaxedDataset::FitTo(const std::vector<Measurement>& measurements,
+                           double total) {
+  AIM_CHECK(!measurements.empty());
+  const double row_mass = total / options_.rows;
+  // Precompute cell decodings.
+  std::vector<std::vector<int>> cell_values;
+  cell_values.reserve(measurements.size());
+  for (const Measurement& m : measurements) {
+    cell_values.push_back(DecodeCells(domain_, m.attrs));
+  }
+
+  std::vector<double> grad_probs(probs_.size());
+  std::vector<double> grad_logits(logits_.size());
+  std::vector<double> residual;
+  for (int iter = 0; iter < options_.iters; ++iter) {
+    std::fill(grad_probs.begin(), grad_probs.end(), 0.0);
+    for (size_t mi = 0; mi < measurements.size(); ++mi) {
+      const Measurement& m = measurements[mi];
+      const std::vector<int>& attrs = m.attrs.attrs();
+      const int width = m.attrs.size();
+      const std::vector<int>& cells = cell_values[mi];
+      const int64_t num_cells = static_cast<int64_t>(m.values.size());
+      // Residual: dL/dmu = (2/sigma) (mu - y), with mu computed inline from
+      // the cached cell decoding (avoids re-decoding every iteration).
+      std::vector<double> mu(num_cells, 0.0);
+      for (int row = 0; row < options_.rows; ++row) {
+        const size_t base = static_cast<size_t>(row) * total_values_;
+        for (int64_t t = 0; t < num_cells; ++t) {
+          double product = row_mass;
+          for (int j = 0; j < width; ++j) {
+            product *=
+                probs_[base + offsets_[attrs[j]] + cells[t * width + j]];
+          }
+          mu[t] += product;
+        }
+      }
+      residual.resize(num_cells);
+      const double scale = 2.0 / m.sigma;
+      for (int64_t t = 0; t < num_cells; ++t) {
+        residual[t] = scale * (mu[t] - m.values[t]);
+      }
+      // Accumulate gradient w.r.t. probs.
+      for (int row = 0; row < options_.rows; ++row) {
+        const size_t base = static_cast<size_t>(row) * total_values_;
+        for (int64_t t = 0; t < num_cells; ++t) {
+          double rt = residual[t];
+          if (rt == 0.0) continue;
+          // Leave-one-out products (width <= 3 in practice, general loop).
+          double full = row_mass;
+          for (int j = 0; j < width; ++j) {
+            full *= probs_[base + offsets_[attrs[j]] + cells[t * width + j]];
+          }
+          for (int j = 0; j < width; ++j) {
+            const size_t pj =
+                base + offsets_[attrs[j]] + cells[t * width + j];
+            double pval = probs_[pj];
+            double partial;
+            if (pval > 1e-12) {
+              partial = full / pval;
+            } else {
+              partial = row_mass;
+              for (int j2 = 0; j2 < width; ++j2) {
+                if (j2 == j) continue;
+                partial *=
+                    probs_[base + offsets_[attrs[j2]] + cells[t * width + j2]];
+              }
+            }
+            grad_probs[pj] += rt * partial;
+          }
+        }
+      }
+    }
+    // Chain rule through the softmax and Adam update.
+    ++adam_step_;
+    const double bc1 = 1.0 - std::pow(options_.beta1, adam_step_);
+    const double bc2 = 1.0 - std::pow(options_.beta2, adam_step_);
+    for (int row = 0; row < options_.rows; ++row) {
+      const size_t base = static_cast<size_t>(row) * total_values_;
+      for (int a = 0; a < domain_.num_attributes(); ++a) {
+        const size_t off = base + offsets_[a];
+        const int n = domain_.size(a);
+        double dot = 0.0;
+        for (int v = 0; v < n; ++v) {
+          dot += probs_[off + v] * grad_probs[off + v];
+        }
+        for (int v = 0; v < n; ++v) {
+          grad_logits[off + v] =
+              probs_[off + v] * (grad_probs[off + v] - dot);
+        }
+      }
+    }
+    for (size_t i = 0; i < logits_.size(); ++i) {
+      m_[i] = options_.beta1 * m_[i] + (1.0 - options_.beta1) * grad_logits[i];
+      v_[i] = options_.beta2 * v_[i] +
+              (1.0 - options_.beta2) * grad_logits[i] * grad_logits[i];
+      double mhat = m_[i] / bc1;
+      double vhat = v_[i] / bc2;
+      logits_[i] -= options_.learning_rate * mhat / (std::sqrt(vhat) + 1e-8);
+    }
+    ComputeProbs();
+  }
+}
+
+Dataset RelaxedDataset::Round(int64_t num_records, Rng& rng) const {
+  AIM_CHECK_GE(num_records, 0);
+  Dataset out(domain_);
+  out.Reserve(num_records);
+  std::vector<int> record(domain_.num_attributes());
+  std::vector<double> weights;
+  for (int64_t i = 0; i < num_records; ++i) {
+    int row = static_cast<int>(i % options_.rows);
+    const size_t base = static_cast<size_t>(row) * total_values_;
+    for (int a = 0; a < domain_.num_attributes(); ++a) {
+      const int n = domain_.size(a);
+      weights.assign(probs_.begin() + base + offsets_[a],
+                     probs_.begin() + base + offsets_[a] + n);
+      record[a] = rng.SampleDiscrete(weights);
+    }
+    out.AppendRecord(record);
+  }
+  return out;
+}
+
+}  // namespace aim

@@ -1,0 +1,74 @@
+// Relaxed projection (Aydore et al. [3]): the continuous alternative to
+// Private-PGM for the generate step. A pseudo-dataset of `rows` relaxed
+// records is maintained, each attribute a probability vector parameterized
+// by softmax logits; the marginal of the relaxed dataset is the sum over
+// rows of outer products of the per-attribute probabilities. Logits are
+// fit to the noisy measurements by Adam on the squared-error loss with
+// analytic gradients. Used by the RAP mechanism and by MWEM+RP (Appendix F).
+
+#ifndef AIM_MECHANISMS_RELAXED_PROJECTION_H_
+#define AIM_MECHANISMS_RELAXED_PROJECTION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "pgm/estimation.h"
+#include "util/rng.h"
+
+namespace aim {
+
+struct RelaxedProjectionOptions {
+  // Number of relaxed records. The original uses ~1000; smaller values
+  // trade fidelity for speed.
+  int rows = 300;
+  int iters = 300;
+  double learning_rate = 0.1;
+  // Adam moments.
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+};
+
+// The relaxed pseudo-dataset.
+class RelaxedDataset {
+ public:
+  RelaxedDataset(const Domain& domain, const RelaxedProjectionOptions& options,
+                 Rng& rng);
+
+  const Domain& domain() const { return domain_; }
+  int rows() const { return options_.rows; }
+
+  // Scaled marginal of the relaxed dataset on `r` (sums to `total`): each
+  // relaxed row contributes total/rows times the product of its
+  // per-attribute probabilities.
+  std::vector<double> Marginal(const AttrSet& r, double total) const;
+
+  // Fits the logits to the measurements: minimizes
+  //   sum_i (1/sigma_i) || M_{r_i}(Z) - y_i ||_2^2
+  // with M scaled to `total`. Runs options.iters Adam steps.
+  void FitTo(const std::vector<Measurement>& measurements, double total);
+
+  // Rounds the relaxed dataset to `num_records` concrete records: each
+  // output record picks a relaxed row (cycling) and samples every attribute
+  // from that row's probability vector.
+  Dataset Round(int64_t num_records, Rng& rng) const;
+
+ private:
+  void ComputeProbs();
+
+  Domain domain_;
+  RelaxedProjectionOptions options_;
+  // logits_[row][attr][value], flattened: offsets_[attr] indexes into a
+  // per-row contiguous block of size total_values_.
+  std::vector<double> logits_;
+  std::vector<double> probs_;  // softmax of logits, same layout
+  std::vector<int> offsets_;
+  int total_values_ = 0;
+  // Adam state.
+  std::vector<double> m_, v_;
+  int adam_step_ = 0;
+  Rng rng_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_MECHANISMS_RELAXED_PROJECTION_H_

@@ -1,0 +1,185 @@
+#include "pgm/estimation.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <cmath>
+#include <limits>
+
+#include "marginal/marginal.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+
+double EstimateTotal(const std::vector<Measurement>& measurements) {
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const Measurement& m : measurements) {
+    AIM_CHECK_GT(m.sigma, 0.0);
+    double estimate = Sum(m.values);
+    double variance =
+        static_cast<double>(m.values.size()) * m.sigma * m.sigma;
+    numerator += estimate / variance;
+    denominator += 1.0 / variance;
+  }
+  if (denominator <= 0.0) return 1.0;
+  return std::max(1.0, numerator / denominator);
+}
+
+double EstimationObjective(const MarkovRandomField& model,
+                           const std::vector<Measurement>& measurements) {
+  double objective = 0.0;
+  for (const Measurement& m : measurements) {
+    std::vector<double> mu = model.MarginalVector(m.attrs);
+    objective += SquaredL2Distance(mu, m.values) / m.sigma;
+  }
+  return objective;
+}
+
+MarkovRandomField EstimateMrf(const Domain& domain,
+                              const std::vector<Measurement>& measurements,
+                              double total,
+                              const EstimationOptions& options,
+                              const MarkovRandomField* warm_start,
+                              const std::vector<ZeroConstraint>* zeros) {
+  AIM_CHECK(!measurements.empty());
+  std::vector<AttrSet> cliques;
+  for (const Measurement& m : measurements) cliques.push_back(m.attrs);
+  if (zeros != nullptr) {
+    for (const ZeroConstraint& z : *zeros) cliques.push_back(z.attrs);
+  }
+  if (warm_start != nullptr) {
+    // Incremental triangulation: a fresh min-fill order need not reproduce
+    // the old fill edges, so an old maximal clique may not be contained in
+    // any new one. Adding the old tree cliques to the base graph guarantees
+    // containment and keeps the warm start exact.
+    for (const AttrSet& c : warm_start->tree().cliques) cliques.push_back(c);
+  }
+
+  MarkovRandomField model(domain, cliques);
+  model.set_total(total);
+
+  if (warm_start != nullptr) {
+    for (int i = 0; i < warm_start->num_cliques(); ++i) {
+      int j = model.ContainingClique(warm_start->tree().cliques[i]);
+      AIM_CHECK_GE(j, 0) << "warm-start clique not contained in new model";
+      model.AccumulatePotential(j, warm_start->potential(i), 1.0);
+    }
+  }
+
+  if (zeros != nullptr) {
+    const double neg_inf = -std::numeric_limits<double>::infinity();
+    for (const ZeroConstraint& z : *zeros) {
+      Factor mask = Factor::FromDomain(domain, z.attrs, 0.0);
+      for (int64_t cell : z.zero_cells) {
+        AIM_CHECK(cell >= 0 && cell < mask.num_cells());
+        mask.mutable_values()[cell] = neg_inf;
+      }
+      int j = model.ContainingClique(z.attrs);
+      AIM_CHECK_GE(j, 0);
+      model.AccumulatePotential(j, mask, 1.0);
+    }
+  }
+
+  // Map each measurement to a containing tree clique once.
+  std::vector<int> home(measurements.size());
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    home[i] = model.ContainingClique(measurements[i].attrs);
+    AIM_CHECK_GE(home[i], 0);
+    AIM_CHECK_EQ(
+        static_cast<int64_t>(measurements[i].values.size()),
+        MarginalSize(domain, measurements[i].attrs));
+  }
+
+  model.Calibrate();
+  double objective = EstimationObjective(model, measurements);
+
+  // Step-size control: each trial step is capped so the largest per-cell
+  // log-potential update is at most `initial_step` nats (gradients scale
+  // with total/sigma and would otherwise overflow exp()), then adapted
+  // multiplicatively — doubling on acceptance, halving on rejection — so
+  // the effective step tracks the problem's own curvature.
+  double step = std::numeric_limits<double>::infinity();
+
+  int stall = 0;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Gradient of L with respect to each clique's marginal, lifted to the
+    // clique log-potentials (entropic mirror descent step).
+    std::vector<Factor> gradients;
+    gradients.reserve(measurements.size());
+    for (size_t i = 0; i < measurements.size(); ++i) {
+      const Measurement& m = measurements[i];
+      Factor mu = model.Marginal(m.attrs);
+      Factor grad = mu;  // reuse shape
+      std::vector<double>& g = grad.mutable_values();
+      const double scale = 2.0 / m.sigma;
+      for (size_t t = 0; t < g.size(); ++t) {
+        g[t] = scale * (mu.value(t) - m.values[t]);
+      }
+      gradients.push_back(std::move(grad));
+    }
+
+    // Cap the step so the largest per-cell potential change stays bounded.
+    double grad_max = 0.0;
+    for (const Factor& g : gradients) {
+      for (double v : g.values()) grad_max = std::max(grad_max, std::fabs(v));
+    }
+    double trial =
+        grad_max > 0.0 ? std::min(step, options.initial_step / grad_max)
+                       : step;
+    if (!std::isfinite(trial) || trial <= 0.0) break;  // zero gradient
+
+    // Backtracking line search on the primal objective.
+    std::vector<Factor> saved;
+    saved.reserve(model.num_cliques());
+    for (int c = 0; c < model.num_cliques(); ++c) {
+      saved.push_back(model.potential(c));
+    }
+    bool accepted = false;
+    double new_objective = objective;
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      for (size_t i = 0; i < measurements.size(); ++i) {
+        model.AccumulatePotential(home[i], gradients[i], -trial);
+      }
+      model.Calibrate();
+      new_objective = EstimationObjective(model, measurements);
+      if (new_objective <= objective && std::isfinite(new_objective)) {
+        accepted = true;
+        break;
+      }
+      // Restore and retry with a smaller step.
+      for (int c = 0; c < model.num_cliques(); ++c) {
+        model.SetPotential(c, saved[c]);
+      }
+      trial *= 0.5;
+      if (trial < 1e-15) break;
+    }
+    if (!accepted) {
+      model.Calibrate();
+      break;
+    }
+    if (std::getenv("AIM_ESTIMATION_TRACE") != nullptr) {
+      std::cerr << "[est] iter=" << iter << " accepted=" << accepted
+                << " trial=" << trial << " obj=" << new_objective
+                << " grad_max=" << grad_max << "\n";
+    }
+    // Step adaptation. An accepted step with negligible improvement is the
+    // signature of overshooting across a narrow valley (the step bounces
+    // between near-symmetric points), so the base step SHRINKS on a
+    // negligible-improvement acceptance and grows only on real progress.
+    double improvement = objective - new_objective;
+    objective = new_objective;
+    if (improvement < options.tolerance * std::max(1.0, objective)) {
+      step = trial * 0.5;
+      if (++stall >= options.patience) break;
+    } else {
+      step = trial * 2.0;
+      stall = 0;
+    }
+  }
+  if (!model.calibrated()) model.Calibrate();
+  return model;
+}
+
+}  // namespace aim

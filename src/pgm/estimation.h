@@ -1,0 +1,73 @@
+// Private-PGM distribution estimation: given noisy marginal measurements
+// (ỹ_i, σ_i, r_i), find the graphical model p̂ minimizing
+//     L(p) = Σ_i (1/σ_i) ‖M_{r_i}(p) − ỹ_i‖₂²
+// over the scaled probability simplex (Section 2.3 of the paper), by
+// entropic mirror descent with Armijo backtracking. Supports warm starts
+// across AIM rounds and structural-zero constraints (Appendix D).
+
+#ifndef AIM_PGM_ESTIMATION_H_
+#define AIM_PGM_ESTIMATION_H_
+
+#include <vector>
+
+#include "data/domain.h"
+#include "marginal/attr_set.h"
+#include "pgm/markov_random_field.h"
+
+namespace aim {
+
+// One noisy marginal measurement: ỹ = M_r(D) + N(0, σ² I).
+struct Measurement {
+  AttrSet attrs;
+  std::vector<double> values;
+  double sigma = 1.0;
+};
+
+// A structural-zero constraint for the estimator: the listed cells of the
+// marginal on `attrs` are known to be impossible (Appendix D). Cell indices
+// use the library's row-major marginal convention.
+struct ZeroConstraint {
+  AttrSet attrs;
+  std::vector<int64_t> zero_cells;
+};
+
+struct EstimationOptions {
+  // Mirror-descent iterations (paper's reference implementation defaults to
+  // the order of 1000 for the final fit; intermediate AIM rounds use fewer
+  // with warm starts).
+  int max_iters = 500;
+
+  // Initial step size; adapted by backtracking.
+  double initial_step = 2.0;
+
+  // Stop early when the relative objective improvement falls below this for
+  // `patience` consecutive accepted steps. Stiff objectives (tiny sigmas)
+  // progress in bursts, so the patience is generous.
+  double tolerance = 1e-9;
+  int patience = 20;
+};
+
+// Inverse-variance-weighted estimate of the dataset size from the noisy
+// measurement sums (each Σ_t ỹ_i[t] estimates N with variance n_{r_i} σ_i²).
+// Returns at least 1.
+double EstimateTotal(const std::vector<Measurement>& measurements);
+
+// Fits the model. The model cliques are the measured attribute sets (plus
+// the zero-constraint cliques); every domain attribute participates. If
+// `warm_start` is non-null its potentials are mapped into the new model
+// (each old clique is contained in a new clique because measurements only
+// accumulate).
+MarkovRandomField EstimateMrf(const Domain& domain,
+                              const std::vector<Measurement>& measurements,
+                              double total,
+                              const EstimationOptions& options = {},
+                              const MarkovRandomField* warm_start = nullptr,
+                              const std::vector<ZeroConstraint>* zeros = nullptr);
+
+// The estimation objective L(p̂) for diagnostics/tests.
+double EstimationObjective(const MarkovRandomField& model,
+                           const std::vector<Measurement>& measurements);
+
+}  // namespace aim
+
+#endif  // AIM_PGM_ESTIMATION_H_

@@ -1,0 +1,186 @@
+#include "pgm/junction_tree.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+// Greedy min-fill triangulation. Returns the elimination cliques
+// ({v} ∪ remaining neighbors of v, at the time v is eliminated).
+std::vector<AttrSet> EliminationCliques(const Domain& domain,
+                                        const std::vector<AttrSet>& cliques) {
+  const int d = domain.num_attributes();
+  std::vector<std::vector<char>> adj(d, std::vector<char>(d, 0));
+  for (const AttrSet& clique : cliques) {
+    const auto& attrs = clique.attrs();
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      for (size_t j = i + 1; j < attrs.size(); ++j) {
+        adj[attrs[i]][attrs[j]] = adj[attrs[j]][attrs[i]] = 1;
+      }
+    }
+  }
+  std::vector<char> alive(d, 1);
+  std::vector<AttrSet> out;
+  out.reserve(d);
+  for (int step = 0; step < d; ++step) {
+    // Pick the vertex whose elimination adds the fewest fill edges, breaking
+    // ties by smallest resulting clique table.
+    int best = -1;
+    int64_t best_fill = -1;
+    double best_weight = 0.0;
+    for (int v = 0; v < d; ++v) {
+      if (!alive[v]) continue;
+      std::vector<int> nbrs;
+      for (int u = 0; u < d; ++u) {
+        if (u != v && alive[u] && adj[v][u]) nbrs.push_back(u);
+      }
+      int64_t fill = 0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (!adj[nbrs[i]][nbrs[j]]) ++fill;
+        }
+      }
+      double weight = static_cast<double>(domain.size(v));
+      for (int u : nbrs) weight *= static_cast<double>(domain.size(u));
+      if (best == -1 || fill < best_fill ||
+          (fill == best_fill && weight < best_weight)) {
+        best = v;
+        best_fill = fill;
+        best_weight = weight;
+      }
+    }
+    AIM_CHECK_GE(best, 0);
+    std::vector<int> clique = {best};
+    for (int u = 0; u < d; ++u) {
+      if (u != best && alive[u] && adj[best][u]) clique.push_back(u);
+    }
+    // Connect the neighborhood (fill edges).
+    for (size_t i = 1; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        adj[clique[i]][clique[j]] = adj[clique[j]][clique[i]] = 1;
+      }
+    }
+    alive[best] = 0;
+    out.push_back(AttrSet(std::move(clique)));
+  }
+  return out;
+}
+
+// Removes cliques contained in another clique.
+std::vector<AttrSet> MaximalCliques(std::vector<AttrSet> cliques) {
+  // Sort by descending size so each clique only needs checking against
+  // larger ones.
+  std::sort(cliques.begin(), cliques.end(),
+            [](const AttrSet& a, const AttrSet& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  std::vector<AttrSet> maximal;
+  for (const AttrSet& c : cliques) {
+    bool contained = false;
+    for (const AttrSet& m : maximal) {
+      if (c.IsSubsetOf(m)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.push_back(c);
+  }
+  std::sort(maximal.begin(), maximal.end());
+  return maximal;
+}
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int Find(int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool Merge(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  }
+};
+
+}  // namespace
+
+int JunctionTree::ContainingClique(const AttrSet& r) const {
+  for (size_t i = 0; i < cliques.size(); ++i) {
+    if (r.IsSubsetOf(cliques[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+JunctionTree BuildJunctionTree(const Domain& domain,
+                               const std::vector<AttrSet>& model_cliques) {
+  AIM_CHECK_GE(domain.num_attributes(), 1);
+  for (const AttrSet& c : model_cliques) {
+    for (int attr : c) AIM_CHECK_LT(attr, domain.num_attributes());
+  }
+  JunctionTree tree;
+  tree.cliques =
+      MaximalCliques(EliminationCliques(domain, model_cliques));
+  const int k = static_cast<int>(tree.cliques.size());
+  tree.neighbors.resize(k);
+  if (k <= 1) return tree;
+
+  // Maximum-weight spanning tree (Kruskal) on separator cardinality; weight-0
+  // edges join disconnected components with empty separators.
+  struct Candidate {
+    int a, b, weight;
+  };
+  std::vector<Candidate> candidates;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      candidates.push_back(
+          {i, j, tree.cliques[i].IntersectionSize(tree.cliques[j])});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& x, const Candidate& y) {
+                     return x.weight > y.weight;
+                   });
+  UnionFind uf(k);
+  for (const Candidate& c : candidates) {
+    if (!uf.Merge(c.a, c.b)) continue;
+    JunctionTree::Edge edge;
+    edge.a = c.a;
+    edge.b = c.b;
+    edge.separator = tree.cliques[c.a].Intersect(tree.cliques[c.b]);
+    int edge_index = static_cast<int>(tree.edges.size());
+    tree.neighbors[c.a].push_back({c.b, edge_index});
+    tree.neighbors[c.b].push_back({c.a, edge_index});
+    tree.edges.push_back(std::move(edge));
+    if (static_cast<int>(tree.edges.size()) == k - 1) break;
+  }
+  AIM_CHECK_EQ(static_cast<int>(tree.edges.size()), k - 1);
+  return tree;
+}
+
+double JtSizeMb(const Domain& domain,
+                const std::vector<AttrSet>& model_cliques) {
+  std::vector<AttrSet> cliques =
+      MaximalCliques(EliminationCliques(domain, model_cliques));
+  double bytes = 0.0;
+  for (const AttrSet& clique : cliques) {
+    double cells = 1.0;
+    for (int attr : clique) cells *= static_cast<double>(domain.size(attr));
+    bytes += 8.0 * cells;
+  }
+  return bytes / 1e6;
+}
+
+}  // namespace aim

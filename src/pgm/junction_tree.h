@@ -1,0 +1,57 @@
+// Junction-tree construction for the Private-PGM engine.
+//
+// Given the attribute sets of the measured marginals (model cliques), we
+// build the induced attribute graph, triangulate it with a greedy min-fill
+// elimination order, extract the maximal cliques, and connect them with a
+// maximum-weight spanning tree on separator cardinality. The resulting tree
+// satisfies the running-intersection property; disconnected components are
+// joined by empty separators so callers always see a single tree.
+//
+// JT-SIZE (the paper's model-capacity oracle) is the total memory of one
+// 8-byte table per maximal clique, in megabytes.
+
+#ifndef AIM_PGM_JUNCTION_TREE_H_
+#define AIM_PGM_JUNCTION_TREE_H_
+
+#include <vector>
+
+#include "data/domain.h"
+#include "marginal/attr_set.h"
+
+namespace aim {
+
+struct JunctionTree {
+  // Maximal cliques of the triangulated attribute graph. Every attribute of
+  // the domain appears in at least one clique.
+  std::vector<AttrSet> cliques;
+
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    AttrSet separator;  // cliques[a] ∩ cliques[b]
+  };
+  // Spanning-tree edges (cliques.size() - 1 of them when cliques is
+  // non-empty).
+  std::vector<Edge> edges;
+
+  // neighbors[i] lists (neighbor clique index, edge index) pairs.
+  std::vector<std::vector<std::pair<int, int>>> neighbors;
+
+  // Index of the first clique containing r, or -1.
+  int ContainingClique(const AttrSet& r) const;
+};
+
+// Builds the junction tree for a model containing `model_cliques` (each a
+// measured attribute set). All attributes of the domain participate, so
+// unmeasured attributes appear as singleton (or absorbed) cliques.
+JunctionTree BuildJunctionTree(const Domain& domain,
+                               const std::vector<AttrSet>& model_cliques);
+
+// The paper's JT-SIZE oracle: memory footprint in MB (1 MB = 1e6 bytes,
+// 8-byte cells) of the junction tree implied by `model_cliques`.
+double JtSizeMb(const Domain& domain,
+                const std::vector<AttrSet>& model_cliques);
+
+}  // namespace aim
+
+#endif  // AIM_PGM_JUNCTION_TREE_H_

@@ -1,0 +1,246 @@
+#include "pgm/markov_random_field.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace aim {
+
+MarkovRandomField::MarkovRandomField(Domain domain,
+                                     std::vector<AttrSet> model_cliques)
+    : domain_(std::move(domain)),
+      tree_(BuildJunctionTree(domain_, model_cliques)) {
+  potentials_.reserve(tree_.cliques.size());
+  for (const AttrSet& clique : tree_.cliques) {
+    potentials_.push_back(Factor::FromDomain(domain_, clique, 0.0));
+  }
+}
+
+void MarkovRandomField::set_total(double total) {
+  AIM_CHECK_GT(total, 0.0);
+  total_ = total;
+}
+
+void MarkovRandomField::SetPotential(int i, Factor potential) {
+  AIM_CHECK_GE(i, 0);
+  AIM_CHECK_LT(i, num_cliques());
+  AIM_CHECK(potential.attrs() == potentials_[i].attrs());
+  potentials_[i] = std::move(potential);
+  calibrated_ = false;
+}
+
+void MarkovRandomField::AccumulatePotential(int i, const Factor& delta,
+                                            double scale) {
+  AIM_CHECK_GE(i, 0);
+  AIM_CHECK_LT(i, num_cliques());
+  potentials_[i].AddInPlace(delta, scale);
+  calibrated_ = false;
+}
+
+void MarkovRandomField::Calibrate() {
+  const int k = num_cliques();
+  // messages[e][dir]: message along edge e; dir 0 = a->b, dir 1 = b->a.
+  std::vector<std::array<Factor, 2>> messages(tree_.edges.size());
+  std::vector<std::array<bool, 2>> ready(tree_.edges.size(), {false, false});
+
+  // Iterative two-pass schedule: process cliques in DFS post-order from
+  // clique 0 (upward), then reverse (downward).
+  std::vector<int> order;
+  order.reserve(k);
+  std::vector<int> parent_edge(k, -1), parent(k, -1);
+  {
+    std::vector<int> stack = {0};
+    std::vector<char> seen(k, 0);
+    seen[0] = 1;
+    std::vector<int> pre;
+    while (!stack.empty()) {
+      int c = stack.back();
+      stack.pop_back();
+      pre.push_back(c);
+      for (auto [nbr, edge] : tree_.neighbors[c]) {
+        if (!seen[nbr]) {
+          seen[nbr] = 1;
+          parent[nbr] = c;
+          parent_edge[nbr] = edge;
+          stack.push_back(nbr);
+        }
+      }
+    }
+    AIM_CHECK_EQ(static_cast<int>(pre.size()), k);
+    order.assign(pre.rbegin(), pre.rend());  // post-order (children first)
+  }
+
+  auto send_message = [&](int from, int to, int edge_index) {
+    const JunctionTree::Edge& edge = tree_.edges[edge_index];
+    int dir = (edge.a == from) ? 0 : 1;
+    Factor accum = potentials_[from];
+    for (auto [nbr, e] : tree_.neighbors[from]) {
+      if (nbr == to) continue;
+      const JunctionTree::Edge& in_edge = tree_.edges[e];
+      int in_dir = (in_edge.a == nbr) ? 0 : 1;
+      AIM_CHECK(ready[e][in_dir]);
+      accum.AddInPlace(messages[e][in_dir]);
+    }
+    messages[edge_index][dir] = accum.LogSumExpTo(edge.separator);
+    ready[edge_index][dir] = true;
+  };
+
+  // Upward: every non-root clique sends to its parent (children already
+  // done thanks to post-order).
+  for (int c : order) {
+    if (parent[c] >= 0) send_message(c, parent[c], parent_edge[c]);
+  }
+  // Downward: every non-root clique receives from its parent, in pre-order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int c = *it;
+    if (parent[c] >= 0) send_message(parent[c], c, parent_edge[c]);
+  }
+
+  // Beliefs.
+  beliefs_.clear();
+  beliefs_.reserve(k);
+  for (int c = 0; c < k; ++c) {
+    Factor belief = potentials_[c];
+    for (auto [nbr, e] : tree_.neighbors[c]) {
+      const JunctionTree::Edge& in_edge = tree_.edges[e];
+      int in_dir = (in_edge.a == nbr) ? 0 : 1;
+      AIM_CHECK(ready[e][in_dir]);
+      belief.AddInPlace(messages[e][in_dir]);
+    }
+    beliefs_.push_back(std::move(belief));
+  }
+  log_partition_ = beliefs_[0].LogSumExp();
+  calibrated_ = true;
+}
+
+double MarkovRandomField::LogPartition() const {
+  AIM_CHECK(calibrated_) << "call Calibrate() first";
+  return log_partition_;
+}
+
+const Factor& MarkovRandomField::CliqueBelief(int i) const {
+  AIM_CHECK(calibrated_) << "call Calibrate() first";
+  AIM_CHECK_GE(i, 0);
+  AIM_CHECK_LT(i, num_cliques());
+  return beliefs_[i];
+}
+
+Factor MarkovRandomField::Marginal(const AttrSet& r) const {
+  AIM_CHECK(calibrated_) << "call Calibrate() first";
+  AIM_CHECK(!r.empty());
+  int clique = ContainingClique(r);
+  Factor log_marginal =
+      clique >= 0 ? beliefs_[clique].LogSumExpTo(r)
+                  : VariableEliminationMarginal(r);
+  // Normalize via the factor's own mass: identical to log_partition_ in
+  // exact arithmetic but more robust numerically.
+  double log_z = clique >= 0 ? log_partition_ : log_marginal.LogSumExp();
+  Factor out = log_marginal.Exp(log_z);
+  out.ScaleInPlace(total_);
+  return out;
+}
+
+std::vector<double> MarkovRandomField::MarginalVector(const AttrSet& r) const {
+  return Marginal(r).values();
+}
+
+Factor MarkovRandomField::VariableEliminationMarginal(const AttrSet& r) const {
+  // Sum-product variable elimination over the (log) potentials. Factors in
+  // graph components disconnected from r contribute only a multiplicative
+  // constant that the final normalization cancels, so they are dropped —
+  // this makes candidate scoring on sparse models (AIM's early rounds)
+  // dramatically cheaper.
+  std::vector<int> component(domain_.num_attributes());
+  std::iota(component.begin(), component.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (component[x] != x) {
+      component[x] = component[component[x]];
+      x = component[x];
+    }
+    return x;
+  };
+  for (const Factor& f : potentials_) {
+    if (f.num_attrs() == 0) continue;
+    int root = find(f.attrs()[0]);
+    for (int attr : f.attrs()) component[find(attr)] = root;
+  }
+  std::vector<char> keep_component(domain_.num_attributes(), 0);
+  for (int attr : r) keep_component[find(attr)] = 1;
+
+  std::vector<Factor> factors;
+  for (const Factor& f : potentials_) {
+    if (f.num_attrs() > 0 && keep_component[find(f.attrs()[0])]) {
+      factors.push_back(f);
+    }
+  }
+  // Attributes to eliminate: everything in the kept factors minus r.
+  std::vector<char> in_r(domain_.num_attributes(), 0);
+  for (int attr : r) in_r[attr] = 1;
+  std::vector<char> present(domain_.num_attributes(), 0);
+  for (const Factor& f : factors) {
+    for (int attr : f.attrs()) present[attr] = 1;
+  }
+  for (int attr : r) {
+    AIM_CHECK(present[attr]) << "attribute" << attr << "missing from model";
+  }
+  std::vector<int> to_eliminate;
+  for (int attr = 0; attr < domain_.num_attributes(); ++attr) {
+    if (present[attr] && !in_r[attr]) to_eliminate.push_back(attr);
+  }
+  while (!to_eliminate.empty()) {
+    // Greedy: eliminate the attribute whose combined factor is smallest.
+    int best_pos = -1;
+    double best_cells = std::numeric_limits<double>::infinity();
+    for (size_t pos = 0; pos < to_eliminate.size(); ++pos) {
+      int attr = to_eliminate[pos];
+      AttrSet scope;
+      for (const Factor& f : factors) {
+        if (f.AxisOf(attr) >= 0) scope = scope.Union(f.attr_set());
+      }
+      double cells = 1.0;
+      for (int a : scope) cells *= static_cast<double>(domain_.size(a));
+      if (cells < best_cells) {
+        best_cells = cells;
+        best_pos = static_cast<int>(pos);
+      }
+    }
+    int attr = to_eliminate[best_pos];
+    to_eliminate.erase(to_eliminate.begin() + best_pos);
+
+    Factor combined;
+    bool first = true;
+    std::vector<Factor> remaining;
+    for (Factor& f : factors) {
+      if (f.AxisOf(attr) >= 0) {
+        combined = first ? std::move(f) : combined.Add(f);
+        first = false;
+      } else {
+        remaining.push_back(std::move(f));
+      }
+    }
+    AIM_CHECK(!first);
+    AttrSet keep = combined.attr_set().Difference(AttrSet({attr}));
+    remaining.push_back(combined.LogSumExpTo(keep));
+    factors = std::move(remaining);
+  }
+  // Combine what remains and restrict to r.
+  Factor result;
+  bool first = true;
+  for (Factor& f : factors) {
+    result = first ? std::move(f) : result.Add(f);
+    first = false;
+  }
+  AIM_CHECK(!first);
+  AIM_CHECK(r.IsSubsetOf(result.attr_set()));
+  if (result.attr_set() != r) {
+    result = result.LogSumExpTo(r);
+  }
+  return result;
+}
+
+}  // namespace aim

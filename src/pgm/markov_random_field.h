@@ -1,0 +1,79 @@
+// MarkovRandomField: a graphical model over the data domain, parameterized
+// by log-potentials on the cliques of a junction tree, with exact inference
+// by Shafer-Shenoy belief propagation in log space.
+//
+// The model represents a *scaled* distribution: marginals sum to total()
+// (the Private-PGM convention, so model marginals are directly comparable
+// to raw-count data marginals).
+
+#ifndef AIM_PGM_MARKOV_RANDOM_FIELD_H_
+#define AIM_PGM_MARKOV_RANDOM_FIELD_H_
+
+#include <vector>
+
+#include "data/domain.h"
+#include "factor/factor.h"
+#include "marginal/attr_set.h"
+#include "pgm/junction_tree.h"
+
+namespace aim {
+
+class MarkovRandomField {
+ public:
+  // Builds the junction tree implied by `model_cliques` and initializes all
+  // log-potentials to zero (the uniform model).
+  MarkovRandomField(Domain domain, std::vector<AttrSet> model_cliques);
+
+  const Domain& domain() const { return domain_; }
+  const JunctionTree& tree() const { return tree_; }
+  int num_cliques() const { return static_cast<int>(tree_.cliques.size()); }
+
+  // Scale of the represented distribution (estimated record count).
+  double total() const { return total_; }
+  void set_total(double total);
+
+  // Log-potential on junction-tree clique `i`. Mutating invalidates the
+  // calibration; call Calibrate() before reading marginals again.
+  const Factor& potential(int i) const { return potentials_[i]; }
+  void SetPotential(int i, Factor potential);
+  // Adds `delta` (over a subset of clique i's attributes, broadcast) scaled
+  // by `scale` into potential i.
+  void AccumulatePotential(int i, const Factor& delta, double scale);
+
+  // Index of the first tree clique containing r, or -1.
+  int ContainingClique(const AttrSet& r) const {
+    return tree_.ContainingClique(r);
+  }
+
+  // Runs belief propagation; afterwards beliefs and marginals are valid.
+  void Calibrate();
+  bool calibrated() const { return calibrated_; }
+
+  // log of the partition function of exp(sum of potentials).
+  double LogPartition() const;
+
+  // Calibrated log-belief of clique i (unnormalized: belief - LogPartition()
+  // is the log marginal probability).
+  const Factor& CliqueBelief(int i) const;
+
+  // Scaled marginal on r (cells sum to total()). Uses the clique beliefs
+  // when r is covered by a tree clique; otherwise falls back to variable
+  // elimination over the potentials. Requires Calibrate() first.
+  Factor Marginal(const AttrSet& r) const;
+  std::vector<double> MarginalVector(const AttrSet& r) const;
+
+ private:
+  Factor VariableEliminationMarginal(const AttrSet& r) const;
+
+  Domain domain_;
+  JunctionTree tree_;
+  std::vector<Factor> potentials_;  // log space, one per tree clique
+  std::vector<Factor> beliefs_;     // log space, calibrated
+  double log_partition_ = 0.0;
+  double total_ = 1.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace aim
+
+#endif  // AIM_PGM_MARKOV_RANDOM_FIELD_H_

@@ -1,0 +1,177 @@
+#include "pgm/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marginal/marginal.h"
+#include "util/logging.h"
+
+namespace aim {
+
+std::vector<int64_t> RandomizedRound(const std::vector<double>& weights,
+                                     int64_t total, Rng& rng) {
+  AIM_CHECK(!weights.empty());
+  AIM_CHECK_GE(total, 0);
+  double mass = 0.0;
+  for (double w : weights) mass += std::max(0.0, w);
+  std::vector<int64_t> counts(weights.size(), 0);
+  if (total == 0) return counts;
+  if (mass <= 0.0) {
+    // Uniform fallback.
+    std::vector<double> uniform(weights.size(), 1.0);
+    return rng.Multinomial(total, uniform);
+  }
+  int64_t assigned = 0;
+  std::vector<double> fractional(weights.size(), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double expected =
+        std::max(0.0, weights[i]) / mass * static_cast<double>(total);
+    counts[i] = static_cast<int64_t>(std::floor(expected));
+    fractional[i] = expected - static_cast<double>(counts[i]);
+    assigned += counts[i];
+  }
+  int64_t remainder = total - assigned;
+  AIM_CHECK_GE(remainder, 0);
+  if (remainder > 0) {
+    std::vector<int64_t> extra = rng.Multinomial(remainder, fractional);
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += extra[i];
+  }
+  return counts;
+}
+
+Dataset GenerateSyntheticData(const MarkovRandomField& model,
+                              int64_t num_records, Rng& rng) {
+  AIM_CHECK(model.calibrated()) << "call Calibrate() first";
+  AIM_CHECK_GE(num_records, 0);
+  const Domain& domain = model.domain();
+  const JunctionTree& tree = model.tree();
+  const int d = domain.num_attributes();
+  const int k = model.num_cliques();
+  AIM_CHECK_GE(k, 1);
+
+  std::vector<std::vector<int32_t>> columns(
+      d, std::vector<int32_t>(num_records, 0));
+  std::vector<char> assigned(d, 0);
+
+  // Parent-first traversal order from clique 0.
+  std::vector<int> order, parent_edge(k, -1);
+  {
+    std::vector<int> stack = {0};
+    std::vector<char> seen(k, 0);
+    seen[0] = 1;
+    while (!stack.empty()) {
+      int c = stack.back();
+      stack.pop_back();
+      order.push_back(c);
+      for (auto [nbr, edge] : tree.neighbors[c]) {
+        if (!seen[nbr]) {
+          seen[nbr] = 1;
+          parent_edge[nbr] = edge;
+          stack.push_back(nbr);
+        }
+      }
+    }
+    AIM_CHECK_EQ(static_cast<int>(order.size()), k);
+  }
+
+  for (int step = 0; step < k; ++step) {
+    const int c = order[step];
+    const AttrSet& clique = tree.cliques[c];
+    // New attributes introduced by this clique.
+    std::vector<int> new_attrs;
+    std::vector<int> sep_attrs;
+    for (int attr : clique) {
+      if (assigned[attr]) {
+        sep_attrs.push_back(attr);
+      } else {
+        new_attrs.push_back(attr);
+      }
+    }
+    if (new_attrs.empty()) continue;
+    AttrSet new_set(new_attrs);
+    AttrSet sep_set(sep_attrs);
+
+    Factor marginal = model.Marginal(clique);
+    MarginalIndexer clique_indexer(domain, clique);
+    MarginalIndexer new_indexer(domain, new_set);
+    MarginalIndexer sep_indexer(domain, sep_set);
+    const int64_t num_sep = sep_indexer.size();
+    const int64_t num_new = new_indexer.size();
+
+    // cond[s * num_new + a] = marginal mass of (sep=s, new=a).
+    std::vector<double> cond(num_sep * num_new, 0.0);
+    {
+      const std::vector<int>& cl_attrs = clique.attrs();
+      std::vector<int> tuple;
+      std::vector<int> new_tuple(new_set.size());
+      std::vector<int> sep_tuple(sep_set.size());
+      for (int64_t cell = 0; cell < clique_indexer.size(); ++cell) {
+        tuple = clique_indexer.TupleOfIndex(cell);
+        int ni = 0, si = 0;
+        for (size_t j = 0; j < cl_attrs.size(); ++j) {
+          if (assigned[cl_attrs[j]]) {
+            sep_tuple[si++] = tuple[j];
+          } else {
+            new_tuple[ni++] = tuple[j];
+          }
+        }
+        int64_t s = sep_tuple.empty() ? 0 : sep_indexer.IndexOfTuple(sep_tuple);
+        int64_t a = new_indexer.IndexOfTuple(new_tuple);
+        cond[s * num_new + a] += std::max(0.0, marginal.value(cell));
+      }
+    }
+
+    // Group records by separator value.
+    std::vector<std::vector<int64_t>> groups(num_sep);
+    if (sep_attrs.empty()) {
+      groups[0].resize(num_records);
+      for (int64_t row = 0; row < num_records; ++row) groups[0][row] = row;
+    } else {
+      // Strides over separator attributes (ascending, last fastest).
+      std::vector<int64_t> strides(sep_attrs.size(), 1);
+      for (int j = static_cast<int>(sep_attrs.size()) - 2; j >= 0; --j) {
+        strides[j] = strides[j + 1] * domain.size(sep_attrs[j + 1]);
+      }
+      for (int64_t row = 0; row < num_records; ++row) {
+        int64_t s = 0;
+        for (size_t j = 0; j < sep_attrs.size(); ++j) {
+          s += static_cast<int64_t>(columns[sep_attrs[j]][row]) * strides[j];
+        }
+        groups[s].push_back(row);
+      }
+    }
+
+    // Assign new attributes within each separator group by randomized
+    // rounding of the conditional distribution.
+    std::vector<double> weights(num_new);
+    std::vector<int> value_tuple;
+    for (int64_t s = 0; s < num_sep; ++s) {
+      const std::vector<int64_t>& rows = groups[s];
+      if (rows.empty()) continue;
+      std::copy(cond.begin() + s * num_new,
+                cond.begin() + (s + 1) * num_new, weights.begin());
+      std::vector<int64_t> counts =
+          RandomizedRound(weights, static_cast<int64_t>(rows.size()), rng);
+      size_t row_pos = 0;
+      for (int64_t a = 0; a < num_new; ++a) {
+        if (counts[a] == 0) continue;
+        value_tuple = new_indexer.TupleOfIndex(a);
+        for (int64_t rep = 0; rep < counts[a]; ++rep) {
+          int64_t row = rows[row_pos++];
+          for (size_t j = 0; j < new_attrs.size(); ++j) {
+            columns[new_attrs[j]][row] = value_tuple[j];
+          }
+        }
+      }
+      AIM_CHECK_EQ(row_pos, rows.size());
+    }
+    for (int attr : new_attrs) assigned[attr] = 1;
+  }
+
+  for (int attr = 0; attr < d; ++attr) {
+    AIM_CHECK(assigned[attr]) << "attribute" << attr << "never assigned";
+  }
+  return Dataset::FromColumns(domain, std::move(columns));
+}
+
+}  // namespace aim

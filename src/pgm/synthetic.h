@@ -1,0 +1,37 @@
+// Synthetic tabular data generation from a calibrated MarkovRandomField
+// (the "generate" step of select-measure-generate).
+//
+// Records are produced by traversing the junction tree from the root:
+// the root clique's attributes are assigned by randomized rounding of its
+// marginal, and each subsequent clique assigns its new attributes from the
+// conditional distribution given the separator, again by randomized
+// rounding within each separator group. Randomized rounding is the
+// lower-variance alternative to iid sampling used by Private-PGM [35].
+
+#ifndef AIM_PGM_SYNTHETIC_H_
+#define AIM_PGM_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "pgm/markov_random_field.h"
+#include "util/rng.h"
+
+namespace aim {
+
+// Rounds `total * weights / sum(weights)` to non-negative integer counts
+// summing exactly to `total`: deterministic floors plus a random allocation
+// of the remainder proportional to the fractional parts. If all weights are
+// zero (or negative-clipped), falls back to uniform. Exposed for testing.
+std::vector<int64_t> RandomizedRound(const std::vector<double>& weights,
+                                     int64_t total, Rng& rng);
+
+// Generates `num_records` synthetic records approximately distributed as
+// the model. The model must be calibrated.
+Dataset GenerateSyntheticData(const MarkovRandomField& model,
+                              int64_t num_records, Rng& rng);
+
+}  // namespace aim
+
+#endif  // AIM_PGM_SYNTHETIC_H_

@@ -1,0 +1,59 @@
+// A-posteriori per-query confidence bounds for AIM's output (Section 5).
+//
+// Supported marginals (r contained in some measured set) use the
+// weighted-average estimator and Theorem 3 / Corollary 1. Unsupported
+// marginals use the exponential-mechanism guarantee of Theorem 4 /
+// Corollary 2, evaluated at the last round where r was a candidate. Both
+// are one-sided bounds on ||M_r(D) - M_r(D̂)||_1 that hold with the stated
+// probability and consume no additional privacy budget.
+
+#ifndef AIM_UNCERTAINTY_BOUNDS_H_
+#define AIM_UNCERTAINTY_BOUNDS_H_
+
+#include <optional>
+
+#include "data/dataset.h"
+#include "marginal/attr_set.h"
+#include "mechanisms/mechanism.h"
+
+namespace aim {
+
+struct BoundOptions {
+  // Corollary 1 parameter: failure probability exp(-lambda^2).
+  // lambda = 1.7 gives ~95% confidence (Section 6.6).
+  double lambda = 1.7;
+  // Corollary 2 parameters: failure probability exp(-lambda1^2/2) +
+  // exp(-lambda2); lambda1 = 2.7, lambda2 = 3.7 give ~95%.
+  double lambda1 = 2.7;
+  double lambda2 = 3.7;
+};
+
+struct ConfidenceBound {
+  double bound = 0.0;   // one-sided bound on ||M_r(D) - M_r(D̂)||_1
+  bool supported = false;
+  int round = -1;       // round used (unsupported case)
+};
+
+// Computes bounds from an AIM MechanismResult (requires
+// record_candidates=true in AimOptions for the unsupported case, and the
+// final/penultimate models for Corollary 2's model-to-data term).
+class UncertaintyQuantifier {
+ public:
+  UncertaintyQuantifier(const Domain& domain, const MechanismResult& result,
+                        BoundOptions options = {});
+
+  // One-sided (1 - failure-probability) bound on ||M_r(D) - M_r(D̂)||_1 for
+  // the synthetic dataset `synthetic` (normally result.synthetic). Returns
+  // nullopt when r is neither supported nor ever a candidate.
+  std::optional<ConfidenceBound> BoundFor(const AttrSet& r,
+                                          const Dataset& synthetic) const;
+
+ private:
+  const Domain& domain_;
+  const MechanismResult& result_;
+  BoundOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_UNCERTAINTY_BOUNDS_H_

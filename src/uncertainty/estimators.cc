@@ -1,0 +1,49 @@
+#include "uncertainty/estimators.h"
+
+#include <cmath>
+
+#include "factor/factor.h"
+#include "marginal/marginal.h"
+#include "util/logging.h"
+
+namespace aim {
+
+std::optional<WeightedAverageEstimate> WeightedAverageEstimator(
+    const Domain& domain, const std::vector<Measurement>& measurements,
+    const AttrSet& r) {
+  AIM_CHECK(!r.empty());
+  const int64_t n_r = MarginalSize(domain, r);
+  std::vector<double> weighted_sum(n_r, 0.0);
+  double precision = 0.0;  // sum of 1/var_i
+  int support = 0;
+  for (const Measurement& m : measurements) {
+    if (!r.IsSubsetOf(m.attrs)) continue;
+    ++support;
+    // Project ỹ_i down to r: summing n_{r_i}/n_r iid cells multiplies the
+    // per-cell variance by n_{r_i}/n_r.
+    std::vector<int> sizes;
+    for (int attr : m.attrs) sizes.push_back(domain.size(attr));
+    Factor projected =
+        Factor::FromValues(m.attrs.attrs(), std::move(sizes), m.values)
+            .SumTo(r);
+    const double n_ri = static_cast<double>(MarginalSize(domain, m.attrs));
+    const double variance =
+        (n_ri / static_cast<double>(n_r)) * m.sigma * m.sigma;
+    const double w = 1.0 / variance;
+    precision += w;
+    for (int64_t c = 0; c < n_r; ++c) {
+      weighted_sum[c] += w * projected.value(c);
+    }
+  }
+  if (support == 0) return std::nullopt;
+  WeightedAverageEstimate out;
+  out.values.resize(n_r);
+  for (int64_t c = 0; c < n_r; ++c) {
+    out.values[c] = weighted_sum[c] / precision;
+  }
+  out.sigma_bar = std::sqrt(1.0 / precision);
+  out.support_count = support;
+  return out;
+}
+
+}  // namespace aim

@@ -1,0 +1,32 @@
+// Weighted-average estimator for supported marginal queries (Theorem 2):
+// each measurement whose attribute set contains r yields an unbiased
+// estimate of M_r(D) by marginalization; the estimates are combined by
+// inverse-variance weighting.
+
+#ifndef AIM_UNCERTAINTY_ESTIMATORS_H_
+#define AIM_UNCERTAINTY_ESTIMATORS_H_
+
+#include <optional>
+#include <vector>
+
+#include "data/domain.h"
+#include "marginal/attr_set.h"
+#include "pgm/estimation.h"
+
+namespace aim {
+
+struct WeightedAverageEstimate {
+  // ȳ_r: unbiased estimate of M_r(D), Gaussian with variance σ̄_r² per cell.
+  std::vector<double> values;
+  double sigma_bar = 0.0;
+  int support_count = 0;  // measurements with r ⊆ r_i
+};
+
+// Returns nullopt when no measurement supports r (r ⊄ every r_i).
+std::optional<WeightedAverageEstimate> WeightedAverageEstimator(
+    const Domain& domain, const std::vector<Measurement>& measurements,
+    const AttrSet& r);
+
+}  // namespace aim
+
+#endif  // AIM_UNCERTAINTY_ESTIMATORS_H_

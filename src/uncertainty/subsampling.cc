@@ -1,0 +1,74 @@
+#include "uncertainty/subsampling.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "marginal/marginal.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace aim {
+
+double ExpectedSubsamplingL1(const std::vector<double>& marginal, int64_t n,
+                             int64_t k) {
+  AIM_CHECK_GT(n, 0);
+  AIM_CHECK_GT(k, 0);
+  // Lemma 3: the L1 deviation of a Multinomial(k, p) sample mean is the sum
+  // of per-cell binomial mean deviations.
+  double total = 0.0;
+  for (double count : marginal) {
+    double p = count / static_cast<double>(n);
+    if (p <= 0.0 || p >= 1.0) continue;
+    total += BinomialMeanDeviation(k, p);
+  }
+  return total;
+}
+
+double ExpectedSubsamplingWorkloadError(const Dataset& data,
+                                        const Workload& workload, int64_t k) {
+  AIM_CHECK_GT(workload.num_queries(), 0);
+  double total = 0.0;
+  for (const auto& q : workload.queries()) {
+    std::vector<double> marginal = ComputeMarginal(data, q.attrs);
+    total += q.weight *
+             ExpectedSubsamplingL1(marginal, data.num_records(), k);
+  }
+  return total / workload.num_queries();
+}
+
+double MatchingSubsamplingFraction(const Dataset& data,
+                                   const Workload& workload,
+                                   double target_error) {
+  const int64_t n = data.num_records();
+  AIM_CHECK_GT(n, 0);
+  AIM_CHECK_GT(target_error, 0.0);
+  // Precompute marginals once; the bisection re-evaluates only the
+  // closed-form deviations.
+  std::vector<std::vector<double>> marginals;
+  std::vector<double> weights;
+  for (const auto& q : workload.queries()) {
+    marginals.push_back(ComputeMarginal(data, q.attrs));
+    weights.push_back(q.weight);
+  }
+  auto error_at = [&](int64_t k) {
+    double total = 0.0;
+    for (size_t i = 0; i < marginals.size(); ++i) {
+      total += weights[i] * ExpectedSubsamplingL1(marginals[i], n, k);
+    }
+    return total / static_cast<double>(marginals.size());
+  };
+  if (error_at(n) >= target_error) return 1.0;
+  if (error_at(1) <= target_error) return 1.0 / static_cast<double>(n);
+  int64_t lo = 1, hi = n;  // error(lo) > target >= error(hi)
+  while (hi - lo > 1) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (error_at(mid) > target_error) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<double>(hi) / static_cast<double>(n);
+}
+
+}  // namespace aim

@@ -1,0 +1,38 @@
+// Appendix C: the (non-private) subsampling baseline whose expected
+// workload error is available in closed form (Theorem 7, via the binomial
+// mean-deviation formula of Lemma 2), and the "matching fraction"
+// interpretation of mechanism error: the fraction K/N of records a
+// with-replacement resample needs to match a given error level.
+
+#ifndef AIM_UNCERTAINTY_SUBSAMPLING_H_
+#define AIM_UNCERTAINTY_SUBSAMPLING_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "marginal/workload.h"
+
+namespace aim {
+
+// E || (1/N) M_r(D) - (1/K) M_r(D̂) ||_1 for D̂ a K-record with-replacement
+// resample of D (Theorem 7). `marginal` holds the raw counts of M_r(D).
+double ExpectedSubsamplingL1(const std::vector<double>& marginal, int64_t n,
+                             int64_t k);
+
+// Expected normalized workload error (Definition 2 with per-dataset
+// normalization) of the K-record subsampling mechanism: the workload-
+// weighted mean of ExpectedSubsamplingL1 over the queries.
+double ExpectedSubsamplingWorkloadError(const Dataset& data,
+                                        const Workload& workload, int64_t k);
+
+// The subsampling fraction f = K/N whose expected workload error equals
+// `target_error`, found by bisection over K (error is decreasing in K).
+// Returns 1.0 if even a full-size resample has higher expected error than
+// the target (i.e., the mechanism beats resampling the entire dataset).
+double MatchingSubsamplingFraction(const Dataset& data,
+                                   const Workload& workload,
+                                   double target_error);
+
+}  // namespace aim
+
+#endif  // AIM_UNCERTAINTY_SUBSAMPLING_H_

@@ -1,0 +1,83 @@
+// Lightweight CHECK/LOG macros for invariant enforcement.
+//
+// The library is exception-free (Google style): programming errors and
+// violated invariants abort the process with a diagnostic; recoverable
+// conditions (I/O, user configuration) surface through util/status.h.
+
+#ifndef AIM_UTIL_LOGGING_H_
+#define AIM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aim {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts on destruction. Used as the
+// right-hand side of the AIM_CHECK macros so that callers can stream extra
+// context: AIM_CHECK(ok) << "while doing X";
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failure at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the stream expression in the ternary's false branch while still
+// allowing callers to append `<< extra << context` (glog's Voidify idiom).
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace aim
+
+// Aborts with a diagnostic if `condition` is false.
+#define AIM_CHECK(condition)                                               \
+  (condition) ? (void)0                                                    \
+              : ::aim::internal_logging::Voidify() &                       \
+                    ::aim::internal_logging::CheckFailureStream(           \
+                        "AIM_CHECK", __FILE__, __LINE__, #condition)
+
+#define AIM_CHECK_OP(op, a, b)                                             \
+  ((a)op(b)) ? (void)0                                                     \
+             : ::aim::internal_logging::Voidify() &                        \
+                   ::aim::internal_logging::CheckFailureStream(            \
+                       "AIM_CHECK", __FILE__, __LINE__, #a " " #op " " #b) \
+                       << "(lhs=" << (a) << ", rhs=" << (b) << ")"
+
+#define AIM_CHECK_EQ(a, b) AIM_CHECK_OP(==, a, b)
+#define AIM_CHECK_NE(a, b) AIM_CHECK_OP(!=, a, b)
+#define AIM_CHECK_LT(a, b) AIM_CHECK_OP(<, a, b)
+#define AIM_CHECK_LE(a, b) AIM_CHECK_OP(<=, a, b)
+#define AIM_CHECK_GT(a, b) AIM_CHECK_OP(>, a, b)
+#define AIM_CHECK_GE(a, b) AIM_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define AIM_DCHECK(condition) (void)0
+#else
+#define AIM_DCHECK(condition) AIM_CHECK(condition)
+#endif
+
+#endif  // AIM_UTIL_LOGGING_H_

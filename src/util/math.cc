@@ -1,0 +1,109 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace aim {
+
+double LogAddExp(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  double hi = std::max(a, b);
+  double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double LogSumExp(const std::vector<double>& values) {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) hi = std::max(hi, v);
+  if (std::isinf(hi) && hi < 0) return hi;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - hi);
+  return hi + std::log(sum);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  AIM_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  return total;
+}
+
+double SquaredL2Distance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  AIM_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+double Sum(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total;
+}
+
+double LogBinomialCoefficient(int64_t n, int64_t k) {
+  AIM_CHECK_GE(n, 0);
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double BinomialMeanDeviation(int64_t n, double p) {
+  AIM_CHECK_GT(n, 0);
+  AIM_CHECK_GE(p, 0.0);
+  AIM_CHECK_LE(p, 1.0);
+  if (p == 0.0 || p == 1.0) return 0.0;
+  const int64_t s =
+      static_cast<int64_t>(std::ceil(static_cast<double>(n) * p));
+  if (s == 0 || s > n) return 0.0;
+  double log_term = std::log(2.0) - std::log(static_cast<double>(n)) +
+                    std::log(static_cast<double>(s)) +
+                    LogBinomialCoefficient(n, s) +
+                    static_cast<double>(s) * std::log(p) +
+                    static_cast<double>(n - s + 1) * std::log1p(-p);
+  return std::exp(log_term);
+}
+
+double GoldenSectionMinimize(double (*f)(double, const void*), const void* ctx,
+                             double lo, double hi, int iters) {
+  AIM_CHECK_LE(lo, hi);
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = f(x1, ctx), f2 = f(x2, ctx);
+  for (int i = 0; i < iters; ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = f(x1, ctx);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = f(x2, ctx);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace aim

@@ -1,0 +1,48 @@
+// Numerically-stable math helpers shared across the library.
+
+#ifndef AIM_UTIL_MATH_H_
+#define AIM_UTIL_MATH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aim {
+
+// log(exp(a) + exp(b)), stable for large magnitudes and -inf inputs.
+double LogAddExp(double a, double b);
+
+// log(sum_i exp(values[i])); returns -inf for an empty input or all -inf.
+double LogSumExp(const std::vector<double>& values);
+
+// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+// Standard normal PDF phi(x).
+double NormalPdf(double x);
+
+// ||a - b||_1. Vectors must have equal length.
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+// ||a - b||_2^2. Vectors must have equal length.
+double SquaredL2Distance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+// sum_i v[i].
+double Sum(const std::vector<double>& v);
+
+// log(n choose k) via lgamma.
+double LogBinomialCoefficient(int64_t n, int64_t k);
+
+// Expected L1 deviation of a Binomial(n, p) sample mean from p (Lemma 2 of
+// the paper / Frame 1945): E|p - k/n| = (2/n) s C(n,s) p^s (1-p)^{n-s+1}
+// with s = ceil(n p). Computed in log space for stability.
+double BinomialMeanDeviation(int64_t n, double p);
+
+// Minimizes a unimodal function on [lo, hi] by golden-section search.
+// Returns the minimizing argument after `iters` contractions.
+double GoldenSectionMinimize(double (*f)(double, const void*), const void* ctx,
+                             double lo, double hi, int iters);
+
+}  // namespace aim
+
+#endif  // AIM_UTIL_MATH_H_

@@ -1,0 +1,202 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  AIM_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  AIM_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = std::numeric_limits<uint64_t>::max() -
+                         std::numeric_limits<uint64_t>::max() % un;
+  uint64_t x;
+  do {
+    x = NextUint64();
+  } while (x >= limit);
+  return static_cast<int64_t>(x % un);
+}
+
+double Rng::Gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller. u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_ = radius * std::sin(theta);
+  have_spare_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  AIM_CHECK_GE(stddev, 0.0);
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Gumbel() {
+  double u = 1.0 - Uniform();  // (0, 1]
+  return -std::log(-std::log(u));
+}
+
+double Rng::Gumbel(double scale) {
+  AIM_CHECK_GE(scale, 0.0);
+  return scale * Gumbel();
+}
+
+int Rng::SampleDiscrete(const std::vector<double>& weights) {
+  AIM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    AIM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  AIM_CHECK_GT(total, 0.0) << "SampleDiscrete requires a positive weight";
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<int>(i);
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::SampleDiscreteLog(const std::vector<double>& log_weights) {
+  AIM_CHECK(!log_weights.empty());
+  int best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < log_weights.size(); ++i) {
+    if (std::isinf(log_weights[i]) && log_weights[i] < 0) continue;
+    double score = log_weights[i] + Gumbel();
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int64_t Rng::Binomial(int64_t n, double p) {
+  AIM_CHECK_GE(n, 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Exact inversion when the expected work is small.
+  if (static_cast<double>(n) * std::min(p, 1.0 - p) < 30.0) {
+    bool flipped = p > 0.5;
+    double q = flipped ? 1.0 - p : p;
+    // Inversion by sequential search on the CDF.
+    double log1mq = std::log1p(-q);
+    int64_t count = 0;
+    // Sum of geometric gaps: number of failures before each success.
+    double remaining = static_cast<double>(n);
+    while (true) {
+      double u = 1.0 - Uniform();
+      double gap = std::floor(std::log(u) / log1mq);
+      remaining -= gap + 1.0;
+      if (remaining < 0) break;
+      ++count;
+    }
+    return flipped ? n - count : count;
+  }
+  // Normal approximation with continuity correction for large n.
+  double mean = static_cast<double>(n) * p;
+  double sd = std::sqrt(static_cast<double>(n) * p * (1.0 - p));
+  double x = std::round(Gaussian(mean, sd));
+  if (x < 0) x = 0;
+  if (x > static_cast<double>(n)) x = static_cast<double>(n);
+  return static_cast<int64_t>(x);
+}
+
+std::vector<int64_t> Rng::Multinomial(int64_t n,
+                                      const std::vector<double>& weights) {
+  AIM_CHECK(!weights.empty());
+  AIM_CHECK_GE(n, 0);
+  double total = 0.0;
+  for (double w : weights) {
+    AIM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  std::vector<int64_t> counts(weights.size(), 0);
+  if (total <= 0.0) {
+    // Degenerate distribution: dump all mass in the first cell.
+    if (n > 0) counts[0] = n;
+    return counts;
+  }
+  int64_t remaining = n;
+  double mass = total;
+  for (size_t i = 0; i + 1 < weights.size() && remaining > 0; ++i) {
+    double p = mass > 0 ? weights[i] / mass : 0.0;
+    if (p > 1.0) p = 1.0;
+    int64_t c = Binomial(remaining, p);
+    counts[i] = c;
+    remaining -= c;
+    mass -= weights[i];
+  }
+  counts.back() += remaining;
+  return counts;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  AIM_CHECK_GE(n, 0);
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    int j = static_cast<int>(UniformInt(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace aim

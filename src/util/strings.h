@@ -1,0 +1,30 @@
+// Small string helpers used by the CSV reader and the bench table printers.
+
+#ifndef AIM_UTIL_STRINGS_H_
+#define AIM_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aim {
+
+// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delimiter);
+
+// Joins `parts` with `delimiter`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delimiter);
+
+// Removes leading/trailing ASCII whitespace.
+std::string StripWhitespace(std::string_view input);
+
+// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view input, double* out);
+
+// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view input, int64_t* out);
+
+}  // namespace aim
+
+#endif  // AIM_UTIL_STRINGS_H_

@@ -1,0 +1,165 @@
+// Tests for the downstream-utility extensions: naive-Bayes ML efficacy and
+// linear/range-query workloads (Section 7 directions implemented here).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/simulators.h"
+#include "eval/ml_efficacy.h"
+#include "marginal/linear_query.h"
+#include "marginal/marginal.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// ------------------------------------------------------- naive Bayes ------
+
+// A dataset where the label is a noisy copy of attribute 1.
+Dataset LabeledData(int64_t n, double flip_prob, Rng& rng) {
+  Domain domain = Domain::WithSizes({2, 2, 3});
+  Dataset data(domain);
+  for (int64_t i = 0; i < n; ++i) {
+    int signal = static_cast<int>(rng.UniformInt(2));
+    int label = rng.Uniform() < flip_prob ? 1 - signal : signal;
+    int noise = static_cast<int>(rng.UniformInt(3));
+    data.AppendRecord({label, signal, noise});
+  }
+  return data;
+}
+
+TEST(NaiveBayesTest, LearnsAPredictiveSignal) {
+  Rng rng(1);
+  Dataset data = LabeledData(4000, 0.1, rng);
+  auto [train, test] = TrainTestSplit(data);
+  NaiveBayesClassifier model(train, /*label_attr=*/0);
+  // Bayes-optimal accuracy is 0.9; NB should get close.
+  EXPECT_GT(model.Accuracy(test), 0.85);
+}
+
+TEST(NaiveBayesTest, PerfectSignalPerfectAccuracy) {
+  Rng rng(2);
+  Dataset data = LabeledData(1000, 0.0, rng);
+  NaiveBayesClassifier model(data, 0);
+  EXPECT_DOUBLE_EQ(model.Accuracy(data), 1.0);
+}
+
+TEST(NaiveBayesTest, UninformativeFeaturesGiveMajorityClass) {
+  // Label independent of everything, 80/20 prior: accuracy ~ 0.8 via the
+  // majority class.
+  Rng rng(3);
+  Domain domain = Domain::WithSizes({2, 4});
+  Dataset data(domain);
+  for (int i = 0; i < 2000; ++i) {
+    data.AppendRecord({rng.Uniform() < 0.8 ? 0 : 1,
+                       static_cast<int>(rng.UniformInt(4))});
+  }
+  auto [train, test] = TrainTestSplit(data);
+  NaiveBayesClassifier model(train, 0);
+  EXPECT_NEAR(model.Accuracy(test), 0.8, 0.06);
+}
+
+TEST(NaiveBayesTest, SmoothingHandlesUnseenValues) {
+  // A test record with an attribute value absent from training must not
+  // produce -inf scores.
+  Domain domain = Domain::WithSizes({2, 3});
+  Dataset train(domain);
+  train.AppendRecord({0, 0});
+  train.AppendRecord({1, 1});
+  NaiveBayesClassifier model(train, 0);
+  Dataset test(domain);
+  test.AppendRecord({0, 2});  // value 2 unseen
+  int prediction = model.Predict(test, 0);
+  EXPECT_TRUE(prediction == 0 || prediction == 1);
+}
+
+TEST(NaiveBayesTest, TrainTestSplitIsDisjointAndComplete) {
+  Rng rng(4);
+  Dataset data = LabeledData(100, 0.2, rng);
+  auto [train, test] = TrainTestSplit(data, 4);
+  EXPECT_EQ(train.num_records() + test.num_records(), 100);
+  EXPECT_EQ(test.num_records(), 25);
+}
+
+TEST(NaiveBayesTest, EfficacyConvenienceMatchesClassifier) {
+  Rng rng(5);
+  Dataset data = LabeledData(1000, 0.1, rng);
+  auto [train, test] = TrainTestSplit(data);
+  NaiveBayesClassifier model(train, 0);
+  EXPECT_DOUBLE_EQ(MlEfficacy(train, test, 0), model.Accuracy(test));
+}
+
+// ----------------------------------------------------- linear queries -----
+
+TEST(LinearQueryTest, AnswerMatchesDirectCount) {
+  Domain domain = Domain::WithSizes({4});
+  Dataset data(domain);
+  for (int v = 0; v < 4; ++v) {
+    for (int i = 0; i <= v; ++i) data.AppendRecord({v});  // counts 1,2,3,4
+  }
+  LinearQuery q;
+  q.attrs = AttrSet({0});
+  q.coefficients = {1.0, 1.0, 0.0, 0.0};  // values <= 1
+  EXPECT_DOUBLE_EQ(AnswerLinearQuery(data, q), 3.0);
+}
+
+TEST(LinearQueryTest, PrefixRangeQueriesAreNested) {
+  Domain domain = Domain::WithSizes({5, 2});
+  Rng rng(6);
+  Dataset data = SampleRandomBayesNet(domain, 500, 1, 0.5, rng);
+  std::vector<LinearQuery> queries = PrefixRangeQueries(domain, 0);
+  ASSERT_EQ(queries.size(), 4u);
+  double prev = -1.0;
+  for (const LinearQuery& q : queries) {
+    double answer = AnswerLinearQuery(data, q);
+    EXPECT_GE(answer, prev);  // prefixes are monotone
+    prev = answer;
+  }
+  EXPECT_LE(prev, 500.0);
+}
+
+TEST(LinearQueryTest, RandomRangeWorkloadIsDeterministicAndValid) {
+  Domain domain = Domain::WithSizes({4, 5, 6});
+  auto a = RandomRangeQueryWorkload(domain, 20, 9);
+  auto b = RandomRangeQueryWorkload(domain, 20, 9);
+  ASSERT_EQ(a.size(), 20u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].attrs, b[i].attrs);
+    EXPECT_EQ(a[i].coefficients, b[i].coefficients);
+    EXPECT_EQ(a[i].attrs.size(), 2);
+    // Coefficients are a 0/1 rectangle with at least one cell.
+    double mass = 0.0;
+    for (double c : a[i].coefficients) {
+      EXPECT_TRUE(c == 0.0 || c == 1.0);
+      mass += c;
+    }
+    EXPECT_GE(mass, 1.0);
+  }
+}
+
+TEST(LinearQueryTest, ErrorZeroOnIdenticalData) {
+  Domain domain = Domain::WithSizes({4, 3});
+  Rng rng(7);
+  Dataset data = SampleRandomBayesNet(domain, 400, 1, 0.5, rng);
+  auto queries = RandomRangeQueryWorkload(domain, 10, 3);
+  EXPECT_DOUBLE_EQ(LinearQueryError(data, data, queries), 0.0);
+}
+
+TEST(LinearQueryTest, ErrorDetectsShiftedData) {
+  Domain domain = Domain::WithSizes({4, 3});
+  Dataset a(domain), b(domain);
+  for (int i = 0; i < 100; ++i) {
+    a.AppendRecord({0, 0});
+    b.AppendRecord({3, 2});
+  }
+  auto queries = PrefixRangeQueries(domain, 0);
+  // Query "value <= k" differs by 100 for every k < 3.
+  LinearQuery q = queries[0];
+  EXPECT_DOUBLE_EQ(std::fabs(AnswerLinearQuery(a, q) -
+                             AnswerLinearQuery(b, q)),
+                   100.0);
+}
+
+}  // namespace
+}  // namespace aim

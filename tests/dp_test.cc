@@ -1,0 +1,184 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// ---------------------------------------------------------- conversion ----
+
+TEST(AccountantTest, CdpDeltaZeroRho) {
+  EXPECT_DOUBLE_EQ(CdpDelta(0.0, 1.0), 0.0);
+}
+
+TEST(AccountantTest, CdpDeltaMonotoneInRho) {
+  double prev = 0.0;
+  for (double rho : {0.01, 0.05, 0.1, 0.5, 1.0}) {
+    double delta = CdpDelta(rho, 1.0);
+    EXPECT_GE(delta, prev);
+    prev = delta;
+  }
+}
+
+TEST(AccountantTest, CdpDeltaMonotoneDecreasingInEps) {
+  double prev = 1.0;
+  for (double eps : {0.5, 1.0, 2.0, 4.0}) {
+    double delta = CdpDelta(0.2, eps);
+    EXPECT_LE(delta, prev);
+    prev = delta;
+  }
+}
+
+TEST(AccountantTest, CdpDeltaKnownRegime) {
+  // For eps >> rho the standard bound delta ~ exp(-(eps-rho)^2/(4 rho))
+  // should roughly agree in order of magnitude.
+  double rho = 0.1, eps = 3.0;
+  double delta = CdpDelta(rho, eps);
+  double classic = std::exp(-(eps - rho) * (eps - rho) / (4.0 * rho));
+  EXPECT_LE(delta, classic * 1.01);       // CKS bound is tighter
+  EXPECT_GT(delta, classic * 1e-4);       // but not wildly different
+}
+
+TEST(AccountantTest, EpsRoundTrip) {
+  for (double rho : {0.01, 0.1, 1.0}) {
+    double delta = 1e-9;
+    double eps = CdpEps(rho, delta);
+    EXPECT_NEAR(CdpDelta(rho, eps), delta, delta * 0.05);
+  }
+}
+
+TEST(AccountantTest, RhoRoundTrip) {
+  for (double eps : {0.1, 1.0, 10.0}) {
+    double delta = 1e-9;
+    double rho = CdpRho(eps, delta);
+    EXPECT_GT(rho, 0.0);
+    // Spending exactly rho must satisfy (eps, delta).
+    EXPECT_LE(CdpDelta(rho, eps), delta * 1.001);
+    // And rho should be maximal (1% more violates delta).
+    EXPECT_GT(CdpDelta(rho * 1.05, eps), delta);
+  }
+}
+
+TEST(AccountantTest, RhoIncreasesWithEps) {
+  double delta = 1e-9;
+  EXPECT_LT(CdpRho(0.1, delta), CdpRho(1.0, delta));
+  EXPECT_LT(CdpRho(1.0, delta), CdpRho(10.0, delta));
+}
+
+TEST(AccountantTest, MechanismCosts) {
+  EXPECT_DOUBLE_EQ(GaussianRho(2.0), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(ExponentialRho(2.0), 0.5);
+}
+
+// ---------------------------------------------------------------- filter --
+
+TEST(PrivacyFilterTest, TracksSpending) {
+  PrivacyFilter filter(1.0);
+  EXPECT_TRUE(filter.CanSpend(0.6));
+  filter.Spend(0.6);
+  EXPECT_NEAR(filter.remaining(), 0.4, 1e-12);
+  EXPECT_FALSE(filter.CanSpend(0.5));
+  EXPECT_TRUE(filter.CanSpend(0.4));
+  filter.Spend(0.4);
+  EXPECT_NEAR(filter.spent(), 1.0, 1e-12);
+}
+
+TEST(PrivacyFilterTest, ToleratesFloatSlack) {
+  PrivacyFilter filter(0.3);
+  filter.Spend(0.1);
+  filter.Spend(0.1);
+  EXPECT_TRUE(filter.CanSpend(0.1));  // 0.30000000000000004 vs 0.3
+  filter.Spend(0.1);
+}
+
+TEST(PrivacyFilterDeathTest, RefusesOverspend) {
+  PrivacyFilter filter(0.5);
+  filter.Spend(0.4);
+  EXPECT_DEATH(filter.Spend(0.2), "overspend");
+}
+
+// ------------------------------------------------------------ gaussian ----
+
+TEST(GaussianMechanismTest, NoiseHasRequestedScale) {
+  Rng rng(1);
+  std::vector<double> values(20000, 10.0);
+  std::vector<double> noisy = AddGaussianNoise(values, 3.0, rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : noisy) {
+    sum += v - 10.0;
+    sum_sq += (v - 10.0) * (v - 10.0);
+  }
+  EXPECT_NEAR(sum / noisy.size(), 0.0, 0.1);
+  EXPECT_NEAR(sum_sq / noisy.size(), 9.0, 0.3);
+}
+
+TEST(GaussianMechanismTest, ZeroSigmaIsIdentity) {
+  Rng rng(2);
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_EQ(AddGaussianNoise(values, 0.0, rng), values);
+}
+
+// --------------------------------------------------------- exponential ----
+
+TEST(ExponentialMechanismTest, InfiniteEpsIsArgmax) {
+  Rng rng(3);
+  std::vector<double> scores = {1.0, 5.0, 3.0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ExponentialMechanism(
+                  scores, std::numeric_limits<double>::infinity(), 1.0, rng),
+              1);
+  }
+}
+
+TEST(ExponentialMechanismTest, SamplingDistributionMatchesTheory) {
+  // Pr[i] ∝ exp(eps * q_i / 2Δ). With eps=2, Δ=1, scores {0, log 4}:
+  // probabilities 1/5 and 4/5.
+  Rng rng(4);
+  std::vector<double> scores = {0.0, std::log(4.0)};
+  int first = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (ExponentialMechanism(scores, 2.0, 1.0, rng) == 0) ++first;
+  }
+  EXPECT_NEAR(first / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(ExponentialMechanismTest, SensitivityRescales) {
+  // Doubling sensitivity halves the effective epsilon.
+  Rng rng(5);
+  std::vector<double> scores = {0.0, 2.0 * std::log(4.0)};
+  int first = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (ExponentialMechanism(scores, 2.0, 2.0, rng) == 0) ++first;
+  }
+  EXPECT_NEAR(first / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(ExponentialMechanismTest, ZeroEpsIsUniform) {
+  Rng rng(6);
+  std::vector<double> scores = {0.0, 100.0, -50.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[ExponentialMechanism(scores, 0.0, 1.0, rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(NoisyMaxTest, ZeroScaleIsArgmax) {
+  Rng rng(7);
+  std::vector<double> scores = {0.5, -1.0, 2.0};
+  EXPECT_EQ(NoisyMax(scores, 0.0, rng), 2);
+}
+
+}  // namespace
+}  // namespace aim

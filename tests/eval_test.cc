@@ -1,0 +1,137 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/simulators.h"
+#include "eval/error.h"
+#include "eval/experiment.h"
+#include "marginal/marginal.h"
+#include "mechanisms/independent.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+Dataset SmallData() {
+  Rng rng(1);
+  return SampleRandomBayesNet(Domain::WithSizes({2, 3, 2}), 500, 1, 0.5, rng);
+}
+
+TEST(ErrorTest, IdenticalDatasetsHaveZeroError) {
+  Dataset data = SmallData();
+  Workload workload = AllKWayWorkload(data.domain(), 2);
+  EXPECT_DOUBLE_EQ(WorkloadError(data, data, workload), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedWorkloadError(data, data, workload), 0.0);
+}
+
+TEST(ErrorTest, DisjointDatasetsHaveMaximalError) {
+  // All records at value 0 vs all at value 1: the 1-way marginal L1 gap is
+  // 2N, so Definition-2 error is 2.
+  Domain domain = Domain::WithSizes({2});
+  Dataset a(domain), b(domain);
+  for (int i = 0; i < 100; ++i) {
+    a.AppendRecord({0});
+    b.AppendRecord({1});
+  }
+  Workload workload;
+  workload.Add(AttrSet({0}));
+  EXPECT_DOUBLE_EQ(WorkloadError(a, b, workload), 2.0);
+}
+
+TEST(ErrorTest, WeightsScaleContributions) {
+  Domain domain = Domain::WithSizes({2, 2});
+  Dataset a(domain), b(domain);
+  for (int i = 0; i < 10; ++i) {
+    a.AppendRecord({0, 0});
+    b.AppendRecord({1, 0});
+  }
+  Workload unit;
+  unit.Add(AttrSet({0}), 1.0);
+  unit.Add(AttrSet({1}), 1.0);
+  Workload weighted;
+  weighted.Add(AttrSet({0}), 2.0);
+  weighted.Add(AttrSet({1}), 2.0);
+  EXPECT_DOUBLE_EQ(WorkloadError(a, b, weighted),
+                   2.0 * WorkloadError(a, b, unit));
+}
+
+TEST(ErrorTest, NormalizedHandlesDifferentSizes) {
+  // A half-size resample with identical proportions has zero normalized
+  // error but large raw Definition-2 error.
+  Domain domain = Domain::WithSizes({2});
+  Dataset full(domain), half(domain);
+  for (int i = 0; i < 100; ++i) full.AppendRecord({i % 2});
+  for (int i = 0; i < 50; ++i) half.AppendRecord({i % 2});
+  Workload workload;
+  workload.Add(AttrSet({0}));
+  EXPECT_NEAR(NormalizedWorkloadError(full, half, workload), 0.0, 1e-9);
+  EXPECT_GT(WorkloadError(full, half, workload), 0.1);
+}
+
+TEST(ErrorTest, AnswersPathMatchesExactAnswers) {
+  Dataset data = SmallData();
+  Workload workload = AllKWayWorkload(data.domain(), 2);
+  std::vector<std::vector<double>> answers;
+  for (const auto& q : workload.queries()) {
+    answers.push_back(ComputeMarginal(data, q.attrs));
+  }
+  EXPECT_DOUBLE_EQ(WorkloadErrorFromAnswers(data, answers, workload), 0.0);
+}
+
+TEST(ExperimentTest, EpsilonGrids) {
+  auto grid = PaperEpsilonGrid();
+  ASSERT_EQ(grid.size(), 9u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.01);
+  EXPECT_DOUBLE_EQ(grid.back(), 100.0);
+  for (size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+  EXPECT_EQ(SmallEpsilonGrid().size(), 3u);
+}
+
+TEST(ExperimentTest, RunTrialsIsDeterministic) {
+  Dataset data = SmallData();
+  Workload workload = AllKWayWorkload(data.domain(), 2);
+  IndependentMechanism mechanism;
+  TrialStats a = RunTrials(mechanism, data, workload, 1.0, 1e-9, 3, 7);
+  TrialStats b = RunTrials(mechanism, data, workload, 1.0, 1e-9, 3, 7);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_LE(a.min, a.mean);
+  EXPECT_LE(a.mean, a.max);
+}
+
+TEST(ExperimentTest, TrialsVaryAcrossSeeds) {
+  Dataset data = SmallData();
+  Workload workload = AllKWayWorkload(data.domain(), 2);
+  IndependentMechanism mechanism;
+  TrialStats a = RunTrials(mechanism, data, workload, 1.0, 1e-9, 2, 7);
+  TrialStats b = RunTrials(mechanism, data, workload, 1.0, 1e-9, 2, 8);
+  EXPECT_NE(a.values, b.values);
+}
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22.5"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.Print(out, /*csv=*/true);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(FormatGTest, Compact) {
+  EXPECT_EQ(FormatG(0.0316), "0.0316");
+  EXPECT_EQ(FormatG(100.0), "100");
+}
+
+}  // namespace
+}  // namespace aim

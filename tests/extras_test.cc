@@ -1,0 +1,376 @@
+// Tests for the extensions beyond Algorithm 4: the generalized exponential
+// mechanism, Laplace-noise measurement, the public-data prior, the relaxed
+// projection substrate, and additional graphical-model edge cases.
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "eval/error.h"
+#include "marginal/marginal.h"
+#include "mechanisms/aim.h"
+#include "mechanisms/relaxed_projection.h"
+#include "pgm/estimation.h"
+#include "pgm/junction_tree.h"
+#include "pgm/synthetic.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// ----------------------------------------- generalized exponential mech ---
+
+TEST(GeneralizedEmTest, InfiniteEpsSelectsBestNormalizedMargin) {
+  Rng rng(1);
+  // Candidate 1 has the best score and equal sensitivities.
+  std::vector<double> scores = {1.0, 5.0, 3.0};
+  std::vector<double> sens = {1.0, 1.0, 1.0};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(GeneralizedExponentialMechanism(
+                  scores, sens, std::numeric_limits<double>::infinity(), rng),
+              1);
+  }
+}
+
+TEST(GeneralizedEmTest, BeatsMaxSensitivityEmWithOneJunkCandidate) {
+  // One worthless high-sensitivity candidate inflates the global
+  // sensitivity the naive EM must use; the generalized EM normalizes per
+  // pair and identifies the true best candidate more reliably.
+  Rng rng(2);
+  std::vector<double> scores = {10.0, 0.0, 0.0};
+  std::vector<double> sens = {1.0, 1.0, 100.0};
+  const double eps = 20.0;
+  const int trials = 4000;
+  int gem_best = 0, naive_best = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (GeneralizedExponentialMechanism(scores, sens, eps, rng) == 0) {
+      ++gem_best;
+    }
+    if (ExponentialMechanism(scores, eps, /*sensitivity=*/100.0, rng) == 0) {
+      ++naive_best;
+    }
+  }
+  EXPECT_GT(gem_best, naive_best);
+  EXPECT_GT(gem_best, trials / 2);
+}
+
+TEST(GeneralizedEmTest, SingleCandidate) {
+  Rng rng(3);
+  EXPECT_EQ(GeneralizedExponentialMechanism({7.0}, {2.0}, 1.0, rng), 0);
+}
+
+// --------------------------------------------------------- Laplace --------
+
+TEST(LaplaceTest, VarianceIsTwoScaleSquared) {
+  Rng rng(4);
+  std::vector<double> zeros(100000, 0.0);
+  std::vector<double> noisy = AddLaplaceNoise(zeros, 3.0, rng);
+  double mean = 0.0, var = 0.0;
+  for (double v : noisy) mean += v;
+  mean /= noisy.size();
+  for (double v : noisy) var += (v - mean) * (v - mean);
+  var /= noisy.size();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 2.0 * 9.0, 0.5);
+}
+
+TEST(LaplaceTest, RhoAccounting) {
+  // scale b, L1 sensitivity 1 => (1/b)-DP => (1/b)^2/2 zCDP.
+  EXPECT_DOUBLE_EQ(LaplaceRho(2.0), 0.125);
+  // At matched zCDP cost, Gaussian noise has HALF the variance of Laplace
+  // (sigma^2 vs 2 b^2 with b = sigma) — the Section-3.2 argument.
+  double sigma = 5.0;
+  EXPECT_DOUBLE_EQ(LaplaceRho(sigma), GaussianRho(sigma));
+}
+
+// ------------------------------------------------------ AIM extensions ----
+
+const Dataset& ExtrasData() {
+  static const Dataset* data = [] {
+    Rng rng(777);
+    Domain domain = Domain::WithSizes({2, 3, 2, 4, 2});
+    return new Dataset(SampleRandomBayesNet(domain, 4000, 2, 0.3, rng));
+  }();
+  return *data;
+}
+
+AimOptions FastAim() {
+  AimOptions o;
+  o.round_estimation.max_iters = 30;
+  o.final_estimation.max_iters = 100;
+  return o;
+}
+
+TEST(AimExtensionsTest, GeneralizedEmVariantRunsAndRespectsBudget) {
+  AimOptions options = FastAim();
+  options.use_generalized_em = true;
+  AimMechanism aim(options);
+  Workload workload = AllKWayWorkload(ExtrasData().domain(), 3);
+  Rng rng(5);
+  MechanismResult result = aim.Run(ExtrasData(), workload, 0.3, rng);
+  EXPECT_LE(result.rho_used, 0.3 * (1 + 1e-6));
+  EXPECT_GT(result.synthetic.num_records(), 0);
+  EXPECT_TRUE(std::isfinite(
+      WorkloadError(ExtrasData(), result.synthetic, workload)));
+}
+
+TEST(AimExtensionsTest, LaplaceNoiseVariantRuns) {
+  AimOptions options = FastAim();
+  options.noise = AimOptions::Noise::kLaplace;
+  AimMechanism aim(options);
+  Workload workload = AllKWayWorkload(ExtrasData().domain(), 3);
+  Rng rng(6);
+  MechanismResult result = aim.Run(ExtrasData(), workload, 0.3, rng);
+  EXPECT_LE(result.rho_used, 0.3 * (1 + 1e-6));
+  double error = WorkloadError(ExtrasData(), result.synthetic, workload);
+  EXPECT_TRUE(std::isfinite(error));
+}
+
+TEST(AimExtensionsTest, PublicPriorKeepsLogClean) {
+  // The prior pseudo-measurements must not appear in the measurement log
+  // (they are not unbiased observations of the private data).
+  AimOptions plain = FastAim();
+  AimOptions boosted = plain;
+  Dataset public_data = ExtrasData().Subsample({0, 1, 2, 3, 4, 5, 6, 7});
+  boosted.public_data = &public_data;
+  Workload workload = AllKWayWorkload(ExtrasData().domain(), 3);
+  Rng rng_a(7), rng_b(7);
+  MechanismResult base =
+      AimMechanism(plain).Run(ExtrasData(), workload, 0.1, rng_a);
+  MechanismResult with_prior =
+      AimMechanism(boosted).Run(ExtrasData(), workload, 0.1, rng_b);
+  // Same number of real measurements per round structure: init (d 1-ways)
+  // plus one per round.
+  EXPECT_EQ(base.log.measurements.size(),
+            static_cast<size_t>(ExtrasData().domain().num_attributes() +
+                                base.rounds));
+  EXPECT_EQ(with_prior.log.measurements.size(),
+            static_cast<size_t>(ExtrasData().domain().num_attributes() +
+                                with_prior.rounds));
+}
+
+TEST(AimExtensionsTest, PublicPriorHelpsAtTinyEpsilon) {
+  // Split the data: a public half and a private half from the same
+  // distribution. At very small budget, the public prior should not hurt
+  // and usually helps substantially. Average over seeds for stability.
+  std::vector<int64_t> pub_rows, priv_rows;
+  for (int64_t row = 0; row < ExtrasData().num_records(); ++row) {
+    (row % 2 == 0 ? pub_rows : priv_rows).push_back(row);
+  }
+  Dataset public_data = ExtrasData().Subsample(pub_rows);
+  Dataset private_data = ExtrasData().Subsample(priv_rows);
+  Workload workload = AllKWayWorkload(private_data.domain(), 3);
+  double base_total = 0.0, boosted_total = 0.0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    AimOptions plain = FastAim();
+    plain.record_candidates = false;
+    AimOptions boosted = plain;
+    boosted.public_data = &public_data;
+    Rng rng_a(100 + seed), rng_b(100 + seed);
+    base_total += WorkloadError(
+        private_data,
+        AimMechanism(plain).Run(private_data, workload, 0.0005, rng_a)
+            .synthetic,
+        workload);
+    boosted_total += WorkloadError(
+        private_data,
+        AimMechanism(boosted).Run(private_data, workload, 0.0005, rng_b)
+            .synthetic,
+        workload);
+  }
+  EXPECT_LT(boosted_total, base_total);
+}
+
+TEST(AimExtensionsDeathTest, PublicDataDomainMismatch) {
+  AimOptions options = FastAim();
+  Dataset wrong(Domain::WithSizes({2, 2}));
+  wrong.AppendRecord({0, 0});
+  options.public_data = &wrong;
+  AimMechanism aim(options);
+  Workload workload = AllKWayWorkload(ExtrasData().domain(), 2);
+  Rng rng(9);
+  EXPECT_DEATH(aim.Run(ExtrasData(), workload, 0.1, rng), "domain");
+}
+
+// ------------------------------------------------- relaxed projection -----
+
+TEST(RelaxedProjectionTest, UniformInitGivesNearUniformMarginals) {
+  Domain domain = Domain::WithSizes({2, 3});
+  RelaxedProjectionOptions options;
+  options.rows = 50;
+  Rng rng(10);
+  RelaxedDataset relaxed(domain, options, rng);
+  std::vector<double> m = relaxed.Marginal(AttrSet({1}), 300.0);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_NEAR(std::accumulate(m.begin(), m.end(), 0.0), 300.0, 1e-6);
+  for (double v : m) EXPECT_NEAR(v, 100.0, 10.0);
+}
+
+TEST(RelaxedProjectionTest, FitReducesLoss) {
+  Rng rng(11);
+  Domain domain = Domain::WithSizes({2, 3});
+  Dataset data = SampleRandomBayesNet(domain, 1000, 1, 0.3, rng);
+  Measurement m{AttrSet({0, 1}), ComputeMarginal(data, AttrSet({0, 1})),
+                1.0};
+  RelaxedProjectionOptions options;
+  options.rows = 50;
+  options.iters = 200;
+  RelaxedDataset relaxed(domain, options, rng);
+  double before = L1Distance(relaxed.Marginal(m.attrs, 1000.0), m.values);
+  relaxed.FitTo({m}, 1000.0);
+  double after = L1Distance(relaxed.Marginal(m.attrs, 1000.0), m.values);
+  EXPECT_LT(after, before * 0.3);
+}
+
+TEST(RelaxedProjectionTest, RoundProducesValidRecords) {
+  Domain domain = Domain::WithSizes({2, 3, 4});
+  RelaxedProjectionOptions options;
+  options.rows = 10;
+  Rng rng(12);
+  RelaxedDataset relaxed(domain, options, rng);
+  Dataset out = relaxed.Round(123, rng);
+  EXPECT_EQ(out.num_records(), 123);
+  for (int64_t row = 0; row < out.num_records(); ++row) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(out.value(row, a), 0);
+      EXPECT_LT(out.value(row, a), domain.size(a));
+    }
+  }
+}
+
+TEST(RelaxedProjectionTest, RoundedDataMatchesFittedMarginals) {
+  Rng rng(13);
+  Domain domain = Domain::WithSizes({2, 2});
+  // A strongly correlated target marginal.
+  Measurement m{AttrSet({0, 1}), {450, 50, 50, 450}, 1.0};
+  RelaxedProjectionOptions options;
+  options.rows = 100;
+  options.iters = 300;
+  RelaxedDataset relaxed(domain, options, rng);
+  relaxed.FitTo({m}, 1000.0);
+  Dataset out = relaxed.Round(1000, rng);
+  std::vector<double> counts = ComputeMarginal(out, AttrSet({0, 1}));
+  EXPECT_LT(L1Distance(counts, m.values), 250.0);
+}
+
+// --------------------------------------------------- pgm edge cases -------
+
+TEST(PgmExtrasTest, DisconnectedComponentsAreIndependent) {
+  Rng rng(14);
+  Domain domain = Domain::WithSizes({2, 2, 3, 3});
+  MarkovRandomField model(domain, {AttrSet({0, 1}), AttrSet({2, 3})});
+  for (int c = 0; c < model.num_cliques(); ++c) {
+    Factor p = model.potential(c);
+    for (double& v : p.mutable_values()) v = rng.Gaussian();
+    model.SetPotential(c, std::move(p));
+  }
+  model.set_total(1.0);
+  model.Calibrate();
+  // Marginal spanning both components equals the product of the parts.
+  std::vector<double> joint = model.MarginalVector(AttrSet({0, 2}));
+  std::vector<double> m0 = model.MarginalVector(AttrSet({0}));
+  std::vector<double> m2 = model.MarginalVector(AttrSet({2}));
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(joint[i * 3 + j], m0[i] * m2[j], 1e-9);
+    }
+  }
+}
+
+TEST(PgmExtrasTest, RemeasuredMarginalFitsPrecisionWeightedCombination) {
+  // Two measurements of the same marginal with different noise levels: the
+  // fit should match the precision-weighted average, not either one.
+  Domain domain = Domain::WithSizes({2});
+  Measurement precise{AttrSet({0}), {80.0, 20.0}, 1.0};
+  Measurement noisy{AttrSet({0}), {50.0, 50.0}, 100.0};
+  EstimationOptions options;
+  options.max_iters = 2000;
+  MarkovRandomField model =
+      EstimateMrf(domain, {precise, noisy}, 100.0, options);
+  std::vector<double> mu = model.MarginalVector(AttrSet({0}));
+  // Weighted by 1/sigma (the estimation objective's weights): heavily
+  // toward the precise measurement.
+  EXPECT_NEAR(mu[0], 80.0, 3.0);
+}
+
+TEST(PgmExtrasTest, RandomCliqueSetsSatisfyJunctionTreeInvariants) {
+  // Property sweep: random clique structures must always produce trees
+  // covering all attributes with the running-intersection property.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(3000 + seed);
+    const int d = 3 + static_cast<int>(rng.UniformInt(8));
+    std::vector<int> sizes(d);
+    for (int& s : sizes) s = 2 + static_cast<int>(rng.UniformInt(4));
+    Domain domain = Domain::WithSizes(sizes);
+    std::vector<AttrSet> cliques;
+    const int num_cliques = 1 + static_cast<int>(rng.UniformInt(6));
+    for (int c = 0; c < num_cliques; ++c) {
+      std::vector<int> attrs;
+      int width = 1 + static_cast<int>(rng.UniformInt(3));
+      for (int j = 0; j < width; ++j) {
+        attrs.push_back(static_cast<int>(rng.UniformInt(d)));
+      }
+      cliques.push_back(AttrSet(attrs));
+    }
+    JunctionTree tree = BuildJunctionTree(domain, cliques);
+    // Coverage.
+    std::set<int> covered;
+    for (const AttrSet& c : tree.cliques) {
+      for (int attr : c) covered.insert(attr);
+    }
+    EXPECT_EQ(static_cast<int>(covered.size()), d);
+    // Tree shape.
+    EXPECT_EQ(tree.edges.size(), tree.cliques.size() - 1);
+    // Every input clique is inside some tree clique.
+    for (const AttrSet& c : cliques) {
+      EXPECT_GE(tree.ContainingClique(c), 0);
+    }
+    // Running-intersection property via edge separators: for each
+    // attribute, the set of cliques containing it forms a connected
+    // subtree. Verify by union-find over edges whose separator contains
+    // the attribute.
+    for (int attr = 0; attr < d; ++attr) {
+      std::vector<int> parent(tree.cliques.size());
+      std::iota(parent.begin(), parent.end(), 0);
+      std::function<int(int)> find = [&](int x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+      };
+      for (const auto& edge : tree.edges) {
+        if (edge.separator.Contains(attr)) {
+          parent[find(edge.a)] = find(edge.b);
+        }
+      }
+      int root = -1;
+      for (size_t c = 0; c < tree.cliques.size(); ++c) {
+        if (!tree.cliques[c].Contains(attr)) continue;
+        if (root == -1) {
+          root = find(static_cast<int>(c));
+        } else {
+          EXPECT_EQ(find(static_cast<int>(c)), root)
+              << "attribute " << attr << " induces a disconnected subtree";
+        }
+      }
+    }
+  }
+}
+
+TEST(PgmExtrasTest, SyntheticGenerationMatchesRequestedCountNotTotal) {
+  Domain domain = Domain::WithSizes({3, 3});
+  MarkovRandomField model(domain, {AttrSet({0, 1})});
+  model.set_total(5000.0);  // model scale differs from requested count
+  model.Calibrate();
+  Rng rng(15);
+  Dataset out = GenerateSyntheticData(model, 250, rng);
+  EXPECT_EQ(out.num_records(), 250);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,271 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "factor/factor.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+Factor RandomFactor(std::vector<int> attrs, std::vector<int> sizes,
+                    Rng& rng) {
+  Factor f(std::move(attrs), std::move(sizes));
+  for (double& v : f.mutable_values()) v = rng.Uniform(-2.0, 2.0);
+  return f;
+}
+
+TEST(FactorTest, ScalarFactor) {
+  Factor f;
+  EXPECT_EQ(f.num_cells(), 1);
+  EXPECT_EQ(f.num_attrs(), 0);
+  EXPECT_DOUBLE_EQ(f.Sum(), 0.0);
+}
+
+TEST(FactorTest, ConstructionFillsValue) {
+  Factor f({0, 2}, {3, 4}, 1.5);
+  EXPECT_EQ(f.num_cells(), 12);
+  for (double v : f.values()) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(FactorTest, FromDomain) {
+  Domain domain = Domain::WithSizes({2, 3, 4});
+  Factor f = Factor::FromDomain(domain, AttrSet({0, 2}));
+  EXPECT_EQ(f.num_cells(), 8);
+  EXPECT_EQ(f.attrs(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(f.sizes(), (std::vector<int>{2, 4}));
+}
+
+TEST(FactorTest, AxisOf) {
+  Factor f({1, 3, 7}, {2, 2, 2});
+  EXPECT_EQ(f.AxisOf(1), 0);
+  EXPECT_EQ(f.AxisOf(3), 1);
+  EXPECT_EQ(f.AxisOf(7), 2);
+  EXPECT_EQ(f.AxisOf(2), -1);
+}
+
+// Row-major, last attribute fastest: cell (i, j) of a {a0:2, a1:3} factor is
+// at index i*3 + j.
+TEST(FactorTest, LayoutConvention) {
+  Factor f = Factor::FromValues({0, 1}, {2, 3}, {0, 1, 2, 3, 4, 5});
+  // Sum out attribute 1 -> row sums.
+  Factor rows = f.SumTo(AttrSet({0}));
+  EXPECT_DOUBLE_EQ(rows.value(0), 0 + 1 + 2);
+  EXPECT_DOUBLE_EQ(rows.value(1), 3 + 4 + 5);
+  // Sum out attribute 0 -> column sums.
+  Factor cols = f.SumTo(AttrSet({1}));
+  EXPECT_DOUBLE_EQ(cols.value(0), 0 + 3);
+  EXPECT_DOUBLE_EQ(cols.value(1), 1 + 4);
+  EXPECT_DOUBLE_EQ(cols.value(2), 2 + 5);
+}
+
+TEST(FactorTest, AddDisjointBroadcasts) {
+  Factor a = Factor::FromValues({0}, {2}, {1, 2});
+  Factor b = Factor::FromValues({1}, {3}, {10, 20, 30});
+  Factor c = a.Add(b);
+  EXPECT_EQ(c.attrs(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.num_cells(), 6);
+  // c(i, j) = a(i) + b(j), row-major.
+  std::vector<double> expected = {11, 21, 31, 12, 22, 32};
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(c.value(i), expected[i]);
+}
+
+TEST(FactorTest, MultiplySharedAxis) {
+  Factor a = Factor::FromValues({0, 1}, {2, 2}, {1, 2, 3, 4});
+  Factor b = Factor::FromValues({1}, {2}, {10, 100});
+  Factor c = a.Multiply(b);
+  EXPECT_EQ(c.attrs(), (std::vector<int>{0, 1}));
+  std::vector<double> expected = {10, 200, 30, 400};
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(c.value(i), expected[i]);
+}
+
+TEST(FactorTest, SubtractSelfIsZero) {
+  Rng rng(1);
+  Factor a = RandomFactor({0, 1, 2}, {2, 3, 2}, rng);
+  Factor z = a.Subtract(a);
+  for (double v : z.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FactorTest, AddInPlaceSubsetBroadcast) {
+  Factor a({0, 1}, {2, 2}, 0.0);
+  Factor b = Factor::FromValues({1}, {2}, {5, 7});
+  a.AddInPlace(b, 2.0);
+  std::vector<double> expected = {10, 14, 10, 14};
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(a.value(i), expected[i]);
+}
+
+TEST(FactorTest, SumToEmptySetGivesScalarTotal) {
+  Factor a = Factor::FromValues({0, 1}, {2, 2}, {1, 2, 3, 4});
+  Factor s = a.SumTo(AttrSet{});
+  EXPECT_EQ(s.num_cells(), 1);
+  EXPECT_DOUBLE_EQ(s.value(0), 10.0);
+}
+
+TEST(FactorTest, LogSumExpToMatchesExpSumLog) {
+  Rng rng(2);
+  Factor a = RandomFactor({0, 1, 3}, {3, 2, 4}, rng);
+  Factor direct = a.Exp().SumTo(AttrSet({0, 3})).Log();
+  Factor stable = a.LogSumExpTo(AttrSet({0, 3}));
+  ASSERT_EQ(direct.num_cells(), stable.num_cells());
+  for (int64_t i = 0; i < direct.num_cells(); ++i) {
+    EXPECT_NEAR(direct.value(i), stable.value(i), 1e-10);
+  }
+}
+
+TEST(FactorTest, LogSumExpToHandlesNegInfCells) {
+  Factor a = Factor::FromValues({0, 1}, {2, 2},
+                                {kNegInf, kNegInf, 0.0, std::log(2.0)});
+  Factor m = a.LogSumExpTo(AttrSet({0}));
+  EXPECT_EQ(m.value(0), kNegInf);
+  EXPECT_NEAR(m.value(1), std::log(3.0), 1e-12);
+}
+
+TEST(FactorTest, LogSumExpToLargeValuesStable) {
+  Factor a = Factor::FromValues({0}, {3}, {1000.0, 1000.0, 1000.0});
+  Factor m = a.LogSumExpTo(AttrSet{});
+  EXPECT_NEAR(m.value(0), 1000.0 + std::log(3.0), 1e-9);
+}
+
+TEST(FactorTest, ExpWithShift) {
+  Factor a = Factor::FromValues({0}, {2}, {0.0, std::log(4.0)});
+  Factor e = a.Exp(std::log(2.0));
+  EXPECT_NEAR(e.value(0), 0.5, 1e-12);
+  EXPECT_NEAR(e.value(1), 2.0, 1e-12);
+}
+
+TEST(FactorTest, LogOfZeroIsNegInf) {
+  Factor a = Factor::FromValues({0}, {2}, {0.0, 1.0});
+  Factor l = a.Log();
+  EXPECT_EQ(l.value(0), kNegInf);
+  EXPECT_DOUBLE_EQ(l.value(1), 0.0);
+}
+
+TEST(FactorTest, L1DistanceTo) {
+  Factor a = Factor::FromValues({0}, {2}, {1, 5});
+  Factor b = Factor::FromValues({0}, {2}, {2, 3});
+  EXPECT_DOUBLE_EQ(a.L1DistanceTo(b), 3.0);
+}
+
+TEST(FactorTest, ScaleAndShift) {
+  Factor a = Factor::FromValues({0}, {2}, {1, 2});
+  a.ScaleInPlace(3.0);
+  a.AddScalarInPlace(1.0);
+  EXPECT_DOUBLE_EQ(a.value(0), 4.0);
+  EXPECT_DOUBLE_EQ(a.value(1), 7.0);
+}
+
+// Property-style sweep: Add/Multiply against brute-force evaluation over the
+// union domain, across several attribute-set configurations.
+struct BinaryOpCase {
+  std::vector<int> a_attrs;
+  std::vector<int> a_sizes;
+  std::vector<int> b_attrs;
+  std::vector<int> b_sizes;
+};
+
+class FactorBinaryOpTest : public ::testing::TestWithParam<BinaryOpCase> {};
+
+TEST_P(FactorBinaryOpTest, AddMatchesBruteForce) {
+  const auto& param = GetParam();
+  Rng rng(99);
+  Factor a = RandomFactor(param.a_attrs, param.a_sizes, rng);
+  Factor b = RandomFactor(param.b_attrs, param.b_sizes, rng);
+  Factor c = a.Add(b);
+
+  // Brute force: walk every cell of c, decompose into coordinates, and look
+  // up both operands.
+  const auto& attrs = c.attrs();
+  const auto& sizes = c.sizes();
+  std::vector<int64_t> strides(attrs.size(), 1);
+  for (int j = static_cast<int>(attrs.size()) - 2; j >= 0; --j) {
+    strides[j] = strides[j + 1] * sizes[j + 1];
+  }
+  auto lookup = [&](const Factor& f, const std::vector<int>& coord) {
+    int64_t idx = 0;
+    std::vector<int64_t> fstrides(f.attrs().size(), 1);
+    for (int j = static_cast<int>(f.attrs().size()) - 2; j >= 0; --j) {
+      fstrides[j] = fstrides[j + 1] * f.sizes()[j + 1];
+    }
+    for (size_t j = 0; j < f.attrs().size(); ++j) {
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (attrs[i] == f.attrs()[j]) idx += coord[i] * fstrides[j];
+      }
+    }
+    return f.value(idx);
+  };
+  for (int64_t cell = 0; cell < c.num_cells(); ++cell) {
+    std::vector<int> coord(attrs.size());
+    int64_t rest = cell;
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      coord[j] = static_cast<int>(rest / strides[j]);
+      rest %= strides[j];
+    }
+    EXPECT_NEAR(c.value(cell), lookup(a, coord) + lookup(b, coord), 1e-12);
+  }
+}
+
+TEST_P(FactorBinaryOpTest, MultiplyCommutes) {
+  const auto& param = GetParam();
+  Rng rng(7);
+  Factor a = RandomFactor(param.a_attrs, param.a_sizes, rng);
+  Factor b = RandomFactor(param.b_attrs, param.b_sizes, rng);
+  Factor ab = a.Multiply(b);
+  Factor ba = b.Multiply(a);
+  ASSERT_EQ(ab.num_cells(), ba.num_cells());
+  for (int64_t i = 0; i < ab.num_cells(); ++i) {
+    EXPECT_NEAR(ab.value(i), ba.value(i), 1e-12);
+  }
+}
+
+TEST_P(FactorBinaryOpTest, SumOfProductEqualsProductOfSumsWhenDisjoint) {
+  const auto& param = GetParam();
+  AttrSet a_set(param.a_attrs), b_set(param.b_attrs);
+  if (!a_set.Intersect(b_set).empty()) GTEST_SKIP();
+  Rng rng(8);
+  Factor a = RandomFactor(param.a_attrs, param.a_sizes, rng);
+  Factor b = RandomFactor(param.b_attrs, param.b_sizes, rng);
+  EXPECT_NEAR(a.Multiply(b).Sum(), a.Sum() * b.Sum(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FactorBinaryOpTest,
+    ::testing::Values(
+        BinaryOpCase{{0}, {3}, {1}, {4}},
+        BinaryOpCase{{0, 1}, {2, 3}, {1, 2}, {3, 2}},
+        BinaryOpCase{{0, 2}, {2, 2}, {1}, {5}},
+        BinaryOpCase{{1, 3, 5}, {2, 2, 2}, {3}, {2}},
+        BinaryOpCase{{0, 1, 2}, {2, 2, 2}, {0, 1, 2}, {2, 2, 2}},
+        BinaryOpCase{{}, {}, {0, 1}, {3, 3}}));
+
+// Marginalization property sweep: summing out in two steps equals one step.
+class FactorMarginalizeTest
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(FactorMarginalizeTest, TwoStepEqualsOneStep) {
+  Rng rng(21);
+  Factor f = RandomFactor({0, 1, 2, 3}, {2, 3, 2, 3}, rng);
+  AttrSet target(GetParam());
+  // One step.
+  Factor direct = f.SumTo(target);
+  // Two steps through an intermediate superset.
+  AttrSet mid = target.Union(AttrSet({1}));
+  Factor staged = f.SumTo(mid).SumTo(target);
+  ASSERT_EQ(direct.num_cells(), staged.num_cells());
+  for (int64_t i = 0; i < direct.num_cells(); ++i) {
+    EXPECT_NEAR(direct.value(i), staged.value(i), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FactorMarginalizeTest,
+                         ::testing::Values(std::vector<int>{0},
+                                           std::vector<int>{3},
+                                           std::vector<int>{0, 2},
+                                           std::vector<int>{0, 2, 3},
+                                           std::vector<int>{}));
+
+}  // namespace
+}  // namespace aim

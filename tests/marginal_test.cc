@@ -1,0 +1,229 @@
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/simulators.h"
+#include "marginal/attr_set.h"
+#include "marginal/marginal.h"
+#include "marginal/workload.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// ------------------------------------------------------------- AttrSet ----
+
+TEST(AttrSetTest, SortsAndDeduplicates) {
+  AttrSet s({3, 1, 3, 2});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.attrs(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AttrSetTest, SetOperations) {
+  AttrSet a({0, 1, 2}), b({1, 2, 3});
+  EXPECT_EQ(a.Union(b), AttrSet({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttrSet({1, 2}));
+  EXPECT_EQ(a.Difference(b), AttrSet({0}));
+  EXPECT_EQ(a.IntersectionSize(b), 2);
+}
+
+TEST(AttrSetTest, SubsetAndContains) {
+  AttrSet a({1, 3}), b({0, 1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(AttrSet{}.IsSubsetOf(a));
+  EXPECT_TRUE(a.Contains(3));
+  EXPECT_FALSE(a.Contains(2));
+}
+
+TEST(AttrSetTest, ToStringAndHash) {
+  AttrSet a({0, 3, 7});
+  EXPECT_EQ(a.ToString(), "{0,3,7}");
+  EXPECT_EQ(a.Hash(), AttrSet({7, 3, 0}).Hash());
+  EXPECT_NE(a.Hash(), AttrSet({0, 3}).Hash());
+}
+
+// ------------------------------------------------------------ Marginal ----
+
+TEST(MarginalTest, CountsMatchBruteForce) {
+  Rng rng(1);
+  Domain domain = Domain::WithSizes({3, 2, 4});
+  Dataset data = SampleRandomBayesNet(domain, 1000, 2, 0.5, rng);
+  AttrSet r({0, 2});
+  std::vector<double> marginal = ComputeMarginal(data, r);
+  // Brute force via map.
+  std::map<std::pair<int, int>, int> counts;
+  for (int64_t row = 0; row < data.num_records(); ++row) {
+    ++counts[{data.value(row, 0), data.value(row, 2)}];
+  }
+  MarginalIndexer indexer(domain, r);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      std::vector<int> tuple = {i, j};
+      double expected = counts[std::make_pair(i, j)];
+      EXPECT_DOUBLE_EQ(marginal[indexer.IndexOfTuple(tuple)], expected);
+    }
+  }
+}
+
+TEST(MarginalTest, SumsToRecordCount) {
+  Rng rng(2);
+  Domain domain = Domain::WithSizes({2, 2, 2, 5});
+  Dataset data = SampleRandomBayesNet(domain, 777, 2, 0.3, rng);
+  for (const AttrSet& r : {AttrSet({0}), AttrSet({0, 3}), AttrSet({1, 2, 3})}) {
+    std::vector<double> m = ComputeMarginal(data, r);
+    EXPECT_DOUBLE_EQ(std::accumulate(m.begin(), m.end(), 0.0), 777.0);
+  }
+}
+
+TEST(MarginalTest, WeightedMarginal) {
+  Domain domain = Domain::WithSizes({2});
+  Dataset data(domain);
+  data.AppendRecord({0});
+  data.AppendRecord({1});
+  data.AppendRecord({1});
+  std::vector<double> m = ComputeMarginal(data, AttrSet({0}), 0.5);
+  EXPECT_DOUBLE_EQ(m[0], 0.5);
+  EXPECT_DOUBLE_EQ(m[1], 1.0);
+}
+
+TEST(MarginalTest, MarginalSizeMatchesIndexer) {
+  Domain domain = Domain::WithSizes({2, 3, 4, 5});
+  AttrSet r({1, 3});
+  EXPECT_EQ(MarginalSize(domain, r), 15);
+  MarginalIndexer indexer(domain, r);
+  EXPECT_EQ(indexer.size(), 15);
+}
+
+TEST(MarginalTest, IndexerTupleRoundTrip) {
+  Domain domain = Domain::WithSizes({2, 3, 4});
+  MarginalIndexer indexer(domain, AttrSet({0, 1, 2}));
+  for (int64_t i = 0; i < indexer.size(); ++i) {
+    EXPECT_EQ(indexer.IndexOfTuple(indexer.TupleOfIndex(i)), i);
+  }
+}
+
+TEST(MarginalTest, ConsistencyAcrossProjections) {
+  // Summing the {0,1} marginal over attribute 1 gives the {0} marginal.
+  Rng rng(3);
+  Domain domain = Domain::WithSizes({3, 4});
+  Dataset data = SampleRandomBayesNet(domain, 500, 1, 0.5, rng);
+  std::vector<double> joint = ComputeMarginal(data, AttrSet({0, 1}));
+  std::vector<double> m0 = ComputeMarginal(data, AttrSet({0}));
+  for (int i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 4; ++j) sum += joint[i * 4 + j];
+    EXPECT_DOUBLE_EQ(sum, m0[i]);
+  }
+}
+
+// ------------------------------------------------------------ Workload ----
+
+TEST(WorkloadTest, AllKWayCount) {
+  Domain domain = Domain::WithSizes(std::vector<int>(6, 2));
+  Workload w = AllKWayWorkload(domain, 3);
+  EXPECT_EQ(w.num_queries(), 20);  // C(6,3)
+  std::set<AttrSet> distinct;
+  for (const auto& q : w.queries()) {
+    EXPECT_EQ(q.attrs.size(), 3);
+    distinct.insert(q.attrs);
+  }
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(WorkloadTest, TargetWorkloadContainsTarget) {
+  Domain domain = Domain::WithSizes(std::vector<int>(6, 2));
+  Workload w = TargetWorkload(domain, 3, 2);
+  EXPECT_EQ(w.num_queries(), 10);  // C(5,2)
+  for (const auto& q : w.queries()) {
+    EXPECT_TRUE(q.attrs.Contains(2));
+  }
+}
+
+TEST(WorkloadTest, SkewedWorkloadDeterministicAndSkewed) {
+  Domain domain = Domain::WithSizes(std::vector<int>(15, 4));
+  Workload a = SkewedWorkload(domain, 3, 64, 7);
+  Workload b = SkewedWorkload(domain, 3, 64, 7);
+  ASSERT_EQ(a.num_queries(), 64);
+  ASSERT_EQ(b.num_queries(), 64);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.query(i).attrs, b.query(i).attrs);
+  }
+  // Skew: attribute participation counts should be very unequal.
+  std::vector<int> participation(15, 0);
+  for (const auto& q : a.queries()) {
+    for (int attr : q.attrs) ++participation[attr];
+  }
+  int max_count = *std::max_element(participation.begin(), participation.end());
+  int min_count = *std::min_element(participation.begin(), participation.end());
+  EXPECT_GT(max_count, 3 * std::max(1, min_count));
+}
+
+TEST(WorkloadTest, SkewedWorkloadDistinctQueries) {
+  Domain domain = Domain::WithSizes(std::vector<int>(10, 2));
+  Workload w = SkewedWorkload(domain, 3, 50, 9);
+  std::set<AttrSet> distinct;
+  for (const auto& q : w.queries()) distinct.insert(q.attrs);
+  EXPECT_EQ(static_cast<int>(distinct.size()), w.num_queries());
+}
+
+TEST(WorkloadTest, SkewedWorkloadSaturatesSmallDomains) {
+  // Only C(4,3)=4 triples exist; asking for 256 must terminate with 4.
+  Domain domain = Domain::WithSizes(std::vector<int>(4, 2));
+  Workload w = SkewedWorkload(domain, 3, 256, 11);
+  EXPECT_EQ(w.num_queries(), 4);
+}
+
+TEST(WorkloadTest, DownwardClosure) {
+  Workload w;
+  w.Add(AttrSet({0, 1, 2}));
+  w.Add(AttrSet({2, 3}));
+  std::vector<AttrSet> closure = DownwardClosure(w);
+  std::set<AttrSet> expected = {
+      AttrSet({0}),       AttrSet({1}),    AttrSet({2}),    AttrSet({3}),
+      AttrSet({0, 1}),    AttrSet({0, 2}), AttrSet({1, 2}), AttrSet({2, 3}),
+      AttrSet({0, 1, 2})};
+  EXPECT_EQ(std::set<AttrSet>(closure.begin(), closure.end()), expected);
+}
+
+TEST(WorkloadTest, WorkloadWeightFormula) {
+  // w_r = sum_s c_s |r ∩ s|.
+  Workload w;
+  w.Add(AttrSet({0, 1, 2}), 1.0);
+  w.Add(AttrSet({2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(WorkloadWeight(w, AttrSet({2})), 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(WorkloadWeight(w, AttrSet({0, 1})), 2.0);
+  EXPECT_DOUBLE_EQ(WorkloadWeight(w, AttrSet({2, 3})), 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(WorkloadWeight(w, AttrSet({4})), 0.0);
+}
+
+TEST(WorkloadTest, CoveredBy) {
+  Workload w;
+  w.Add(AttrSet({0, 1}));
+  EXPECT_TRUE(w.CoveredBy(AttrSet({0, 1, 2})));
+  EXPECT_FALSE(w.CoveredBy(AttrSet({0, 2})));
+}
+
+// The paper's workloads: ALL-3WAY over each simulated dataset produces
+// C(d,3) queries. Parameterized over the six datasets.
+class PaperWorkloadTest : public ::testing::TestWithParam<PaperDataset> {};
+
+TEST_P(PaperWorkloadTest, All3WayHasBinomialCount) {
+  SimulatorOptions options;
+  options.record_scale = 0.001;
+  options.min_records = 50;
+  SimulatedData sim = MakePaperDataset(GetParam(), options);
+  int d = sim.data.domain().num_attributes();
+  Workload w = AllKWayWorkload(sim.data.domain(), 3);
+  EXPECT_EQ(w.num_queries(), d * (d - 1) * (d - 2) / 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PaperWorkloadTest,
+                         ::testing::ValuesIn(AllPaperDatasets()));
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,410 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "marginal/marginal.h"
+#include "pgm/estimation.h"
+#include "pgm/junction_tree.h"
+#include "pgm/markov_random_field.h"
+#include "pgm/synthetic.h"
+#include "data/simulators.h"
+#include "test_util.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+using testing_util::BruteForceMarginal;
+using testing_util::MaxAbsDiff;
+
+// ------------------------------------------------------ junction tree -----
+
+TEST(JunctionTreeTest, SingletonModelCoversAllAttributes) {
+  Domain domain = Domain::WithSizes({2, 3, 4});
+  JunctionTree tree = BuildJunctionTree(domain, {});
+  std::vector<char> covered(3, 0);
+  for (const AttrSet& c : tree.cliques) {
+    for (int attr : c) covered[attr] = 1;
+  }
+  for (char c : covered) EXPECT_TRUE(c);
+  EXPECT_EQ(tree.edges.size(), tree.cliques.size() - 1);
+}
+
+TEST(JunctionTreeTest, ChainProducesPairCliques) {
+  Domain domain = Domain::WithSizes({2, 2, 2, 2});
+  std::vector<AttrSet> cliques = {AttrSet({0, 1}), AttrSet({1, 2}),
+                                  AttrSet({2, 3})};
+  JunctionTree tree = BuildJunctionTree(domain, cliques);
+  EXPECT_EQ(tree.cliques.size(), 3u);
+  for (const AttrSet& c : tree.cliques) EXPECT_EQ(c.size(), 2);
+}
+
+TEST(JunctionTreeTest, TriangleMergesIntoOneClique) {
+  Domain domain = Domain::WithSizes({2, 2, 2});
+  std::vector<AttrSet> cliques = {AttrSet({0, 1}), AttrSet({1, 2}),
+                                  AttrSet({0, 2})};
+  JunctionTree tree = BuildJunctionTree(domain, cliques);
+  ASSERT_EQ(tree.cliques.size(), 1u);
+  EXPECT_EQ(tree.cliques[0], AttrSet({0, 1, 2}));
+}
+
+TEST(JunctionTreeTest, CliquesAreMaximal) {
+  Domain domain = Domain::WithSizes({2, 2, 2, 2, 2});
+  std::vector<AttrSet> cliques = {AttrSet({0, 1, 2}), AttrSet({0, 1}),
+                                  AttrSet({3})};
+  JunctionTree tree = BuildJunctionTree(domain, cliques);
+  for (size_t i = 0; i < tree.cliques.size(); ++i) {
+    for (size_t j = 0; j < tree.cliques.size(); ++j) {
+      if (i != j) EXPECT_FALSE(tree.cliques[i].IsSubsetOf(tree.cliques[j]));
+    }
+  }
+}
+
+// Running-intersection property: for every pair of cliques, their
+// intersection is contained in every separator on the tree path between
+// them.
+TEST(JunctionTreeTest, RunningIntersectionProperty) {
+  Domain domain = Domain::WithSizes({2, 2, 2, 2, 2, 2});
+  std::vector<AttrSet> cliques = {AttrSet({0, 1}), AttrSet({1, 2}),
+                                  AttrSet({2, 3}), AttrSet({3, 4}),
+                                  AttrSet({1, 4}), AttrSet({5})};
+  JunctionTree tree = BuildJunctionTree(domain, cliques);
+  const int k = static_cast<int>(tree.cliques.size());
+  // BFS path between every pair.
+  for (int s = 0; s < k; ++s) {
+    std::vector<int> parent(k, -1), parent_edge(k, -1);
+    std::vector<int> queue = {s};
+    std::vector<char> seen(k, 0);
+    seen[s] = 1;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      int c = queue[qi];
+      for (auto [nbr, e] : tree.neighbors[c]) {
+        if (!seen[nbr]) {
+          seen[nbr] = 1;
+          parent[nbr] = c;
+          parent_edge[nbr] = e;
+          queue.push_back(nbr);
+        }
+      }
+    }
+    for (int t = 0; t < k; ++t) {
+      if (t == s) continue;
+      AttrSet shared = tree.cliques[s].Intersect(tree.cliques[t]);
+      int cur = t;
+      while (cur != s) {
+        EXPECT_TRUE(
+            shared.IsSubsetOf(tree.edges[parent_edge[cur]].separator))
+            << "RIP violated between cliques " << s << " and " << t;
+        cur = parent[cur];
+      }
+    }
+  }
+}
+
+TEST(JunctionTreeTest, JtSizeMatchesHandComputation) {
+  // Cliques {0,1} and {1,2} over sizes {10, 20, 30}:
+  // 8 * (10*20 + 20*30) bytes = 6400 bytes = 0.0064 MB.
+  Domain domain = Domain::WithSizes({10, 20, 30});
+  double mb = JtSizeMb(domain, {AttrSet({0, 1}), AttrSet({1, 2})});
+  EXPECT_NEAR(mb, 8.0 * (200 + 600) / 1e6, 1e-12);
+}
+
+TEST(JunctionTreeTest, JtSizeMonotoneInCliques) {
+  Domain domain = Domain::WithSizes({8, 8, 8, 8, 8});
+  std::vector<AttrSet> base = {AttrSet({0, 1})};
+  double s1 = JtSizeMb(domain, base);
+  base.push_back(AttrSet({2, 3, 4}));
+  double s2 = JtSizeMb(domain, base);
+  EXPECT_GT(s2, s1);
+}
+
+// ------------------------------------------------- belief propagation -----
+
+class MrfInferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrfInferenceTest, MarginalsMatchBruteForce) {
+  Rng rng(1000 + GetParam());
+  Domain domain = Domain::WithSizes({2, 3, 2, 2});
+  std::vector<AttrSet> cliques = {AttrSet({0, 1}), AttrSet({1, 2}),
+                                  AttrSet({2, 3})};
+  MarkovRandomField model(domain, cliques);
+  model.set_total(100.0);
+  for (int c = 0; c < model.num_cliques(); ++c) {
+    Factor p = model.potential(c);
+    for (double& v : p.mutable_values()) v = rng.Uniform(-2.0, 2.0);
+    model.SetPotential(c, std::move(p));
+  }
+  model.Calibrate();
+
+  // Every 1-, 2-, and 3-way marginal, including out-of-model ones that need
+  // variable elimination (e.g. {0,3}).
+  std::vector<AttrSet> queries = {
+      AttrSet({0}),    AttrSet({1}),    AttrSet({2}),    AttrSet({3}),
+      AttrSet({0, 1}), AttrSet({0, 2}), AttrSet({0, 3}), AttrSet({1, 3}),
+      AttrSet({0, 1, 2}), AttrSet({0, 2, 3}), AttrSet({0, 1, 3})};
+  for (const AttrSet& r : queries) {
+    std::vector<double> expected = BruteForceMarginal(model, r);
+    std::vector<double> actual = model.MarginalVector(r);
+    ASSERT_EQ(expected.size(), actual.size());
+    EXPECT_LT(MaxAbsDiff(expected, actual), 1e-8)
+        << "marginal mismatch on " << r.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrfInferenceTest, ::testing::Range(0, 5));
+
+TEST(MrfTest, UniformModelGivesUniformMarginals) {
+  Domain domain = Domain::WithSizes({2, 4});
+  MarkovRandomField model(domain, {AttrSet({0, 1})});
+  model.set_total(80.0);
+  model.Calibrate();
+  std::vector<double> m = model.MarginalVector(AttrSet({1}));
+  for (double v : m) EXPECT_NEAR(v, 20.0, 1e-9);
+}
+
+TEST(MrfTest, MarginalsSumToTotal) {
+  Rng rng(5);
+  Domain domain = Domain::WithSizes({3, 3, 3});
+  MarkovRandomField model(domain, {AttrSet({0, 1}), AttrSet({1, 2})});
+  model.set_total(12345.0);
+  for (int c = 0; c < model.num_cliques(); ++c) {
+    Factor p = model.potential(c);
+    for (double& v : p.mutable_values()) v = rng.Gaussian();
+    model.SetPotential(c, std::move(p));
+  }
+  model.Calibrate();
+  for (const AttrSet& r :
+       {AttrSet({0}), AttrSet({2}), AttrSet({0, 2}), AttrSet({0, 1, 2})}) {
+    std::vector<double> m = model.MarginalVector(r);
+    EXPECT_NEAR(std::accumulate(m.begin(), m.end(), 0.0), 12345.0, 1e-6);
+  }
+}
+
+TEST(MrfTest, MarginalConsistencyAcrossCliques) {
+  // The marginal on a separator must agree whether derived from either side.
+  Rng rng(6);
+  Domain domain = Domain::WithSizes({2, 2, 2, 2});
+  MarkovRandomField model(domain, {AttrSet({0, 1, 2}), AttrSet({1, 2, 3})});
+  for (int c = 0; c < model.num_cliques(); ++c) {
+    Factor p = model.potential(c);
+    for (double& v : p.mutable_values()) v = rng.Gaussian();
+    model.SetPotential(c, std::move(p));
+  }
+  model.Calibrate();
+  int c0 = model.ContainingClique(AttrSet({0, 1, 2}));
+  int c1 = model.ContainingClique(AttrSet({1, 2, 3}));
+  ASSERT_GE(c0, 0);
+  ASSERT_GE(c1, 0);
+  Factor from0 = model.CliqueBelief(c0).LogSumExpTo(AttrSet({1, 2}));
+  Factor from1 = model.CliqueBelief(c1).LogSumExpTo(AttrSet({1, 2}));
+  for (int64_t i = 0; i < from0.num_cells(); ++i) {
+    EXPECT_NEAR(from0.value(i), from1.value(i), 1e-9);
+  }
+}
+
+TEST(MrfTest, StructuralZeroPotentialForcesZeroMarginal) {
+  Domain domain = Domain::WithSizes({2, 2});
+  MarkovRandomField model(domain, {AttrSet({0, 1})});
+  Factor p = model.potential(0);
+  p.mutable_values()[0] = -std::numeric_limits<double>::infinity();
+  model.SetPotential(0, std::move(p));
+  model.set_total(100.0);
+  model.Calibrate();
+  std::vector<double> m = model.MarginalVector(AttrSet({0, 1}));
+  EXPECT_DOUBLE_EQ(m[0], 0.0);
+  EXPECT_NEAR(std::accumulate(m.begin(), m.end(), 0.0), 100.0, 1e-9);
+}
+
+// ----------------------------------------------------------- estimation ---
+
+TEST(EstimationTest, EstimateTotalWeightsByVariance) {
+  Measurement a{AttrSet({0}), {50.0, 50.0}, 1.0};
+  Measurement b{AttrSet({1}), {300.0, 0.0}, 100.0};  // much noisier
+  double total = EstimateTotal({a, b});
+  // Should be far closer to 100 than to 300.
+  EXPECT_GT(total, 99.0);
+  EXPECT_LT(total, 110.0);
+}
+
+TEST(EstimationTest, EstimateTotalClampsToOne) {
+  Measurement a{AttrSet({0}), {-5.0, -5.0}, 1.0};
+  EXPECT_DOUBLE_EQ(EstimateTotal({a}), 1.0);
+}
+
+TEST(EstimationTest, RecoversNoiselessMarginals) {
+  // Build a ground-truth dataset, measure two marginals exactly, and check
+  // the estimator reproduces them.
+  Rng rng(3);
+  Domain domain = Domain::WithSizes({2, 3, 2});
+  Dataset data = SampleRandomBayesNet(domain, 2000, 2, 0.5, rng);
+  std::vector<Measurement> ms;
+  for (const AttrSet& r : {AttrSet({0, 1}), AttrSet({1, 2})}) {
+    ms.push_back({r, ComputeMarginal(data, r), 1e-3});
+  }
+  EstimationOptions options;
+  options.max_iters = 2000;
+  MarkovRandomField model = EstimateMrf(
+      domain, ms, static_cast<double>(data.num_records()), options);
+  for (const Measurement& m : ms) {
+    std::vector<double> mu = model.MarginalVector(m.attrs);
+    EXPECT_LT(L1Distance(mu, m.values), 2.0)
+        << "marginal " << m.attrs.ToString() << " not matched";
+  }
+}
+
+TEST(EstimationTest, ObjectiveDecreasesFromUniform) {
+  Rng rng(4);
+  Domain domain = Domain::WithSizes({2, 2, 2});
+  Dataset data = SampleRandomBayesNet(domain, 500, 2, 0.3, rng);
+  std::vector<Measurement> ms = {
+      {AttrSet({0, 1}), ComputeMarginal(data, AttrSet({0, 1})), 1.0}};
+  // Uniform model objective.
+  MarkovRandomField uniform(domain, {AttrSet({0, 1})});
+  uniform.set_total(static_cast<double>(data.num_records()));
+  uniform.Calibrate();
+  double before = EstimationObjective(uniform, ms);
+  EstimationOptions options;
+  options.max_iters = 200;
+  MarkovRandomField fitted = EstimateMrf(
+      domain, ms, static_cast<double>(data.num_records()), options);
+  double after = EstimationObjective(fitted, ms);
+  EXPECT_LT(after, before * 0.1);
+}
+
+TEST(EstimationTest, WarmStartPreservesFit) {
+  Rng rng(5);
+  Domain domain = Domain::WithSizes({2, 2, 2});
+  Dataset data = SampleRandomBayesNet(domain, 1000, 2, 0.4, rng);
+  std::vector<Measurement> ms = {
+      {AttrSet({0, 1}), ComputeMarginal(data, AttrSet({0, 1})), 0.1}};
+  EstimationOptions options;
+  options.max_iters = 500;
+  MarkovRandomField first = EstimateMrf(
+      domain, ms, static_cast<double>(data.num_records()), options);
+  // Add a measurement; warm-start fit should start near the old optimum
+  // and end at least as good on the old measurement.
+  ms.push_back({AttrSet({1, 2}), ComputeMarginal(data, AttrSet({1, 2})), 0.1});
+  MarkovRandomField second =
+      EstimateMrf(domain, ms, static_cast<double>(data.num_records()),
+                  options, &first);
+  double objective = EstimationObjective(second, ms);
+  EXPECT_LT(objective, 50.0);
+}
+
+TEST(EstimationTest, StructuralZerosAreRespected) {
+  Rng rng(6);
+  Domain domain = Domain::WithSizes({2, 3});
+  // Data where (0, 0) never occurs.
+  Dataset data(domain);
+  for (int i = 0; i < 300; ++i) {
+    int b = static_cast<int>(rng.UniformInt(3));
+    int a = (b == 0) ? 1 : static_cast<int>(rng.UniformInt(2));
+    data.AppendRecord({a, b});
+  }
+  std::vector<Measurement> ms = {
+      {AttrSet({0, 1}), ComputeMarginal(data, AttrSet({0, 1})), 1.0}};
+  ZeroConstraint zero{AttrSet({0, 1}), {0}};  // cell (0,0)
+  std::vector<ZeroConstraint> zeros = {zero};
+  MarkovRandomField model =
+      EstimateMrf(domain, ms, 300.0, {}, nullptr, &zeros);
+  std::vector<double> mu = model.MarginalVector(AttrSet({0, 1}));
+  EXPECT_DOUBLE_EQ(mu[0], 0.0);
+}
+
+// ------------------------------------------------------ synthetic data ----
+
+TEST(RandomizedRoundTest, SumsExactly) {
+  Rng rng(7);
+  std::vector<double> weights = {0.1, 0.7, 0.2, 0.0};
+  for (int64_t total : {0, 1, 7, 100, 12345}) {
+    auto counts = RandomizedRound(weights, total, rng);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}),
+              total);
+    EXPECT_EQ(counts[3], 0);
+  }
+}
+
+TEST(RandomizedRoundTest, ExactWhenIntegral) {
+  Rng rng(8);
+  std::vector<double> weights = {1.0, 3.0};
+  auto counts = RandomizedRound(weights, 8, rng);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 6);
+}
+
+TEST(RandomizedRoundTest, UniformFallbackOnZeroMass) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  auto counts = RandomizedRound(weights, 30, rng);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), 30);
+}
+
+TEST(SyntheticTest, ReproducesModelMarginals) {
+  Rng rng(10);
+  Domain domain = Domain::WithSizes({2, 3, 2, 2});
+  Dataset data = SampleRandomBayesNet(domain, 5000, 2, 0.4, rng);
+  std::vector<Measurement> ms;
+  for (const AttrSet& r :
+       {AttrSet({0, 1}), AttrSet({1, 2}), AttrSet({2, 3})}) {
+    ms.push_back({r, ComputeMarginal(data, r), 1e-2});
+  }
+  EstimationOptions options;
+  options.max_iters = 1000;
+  MarkovRandomField model = EstimateMrf(
+      domain, ms, static_cast<double>(data.num_records()), options);
+  Dataset synth = GenerateSyntheticData(model, data.num_records(), rng);
+  EXPECT_EQ(synth.num_records(), data.num_records());
+  for (const Measurement& m : ms) {
+    std::vector<double> model_mu = model.MarginalVector(m.attrs);
+    std::vector<double> synth_mu = ComputeMarginal(synth, m.attrs);
+    // Randomized rounding keeps the synthetic marginal within a small
+    // multiple of the number of cells of the model marginal.
+    EXPECT_LT(L1Distance(model_mu, synth_mu),
+              30.0 + 0.01 * data.num_records())
+        << "synthetic marginal far from model on " << m.attrs.ToString();
+  }
+}
+
+TEST(SyntheticTest, AllAttributesAssignedEvenIfUnmeasured) {
+  Domain domain = Domain::WithSizes({2, 3, 4});
+  MarkovRandomField model(domain, {AttrSet({0})});  // attrs 1, 2 unmeasured
+  model.set_total(50.0);
+  model.Calibrate();
+  Rng rng(11);
+  Dataset synth = GenerateSyntheticData(model, 100, rng);
+  EXPECT_EQ(synth.num_records(), 100);
+  // Unmeasured attributes should be roughly uniform.
+  std::vector<double> m1 = ComputeMarginal(synth, AttrSet({1}));
+  for (double v : m1) EXPECT_NEAR(v, 100.0 / 3.0, 15.0);
+}
+
+TEST(SyntheticTest, ZeroRecords) {
+  Domain domain = Domain::WithSizes({2, 2});
+  MarkovRandomField model(domain, {AttrSet({0, 1})});
+  model.Calibrate();
+  Rng rng(12);
+  Dataset synth = GenerateSyntheticData(model, 0, rng);
+  EXPECT_EQ(synth.num_records(), 0);
+}
+
+TEST(SyntheticTest, RespectsStructuralZeros) {
+  Domain domain = Domain::WithSizes({2, 2});
+  MarkovRandomField model(domain, {AttrSet({0, 1})});
+  Factor p = model.potential(0);
+  p.mutable_values()[0] = -std::numeric_limits<double>::infinity();
+  model.SetPotential(0, std::move(p));
+  model.set_total(1000.0);
+  model.Calibrate();
+  Rng rng(13);
+  Dataset synth = GenerateSyntheticData(model, 1000, rng);
+  std::vector<double> m = ComputeMarginal(synth, AttrSet({0, 1}));
+  EXPECT_DOUBLE_EQ(m[0], 0.0);
+}
+
+}  // namespace
+}  // namespace aim

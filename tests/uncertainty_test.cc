@@ -1,0 +1,285 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/error.h"
+#include "marginal/marginal.h"
+#include "mechanisms/aim.h"
+#include "uncertainty/bounds.h"
+#include "uncertainty/estimators.h"
+#include "uncertainty/subsampling.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// ------------------------------------------- weighted average estimator ---
+
+TEST(EstimatorTest, SingleExactMeasurementIsIdentity) {
+  Domain domain = Domain::WithSizes({2, 3});
+  std::vector<double> y = {1, 2, 3, 4, 5, 6};
+  std::vector<Measurement> ms = {{AttrSet({0, 1}), y, 2.0}};
+  auto est = WeightedAverageEstimator(domain, ms, AttrSet({0, 1}));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->values, y);
+  EXPECT_DOUBLE_EQ(est->sigma_bar, 2.0);
+  EXPECT_EQ(est->support_count, 1);
+}
+
+TEST(EstimatorTest, ProjectionMarginalizesCorrectly) {
+  Domain domain = Domain::WithSizes({2, 3});
+  std::vector<double> y = {1, 2, 3, 10, 20, 30};
+  std::vector<Measurement> ms = {{AttrSet({0, 1}), y, 1.0}};
+  auto est = WeightedAverageEstimator(domain, ms, AttrSet({0}));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->values[0], 6.0);
+  EXPECT_DOUBLE_EQ(est->values[1], 60.0);
+  // Variance per projected cell: (n_ri / n_r) sigma^2 = 3.
+  EXPECT_NEAR(est->sigma_bar, std::sqrt(3.0), 1e-12);
+}
+
+TEST(EstimatorTest, TwoMeasurementsReduceVariance) {
+  Domain domain = Domain::WithSizes({2, 2});
+  std::vector<Measurement> ms = {
+      {AttrSet({0}), {5, 5}, 2.0},
+      {AttrSet({0, 1}), {2, 3, 2, 3}, 2.0},
+  };
+  auto est = WeightedAverageEstimator(domain, ms, AttrSet({0}));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->support_count, 2);
+  // sigma_bar^2 = [1/4 + 1/8]^-1 = 8/3 < 4 (either alone).
+  EXPECT_NEAR(est->sigma_bar * est->sigma_bar, 8.0 / 3.0, 1e-12);
+}
+
+TEST(EstimatorTest, UnsupportedReturnsNullopt) {
+  Domain domain = Domain::WithSizes({2, 2, 2});
+  std::vector<Measurement> ms = {{AttrSet({0}), {1, 1}, 1.0}};
+  EXPECT_FALSE(
+      WeightedAverageEstimator(domain, ms, AttrSet({0, 1})).has_value());
+}
+
+TEST(EstimatorTest, UnbiasedOverNoiseDraws) {
+  // Average of many independent noisy estimates converges to the truth.
+  Domain domain = Domain::WithSizes({2, 2});
+  std::vector<double> truth = {10, 20, 30, 40};
+  Rng rng(5);
+  std::vector<double> mean(2, 0.0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> noisy(4);
+    for (int c = 0; c < 4; ++c) noisy[c] = truth[c] + 3.0 * rng.Gaussian();
+    std::vector<Measurement> ms = {{AttrSet({0, 1}), noisy, 3.0}};
+    auto est = WeightedAverageEstimator(domain, ms, AttrSet({0}));
+    mean[0] += est->values[0];
+    mean[1] += est->values[1];
+  }
+  EXPECT_NEAR(mean[0] / trials, 30.0, 0.5);
+  EXPECT_NEAR(mean[1] / trials, 70.0, 0.5);
+}
+
+// -------------------------------------------------- Theorem 3 coverage ----
+
+TEST(TheoremBoundsTest, L1NormTailBoundHolds) {
+  // Theorem 5: P(||x||_1 >= sqrt(2 log 2) sigma n + lambda sigma sqrt(2n))
+  // <= exp(-lambda^2). Empirically verify at lambda = 1.0 (bound 0.368).
+  Rng rng(6);
+  const int n = 64;
+  const double sigma = 1.5;
+  const double lambda = 1.0;
+  const double threshold = std::sqrt(2.0 * std::log(2.0)) * sigma * n +
+                           lambda * sigma * std::sqrt(2.0 * n);
+  int exceed = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    double l1 = 0.0;
+    for (int i = 0; i < n; ++i) l1 += std::fabs(sigma * rng.Gaussian());
+    if (l1 >= threshold) ++exceed;
+  }
+  EXPECT_LT(exceed / static_cast<double>(trials), std::exp(-lambda * lambda));
+}
+
+TEST(TheoremBoundsTest, ExpectedL1MatchesSqrt2OverPi) {
+  // Theorem 5 first part: E||x||_1 = sqrt(2/pi) n sigma.
+  Rng rng(7);
+  const int n = 100;
+  const double sigma = 2.0;
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    double l1 = 0.0;
+    for (int i = 0; i < n; ++i) l1 += std::fabs(sigma * rng.Gaussian());
+    sum += l1;
+  }
+  EXPECT_NEAR(sum / trials, std::sqrt(2.0 / M_PI) * n * sigma,
+              0.01 * n * sigma);
+}
+
+// --------------------------------------------------- end-to-end bounds ----
+
+struct AimRunFixture {
+  Dataset data;
+  Workload workload;
+  MechanismResult result;
+};
+
+const AimRunFixture& SharedAimRun() {
+  static const AimRunFixture* fixture = [] {
+    auto* f = new AimRunFixture();
+    Rng data_rng(42);
+    Domain domain = Domain::WithSizes({2, 3, 4, 2, 3});
+    f->data = SampleRandomBayesNet(domain, 4000, 2, 0.3, data_rng);
+    f->workload = AllKWayWorkload(domain, 3);
+    AimOptions options;
+    options.round_estimation.max_iters = 40;
+    options.final_estimation.max_iters = 150;
+    AimMechanism aim(options);
+    Rng rng(43);
+    f->result = aim.Run(f->data, f->workload, CdpRho(10.0, 1e-9), rng);
+    return f;
+  }();
+  return *fixture;
+}
+
+TEST(BoundsTest, BoundsCoverTrueErrors) {
+  const AimRunFixture& f = SharedAimRun();
+  UncertaintyQuantifier uq(f.data.domain(), f.result);
+  int total = 0, covered = 0, supported = 0;
+  for (const AttrSet& r : DownwardClosure(f.workload)) {
+    auto bound = uq.BoundFor(r, f.result.synthetic);
+    ASSERT_TRUE(bound.has_value()) << r.ToString();
+    double true_error = L1Distance(ComputeMarginal(f.data, r),
+                                   ComputeMarginal(f.result.synthetic, r));
+    ++total;
+    if (true_error <= bound->bound) ++covered;
+    if (bound->supported) ++supported;
+  }
+  // 95% bounds: allow a little empirical slack but demand high coverage.
+  EXPECT_GE(covered, total * 9 / 10)
+      << covered << " of " << total << " marginals covered";
+  EXPECT_GT(supported, 0);
+}
+
+TEST(BoundsTest, SupportedBoundMatchesCorollary1Formula) {
+  // Hand-check Corollary 1 on a synthetic log with a single measurement:
+  // bound = ||M_r(D̂) - ȳ_r||_1 + sqrt(2 log 2) σ̄ n_r + λ σ̄ sqrt(2 n_r).
+  Domain domain = Domain::WithSizes({2});
+  MechanismResult result;
+  result.log.measurements.push_back(
+      {AttrSet({0}), {30.0, 70.0}, 2.0});
+  Dataset synthetic(domain);
+  for (int i = 0; i < 25; ++i) synthetic.AppendRecord({0});
+  for (int i = 0; i < 75; ++i) synthetic.AppendRecord({1});
+  BoundOptions options;
+  options.lambda = 1.7;
+  UncertaintyQuantifier uq(domain, result, options);
+  auto bound = uq.BoundFor(AttrSet({0}), synthetic);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_TRUE(bound->supported);
+  const double n_r = 2.0, sigma_bar = 2.0;
+  const double expected = (std::fabs(25.0 - 30.0) + std::fabs(75.0 - 70.0)) +
+                          std::sqrt(2.0 * std::log(2.0)) * sigma_bar * n_r +
+                          1.7 * sigma_bar * std::sqrt(2.0 * n_r);
+  EXPECT_NEAR(bound->bound, expected, 1e-9);
+}
+
+TEST(BoundsTest, UnsupportedRatiosAreFinite) {
+  // The paper reports the bound-to-error ratio distribution (Section 6.6);
+  // here we only require the ratios to be finite and bounded away from
+  // explosion on both classes (the 4.4-vs-8.3 ordering is data-dependent).
+  const AimRunFixture& f = SharedAimRun();
+  UncertaintyQuantifier uq(f.data.domain(), f.result);
+  for (const AttrSet& r : DownwardClosure(f.workload)) {
+    auto bound = uq.BoundFor(r, f.result.synthetic);
+    ASSERT_TRUE(bound.has_value());
+    EXPECT_TRUE(std::isfinite(bound->bound));
+    EXPECT_GT(bound->bound, 0.0);
+  }
+}
+
+TEST(BoundsTest, MeasuredMarginalsAreSupported) {
+  const AimRunFixture& f = SharedAimRun();
+  UncertaintyQuantifier uq(f.data.domain(), f.result);
+  for (const Measurement& m : f.result.log.measurements) {
+    auto bound = uq.BoundFor(m.attrs, f.result.synthetic);
+    ASSERT_TRUE(bound.has_value());
+    EXPECT_TRUE(bound->supported);
+  }
+}
+
+// ----------------------------------------------------- subsampling --------
+
+TEST(SubsamplingTest, ExpectedL1MatchesMonteCarlo) {
+  Rng rng(8);
+  Domain domain = Domain::WithSizes({4});
+  Dataset data(domain);
+  for (int v = 0; v < 4; ++v) {
+    for (int i = 0; i < (v + 1) * 100; ++i) data.AppendRecord({v});
+  }
+  const int64_t n = data.num_records();
+  const int64_t k = 50;
+  std::vector<double> marginal = ComputeMarginal(data, AttrSet({0}));
+  double expected = ExpectedSubsamplingL1(marginal, n, k);
+  // Monte Carlo.
+  double sum = 0.0;
+  const int trials = 20000;
+  std::vector<double> p(4);
+  for (int v = 0; v < 4; ++v) p[v] = marginal[v] / n;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int64_t> counts = rng.Multinomial(k, p);
+    double l1 = 0.0;
+    for (int v = 0; v < 4; ++v) {
+      l1 += std::fabs(p[v] - counts[v] / static_cast<double>(k));
+    }
+    sum += l1;
+  }
+  EXPECT_NEAR(expected, sum / trials, 0.01);
+}
+
+TEST(SubsamplingTest, ErrorDecreasesWithK) {
+  Rng rng(9);
+  Domain domain = Domain::WithSizes({3, 3});
+  Dataset data = SampleRandomBayesNet(domain, 2000, 1, 0.5, rng);
+  Workload workload = AllKWayWorkload(domain, 2);
+  double prev = 1e9;
+  for (int64_t k : {10, 100, 1000}) {
+    double error = ExpectedSubsamplingWorkloadError(data, workload, k);
+    EXPECT_LT(error, prev);
+    prev = error;
+  }
+}
+
+TEST(SubsamplingTest, MatchingFractionRoundTrip) {
+  Rng rng(10);
+  Domain domain = Domain::WithSizes({3, 4});
+  Dataset data = SampleRandomBayesNet(domain, 5000, 1, 0.5, rng);
+  Workload workload = AllKWayWorkload(domain, 2);
+  const int64_t k = 500;
+  double error = ExpectedSubsamplingWorkloadError(data, workload, k);
+  double fraction = MatchingSubsamplingFraction(data, workload, error);
+  EXPECT_NEAR(fraction, 0.1, 0.01);
+}
+
+TEST(SubsamplingTest, TinyTargetErrorSaturatesAtOne) {
+  Rng rng(11);
+  Domain domain = Domain::WithSizes({3, 4});
+  Dataset data = SampleRandomBayesNet(domain, 1000, 1, 0.5, rng);
+  Workload workload = AllKWayWorkload(domain, 2);
+  EXPECT_DOUBLE_EQ(MatchingSubsamplingFraction(data, workload, 1e-12), 1.0);
+}
+
+TEST(SubsamplingTest, HugeTargetErrorGivesTinyFraction) {
+  Rng rng(12);
+  Domain domain = Domain::WithSizes({3, 4});
+  Dataset data = SampleRandomBayesNet(domain, 1000, 1, 0.5, rng);
+  Workload workload = AllKWayWorkload(domain, 2);
+  double fraction = MatchingSubsamplingFraction(data, workload, 10.0);
+  EXPECT_LE(fraction, 1.0 / 500.0);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,338 @@
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace aim {
+namespace {
+
+// ---------------------------------------------------------------- Rng -----
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 7, 5 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(4);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(5.0, 2.0);
+    sum += x;
+    sum_sq += (x - 5.0) * (x - 5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 4.0, 0.1);
+}
+
+TEST(RngTest, GumbelMoments) {
+  // Gumbel(0,1): mean = Euler-Mascheroni, var = pi^2/6.
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gumbel();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5772, 0.02);
+  EXPECT_NEAR(var, M_PI * M_PI / 6.0, 0.05);
+}
+
+TEST(RngTest, SampleDiscreteMatchesWeights) {
+  Rng rng(6);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, SampleDiscreteLogMatchesWeights) {
+  Rng rng(61);
+  std::vector<double> log_weights = {std::log(0.1), std::log(0.3),
+                                     -std::numeric_limits<double>::infinity(),
+                                     std::log(0.6)};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.SampleDiscreteLog(log_weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, BinomialSmallMatchesMean) {
+  Rng rng(8);
+  const int trials = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += rng.Binomial(20, 0.3);
+  EXPECT_NEAR(sum / trials, 6.0, 0.1);
+}
+
+TEST(RngTest, BinomialLargeMatchesMeanAndBounds) {
+  Rng rng(9);
+  const int trials = 5000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    int64_t x = rng.Binomial(100000, 0.4);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 100000);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / trials, 40000.0, 30.0);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(10);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10);
+}
+
+TEST(RngTest, MultinomialSumsToN) {
+  Rng rng(12);
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  for (int trial = 0; trial < 100; ++trial) {
+    auto counts = rng.Multinomial(1000, weights);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), 1000);
+  }
+}
+
+TEST(RngTest, MultinomialProportions) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 4.0};
+  double first = 0.0;
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    first += static_cast<double>(rng.Multinomial(100, weights)[0]);
+  }
+  EXPECT_NEAR(first / trials, 20.0, 0.5);
+}
+
+TEST(RngTest, MultinomialZeroWeightGetsNothing) {
+  Rng rng(14);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  auto counts = rng.Multinomial(500, weights);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 500);
+  EXPECT_EQ(counts[2], 0);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(15);
+  auto perm = rng.Permutation(50);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng rng(16);
+  Rng child = rng.Fork();
+  EXPECT_NE(rng.NextUint64(), child.NextUint64());
+}
+
+// --------------------------------------------------------------- math -----
+
+TEST(MathTest, LogAddExpBasic) {
+  EXPECT_NEAR(LogAddExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+}
+
+TEST(MathTest, LogAddExpWithNegInf) {
+  double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(LogAddExp(ninf, 1.5), 1.5, 1e-12);
+  EXPECT_NEAR(LogAddExp(1.5, ninf), 1.5, 1e-12);
+  EXPECT_EQ(LogAddExp(ninf, ninf), ninf);
+}
+
+TEST(MathTest, LogAddExpLargeMagnitudes) {
+  EXPECT_NEAR(LogAddExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogAddExp(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpMatchesDirect) {
+  std::vector<double> v = {0.1, -0.5, 2.0, 1.0};
+  double direct = 0.0;
+  for (double x : v) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(v), std::log(direct), 1e-12);
+}
+
+TEST(MathTest, LogSumExpEmpty) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, NormalCdfValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(MathTest, Distances) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {2.0, 0.0, 3.0};
+  EXPECT_NEAR(L1Distance(a, b), 3.0, 1e-12);
+  EXPECT_NEAR(SquaredL2Distance(a, b), 5.0, 1e-12);
+}
+
+TEST(MathTest, LogBinomialCoefficient) {
+  EXPECT_NEAR(LogBinomialCoefficient(10, 3), std::log(120.0), 1e-9);
+  EXPECT_EQ(LogBinomialCoefficient(5, 6),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, BinomialMeanDeviationMatchesMonteCarlo) {
+  // E|p - k/n| for Binomial(50, 0.3) via simulation.
+  const int64_t n = 50;
+  const double p = 0.3;
+  double expected = BinomialMeanDeviation(n, p);
+  Rng rng(77);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    int64_t k = 0;
+    for (int j = 0; j < n; ++j) k += rng.Uniform() < p ? 1 : 0;
+    sum += std::fabs(p - static_cast<double>(k) / n);
+  }
+  EXPECT_NEAR(expected, sum / trials, 3e-3);
+}
+
+TEST(MathTest, BinomialMeanDeviationDegenerate) {
+  EXPECT_EQ(BinomialMeanDeviation(10, 0.0), 0.0);
+  EXPECT_EQ(BinomialMeanDeviation(10, 1.0), 0.0);
+}
+
+namespace {
+double Quadratic(double x, const void*) { return (x - 3.0) * (x - 3.0); }
+}  // namespace
+
+TEST(MathTest, GoldenSectionFindsMinimum) {
+  double x = GoldenSectionMinimize(&Quadratic, nullptr, -10.0, 10.0, 100);
+  EXPECT_NEAR(x, 3.0, 1e-6);
+}
+
+// ------------------------------------------------------------- status -----
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ strings -----
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(StripWhitespace("  hi \t"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble(" 3.5 ", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_FALSE(ParseInt64("17.5", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,187 @@
+// aim_cli: end-to-end command-line synthesizer.
+//
+//   aim_cli --input=data.csv --output=synth.csv --epsilon=1.0
+//           [--delta=1e-9] [--workload=all3way|all2way|target:<attr>]
+//           [--bins=32] [--max_size_mb=80] [--records=N] [--seed=N]
+//           [--report]
+//
+// Reads a raw CSV (header row; categorical and numerical columns detected
+// automatically per Appendix A), runs AIM under the requested (epsilon,
+// delta) budget, writes integer-coded synthetic records to --output, and —
+// with --report — prints per-query 95% confidence bounds (Section 5) so a
+// data consumer can judge the quality of every workload marginal without
+// any further privacy cost.
+
+#include <iostream>
+#include <string>
+
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "dp/accountant.h"
+#include "eval/experiment.h"
+#include "marginal/marginal.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "uncertainty/bounds.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+struct CliFlags {
+  std::string input;
+  std::string output = "synthetic.csv";
+  double epsilon = 1.0;
+  double delta = 1e-9;
+  std::string workload = "all3way";
+  int bins = 32;
+  double max_size_mb = 80.0;
+  int64_t records = -1;
+  uint64_t seed = 0;
+  bool report = false;
+};
+
+int Usage() {
+  std::cerr << "usage: aim_cli --input=data.csv [--output=synth.csv]\n"
+            << "  --epsilon=F --delta=F     privacy budget (default 1.0, "
+               "1e-9)\n"
+            << "  --workload=all3way|all2way|target:<attribute name>\n"
+            << "  --bins=N                  numeric discretization bins "
+               "(default 32)\n"
+            << "  --max_size_mb=F           model capacity (default 80)\n"
+            << "  --records=N               synthetic records (default: "
+               "estimated input size)\n"
+            << "  --seed=N --report\n";
+  return 2;
+}
+
+bool Consume(const std::string& arg, const std::string& prefix,
+             std::string* rest) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *rest = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aim;
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i], value;
+    if (arg == "--report") {
+      flags.report = true;
+    } else if (Consume(arg, "--input=", &value)) {
+      flags.input = value;
+    } else if (Consume(arg, "--output=", &value)) {
+      flags.output = value;
+    } else if (Consume(arg, "--workload=", &value)) {
+      flags.workload = value;
+    } else if (Consume(arg, "--epsilon=", &value)) {
+      if (!ParseDouble(value, &flags.epsilon)) return Usage();
+    } else if (Consume(arg, "--delta=", &value)) {
+      if (!ParseDouble(value, &flags.delta)) return Usage();
+    } else if (Consume(arg, "--bins=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) return Usage();
+      flags.bins = static_cast<int>(v);
+    } else if (Consume(arg, "--max_size_mb=", &value)) {
+      if (!ParseDouble(value, &flags.max_size_mb)) return Usage();
+    } else if (Consume(arg, "--records=", &value)) {
+      if (!ParseInt64(value, &flags.records)) return Usage();
+    } else if (Consume(arg, "--seed=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v)) return Usage();
+      flags.seed = static_cast<uint64_t>(v);
+    } else {
+      return Usage();
+    }
+  }
+  if (flags.input.empty()) return Usage();
+
+  // ---- Load and preprocess.
+  StatusOr<RawTable> table = ReadCsv(flags.input);
+  if (!table.ok()) {
+    std::cerr << "error: " << table.status().ToString() << "\n";
+    return 1;
+  }
+  PreprocessOptions prep_options;
+  prep_options.num_bins = flags.bins;
+  StatusOr<PreprocessResult> prep = Preprocess(*table, prep_options);
+  if (!prep.ok()) {
+    std::cerr << "error: " << prep.status().ToString() << "\n";
+    return 1;
+  }
+  const Dataset& data = prep->dataset;
+  std::cerr << "loaded " << data.num_records() << " records, "
+            << data.domain().num_attributes() << " attributes\n";
+
+  // ---- Workload.
+  Workload workload;
+  if (flags.workload == "all3way") {
+    workload = AllKWayWorkload(
+        data.domain(), std::min(3, data.domain().num_attributes()));
+  } else if (flags.workload == "all2way") {
+    workload = AllKWayWorkload(
+        data.domain(), std::min(2, data.domain().num_attributes()));
+  } else if (flags.workload.rfind("target:", 0) == 0) {
+    std::string name = flags.workload.substr(7);
+    int target = data.domain().IndexOf(name);
+    if (target < 0) {
+      std::cerr << "error: no attribute named '" << name << "'\n";
+      return 1;
+    }
+    workload = TargetWorkload(
+        data.domain(), std::min(3, data.domain().num_attributes()), target);
+  } else {
+    return Usage();
+  }
+  std::cerr << "workload: " << workload.num_queries() << " marginals ("
+            << flags.workload << ")\n";
+
+  // ---- Run AIM.
+  const double rho = CdpRho(flags.epsilon, flags.delta);
+  std::cerr << "privacy: (" << flags.epsilon << ", " << flags.delta
+            << ")-DP = " << rho << "-zCDP\n";
+  AimOptions options;
+  options.max_size_mb = flags.max_size_mb;
+  options.synthetic_records = flags.records;
+  options.record_candidates = flags.report;
+  AimMechanism mechanism(options);
+  Rng rng(flags.seed + 0x41494D);
+  MechanismResult result = mechanism.Run(data, workload, rho, rng);
+  std::cerr << "AIM: " << result.rounds << " rounds, "
+            << result.log.measurements.size() << " measurements, "
+            << result.seconds << "s\n";
+
+  // ---- Write output.
+  Status status = WriteCsv(result.synthetic, flags.output);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << result.synthetic.num_records() << " records to "
+            << flags.output << " (integer-coded; bins/categories per "
+            << "Appendix-A preprocessing)\n";
+
+  // ---- Optional quality report.
+  if (flags.report) {
+    UncertaintyQuantifier uq(data.domain(), result);
+    TablePrinter report({"workload_marginal", "cells", "supported",
+                         "error_bound_95(L1 counts)"});
+    for (const auto& q : workload.queries()) {
+      auto bound = uq.BoundFor(q.attrs, result.synthetic);
+      std::string names;
+      for (int attr : q.attrs) {
+        if (!names.empty()) names += "*";
+        names += data.domain().name(attr);
+      }
+      report.AddRow(
+          {names, std::to_string(MarginalSize(data.domain(), q.attrs)),
+           bound.has_value() ? (bound->supported ? "yes" : "no") : "?",
+           bound.has_value() ? FormatG(bound->bound) : "n/a"});
+    }
+    report.Print(std::cout);
+  }
+  return 0;
+}
