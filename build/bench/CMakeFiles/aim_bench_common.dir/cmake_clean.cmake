@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/aim_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/aim_bench_common.dir/fig_workload.cc.o"
+  "CMakeFiles/aim_bench_common.dir/fig_workload.cc.o.d"
+  "libaim_bench_common.a"
+  "libaim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aim.dir/bench_ablation_aim.cc.o"
+  "CMakeFiles/bench_ablation_aim.dir/bench_ablation_aim.cc.o.d"
+  "bench_ablation_aim"
+  "bench_ablation_aim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

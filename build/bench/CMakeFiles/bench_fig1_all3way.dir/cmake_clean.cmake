@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_all3way.dir/bench_fig1_all3way.cc.o"
+  "CMakeFiles/bench_fig1_all3way.dir/bench_fig1_all3way.cc.o.d"
+  "bench_fig1_all3way"
+  "bench_fig1_all3way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_all3way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

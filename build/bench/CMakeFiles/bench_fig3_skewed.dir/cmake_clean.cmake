@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_skewed.dir/bench_fig3_skewed.cc.o"
+  "CMakeFiles/bench_fig3_skewed.dir/bench_fig3_skewed.cc.o.d"
+  "bench_fig3_skewed"
+  "bench_fig3_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

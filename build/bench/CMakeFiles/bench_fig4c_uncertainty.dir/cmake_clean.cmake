@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_uncertainty.dir/bench_fig4c_uncertainty.cc.o"
+  "CMakeFiles/bench_fig4c_uncertainty.dir/bench_fig4c_uncertainty.cc.o.d"
+  "bench_fig4c_uncertainty"
+  "bench_fig4c_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

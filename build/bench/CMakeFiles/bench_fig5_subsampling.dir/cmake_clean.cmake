@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_subsampling.dir/bench_fig5_subsampling.cc.o"
+  "CMakeFiles/bench_fig5_subsampling.dir/bench_fig5_subsampling.cc.o.d"
+  "bench_fig5_subsampling"
+  "bench_fig5_subsampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_subsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

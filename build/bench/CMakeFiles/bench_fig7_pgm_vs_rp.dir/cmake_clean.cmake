@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pgm_vs_rp.dir/bench_fig7_pgm_vs_rp.cc.o"
+  "CMakeFiles/bench_fig7_pgm_vs_rp.dir/bench_fig7_pgm_vs_rp.cc.o.d"
+  "bench_fig7_pgm_vs_rp"
+  "bench_fig7_pgm_vs_rp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pgm_vs_rp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_datasets.cc" "bench/CMakeFiles/bench_table2_datasets.dir/bench_table2_datasets.cc.o" "gcc" "bench/CMakeFiles/bench_table2_datasets.dir/bench_table2_datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/aim_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/aim_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncertainty/CMakeFiles/aim_uncertainty.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanisms/CMakeFiles/aim_mechanisms.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgm/CMakeFiles/aim_pgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/aim_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/factor/CMakeFiles/aim_factor.dir/DependInfo.cmake"
+  "/root/repo/build/src/marginal/CMakeFiles/aim_marginal.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

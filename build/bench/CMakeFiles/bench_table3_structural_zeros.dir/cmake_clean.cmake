@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_structural_zeros.dir/bench_table3_structural_zeros.cc.o"
+  "CMakeFiles/bench_table3_structural_zeros.dir/bench_table3_structural_zeros.cc.o.d"
+  "bench_table3_structural_zeros"
+  "bench_table3_structural_zeros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_structural_zeros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

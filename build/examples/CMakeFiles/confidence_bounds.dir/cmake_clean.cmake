@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_bounds.dir/confidence_bounds.cpp.o"
+  "CMakeFiles/confidence_bounds.dir/confidence_bounds.cpp.o.d"
+  "confidence_bounds"
+  "confidence_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downstream_tasks.dir/downstream_tasks.cpp.o"
+  "CMakeFiles/downstream_tasks.dir/downstream_tasks.cpp.o.d"
+  "downstream_tasks"
+  "downstream_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downstream_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

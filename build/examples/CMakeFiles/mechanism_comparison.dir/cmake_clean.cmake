@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_comparison.dir/mechanism_comparison.cpp.o"
+  "CMakeFiles/mechanism_comparison.dir/mechanism_comparison.cpp.o.d"
+  "mechanism_comparison"
+  "mechanism_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

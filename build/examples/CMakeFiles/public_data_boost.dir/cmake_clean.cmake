@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_data_boost.dir/public_data_boost.cpp.o"
+  "CMakeFiles/public_data_boost.dir/public_data_boost.cpp.o.d"
+  "public_data_boost"
+  "public_data_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_data_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

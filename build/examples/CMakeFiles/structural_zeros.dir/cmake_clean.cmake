@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_zeros.dir/structural_zeros.cpp.o"
+  "CMakeFiles/structural_zeros.dir/structural_zeros.cpp.o.d"
+  "structural_zeros"
+  "structural_zeros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_zeros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for structural_zeros.
+# This may be replaced when dependencies are built.

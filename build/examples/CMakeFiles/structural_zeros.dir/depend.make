@@ -1,0 +1,2 @@
+# Empty dependencies file for structural_zeros.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/aim_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/aim_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/aim_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/aim_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/domain.cc" "src/data/CMakeFiles/aim_data.dir/domain.cc.o" "gcc" "src/data/CMakeFiles/aim_data.dir/domain.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/data/CMakeFiles/aim_data.dir/preprocess.cc.o" "gcc" "src/data/CMakeFiles/aim_data.dir/preprocess.cc.o.d"
+  "/root/repo/src/data/simulators.cc" "src/data/CMakeFiles/aim_data.dir/simulators.cc.o" "gcc" "src/data/CMakeFiles/aim_data.dir/simulators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

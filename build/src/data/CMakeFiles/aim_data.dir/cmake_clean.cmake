@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_data.dir/csv.cc.o"
+  "CMakeFiles/aim_data.dir/csv.cc.o.d"
+  "CMakeFiles/aim_data.dir/dataset.cc.o"
+  "CMakeFiles/aim_data.dir/dataset.cc.o.d"
+  "CMakeFiles/aim_data.dir/domain.cc.o"
+  "CMakeFiles/aim_data.dir/domain.cc.o.d"
+  "CMakeFiles/aim_data.dir/preprocess.cc.o"
+  "CMakeFiles/aim_data.dir/preprocess.cc.o.d"
+  "CMakeFiles/aim_data.dir/simulators.cc.o"
+  "CMakeFiles/aim_data.dir/simulators.cc.o.d"
+  "libaim_data.a"
+  "libaim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

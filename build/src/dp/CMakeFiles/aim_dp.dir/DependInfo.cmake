@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/accountant.cc" "src/dp/CMakeFiles/aim_dp.dir/accountant.cc.o" "gcc" "src/dp/CMakeFiles/aim_dp.dir/accountant.cc.o.d"
+  "/root/repo/src/dp/mechanisms.cc" "src/dp/CMakeFiles/aim_dp.dir/mechanisms.cc.o" "gcc" "src/dp/CMakeFiles/aim_dp.dir/mechanisms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_dp.dir/accountant.cc.o"
+  "CMakeFiles/aim_dp.dir/accountant.cc.o.d"
+  "CMakeFiles/aim_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/aim_dp.dir/mechanisms.cc.o.d"
+  "libaim_dp.a"
+  "libaim_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

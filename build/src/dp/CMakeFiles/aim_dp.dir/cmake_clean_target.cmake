@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaim_dp.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_eval.dir/error.cc.o"
+  "CMakeFiles/aim_eval.dir/error.cc.o.d"
+  "CMakeFiles/aim_eval.dir/experiment.cc.o"
+  "CMakeFiles/aim_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/aim_eval.dir/ml_efficacy.cc.o"
+  "CMakeFiles/aim_eval.dir/ml_efficacy.cc.o.d"
+  "libaim_eval.a"
+  "libaim_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_factor.dir/factor.cc.o"
+  "CMakeFiles/aim_factor.dir/factor.cc.o.d"
+  "libaim_factor.a"
+  "libaim_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

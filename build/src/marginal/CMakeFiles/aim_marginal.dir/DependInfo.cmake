@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marginal/attr_set.cc" "src/marginal/CMakeFiles/aim_marginal.dir/attr_set.cc.o" "gcc" "src/marginal/CMakeFiles/aim_marginal.dir/attr_set.cc.o.d"
+  "/root/repo/src/marginal/linear_query.cc" "src/marginal/CMakeFiles/aim_marginal.dir/linear_query.cc.o" "gcc" "src/marginal/CMakeFiles/aim_marginal.dir/linear_query.cc.o.d"
+  "/root/repo/src/marginal/marginal.cc" "src/marginal/CMakeFiles/aim_marginal.dir/marginal.cc.o" "gcc" "src/marginal/CMakeFiles/aim_marginal.dir/marginal.cc.o.d"
+  "/root/repo/src/marginal/workload.cc" "src/marginal/CMakeFiles/aim_marginal.dir/workload.cc.o" "gcc" "src/marginal/CMakeFiles/aim_marginal.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/aim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

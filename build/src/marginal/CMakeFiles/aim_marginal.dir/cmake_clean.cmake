@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_marginal.dir/attr_set.cc.o"
+  "CMakeFiles/aim_marginal.dir/attr_set.cc.o.d"
+  "CMakeFiles/aim_marginal.dir/linear_query.cc.o"
+  "CMakeFiles/aim_marginal.dir/linear_query.cc.o.d"
+  "CMakeFiles/aim_marginal.dir/marginal.cc.o"
+  "CMakeFiles/aim_marginal.dir/marginal.cc.o.d"
+  "CMakeFiles/aim_marginal.dir/workload.cc.o"
+  "CMakeFiles/aim_marginal.dir/workload.cc.o.d"
+  "libaim_marginal.a"
+  "libaim_marginal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_marginal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

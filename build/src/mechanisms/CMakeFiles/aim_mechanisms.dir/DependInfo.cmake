@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanisms/aim.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/aim.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/aim.cc.o.d"
+  "/root/repo/src/mechanisms/gaussian_baseline.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/gaussian_baseline.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/gaussian_baseline.cc.o.d"
+  "/root/repo/src/mechanisms/gem.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/gem.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/gem.cc.o.d"
+  "/root/repo/src/mechanisms/independent.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/independent.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/independent.cc.o.d"
+  "/root/repo/src/mechanisms/mst.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/mst.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/mst.cc.o.d"
+  "/root/repo/src/mechanisms/mwem_pgm.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/mwem_pgm.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/mwem_pgm.cc.o.d"
+  "/root/repo/src/mechanisms/mwem_rp.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/mwem_rp.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/mwem_rp.cc.o.d"
+  "/root/repo/src/mechanisms/privbayes_pgm.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/privbayes_pgm.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/privbayes_pgm.cc.o.d"
+  "/root/repo/src/mechanisms/privmrf.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/privmrf.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/privmrf.cc.o.d"
+  "/root/repo/src/mechanisms/rap.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/rap.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/rap.cc.o.d"
+  "/root/repo/src/mechanisms/registry.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/registry.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/registry.cc.o.d"
+  "/root/repo/src/mechanisms/relaxed_projection.cc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/relaxed_projection.cc.o" "gcc" "src/mechanisms/CMakeFiles/aim_mechanisms.dir/relaxed_projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgm/CMakeFiles/aim_pgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/aim_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/factor/CMakeFiles/aim_factor.dir/DependInfo.cmake"
+  "/root/repo/build/src/marginal/CMakeFiles/aim_marginal.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

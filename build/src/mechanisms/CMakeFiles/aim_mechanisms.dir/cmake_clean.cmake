@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_mechanisms.dir/aim.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/aim.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/gaussian_baseline.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/gaussian_baseline.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/gem.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/gem.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/independent.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/independent.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/mst.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/mst.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/mwem_pgm.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/mwem_pgm.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/mwem_rp.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/mwem_rp.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/privbayes_pgm.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/privbayes_pgm.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/privmrf.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/privmrf.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/rap.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/rap.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/registry.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/registry.cc.o.d"
+  "CMakeFiles/aim_mechanisms.dir/relaxed_projection.cc.o"
+  "CMakeFiles/aim_mechanisms.dir/relaxed_projection.cc.o.d"
+  "libaim_mechanisms.a"
+  "libaim_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

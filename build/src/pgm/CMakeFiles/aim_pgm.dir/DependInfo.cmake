@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pgm/estimation.cc" "src/pgm/CMakeFiles/aim_pgm.dir/estimation.cc.o" "gcc" "src/pgm/CMakeFiles/aim_pgm.dir/estimation.cc.o.d"
+  "/root/repo/src/pgm/junction_tree.cc" "src/pgm/CMakeFiles/aim_pgm.dir/junction_tree.cc.o" "gcc" "src/pgm/CMakeFiles/aim_pgm.dir/junction_tree.cc.o.d"
+  "/root/repo/src/pgm/markov_random_field.cc" "src/pgm/CMakeFiles/aim_pgm.dir/markov_random_field.cc.o" "gcc" "src/pgm/CMakeFiles/aim_pgm.dir/markov_random_field.cc.o.d"
+  "/root/repo/src/pgm/synthetic.cc" "src/pgm/CMakeFiles/aim_pgm.dir/synthetic.cc.o" "gcc" "src/pgm/CMakeFiles/aim_pgm.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/factor/CMakeFiles/aim_factor.dir/DependInfo.cmake"
+  "/root/repo/build/src/marginal/CMakeFiles/aim_marginal.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

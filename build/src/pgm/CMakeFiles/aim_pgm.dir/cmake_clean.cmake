@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_pgm.dir/estimation.cc.o"
+  "CMakeFiles/aim_pgm.dir/estimation.cc.o.d"
+  "CMakeFiles/aim_pgm.dir/junction_tree.cc.o"
+  "CMakeFiles/aim_pgm.dir/junction_tree.cc.o.d"
+  "CMakeFiles/aim_pgm.dir/markov_random_field.cc.o"
+  "CMakeFiles/aim_pgm.dir/markov_random_field.cc.o.d"
+  "CMakeFiles/aim_pgm.dir/synthetic.cc.o"
+  "CMakeFiles/aim_pgm.dir/synthetic.cc.o.d"
+  "libaim_pgm.a"
+  "libaim_pgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_pgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

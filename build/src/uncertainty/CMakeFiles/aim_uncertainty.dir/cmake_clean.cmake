@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_uncertainty.dir/bounds.cc.o"
+  "CMakeFiles/aim_uncertainty.dir/bounds.cc.o.d"
+  "CMakeFiles/aim_uncertainty.dir/estimators.cc.o"
+  "CMakeFiles/aim_uncertainty.dir/estimators.cc.o.d"
+  "CMakeFiles/aim_uncertainty.dir/subsampling.cc.o"
+  "CMakeFiles/aim_uncertainty.dir/subsampling.cc.o.d"
+  "libaim_uncertainty.a"
+  "libaim_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_util.dir/math.cc.o"
+  "CMakeFiles/aim_util.dir/math.cc.o.d"
+  "CMakeFiles/aim_util.dir/rng.cc.o"
+  "CMakeFiles/aim_util.dir/rng.cc.o.d"
+  "CMakeFiles/aim_util.dir/status.cc.o"
+  "CMakeFiles/aim_util.dir/status.cc.o.d"
+  "CMakeFiles/aim_util.dir/strings.cc.o"
+  "CMakeFiles/aim_util.dir/strings.cc.o.d"
+  "libaim_util.a"
+  "libaim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

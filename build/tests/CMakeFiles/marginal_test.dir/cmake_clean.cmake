@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marginal_test.dir/marginal_test.cc.o"
+  "CMakeFiles/marginal_test.dir/marginal_test.cc.o.d"
+  "marginal_test"
+  "marginal_test.pdb"
+  "marginal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marginal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_test.dir/uncertainty_test.cc.o"
+  "CMakeFiles/uncertainty_test.dir/uncertainty_test.cc.o.d"
+  "uncertainty_test"
+  "uncertainty_test.pdb"
+  "uncertainty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/marginal_test[1]_include.cmake")
+include("/root/repo/build/tests/factor_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_test[1]_include.cmake")
+include("/root/repo/build/tests/pgm_test[1]_include.cmake")
+include("/root/repo/build/tests/mechanisms_test[1]_include.cmake")
+include("/root/repo/build/tests/uncertainty_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/extras_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/downstream_test[1]_include.cmake")
+include("/root/repo/build/tests/randomized_model_test[1]_include.cmake")
