@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "eval/experiment.h"
+#include "parallel/thread_pool.h"
 #include "util/strings.h"
 
 namespace aim {
@@ -24,6 +25,8 @@ namespace {
       << "  --max_size_mb=F   PGM model capacity (default 4)\n"
       << "  --mwem_rounds=N   rounds for MWEM/GEM variants (0 = 2d)\n"
       << "  --round_iters=N --final_iters=N --rp_rows=N --rp_iters=N\n"
+      << "  --threads=N       worker threads (default: AIM_THREADS env or"
+         " hardware)\n"
       << "  --full            paper-fidelity settings (slow)\n";
   std::exit(2);
 }
@@ -98,6 +101,10 @@ BenchFlags ParseFlags(int argc, char** argv) {
       flags.rp_iters = static_cast<int>(v);
     } else if (ConsumePrefix(arg, "--rp_max_cells=", &value)) {
       if (!ParseInt64(value, &flags.rp_max_cells)) Usage(argv[0]);
+    } else if (ConsumePrefix(arg, "--threads=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v) || v < 0) Usage(argv[0]);
+      flags.threads = static_cast<int>(v);
     } else {
       Usage(argv[0]);
     }
@@ -113,6 +120,7 @@ BenchFlags ParseFlags(int argc, char** argv) {
     flags.rp_max_cells = 200000;
     flags.mwem_rounds = 0;  // the mechanisms' own 2d default
   }
+  SetParallelThreads(flags.threads);
   return flags;
 }
 

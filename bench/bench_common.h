@@ -44,13 +44,17 @@ struct BenchFlags {
   int rp_rows = 32;
   int rp_iters = 20;
   int64_t rp_max_cells = 20000;
+  // Worker threads for the parallel runtime (0 = automatic: AIM_THREADS
+  // env var, else hardware concurrency). ParseFlags applies this to the
+  // global pool, so trials, candidate scoring, and inference all use it.
+  int threads = 0;
 };
 
 // Parses --flag=value style arguments; prints usage and exits on --help or
 // malformed input. Recognized flags: --scale, --trials, --csv, --seed,
 // --eps (comma list), --mechanisms (comma list), --datasets (comma list),
 // --max_size_mb, --full, --round_iters, --final_iters, --rp_rows,
-// --rp_iters.
+// --rp_iters, --threads.
 BenchFlags ParseFlags(int argc, char** argv);
 
 // Registry options derived from the flags.

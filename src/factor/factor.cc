@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "parallel/parallel.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -32,19 +33,37 @@ std::vector<int64_t> StridesInto(const std::vector<int>& super_attrs,
   return out;
 }
 
-// Iterates over all cells of a factor with axes `sizes`, maintaining a set
-// of derived linear indices (one per stride vector). Calls fn(cell_indices)
-// once per cell in row-major order (last axis fastest).
+// Cell count below which element-wise loops stay serial (the chunking
+// overhead outweighs the work).
+constexpr int64_t kParallelCellThreshold = 1 << 15;
+// Cells per chunk for parallel element-wise loops. Fixed (never derived
+// from the thread count) so chunk boundaries — and therefore any chunked
+// arithmetic — are identical at every parallelism level.
+constexpr int64_t kCellGrain = 1 << 14;
+
+// Iterates cells [cell_begin, cell_end) of a factor with axes `sizes` in
+// row-major order (last axis fastest), maintaining a set of derived linear
+// indices (one per stride vector). Calls fn(cell, derived_indices) once per
+// cell. Seeking to cell_begin is O(rank), so a chunked caller can start
+// mid-tensor.
 template <int kNumDerived, typename Fn>
-void ForEachCell(const std::vector<int>& sizes,
-                 const std::vector<int64_t>* strides[kNumDerived], Fn&& fn) {
+void ForEachCellRange(const std::vector<int>& sizes,
+                      const std::vector<int64_t>* strides[kNumDerived],
+                      int64_t cell_begin, int64_t cell_end, Fn&& fn) {
   const int rank = static_cast<int>(sizes.size());
-  int64_t total = 1;
-  for (int s : sizes) total *= s;
   std::vector<int> coord(rank, 0);
   int64_t derived[kNumDerived] = {};
-  for (int64_t cell = 0; cell < total; ++cell) {
-    fn(derived);
+  // Decompose cell_begin into coordinates and derived offsets.
+  int64_t rem = cell_begin;
+  for (int axis = rank - 1; axis >= 0; --axis) {
+    coord[axis] = static_cast<int>(rem % sizes[axis]);
+    rem /= sizes[axis];
+    for (int k = 0; k < kNumDerived; ++k) {
+      derived[k] += coord[axis] * (*strides[k])[axis];
+    }
+  }
+  for (int64_t cell = cell_begin; cell < cell_end; ++cell) {
+    fn(cell, derived);
     // Odometer increment (last axis fastest).
     for (int axis = rank - 1; axis >= 0; --axis) {
       ++coord[axis];
@@ -60,6 +79,24 @@ void ForEachCell(const std::vector<int>& sizes,
       }
     }
   }
+}
+
+// Runs fn(cell, derived) over all cells — chunked across the pool when the
+// factor is large enough and every cell writes only to its own destination
+// (true for the gather-style loops below: dst is indexed by `cell`).
+template <int kNumDerived, typename Fn>
+void ForEachCellParallel(const std::vector<int>& sizes,
+                         const std::vector<int64_t>* strides[kNumDerived],
+                         int64_t total, Fn&& fn) {
+  if (total < kParallelCellThreshold) {
+    ForEachCellRange<kNumDerived>(sizes, strides, 0, total, fn);
+    return;
+  }
+  ParallelForChunks(0, total, kCellGrain,
+                    [&](int64_t lo, int64_t hi, int64_t /*chunk*/) {
+                      ForEachCellRange<kNumDerived>(sizes, strides, lo, hi,
+                                                    fn);
+                    });
 }
 
 }  // namespace
@@ -137,10 +174,10 @@ Factor BinaryOp(const Factor& a, const Factor& b, Op op) {
   double* dst = out.mutable_values().data();
   const double* av = a.values().data();
   const double* bv = b.values().data();
-  int64_t cell = 0;
-  ForEachCell<2>(sizes, strides, [&](const int64_t* idx) {
-    dst[cell++] = op(av[idx[0]], bv[idx[1]]);
-  });
+  ForEachCellParallel<2>(sizes, strides, out.num_cells(),
+                         [&](int64_t cell, const int64_t* idx) {
+                           dst[cell] = op(av[idx[0]], bv[idx[1]]);
+                         });
   return out;
 }
 
@@ -166,10 +203,10 @@ void Factor::AddInPlace(const Factor& other, double scale) {
   const std::vector<int64_t>* strides[1] = {&other_strides};
   double* dst = values_.data();
   const double* src = other.values_.data();
-  int64_t cell = 0;
-  ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
-    dst[cell++] += scale * src[idx[0]];
-  });
+  ForEachCellParallel<1>(sizes_, strides, num_cells(),
+                         [&](int64_t cell, const int64_t* idx) {
+                           dst[cell] += scale * src[idx[0]];
+                         });
 }
 
 void Factor::ScaleInPlace(double factor) {
@@ -190,10 +227,13 @@ Factor Factor::SumTo(const AttrSet& target) const {
   const std::vector<int64_t>* strides[1] = {&out_strides};
   double* dst = out.values_.data();
   const double* src = values_.data();
-  int64_t cell = 0;
-  ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
-    dst[idx[0]] += src[cell++];
-  });
+  // Scatter-add into dst[idx] — destinations collide across cells, so this
+  // stays serial (parallelizing would need per-thread partials keyed by
+  // destination, which the small output rarely justifies).
+  ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
+                      [&](int64_t cell, const int64_t* idx) {
+                        dst[idx[0]] += src[cell];
+                      });
   return out;
 }
 
@@ -205,14 +245,16 @@ Factor Factor::LogSumExpTo(const AttrSet& target) const {
   std::vector<int64_t> out_strides =
       StridesInto(attrs_, maxes.attrs_, maxes.sizes_);
   const std::vector<int64_t>* strides[1] = {&out_strides};
+  // Both passes scatter into dst[idx] (colliding destinations): serial, as
+  // in SumTo.
   // Pass 1: per-destination max.
   {
     double* dst = maxes.values_.data();
     const double* src = values_.data();
-    int64_t cell = 0;
-    ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
-      dst[idx[0]] = std::max(dst[idx[0]], src[cell++]);
-    });
+    ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
+                        [&](int64_t cell, const int64_t* idx) {
+                          dst[idx[0]] = std::max(dst[idx[0]], src[cell]);
+                        });
   }
   // Pass 2: accumulate exp(v - max).
   Factor out(maxes.attrs_, maxes.sizes_, 0.0);
@@ -220,12 +262,14 @@ Factor Factor::LogSumExpTo(const AttrSet& target) const {
     double* dst = out.values_.data();
     const double* mx = maxes.values_.data();
     const double* src = values_.data();
-    int64_t cell = 0;
-    ForEachCell<1>(sizes_, strides, [&](const int64_t* idx) {
-      double m = mx[idx[0]];
-      double v = src[cell++];
-      if (!(std::isinf(m) && m < 0)) dst[idx[0]] += std::exp(v - m);
-    });
+    ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
+                        [&](int64_t cell, const int64_t* idx) {
+                          double m = mx[idx[0]];
+                          double v = src[cell];
+                          if (!(std::isinf(m) && m < 0)) {
+                            dst[idx[0]] += std::exp(v - m);
+                          }
+                        });
   }
   for (int64_t i = 0; i < out.num_cells(); ++i) {
     double m = maxes.values_[i];
@@ -247,17 +291,29 @@ double Factor::Max() const {
 
 Factor Factor::Exp(double shift) const {
   Factor out(attrs_, sizes_);
-  for (int64_t i = 0; i < num_cells(); ++i) {
-    out.values_[i] = std::exp(values_[i] - shift);
+  if (num_cells() < kParallelCellThreshold) {
+    for (int64_t i = 0; i < num_cells(); ++i) {
+      out.values_[i] = std::exp(values_[i] - shift);
+    }
+    return out;
   }
+  ParallelFor(0, num_cells(), kCellGrain, [&](int64_t i) {
+    out.values_[i] = std::exp(values_[i] - shift);
+  });
   return out;
 }
 
 Factor Factor::Log() const {
   Factor out(attrs_, sizes_);
-  for (int64_t i = 0; i < num_cells(); ++i) {
-    out.values_[i] = values_[i] > 0 ? std::log(values_[i]) : kNegInf;
+  if (num_cells() < kParallelCellThreshold) {
+    for (int64_t i = 0; i < num_cells(); ++i) {
+      out.values_[i] = values_[i] > 0 ? std::log(values_[i]) : kNegInf;
+    }
+    return out;
   }
+  ParallelFor(0, num_cells(), kCellGrain, [&](int64_t i) {
+    out.values_[i] = values_[i] > 0 ? std::log(values_[i]) : kNegInf;
+  });
   return out;
 }
 

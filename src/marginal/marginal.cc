@@ -1,5 +1,8 @@
 #include "marginal/marginal.h"
 
+#include <algorithm>
+
+#include "parallel/parallel.h"
 #include "util/logging.h"
 
 namespace aim {
@@ -42,9 +45,28 @@ std::vector<int> MarginalIndexer::TupleOfIndex(int64_t index) const {
 std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs,
                                     double weight) {
   MarginalIndexer indexer(data.domain(), attrs);
+  const int64_t n = data.num_records();
+  // Records are partitioned into chunks, each chunk counts into its own
+  // histogram, and the histograms merge in chunk order. The chunk plan
+  // depends only on (n, cells) — never the thread count — so the result is
+  // bitwise identical at any parallelism level. The grain floor bounds the
+  // scratch histograms at ~8 MB for wide marginals.
+  constexpr int64_t kRowGrain = 16384;
+  const int64_t max_chunks = std::clamp<int64_t>(
+      (int64_t{8} << 20) / (8 * std::max<int64_t>(1, indexer.size())), 1, 64);
+  const int64_t grain =
+      std::max(kRowGrain, (n + max_chunks - 1) / std::max<int64_t>(1, max_chunks));
+  std::vector<std::vector<double>> partial = ParallelMapChunks(
+      0, n, grain, [&](int64_t row_begin, int64_t row_end) {
+        std::vector<double> local(indexer.size(), 0.0);
+        for (int64_t row = row_begin; row < row_end; ++row) {
+          local[indexer.IndexOfRecord(data, row)] += weight;
+        }
+        return local;
+      });
   std::vector<double> counts(indexer.size(), 0.0);
-  for (int64_t row = 0; row < data.num_records(); ++row) {
-    counts[indexer.IndexOfRecord(data, row)] += weight;
+  for (const std::vector<double>& local : partial) {
+    for (int64_t i = 0; i < indexer.size(); ++i) counts[i] += local[i];
   }
   return counts;
 }

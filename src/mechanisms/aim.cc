@@ -11,6 +11,7 @@
 #include "dp/accountant.h"
 #include "dp/mechanisms.h"
 #include "marginal/marginal.h"
+#include "parallel/parallel.h"
 #include "pgm/junction_tree.h"
 #include "pgm/synthetic.h"
 #include "util/logging.h"
@@ -173,28 +174,30 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     }
     filter.Spend(round_rho);  // Line 12
 
-    // Line 13: candidates filtered by the growing JT-SIZE allowance.
+    // Line 13: candidates filtered by the growing JT-SIZE allowance. The
+    // triangulation oracle is pure, so all candidate sizes evaluate in
+    // parallel (each chunk works on its own copy of the clique list).
     auto t_filter = now();
     const double size_cap =
         (filter.spent() / rho) * options_.max_size_mb;
+    std::vector<double> candidate_sizes = ParallelMap(
+        static_cast<int64_t>(pool.size()), [&](int64_t i) {
+          std::vector<AttrSet> cliques = model_cliques;
+          cliques.push_back(pool[i]);
+          return JtSizeMb(domain, cliques);
+        });
     std::vector<int> candidate_ids;
     for (size_t i = 0; i < pool.size(); ++i) {
-      model_cliques.push_back(pool[i]);
-      double size_mb = JtSizeMb(domain, model_cliques);
-      model_cliques.pop_back();
-      if (size_mb <= size_cap) candidate_ids.push_back(static_cast<int>(i));
+      if (candidate_sizes[i] <= size_cap) {
+        candidate_ids.push_back(static_cast<int>(i));
+      }
     }
     if (candidate_ids.empty()) {
       // Degenerate cap: admit the candidate with the smallest model.
       int best = 0;
-      double best_size = 0.0;
-      for (size_t i = 0; i < pool.size(); ++i) {
-        model_cliques.push_back(pool[i]);
-        double size_mb = JtSizeMb(domain, model_cliques);
-        model_cliques.pop_back();
-        if (i == 0 || size_mb < best_size) {
+      for (size_t i = 1; i < pool.size(); ++i) {
+        if (candidate_sizes[i] < candidate_sizes[best]) {
           best = static_cast<int>(i);
-          best_size = size_mb;
         }
       }
       candidate_ids.push_back(best);
@@ -203,19 +206,41 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     // Line 14: exponential mechanism with the Equation-(1) quality score.
     auto t_score = now();
     time_filter += std::chrono::duration<double>(t_score - t_filter).count();
+    // Fill the data-marginal cache for any new candidates first (parallel
+    // over candidates; the map itself is only mutated here, serially), so
+    // the scoring pass below reads shared state that is strictly
+    // read-only.
+    std::vector<const AttrSet*> uncached;
+    for (int id : candidate_ids) {
+      const AttrSet& r = pool[id];
+      if (data_marginals.find(r) == data_marginals.end()) {
+        uncached.push_back(&r);
+      }
+    }
+    std::vector<std::vector<double>> fresh = ParallelMap(
+        static_cast<int64_t>(uncached.size()),
+        [&](int64_t k) { return ComputeMarginal(data, *uncached[k]); });
+    for (size_t k = 0; k < uncached.size(); ++k) {
+      data_marginals.emplace(*uncached[k], std::move(fresh[k]));
+    }
     std::vector<double> scores(candidate_ids.size());
     std::vector<double> sensitivities(candidate_ids.size());
+    ParallelFor(0, static_cast<int64_t>(candidate_ids.size()), 1,
+                [&](int64_t j) {
+                  const AttrSet& r = pool[candidate_ids[j]];
+                  double n_r = static_cast<double>(MarginalSize(domain, r));
+                  double penalty = options_.use_noise_penalty
+                                       ? kSqrt2OverPi * sigma * n_r
+                                       : n_r;
+                  double model_error = L1Distance(data_marginals.at(r),
+                                                  model.MarginalVector(r));
+                  const double w = weights.at(r);
+                  scores[j] = w * (model_error - penalty);
+                  sensitivities[j] = std::max(w, 1e-12);
+                });
     double sensitivity = 0.0;
-    for (size_t j = 0; j < candidate_ids.size(); ++j) {
-      const AttrSet& r = pool[candidate_ids[j]];
-      double n_r = static_cast<double>(MarginalSize(domain, r));
-      double penalty =
-          options_.use_noise_penalty ? kSqrt2OverPi * sigma * n_r : n_r;
-      double model_error =
-          L1Distance(true_marginal(r), model.MarginalVector(r));
-      scores[j] = weights[r] * (model_error - penalty);
-      sensitivities[j] = std::max(weights[r], 1e-12);
-      sensitivity = std::max(sensitivity, weights[r]);
+    for (int id : candidate_ids) {
+      sensitivity = std::max(sensitivity, weights.at(pool[id]));
     }
     if (sensitivity <= 0.0) sensitivity = 1.0;
     time_score += std::chrono::duration<double>(now() - t_score).count();

@@ -1,0 +1,165 @@
+#include "parallel/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace parallel_internal {
+namespace {
+
+// Set while a thread executes inside a parallel region; nested calls on
+// such a thread run serially.
+thread_local bool tl_in_region = false;
+
+// A shard is a half-open range of chunk indices packed into one atomic
+// word: owner pops from the front, thieves pop from the back. 32 bits per
+// endpoint bounds chunk counts at 2^31 (far above any loop here).
+uint64_t Pack(int64_t lo, int64_t hi) {
+  return (static_cast<uint64_t>(lo) << 32) | static_cast<uint64_t>(hi);
+}
+int64_t Lo(uint64_t r) { return static_cast<int64_t>(r >> 32); }
+int64_t Hi(uint64_t r) { return static_cast<int64_t>(r & 0xFFFFFFFFULL); }
+
+struct alignas(64) Shard {
+  std::atomic<uint64_t> range{0};
+};
+
+// Captures the exception of the lowest-numbered failing chunk.
+class FirstFailure {
+ public:
+  void Record(int64_t chunk, std::exception_ptr exception) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chunk < chunk_) {
+      chunk_ = chunk;
+      exception_ = std::move(exception);
+    }
+  }
+
+  void RethrowIfSet() {
+    if (exception_ != nullptr) std::rethrow_exception(exception_);
+  }
+
+ private:
+  std::mutex mu_;
+  int64_t chunk_ = std::numeric_limits<int64_t>::max();
+  std::exception_ptr exception_;
+};
+
+void RunChunksSerial(int64_t num_chunks,
+                     const std::function<void(int64_t)>& chunk_fn) {
+  // Matches the parallel path's semantics: every chunk runs even after a
+  // failure, and the lowest failing chunk's exception surfaces.
+  FirstFailure failure;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    try {
+      chunk_fn(c);
+    } catch (...) {
+      failure.Record(c, std::current_exception());
+    }
+  }
+  failure.RethrowIfSet();
+}
+
+}  // namespace
+
+bool InParallelRegion() { return tl_in_region; }
+
+ChunkPlan PlanChunks(int64_t begin, int64_t end, int64_t grain) {
+  ChunkPlan plan;
+  plan.begin = begin;
+  const int64_t n = end > begin ? end - begin : 0;
+  if (grain <= 0) grain = std::max<int64_t>(1, n / kAutoChunks);
+  plan.grain = grain;
+  plan.num_chunks = (n + grain - 1) / grain;
+  AIM_CHECK_LT(plan.num_chunks, int64_t{1} << 31);
+  return plan;
+}
+
+void RunChunks(int64_t num_chunks,
+               const std::function<void(int64_t)>& chunk_fn) {
+  if (num_chunks <= 0) return;
+  const int threads = ParallelThreads();
+  if (threads <= 1 || num_chunks == 1 || tl_in_region) {
+    RunChunksSerial(num_chunks, chunk_fn);
+    return;
+  }
+
+  ThreadPool& pool = GlobalThreadPool();
+  const int participants = pool.num_threads();
+  // Static partition of the chunk plan across participants; idle
+  // participants steal from the back of the richest shard. Which thread
+  // runs a chunk never affects the result, so scheduling stays free while
+  // the output is deterministic.
+  std::vector<Shard> shards(participants);
+  for (int p = 0; p < participants; ++p) {
+    const int64_t lo = num_chunks * p / participants;
+    const int64_t hi = num_chunks * (p + 1) / participants;
+    shards[p].range.store(Pack(lo, hi), std::memory_order_relaxed);
+  }
+
+  FirstFailure failure;
+  auto run_one = [&](int64_t chunk) {
+    try {
+      chunk_fn(chunk);
+    } catch (...) {
+      failure.Record(chunk, std::current_exception());
+    }
+  };
+
+  auto body = [&](int participant) {
+    tl_in_region = true;
+    // Drain the participant's own shard front-to-back.
+    for (;;) {
+      uint64_t r = shards[participant].range.load(std::memory_order_acquire);
+      const int64_t lo = Lo(r), hi = Hi(r);
+      if (lo >= hi) break;
+      if (shards[participant].range.compare_exchange_weak(
+              r, Pack(lo + 1, hi), std::memory_order_acq_rel)) {
+        run_one(lo);
+      }
+    }
+    // Steal single chunks from the back of the richest remaining shard
+    // until every shard is empty (so even a lone participant finishes the
+    // whole job — Dispatch may fall back to running body(0) alone).
+    for (;;) {
+      int victim = -1;
+      int64_t victim_remaining = 0;
+      for (int p = 0; p < participants; ++p) {
+        if (p == participant) continue;
+        uint64_t r = shards[p].range.load(std::memory_order_acquire);
+        const int64_t remaining = Hi(r) - Lo(r);
+        if (remaining > victim_remaining) {
+          victim = p;
+          victim_remaining = remaining;
+        }
+      }
+      if (victim < 0) break;
+      uint64_t r = shards[victim].range.load(std::memory_order_acquire);
+      const int64_t lo = Lo(r), hi = Hi(r);
+      if (lo >= hi) continue;  // lost the race; rescan
+      if (shards[victim].range.compare_exchange_weak(
+              r, Pack(lo, hi - 1), std::memory_order_acq_rel)) {
+        run_one(hi - 1);
+      }
+    }
+    tl_in_region = false;
+  };
+  pool.Dispatch(body);
+  failure.RethrowIfSet();
+}
+
+}  // namespace parallel_internal
+
+std::vector<Rng> ForkRngStreams(Rng& parent, int64_t n) {
+  AIM_CHECK_GE(n, 0);
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (int64_t i = 0; i < n; ++i) streams.push_back(parent.Fork());
+  return streams;
+}
+
+}  // namespace aim

@@ -1,0 +1,154 @@
+// Deterministic data-parallel primitives over the global thread pool.
+//
+// Determinism contract: every loop is split into a fixed chunk plan that
+// depends only on (begin, end, grain) — never on the thread count — and all
+// reductions combine per-chunk results in chunk order. A chunk is the unit
+// of scheduling (workers steal whole chunks), so as long as the body of
+// chunk c is a pure function of c and read-only shared state, results are
+// bitwise identical for every thread count, including threads=1, which
+// bypasses the pool entirely and runs the same chunks inline in order.
+//
+// Nested calls are safe: a ParallelFor issued from inside another parallel
+// region runs its chunks serially (in order) on the calling worker.
+//
+// Error propagation: exceptions thrown by a body are caught per chunk and
+// the one from the lowest-numbered chunk is rethrown on the calling thread
+// after every chunk has run; ParallelForStatus does the same for Status
+// returns without unwinding.
+
+#ifndef AIM_PARALLEL_PARALLEL_H_
+#define AIM_PARALLEL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aim {
+
+namespace parallel_internal {
+
+// Chunk plan for [begin, end): chunk c covers
+//   [begin + c * grain, min(begin + (c + 1) * grain, end)).
+// grain <= 0 selects an automatic grain targeting kAutoChunks chunks. The
+// plan is a function of (begin, end, grain) only (see determinism contract).
+inline constexpr int64_t kAutoChunks = 64;
+
+struct ChunkPlan {
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+};
+
+ChunkPlan PlanChunks(int64_t begin, int64_t end, int64_t grain);
+
+// Runs chunk_fn(c) for every c in [0, num_chunks) — work-stealing over the
+// global pool when profitable, serially in chunk order otherwise (threads=1,
+// nested region, or a single chunk). Runs every chunk even after a failure;
+// rethrows the captured exception of the lowest-numbered failing chunk.
+void RunChunks(int64_t num_chunks,
+               const std::function<void(int64_t)>& chunk_fn);
+
+// True while the calling thread is executing inside a parallel region.
+bool InParallelRegion();
+
+}  // namespace parallel_internal
+
+// Calls fn(chunk_begin, chunk_end, chunk_index) for every chunk of
+// [begin, end) under the fixed plan.
+template <typename Fn>
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  const parallel_internal::ChunkPlan plan =
+      parallel_internal::PlanChunks(begin, end, grain);
+  parallel_internal::RunChunks(plan.num_chunks, [&](int64_t c) {
+    const int64_t lo = plan.begin + c * plan.grain;
+    const int64_t hi = std::min(lo + plan.grain, end);
+    fn(lo, hi, c);
+  });
+}
+
+// Calls fn(i) for every i in [begin, end).
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&](int64_t lo, int64_t hi, int64_t /*chunk*/) {
+                      for (int64_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+// Returns {fn(0), ..., fn(n - 1)} in index order. The element type must be
+// default-constructible.
+template <typename Fn>
+auto ParallelMap(int64_t n, Fn&& fn, int64_t grain = 1)
+    -> std::vector<decltype(fn(int64_t{}))> {
+  std::vector<decltype(fn(int64_t{}))> out(n);
+  ParallelFor(0, n, grain, [&](int64_t i) { out[i] = fn(i); });
+  return out;
+}
+
+// Returns the per-chunk results {fn(chunk_begin_0, chunk_end_0), ...} in
+// chunk order — the building block for ordered reductions over scratch
+// buffers (e.g. per-chunk histograms).
+template <typename Fn>
+auto ParallelMapChunks(int64_t begin, int64_t end, int64_t grain, Fn&& fn)
+    -> std::vector<decltype(fn(int64_t{}, int64_t{}))> {
+  const parallel_internal::ChunkPlan plan =
+      parallel_internal::PlanChunks(begin, end, grain);
+  std::vector<decltype(fn(int64_t{}, int64_t{}))> out(plan.num_chunks);
+  ParallelForChunks(begin, end, grain,
+                    [&](int64_t lo, int64_t hi, int64_t c) {
+                      out[c] = fn(lo, hi);
+                    });
+  return out;
+}
+
+// Ordered parallel reduction: out = combine(...combine(combine(identity,
+// map(chunk_0)), map(chunk_1))...) with chunks in order, so floating-point
+// results do not depend on the thread count.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity,
+                 MapFn&& map, CombineFn&& combine) {
+  auto partial = ParallelMapChunks(begin, end, grain,
+                                   std::forward<MapFn>(map));
+  T out = std::move(identity);
+  for (auto& p : partial) out = combine(std::move(out), std::move(p));
+  return out;
+}
+
+// fn(i) -> Status for i in [begin, end). Runs all chunks; within a chunk,
+// stops at that chunk's first failure. Returns the failure from the
+// lowest-numbered failing chunk, else OK — independent of thread count.
+template <typename Fn>
+Status ParallelForStatus(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  const parallel_internal::ChunkPlan plan =
+      parallel_internal::PlanChunks(begin, end, grain);
+  std::vector<Status> statuses(plan.num_chunks);
+  ParallelForChunks(begin, end, grain,
+                    [&](int64_t lo, int64_t hi, int64_t c) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        Status s = fn(i);
+                        if (!s.ok()) {
+                          statuses[c] = std::move(s);
+                          break;
+                        }
+                      }
+                    });
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::Ok();
+}
+
+// Derives n independent child generators from `parent` by sequential
+// Fork() on the calling thread: stream i is a pure function of the parent
+// state and i, so handing stream i to chunk i keeps randomized parallel
+// loops deterministic for any thread count. Advances `parent` n times.
+std::vector<Rng> ForkRngStreams(Rng& parent, int64_t n);
+
+}  // namespace aim
+
+#endif  // AIM_PARALLEL_PARALLEL_H_

@@ -1,0 +1,119 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace aim {
+namespace {
+
+std::mutex g_config_mu;
+int g_requested_threads = 0;  // 0 = automatic
+ThreadPool* g_pool = nullptr;  // intentionally leaked (workers park at exit)
+
+// AIM_THREADS environment override, else the hardware thread count.
+int AutoThreads() {
+  const char* env = std::getenv("AIM_THREADS");
+  if (env != nullptr) {
+    int64_t n = 0;
+    if (ParseInt64(env, &n) && n >= 1) return static_cast<int>(n);
+  }
+  return HardwareThreads();
+}
+
+int ResolveThreads() {
+  return g_requested_threads >= 1 ? g_requested_threads : AutoThreads();
+}
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void SetParallelThreads(int n) {
+  AIM_CHECK_GE(n, 0);
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_requested_threads = n;
+  if (g_pool != nullptr && g_pool->num_threads() != ResolveThreads()) {
+    delete g_pool;
+    g_pool = nullptr;
+  }
+}
+
+int ParallelThreads() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return ResolveThreads();
+}
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  if (g_pool == nullptr) g_pool = new ThreadPool(ResolveThreads());
+  return *g_pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  AIM_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads_ - 1);
+  for (int p = 1; p < num_threads_; ++p) {
+    workers_.emplace_back([this, p] { WorkerLoop(p); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Dispatch(const std::function<void(int)>& body) {
+  if (workers_.empty()) {
+    body(0);
+    return;
+  }
+  std::unique_lock<std::mutex> dispatch_lock(dispatch_mu_, std::try_to_lock);
+  if (!dispatch_lock.owns_lock()) {
+    // Another thread is mid-dispatch; run the job alone rather than block.
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    ++generation_;
+    pending_ = num_threads_ - 1;
+  }
+  job_cv_.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int participant) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock,
+                   [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(participant);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace aim

@@ -1,0 +1,85 @@
+// Fixed-size worker thread pool behind the ParallelFor/ParallelMap
+// primitives (parallel/parallel.h).
+//
+// Design constraints (see DESIGN.md "Threading model"):
+//  - One lazily created global pool shared by the whole process, sized from
+//    SetParallelThreads (--threads) or the AIM_THREADS environment variable,
+//    defaulting to std::thread::hardware_concurrency().
+//  - Dispatch() runs a job body on the calling thread plus every worker;
+//    work distribution between participants is the caller's responsibility
+//    (parallel.h uses a chunk queue with work stealing, so any subset of
+//    participants can drain the whole job).
+//  - A pool of size 1 owns no threads: Dispatch() degenerates to a plain
+//    call of body(0) on the caller, so threads=1 bypasses all machinery.
+
+#ifndef AIM_PARALLEL_THREAD_POOL_H_
+#define AIM_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aim {
+
+// std::thread::hardware_concurrency() with a floor of 1.
+int HardwareThreads();
+
+// Sets the global pool size used by ParallelFor/ParallelMap. n >= 1 forces
+// that many participants; n == 0 restores the automatic default
+// (AIM_THREADS environment variable if set, else HardwareThreads()). Must
+// not be called while a parallel region is executing; the existing pool is
+// torn down and rebuilt lazily at the next parallel call.
+void SetParallelThreads(int n);
+
+// The currently effective participant count (>= 1).
+int ParallelThreads();
+
+class ThreadPool {
+ public:
+  // Starts num_threads - 1 worker threads (the caller of Dispatch is the
+  // remaining participant). num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+
+  // Joins all workers. No Dispatch may be in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs body(p) for every participant p in [0, num_threads): p == 0 on the
+  // calling thread, p >= 1 on the workers. Returns once every participant's
+  // body has returned. Reentrant calls (from a worker, or from a second
+  // thread while a dispatch is in flight) degrade to body(0) on the caller
+  // alone; body must therefore be written so a lone participant completes
+  // the job.
+  void Dispatch(const std::function<void(int)>& body);
+
+ private:
+  void WorkerLoop(int participant);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex dispatch_mu_;  // serializes whole Dispatch calls
+
+  std::mutex mu_;  // guards the fields below
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+// The process-wide pool at the currently configured size, created on first
+// use. Never destroyed (workers park on a condition variable at exit).
+ThreadPool& GlobalThreadPool();
+
+}  // namespace aim
+
+#endif  // AIM_PARALLEL_THREAD_POOL_H_

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "marginal/marginal.h"
+#include "parallel/parallel.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -29,11 +30,17 @@ double EstimateTotal(const std::vector<Measurement>& measurements) {
 
 double EstimationObjective(const MarkovRandomField& model,
                            const std::vector<Measurement>& measurements) {
+  // Each term reads only the calibrated model; terms are computed in
+  // parallel and summed in measurement order, so the result is bitwise
+  // identical to the serial loop at any thread count.
+  std::vector<double> terms = ParallelMap(
+      static_cast<int64_t>(measurements.size()), [&](int64_t i) {
+        const Measurement& m = measurements[i];
+        std::vector<double> mu = model.MarginalVector(m.attrs);
+        return SquaredL2Distance(mu, m.values) / m.sigma;
+      });
   double objective = 0.0;
-  for (const Measurement& m : measurements) {
-    std::vector<double> mu = model.MarginalVector(m.attrs);
-    objective += SquaredL2Distance(mu, m.values) / m.sigma;
-  }
+  for (double term : terms) objective += term;
   return objective;
 }
 
@@ -105,20 +112,21 @@ MarkovRandomField EstimateMrf(const Domain& domain,
   int stall = 0;
   for (int iter = 0; iter < options.max_iters; ++iter) {
     // Gradient of L with respect to each clique's marginal, lifted to the
-    // clique log-potentials (entropic mirror descent step).
-    std::vector<Factor> gradients;
-    gradients.reserve(measurements.size());
-    for (size_t i = 0; i < measurements.size(); ++i) {
-      const Measurement& m = measurements[i];
-      Factor mu = model.Marginal(m.attrs);
-      Factor grad = mu;  // reuse shape
-      std::vector<double>& g = grad.mutable_values();
-      const double scale = 2.0 / m.sigma;
-      for (size_t t = 0; t < g.size(); ++t) {
-        g[t] = scale * (mu.value(t) - m.values[t]);
-      }
-      gradients.push_back(std::move(grad));
-    }
+    // clique log-potentials (entropic mirror descent step). Per-measurement
+    // gradients only read the calibrated model, so they compute in
+    // parallel; the vector keeps measurement order.
+    std::vector<Factor> gradients = ParallelMap(
+        static_cast<int64_t>(measurements.size()), [&](int64_t i) {
+          const Measurement& m = measurements[i];
+          Factor mu = model.Marginal(m.attrs);
+          Factor grad = mu;  // reuse shape
+          std::vector<double>& g = grad.mutable_values();
+          const double scale = 2.0 / m.sigma;
+          for (size_t t = 0; t < g.size(); ++t) {
+            g[t] = scale * (mu.value(t) - m.values[t]);
+          }
+          return grad;
+        });
 
     // Cap the step so the largest per-cell potential change stays bounded.
     double grad_max = 0.0;

@@ -22,6 +22,7 @@
 #include "marginal/marginal.h"
 #include "marginal/workload.h"
 #include "mechanisms/aim.h"
+#include "parallel/thread_pool.h"
 #include "uncertainty/bounds.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -38,6 +39,7 @@ struct CliFlags {
   double max_size_mb = 80.0;
   int64_t records = -1;
   uint64_t seed = 0;
+  int threads = 0;  // 0 = automatic (AIM_THREADS env, else hardware)
   bool report = false;
 };
 
@@ -51,6 +53,8 @@ int Usage() {
             << "  --max_size_mb=F           model capacity (default 80)\n"
             << "  --records=N               synthetic records (default: "
                "estimated input size)\n"
+            << "  --threads=N               worker threads (default: "
+               "AIM_THREADS env or hardware)\n"
             << "  --seed=N --report\n";
   return 2;
 }
@@ -93,11 +97,16 @@ int main(int argc, char** argv) {
       int64_t v;
       if (!ParseInt64(value, &v)) return Usage();
       flags.seed = static_cast<uint64_t>(v);
+    } else if (Consume(arg, "--threads=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v) || v < 0) return Usage();
+      flags.threads = static_cast<int>(v);
     } else {
       return Usage();
     }
   }
   if (flags.input.empty()) return Usage();
+  SetParallelThreads(flags.threads);
 
   // ---- Load and preprocess.
   StatusOr<RawTable> table = ReadCsv(flags.input);
