@@ -1,10 +1,15 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace aim {
@@ -27,8 +32,35 @@ namespace {
       << "  --round_iters=N --final_iters=N --rp_rows=N --rp_iters=N\n"
       << "  --threads=N       worker threads (default: AIM_THREADS env or"
          " hardware)\n"
+      << "  --trace-out=F     per-round JSONL trace (- or stderr for"
+         " stderr)\n"
+      << "  --metrics-out=F   metrics JSON dump at exit (- for stdout)\n"
       << "  --full            paper-fidelity settings (slow)\n";
   std::exit(2);
+}
+
+// Where ParseFlags sends the end-of-process metrics dump (empty = off).
+// Written once from ParseFlags before the atexit handler can run.
+std::string* MetricsOutPath() {
+  static std::string* path = new std::string;
+  return path;
+}
+
+void DumpMetricsAtExit() {
+  const std::string& path = *MetricsOutPath();
+  if (path.empty()) return;
+  if (path == "-") {
+    MetricsRegistry::Global().WriteJson(std::cout);
+    std::cout << "\n";
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot open metrics output '" << path << "'\n";
+    return;
+  }
+  MetricsRegistry::Global().WriteJson(out);
+  out << "\n";
 }
 
 bool ConsumePrefix(const std::string& arg, const std::string& prefix,
@@ -105,6 +137,10 @@ BenchFlags ParseFlags(int argc, char** argv) {
       int64_t v;
       if (!ParseInt64(value, &v) || v < 0) Usage(argv[0]);
       flags.threads = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--trace-out=", &value)) {
+      flags.trace_out = value;
+    } else if (ConsumePrefix(arg, "--metrics-out=", &value)) {
+      flags.metrics_out = value;
     } else {
       Usage(argv[0]);
     }
@@ -121,6 +157,30 @@ BenchFlags ParseFlags(int argc, char** argv) {
     flags.mwem_rounds = 0;  // the mechanisms' own 2d default
   }
   SetParallelThreads(flags.threads);
+  if (!flags.trace_out.empty()) {
+    // Process-lifetime sink. Held in a static so its destructor runs at
+    // exit and flushes the underlying file; the global pointer is cleared
+    // first so no event can race the teardown.
+    static std::unique_ptr<JsonlTraceSink> sink;
+    static struct SinkUninstaller {
+      ~SinkUninstaller() { SetGlobalTraceSink(nullptr); }
+    } uninstaller;
+    (void)uninstaller;
+    sink = std::make_unique<JsonlTraceSink>(flags.trace_out);
+    if (!sink->ok()) {
+      std::cerr << "error: cannot open trace output '" << flags.trace_out
+                << "'\n";
+      std::exit(2);
+    }
+    SetGlobalTraceSink(sink.get());
+  } else {
+    InitTraceSinkFromEnv();
+  }
+  if (!flags.metrics_out.empty()) {
+    SetMetricsEnabled(true);
+    *MetricsOutPath() = flags.metrics_out;
+    std::atexit(&DumpMetricsAtExit);
+  }
   return flags;
 }
 

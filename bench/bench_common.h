@@ -48,6 +48,12 @@ struct BenchFlags {
   // env var, else hardware concurrency). ParseFlags applies this to the
   // global pool, so trials, candidate scoring, and inference all use it.
   int threads = 0;
+  // Observability: --trace-out installs a process-lifetime JSONL trace sink
+  // ("-"/"stderr" = stderr); --metrics-out enables metrics and dumps the
+  // registry as JSON at process exit ("-" = stdout). ParseFlags wires both,
+  // so individual bench binaries need no changes.
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 // Parses --flag=value style arguments; prints usage and exits on --help or

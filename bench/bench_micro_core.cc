@@ -8,6 +8,8 @@
 #include "data/simulators.h"
 #include "factor/factor.h"
 #include "marginal/marginal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 #include "parallel/thread_pool.h"
 #include "pgm/estimation.h"
@@ -194,6 +196,66 @@ BENCHMARK(BM_ParallelMarginalScoring)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// Observability overhead on the instrumented estimation hot path. Arg(0):
+// 0 = obs fully disabled (the default production state; the acceptance
+// target is <2% overhead vs. pre-instrumentation code, i.e. the gates must
+// be invisible here), 1 = metrics on, 2 = metrics + tracing into a
+// discarding sink. Compare the /0 and /1,/2 timings to price the subsystem.
+void BM_ObsEstimationOverhead(benchmark::State& state) {
+  struct NullSink : TraceSink {
+    void Emit(const TraceEvent&) override {}
+  };
+  static NullSink null_sink;
+  const int mode = static_cast<int>(state.range(0));
+  SetMetricsEnabled(mode >= 1);
+  ScopedTraceSink scoped(mode >= 2 ? &null_sink : nullptr);
+  Rng rng(6);
+  Domain domain = Domain::WithSizes({4, 4, 4, 4, 4});
+  Dataset data = SampleRandomBayesNet(domain, 5000, 2, 0.4, rng);
+  std::vector<Measurement> ms;
+  for (const AttrSet& r :
+       {AttrSet({0, 1}), AttrSet({1, 2}), AttrSet({2, 3}), AttrSet({3, 4})}) {
+    ms.push_back({r, ComputeMarginal(data, r), 10.0});
+  }
+  EstimationOptions options;
+  options.max_iters = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateMrf(domain, ms, 5000.0, options));
+  }
+  SetMetricsEnabled(false);
+}
+BENCHMARK(BM_ObsEstimationOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+// Raw cost of one dormant instrumentation site: the TraceEnabled() +
+// MetricsEnabled() relaxed loads that every gated site pays when obs is off.
+void BM_ObsDisabledGate(benchmark::State& state) {
+  SetMetricsEnabled(false);
+  for (auto _ : state) {
+    bool on = TraceEnabled() || MetricsEnabled();
+    benchmark::DoNotOptimize(on);
+  }
+}
+BENCHMARK(BM_ObsDisabledGate);
+
+// Cost of one live counter increment and one live histogram observation
+// (lock-free atomics), for sizing how much instrumentation a hot loop can
+// carry when metrics are enabled.
+void BM_ObsLiveCounter(benchmark::State& state) {
+  SetMetricsEnabled(true);
+  static Counter& counter =
+      MetricsRegistry::Global().counter("bench.obs.counter");
+  static Histogram& hist =
+      MetricsRegistry::Global().histogram("bench.obs.hist");
+  double x = 1.0;
+  for (auto _ : state) {
+    counter.Add(1);
+    hist.Observe(x);
+    x += 0.5;
+  }
+  SetMetricsEnabled(false);
+}
+BENCHMARK(BM_ObsLiveCounter);
 
 }  // namespace
 }  // namespace aim

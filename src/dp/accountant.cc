@@ -41,11 +41,29 @@ double CdpDelta(double rho, double eps) {
 double CdpEps(double rho, double delta) {
   AIM_CHECK_GE(rho, 0.0);
   AIM_CHECK_GT(delta, 0.0);
+  AIM_CHECK(std::isfinite(rho)) << "CdpEps: rho must be finite";
   if (rho == 0.0) return 0.0;
-  // CdpDelta is decreasing in eps. Find an upper bracket, then bisect.
+  // Any mechanism is (0, delta)-DP once delta >= 1, and a NaN delta would
+  // silently disable the bracket test below, so both are handled up front
+  // (NaN fails the CHECK_GT above).
+  if (delta >= 1.0) return 0.0;
+  // CdpDelta is decreasing in eps. Find an upper bracket, then bisect. The
+  // standard conversion eps = rho + 2*sqrt(rho*log(1/delta)) is already an
+  // upper bound, so the doubling loop only compensates for numerical slack
+  // in the Proposition-4 minimization; it must terminate long before the
+  // bound below, and `hi` must stay finite (an unbounded loop can push `hi`
+  // to inf for extreme rho/delta, poisoning the bisection).
   double lo = 0.0;
   double hi = rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta)) + 1.0;
-  while (CdpDelta(rho, hi) > delta) hi *= 2.0;
+  for (int doublings = 0; CdpDelta(rho, hi) > delta; ++doublings) {
+    AIM_CHECK_LT(doublings, 200)
+        << "CdpEps: bracket search failed (rho=" << rho
+        << ", delta=" << delta << ")";
+    hi *= 2.0;
+    AIM_CHECK(std::isfinite(hi))
+        << "CdpEps: bracket overflow (rho=" << rho << ", delta=" << delta
+        << ")";
+  }
   for (int i = 0; i < 200; ++i) {
     double mid = 0.5 * (lo + hi);
     if (CdpDelta(rho, mid) > delta) {
@@ -60,10 +78,23 @@ double CdpEps(double rho, double delta) {
 double CdpRho(double eps, double delta) {
   AIM_CHECK_GE(eps, 0.0);
   AIM_CHECK_GT(delta, 0.0);
+  // delta >= 1 puts no constraint on the mechanism: CdpDelta is clamped to
+  // 1, so the bracket loop below would chase an unreachable (or barely
+  // reachable) target forever. Callers must ask for a real delta.
+  AIM_CHECK_LT(delta, 1.0) << "CdpRho: delta must be in (0, 1)";
+  AIM_CHECK(std::isfinite(eps)) << "CdpRho: eps must be finite";
   // CdpDelta is increasing in rho. Largest rho with delta(rho, eps) <= delta.
   double lo = 0.0;
   double hi = 1.0;
-  while (CdpDelta(hi, eps) < delta) hi *= 2.0;
+  for (int doublings = 0; CdpDelta(hi, eps) < delta; ++doublings) {
+    AIM_CHECK_LT(doublings, 200)
+        << "CdpRho: bracket search failed (eps=" << eps
+        << ", delta=" << delta << ")";
+    hi *= 2.0;
+    AIM_CHECK(std::isfinite(hi))
+        << "CdpRho: bracket overflow (eps=" << eps << ", delta=" << delta
+        << ")";
+  }
   for (int i = 0; i < 200; ++i) {
     double mid = 0.5 * (lo + hi);
     if (CdpDelta(mid, eps) <= delta) {

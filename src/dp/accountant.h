@@ -13,11 +13,14 @@ namespace aim {
 double CdpDelta(double rho, double eps);
 
 // Smallest eps such that rho-zCDP implies (eps, delta)-DP, via bisection.
+// rho must be finite and delta positive; delta >= 1 returns 0 (every
+// mechanism is (0, 1)-DP).
 double CdpEps(double rho, double delta);
 
 // Largest rho such that rho-zCDP implies (eps, delta)-DP, via bisection.
 // This is how a mechanism's (eps, delta) privacy budget is converted to the
-// zCDP budget it actually spends.
+// zCDP budget it actually spends. Requires delta in (0, 1): delta >= 1
+// would make every rho admissible.
 double CdpRho(double eps, double delta);
 
 // zCDP cost of the Gaussian mechanism with noise scale sigma and L2

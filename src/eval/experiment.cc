@@ -8,6 +8,9 @@
 
 #include "dp/accountant.h"
 #include "eval/error.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 #include "util/logging.h"
 
@@ -35,12 +38,37 @@ TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
     double error = 0.0;
     double seconds = 0.0;
   };
+  const bool traced = TraceEnabled();
+  const bool metered = MetricsEnabled();
   std::vector<TrialOutcome> outcomes =
       ParallelMap(trials, [&](int64_t t) {
+        LapClock clock(traced || metered);
         Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(t) + 1);
         MechanismResult result = mechanism.Run(data, workload, rho, rng);
-        return TrialOutcome{WorkloadError(data, result, workload),
-                            result.seconds};
+        TrialOutcome outcome{WorkloadError(data, result, workload),
+                             result.seconds};
+        const double wall = clock.Lap();
+        if (metered) {
+          MetricsRegistry& registry = MetricsRegistry::Global();
+          static Counter& trials_counter = registry.counter("eval.trials");
+          static Histogram& trial_hist =
+              registry.histogram("eval.trial_seconds");
+          trials_counter.Add(1);
+          trial_hist.Observe(wall);
+        }
+        if (traced) {
+          EmitTrace(TraceEvent("trial")
+                        .Set("mechanism", mechanism.name())
+                        .Set("trial", t)
+                        .Set("epsilon", epsilon)
+                        .Set("rho", rho)
+                        .Set("rounds", result.rounds)
+                        .Set("rho_used", result.rho_used)
+                        .Set("error", outcome.error)
+                        .Set("mechanism_seconds", result.seconds)
+                        .Set("seconds", wall));
+        }
+        return outcome;
       });
   stats.values.reserve(trials);
   double seconds = 0.0;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#include <iostream>
 #include <cmath>
 #include <set>
 #include <unordered_map>
@@ -11,6 +9,9 @@
 #include "dp/accountant.h"
 #include "dp/mechanisms.h"
 #include "marginal/marginal.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 #include "pgm/junction_tree.h"
 #include "pgm/synthetic.h"
@@ -24,9 +25,67 @@ constexpr double kSqrt2OverPi = 0.7978845608028654;  // sqrt(2/pi)
 
 }  // namespace
 
+const char* ToString(SizeCapFallback fallback) {
+  switch (fallback) {
+    case SizeCapFallback::kNone:
+      return "none";
+    case SizeCapFallback::kRelaxedToMaxSize:
+      return "relaxed_to_max_size";
+    case SizeCapFallback::kViolatesMaxSize:
+      return "violates_max_size";
+  }
+  return "unknown";
+}
+
+std::vector<int> FilterCandidatesByJtSize(
+    const std::vector<double>& candidate_sizes, double size_cap,
+    double max_size_mb, SizeCapFallback* fallback) {
+  AIM_CHECK(!candidate_sizes.empty());
+  *fallback = SizeCapFallback::kNone;
+  std::vector<int> ids;
+  for (size_t i = 0; i < candidate_sizes.size(); ++i) {
+    if (candidate_sizes[i] <= size_cap) ids.push_back(static_cast<int>(i));
+  }
+  if (!ids.empty()) return ids;
+
+  // Degenerate allowance (early rounds with a tight cap): rather than
+  // admitting an unboundedly large model, clamp against the full MAX-SIZE
+  // budget — every candidate admitted here will be admissible under the
+  // growing allowance eventually anyway.
+  *fallback = SizeCapFallback::kRelaxedToMaxSize;
+  for (size_t i = 0; i < candidate_sizes.size(); ++i) {
+    if (candidate_sizes[i] <= max_size_mb) {
+      ids.push_back(static_cast<int>(i));
+    }
+  }
+  if (!ids.empty()) return ids;
+
+  // Even MAX-SIZE admits nothing (the mandatory cliques alone blow the
+  // budget). The round must still select something, so take the candidate
+  // with the smallest resulting model; the caller reports the violation.
+  *fallback = SizeCapFallback::kViolatesMaxSize;
+  int best = 0;
+  for (size_t i = 1; i < candidate_sizes.size(); ++i) {
+    if (candidate_sizes[i] < candidate_sizes[best]) {
+      best = static_cast<int>(i);
+    }
+  }
+  ids.push_back(best);
+  return ids;
+}
+
+int64_t AimMaxRounds(double T) {
+  constexpr int64_t kCeiling = 1000000000;  // 1e9 rounds is already absurd
+  if (!(T > 0.0)) return 10;
+  const double rounds = 10.0 * T + 10.0;
+  if (rounds >= static_cast<double>(kCeiling)) return kCeiling;
+  return static_cast<int64_t>(rounds);
+}
+
 MechanismResult AimMechanism::Run(const Dataset& data,
                                   const Workload& workload, double rho,
                                   Rng& rng) const {
+  InitTraceSinkFromEnv();
   const auto start_time = std::chrono::steady_clock::now();
   AIM_CHECK_GT(rho, 0.0);
   AIM_CHECK_GT(workload.num_queries(), 0);
@@ -36,6 +95,27 @@ MechanismResult AimMechanism::Run(const Dataset& data,
       static_cast<double>(options_.rounds_per_attribute) * d;  // Line 3
   const double alpha = options_.alpha;
   AIM_CHECK(alpha > 0.0 && alpha < 1.0);
+
+  // Observability plumbing. Both flags are sampled once per run; event
+  // emission and clock reads happen only when the respective flag is on, so
+  // the disabled path costs two relaxed loads per run (determinism and
+  // throughput are unaffected — see obs_test.cc).
+  const bool traced = TraceEnabled();
+  const bool metered = MetricsEnabled();
+  const bool timed = traced || metered;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter& runs_counter = registry.counter("aim.runs");
+  static Counter& rounds_counter = registry.counter("aim.rounds");
+  static Counter& fallback_counter = registry.counter("aim.cap_fallbacks");
+  static Histogram& filter_hist =
+      registry.histogram("aim.phase.filter_seconds");
+  static Histogram& score_hist = registry.histogram("aim.phase.score_seconds");
+  static Histogram& measure_hist =
+      registry.histogram("aim.phase.measure_seconds");
+  static Histogram& estimate_hist =
+      registry.histogram("aim.phase.estimate_seconds");
+  static Histogram& run_hist = registry.histogram("aim.run_seconds");
+  if (metered) runs_counter.Add(1);
 
   MechanismResult result;
   result.rho_budget = rho;
@@ -81,6 +161,20 @@ MechanismResult AimMechanism::Run(const Dataset& data,
   std::vector<Measurement> measurements;
   const double sigma0 = std::sqrt(T / (2.0 * alpha * rho));  // Line 4
 
+  if (traced) {
+    EmitTrace(TraceEvent("aim_start")
+                  .Set("rho_budget", rho)
+                  .Set("attributes", d)
+                  .Set("records", data.num_records())
+                  .Set("workload_queries",
+                       static_cast<int64_t>(workload.num_queries()))
+                  .Set("pool_size", static_cast<int64_t>(pool.size()))
+                  .Set("T", T)
+                  .Set("alpha", alpha)
+                  .Set("sigma0", sigma0)
+                  .Set("max_size_mb", options_.max_size_mb));
+  }
+
   // Measure-step noise: Gaussian by default; Laplace has the identical
   // per-measurement zCDP cost 1/(2 scale^2), so the accounting is shared.
   auto measure_noise = [&](const std::vector<double>& values, double scale) {
@@ -97,12 +191,22 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     for (const auto& q : workload.queries()) {
       for (int attr : q.attrs) workload_attrs.insert(attr);
     }
+    double rho_init = 0.0;
     for (int attr : workload_attrs) {
       AttrSet r({attr});
       filter.Spend(GaussianRho(sigma0));
+      rho_init += GaussianRho(sigma0);
       Measurement m{r, measure_noise(true_marginal(r), sigma0), sigma0};
       measurements.push_back(std::move(m));
       model_cliques.push_back(r);
+    }
+    if (traced) {
+      EmitTrace(TraceEvent("aim_init")
+                    .Set("one_way_count",
+                         static_cast<int64_t>(workload_attrs.size()))
+                    .Set("sigma", sigma0)
+                    .Set("rho_round", rho_init)
+                    .Set("rho_spent", filter.spent()));
     }
   }
   double total = measurements.empty() ? 1.0 : EstimateTotal(measurements);
@@ -156,28 +260,32 @@ MechanismResult AimMechanism::Run(const Dataset& data,
 
   std::optional<MarkovRandomField> penultimate;
   const double budget_floor = 1e-9 * rho;
-  int round = 0;
-  const int max_rounds = 10 * static_cast<int>(T) + 10;
-  double time_filter = 0.0, time_score = 0.0, time_estimate = 0.0;
-  auto now = [] { return std::chrono::steady_clock::now(); };
+  int64_t round = 0;
+  // Defensive ceiling computed in 64-bit: T = rounds_per_attribute * d can
+  // make the old `10 * int(T) + 10` expression truncate or overflow int.
+  const int64_t max_rounds = AimMaxRounds(T);
+  double time_filter = 0.0, time_score = 0.0, time_measure = 0.0,
+         time_estimate = 0.0;
 
   // ---- Main loop (Lines 10-18).
   while (filter.remaining() > budget_floor && round < max_rounds) {
     ++round;
+    LapClock phase_clock(timed);
     double round_rho = ExponentialRho(epsilon) + GaussianRho(sigma);
+    bool budget_clamped = false;
     if (!filter.CanSpend(round_rho)) {
       // Numerical guard: consume exactly what is left.
       double remaining = filter.remaining();
       epsilon = std::sqrt(8.0 * (1.0 - alpha) * remaining);
       sigma = std::sqrt(1.0 / (2.0 * alpha * remaining));
       round_rho = ExponentialRho(epsilon) + GaussianRho(sigma);
+      budget_clamped = true;
     }
     filter.Spend(round_rho);  // Line 12
 
     // Line 13: candidates filtered by the growing JT-SIZE allowance. The
     // triangulation oracle is pure, so all candidate sizes evaluate in
     // parallel (each chunk works on its own copy of the clique list).
-    auto t_filter = now();
     const double size_cap =
         (filter.spent() / rho) * options_.max_size_mb;
     std::vector<double> candidate_sizes = ParallelMap(
@@ -186,26 +294,26 @@ MechanismResult AimMechanism::Run(const Dataset& data,
           cliques.push_back(pool[i]);
           return JtSizeMb(domain, cliques);
         });
-    std::vector<int> candidate_ids;
-    for (size_t i = 0; i < pool.size(); ++i) {
-      if (candidate_sizes[i] <= size_cap) {
-        candidate_ids.push_back(static_cast<int>(i));
+    SizeCapFallback cap_fallback = SizeCapFallback::kNone;
+    std::vector<int> candidate_ids = FilterCandidatesByJtSize(
+        candidate_sizes, size_cap, options_.max_size_mb, &cap_fallback);
+    if (cap_fallback != SizeCapFallback::kNone) {
+      if (metered) fallback_counter.Add(1);
+      if (traced) {
+        EmitTrace(TraceEvent("aim_warning")
+                      .Set("kind", "size_cap_fallback")
+                      .Set("round", round)
+                      .Set("cap_fallback", ToString(cap_fallback))
+                      .Set("size_cap_mb", size_cap)
+                      .Set("max_size_mb", options_.max_size_mb)
+                      .Set("admitted",
+                           static_cast<int64_t>(candidate_ids.size())));
       }
     }
-    if (candidate_ids.empty()) {
-      // Degenerate cap: admit the candidate with the smallest model.
-      int best = 0;
-      for (size_t i = 1; i < pool.size(); ++i) {
-        if (candidate_sizes[i] < candidate_sizes[best]) {
-          best = static_cast<int>(i);
-        }
-      }
-      candidate_ids.push_back(best);
-    }
+    const double t_filter = phase_clock.Lap();
+    time_filter += t_filter;
 
     // Line 14: exponential mechanism with the Equation-(1) quality score.
-    auto t_score = now();
-    time_filter += std::chrono::duration<double>(t_score - t_filter).count();
     // Fill the data-marginal cache for any new candidates first (parallel
     // over candidates; the map itself is only mutated here, serially), so
     // the scoring pass below reads shared state that is strictly
@@ -243,7 +351,6 @@ MechanismResult AimMechanism::Run(const Dataset& data,
       sensitivity = std::max(sensitivity, weights.at(pool[id]));
     }
     if (sensitivity <= 0.0) sensitivity = 1.0;
-    time_score += std::chrono::duration<double>(now() - t_score).count();
     int pick =
         options_.use_generalized_em
             ? GeneralizedExponentialMechanism(scores, sensitivities, epsilon,
@@ -251,6 +358,8 @@ MechanismResult AimMechanism::Run(const Dataset& data,
             : ExponentialMechanism(scores, epsilon, sensitivity, rng);
     const AttrSet r_t = pool[candidate_ids[pick]];
     const double n_rt = static_cast<double>(MarginalSize(domain, r_t));
+    const double t_score = phase_clock.Lap();
+    time_score += t_score;
 
     // Line 15: measure.
     Measurement m{r_t, measure_noise(true_marginal(r_t), sigma), sigma};
@@ -258,15 +367,24 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     double estimated_error = L1Distance(prev_model_marginal, m.values);
     measurements.push_back(std::move(m));
     model_cliques.push_back(r_t);
-    if (!options_.use_initialization) total = EstimateTotal(measurements);
+    // Algorithm 1 works with the noisy total estimated from the released
+    // measurements; the reference implementation refreshes that estimate
+    // from *all* measurements on every refit (inverse-variance weighting in
+    // EstimateTotal). The previous condition froze the estimate at its
+    // initialization-time value whenever use_initialization was set, so the
+    // default path ignored every subsequent (often lower-noise) measurement.
+    total = EstimateTotal(measurements);
+    const double t_measure = phase_clock.Lap();
+    time_measure += t_measure;
 
     // Line 16: re-estimate with warm start.
-    auto t_estimate = now();
     penultimate = model;
+    EstimationStats est_stats;
     model = EstimateMrf(domain, with_priors(), total,
-                        options_.round_estimation, &model, zeros);
-    time_estimate +=
-        std::chrono::duration<double>(now() - t_estimate).count();
+                        options_.round_estimation, &model, zeros,
+                        &est_stats);
+    const double t_estimate = phase_clock.Lap();
+    time_estimate += t_estimate;
 
     // Log the round.
     RoundInfo info;
@@ -286,55 +404,104 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     }
     result.log.rounds.push_back(std::move(info));
 
-    if (std::getenv("AIM_TRACE") != nullptr) {
-      std::cerr << "[aim] round=" << round << " selected=" << r_t.ToString()
-                << " n_rt=" << n_rt << " sigma=" << sigma
-                << " eps=" << epsilon << " score=" << scores[pick]
-                << " est_err=" << estimated_error << " model_change="
-                << L1Distance(model.MarginalVector(r_t), prev_model_marginal)
-                << " threshold=" << kSqrt2OverPi * sigma * n_rt
-                << " spent=" << filter.spent() << "\n";
-    }
-
     // Line 17 (Algorithm 3): budget annealing.
+    const double round_sigma = sigma;
+    const double round_epsilon = epsilon;
+    bool annealed = false;
+    bool final_round_clamp = false;
     if (options_.use_annealing) {
       std::vector<double> new_model_marginal = model.MarginalVector(r_t);
       if (L1Distance(new_model_marginal, prev_model_marginal) <=
           kSqrt2OverPi * sigma * n_rt) {
         epsilon *= 2.0;
         sigma /= 2.0;
+        annealed = true;
       }
       double next_round_rho = GaussianRho(sigma) + ExponentialRho(epsilon);
       double remaining = filter.remaining();
       if (remaining <= 2.0 * next_round_rho && remaining > budget_floor) {
         epsilon = std::sqrt(8.0 * (1.0 - alpha) * remaining);
         sigma = std::sqrt(1.0 / (2.0 * alpha * remaining));
+        final_round_clamp = true;
       }
+    }
+
+    if (metered) {
+      rounds_counter.Add(1);
+      filter_hist.Observe(t_filter);
+      score_hist.Observe(t_score);
+      measure_hist.Observe(t_measure);
+      estimate_hist.Observe(t_estimate);
+    }
+    if (traced) {
+      // One record per round — the schema DP auditing and the bench
+      // trajectory consume (DESIGN.md "Observability").
+      EmitTrace(TraceEvent("aim_round")
+                    .Set("round", round)
+                    .Set("selected", r_t.ToString())
+                    .Set("cells", static_cast<int64_t>(n_rt))
+                    .Set("sigma", round_sigma)
+                    .Set("epsilon", round_epsilon)
+                    .Set("rho_round", round_rho)
+                    .Set("rho_spent", filter.spent())
+                    .Set("rho_remaining", filter.remaining())
+                    .Set("budget_clamped", budget_clamped)
+                    .Set("size_cap_mb", size_cap)
+                    .Set("cap_fallback", ToString(cap_fallback))
+                    .Set("pool_size", static_cast<int64_t>(pool.size()))
+                    .Set("candidates",
+                         static_cast<int64_t>(candidate_ids.size()))
+                    .Set("score", scores[pick])
+                    .Set("sensitivity", sensitivity)
+                    .Set("estimated_error", estimated_error)
+                    .Set("total_estimate", total)
+                    .Set("est_iterations", est_stats.iterations)
+                    .Set("est_backtracks", est_stats.backtracking_steps)
+                    .Set("est_objective", est_stats.final_objective)
+                    .Set("est_converged", est_stats.converged)
+                    .Set("annealed", annealed)
+                    .Set("final_round_clamp", final_round_clamp)
+                    .Set("t_filter_s", t_filter)
+                    .Set("t_score_s", t_score)
+                    .Set("t_measure_s", t_measure)
+                    .Set("t_estimate_s", t_estimate));
     }
   }
 
-  if (std::getenv("AIM_TRACE") != nullptr) {
-    std::cerr << "[aim] timings: filter=" << time_filter
-              << "s score=" << time_score << "s estimate=" << time_estimate
-              << "s rounds=" << round << "\n";
-  }
-
   // ---- Final estimation and generation (Line 19).
+  EstimationStats final_stats;
   model = EstimateMrf(domain, with_priors(), total,
-                      options_.final_estimation, &model, zeros);
+                      options_.final_estimation, &model, zeros, &final_stats);
   int64_t synth_records = options_.synthetic_records > 0
                               ? options_.synthetic_records
                               : static_cast<int64_t>(std::llround(total));
   result.synthetic = GenerateSyntheticData(model, synth_records, rng);
   result.log.measurements = std::move(measurements);
   result.rho_used = filter.spent();
-  result.rounds = round;
+  result.rounds = static_cast<int>(round);
   result.total_estimate = total;
   result.final_model = std::move(model);
   result.penultimate_model = std::move(penultimate);
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start_time)
                        .count();
+  if (metered) run_hist.Observe(result.seconds);
+  if (traced) {
+    EmitTrace(TraceEvent("aim_finish")
+                  .Set("rounds", round)
+                  .Set("measurements",
+                       static_cast<int64_t>(result.log.measurements.size()))
+                  .Set("rho_budget", rho)
+                  .Set("rho_used", result.rho_used)
+                  .Set("total_estimate", total)
+                  .Set("final_est_iterations", final_stats.iterations)
+                  .Set("final_est_objective", final_stats.final_objective)
+                  .Set("t_filter_s", time_filter)
+                  .Set("t_score_s", time_score)
+                  .Set("t_measure_s", time_measure)
+                  .Set("t_estimate_s", time_estimate)
+                  .Set("seconds", result.seconds));
+  }
   return result;
 }
 

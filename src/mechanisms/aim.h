@@ -7,12 +7,40 @@
 #ifndef AIM_MECHANISMS_AIM_H_
 #define AIM_MECHANISMS_AIM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "mechanisms/mechanism.h"
 #include "pgm/estimation.h"
 
 namespace aim {
+
+// How the Line-13 JT-SIZE candidate filter resolved (trace field
+// "cap_fallback" of the per-round record).
+enum class SizeCapFallback {
+  kNone,              // at least one candidate fit the growing allowance
+  kRelaxedToMaxSize,  // allowance admitted nothing; fell back to the full
+                      // MAX-SIZE budget (paper Section 6, JT-SIZE <= MAX-SIZE)
+  kViolatesMaxSize,   // every candidate exceeds even MAX-SIZE; the smallest
+                      // one was admitted so the round can proceed
+};
+
+const char* ToString(SizeCapFallback fallback);
+
+// Line 13 of Algorithm 4: indices of the candidates whose resulting model
+// stays within `size_cap` (the round's growing JT-SIZE allowance). When the
+// allowance admits nothing, the filter clamps against the full `max_size_mb`
+// budget instead of admitting an arbitrarily large model, and only if even
+// that is empty does it admit the globally smallest candidate (reported via
+// `fallback`). Exposed for tests.
+std::vector<int> FilterCandidatesByJtSize(
+    const std::vector<double>& candidate_sizes, double size_cap,
+    double max_size_mb, SizeCapFallback* fallback);
+
+// Defensive ceiling on the main-loop round count: 10*T + 10, computed in
+// 64-bit and clamped to 1e9 so extreme T (tiny alpha, huge rho, many
+// attributes) can neither overflow int nor spin forever. Exposed for tests.
+int64_t AimMaxRounds(double T);
 
 struct AimOptions {
   // Model-capacity limit in MB (paper default: 80 MB; Section 6.5 sweeps

@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace aim {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+// Relaxed-atomic add for doubles (no fetch_add for atomic<double> until
+// C++23); contention here is rare because recording is opt-in.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+int BucketFor(double v) {
+  // Bucket b holds [2^(b-31), 2^(b-30)); b=0 is the underflow bucket.
+  if (!(v > 0.0)) return 0;
+  int exponent = 0;
+  std::frexp(v, &exponent);  // v = m * 2^exponent, m in [0.5, 1)
+  int b = exponent + 30;
+  if (b < 0) return 0;
+  if (b >= Histogram::kNumBuckets) return Histogram::kNumBuckets - 1;
+  return b;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  if (!has_samples_.load(std::memory_order_relaxed)) {
+    // First sample seeds min/max; racing initializers converge because the
+    // min/max updates below run unconditionally afterwards.
+    bool expected = false;
+    if (has_samples_.compare_exchange_strong(expected, true,
+                                             std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return has_samples_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::max() const {
+  return has_samples_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  has_samples_.store(false, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto write_double = [&out](double v) {
+    if (std::isfinite(v)) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+      out << buffer;
+    } else {
+      out << "null";  // JSON has no inf/nan
+    }
+  };
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":";
+    write_double(g->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":{\"count\":" << h->count() << ",\"sum\":";
+    write_double(h->sum());
+    out << ",\"min\":";
+    write_double(h->min());
+    out << ",\"max\":";
+    write_double(h->max());
+    out << ",\"mean\":";
+    write_double(h->mean());
+    out << '}';
+  }
+  out << "}}\n";
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace aim

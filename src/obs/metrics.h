@@ -1,0 +1,111 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// with lock-free updates, safe to hammer from ParallelFor workers.
+//
+// Contract (see DESIGN.md "Observability"):
+//  - Recording is gated on a single process-wide enable flag. A disabled
+//    recording site costs one relaxed atomic load and a predictable branch,
+//    so instrumented hot paths keep their throughput and determinism.
+//  - Instrument handles returned by the registry are stable for the process
+//    lifetime (the registry never deletes instruments; ResetForTesting only
+//    zeroes values), so call sites may cache them in function-local statics.
+//  - Nothing here touches an Rng or any mechanism state: enabling metrics
+//    can never change mechanism output.
+
+#ifndef AIM_OBS_METRICS_H_
+#define AIM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace aim {
+
+// Global metrics switch. Off by default; flipped by --metrics-out style
+// flags or SetMetricsEnabled(true) in tests.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-written value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution of non-negative samples: count / sum / min / max plus
+// power-of-two buckets (bucket b counts samples in [2^(b-31), 2^(b-30)),
+// with underflow in bucket 0 and overflow in the last bucket). All updates
+// are relaxed atomics so concurrent Observe calls never serialize.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+  double mean() const;
+  int64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_samples_{false};
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+// Name -> instrument map. Lookup takes a mutex (do it once and cache the
+// reference); the returned instruments update lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {count, sum, min, max, mean}}}.
+  void WriteJson(std::ostream& out) const;
+
+  // Zeroes every instrument without invalidating cached handles.
+  void ResetForTesting();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_OBS_METRICS_H_

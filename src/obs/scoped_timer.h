@@ -1,0 +1,80 @@
+// Wall-clock helpers for profiling scopes.
+//
+// ScopedTimer records its scope's duration into a Histogram (and optionally
+// a double accumulator) on destruction; LapClock hands out split times for
+// multi-phase loops. Both skip the clock entirely when given enabled=false,
+// so dormant instrumentation costs a branch, not a syscall.
+
+#ifndef AIM_OBS_SCOPED_TIMER_H_
+#define AIM_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace aim {
+
+// Split-time clock for phase loops: Lap() returns the seconds since
+// construction or the previous Lap. Disabled instances never read the
+// clock and return 0.
+class LapClock {
+ public:
+  explicit LapClock(bool enabled) : enabled_(enabled) {
+    if (enabled_) last_ = std::chrono::steady_clock::now();
+  }
+
+  double Lap() {
+    if (!enabled_) return 0.0;
+    auto now = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    return seconds;
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+// RAII scope timer. When MetricsEnabled() is false at construction (and no
+// accumulator is given) it is a no-op. Usage:
+//   static Histogram& h = MetricsRegistry::Global().histogram("x.seconds");
+//   ScopedTimer timer(&h);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, double* accumulator = nullptr)
+      : histogram_(MetricsEnabled() ? histogram : nullptr),
+        accumulator_(accumulator),
+        enabled_(histogram_ != nullptr || accumulator_ != nullptr) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Records once and disarms; returns the elapsed seconds (0 if disabled).
+  double Stop() {
+    if (!enabled_) return 0.0;
+    enabled_ = false;
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    if (histogram_ != nullptr) histogram_->Observe(seconds);
+    if (accumulator_ != nullptr) *accumulator_ += seconds;
+    return seconds;
+  }
+
+ private:
+  Histogram* histogram_;
+  double* accumulator_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_OBS_SCOPED_TIMER_H_

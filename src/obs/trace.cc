@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out += buffer;
+}
+
+}  // namespace
+
+const TraceEvent::Value* TraceEvent::Find(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double TraceEvent::GetDouble(std::string_view key) const {
+  const Value* v = Find(key);
+  AIM_CHECK(v != nullptr) << "missing trace field" << key;
+  AIM_CHECK(std::holds_alternative<double>(*v))
+      << "trace field" << key << "is not a double";
+  return std::get<double>(*v);
+}
+
+int64_t TraceEvent::GetInt(std::string_view key) const {
+  const Value* v = Find(key);
+  AIM_CHECK(v != nullptr) << "missing trace field" << key;
+  AIM_CHECK(std::holds_alternative<int64_t>(*v))
+      << "trace field" << key << "is not an int";
+  return std::get<int64_t>(*v);
+}
+
+const std::string& TraceEvent::GetString(std::string_view key) const {
+  const Value* v = Find(key);
+  AIM_CHECK(v != nullptr) << "missing trace field" << key;
+  AIM_CHECK(std::holds_alternative<std::string>(*v))
+      << "trace field" << key << "is not a string";
+  return std::get<std::string>(*v);
+}
+
+bool TraceEvent::GetBool(std::string_view key) const {
+  const Value* v = Find(key);
+  AIM_CHECK(v != nullptr) << "missing trace field" << key;
+  AIM_CHECK(std::holds_alternative<bool>(*v))
+      << "trace field" << key << "is not a bool";
+  return std::get<bool>(*v);
+}
+
+std::string TraceEvent::ToJson() const {
+  std::string out = "{\"type\":";
+  AppendJsonString(out, type_);
+  for (const auto& [key, value] : fields_) {
+    out += ',';
+    AppendJsonString(out, key);
+    out += ':';
+    if (std::holds_alternative<std::string>(value)) {
+      AppendJsonString(out, std::get<std::string>(value));
+    } else if (std::holds_alternative<double>(value)) {
+      AppendJsonDouble(out, std::get<double>(value));
+    } else if (std::holds_alternative<int64_t>(value)) {
+      out += std::to_string(std::get<int64_t>(value));
+    } else {
+      out += std::get<bool>(value) ? "true" : "false";
+    }
+  }
+  out += '}';
+  return out;
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  if (path == "-" || path == "stderr") {
+    out_ = &std::cerr;
+    return;
+  }
+  auto file = std::make_unique<std::ofstream>(path);
+  if (file->is_open()) {
+    file_ = std::move(file);
+    out_ = file_.get();
+  }
+}
+
+void JsonlTraceSink::Emit(const TraceEvent& event) {
+  if (out_ == nullptr) return;
+  std::string line = event.ToJson();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line;
+}
+
+void JsonlTraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) out_->flush();
+}
+
+void MemoryTraceSink::Emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> MemoryTraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<TraceEvent> MemoryTraceSink::events_of_type(
+    std::string_view type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.type() == type) out.push_back(e);
+  }
+  return out;
+}
+
+bool TraceEnabled() {
+  return g_trace_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+TraceSink* GlobalTraceSink() {
+  return g_trace_sink.load(std::memory_order_acquire);
+}
+
+void SetGlobalTraceSink(TraceSink* sink) {
+  g_trace_sink.store(sink, std::memory_order_release);
+}
+
+void EmitTrace(const TraceEvent& event) {
+  TraceSink* sink = GlobalTraceSink();
+  if (sink != nullptr) sink->Emit(event);
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceSink* sink)
+    : previous_(GlobalTraceSink()) {
+  SetGlobalTraceSink(sink);
+}
+
+ScopedTraceSink::~ScopedTraceSink() { SetGlobalTraceSink(previous_); }
+
+void InitTraceSinkFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (GlobalTraceSink() != nullptr) return;  // explicit sink wins
+    const char* env = std::getenv("AIM_TRACE");
+    if (env == nullptr || env[0] == '\0') return;
+    std::string value(env);
+    if (value == "1") value = "stderr";
+    // Leaked by design: the sink must outlive every traced call site.
+    auto* sink = new JsonlTraceSink(value);
+    if (sink->ok()) {
+      SetGlobalTraceSink(sink);
+    } else {
+      std::cerr << "[obs] AIM_TRACE: cannot open '" << value
+                << "' for writing; tracing disabled\n";
+      delete sink;
+    }
+  });
+}
+
+}  // namespace aim

@@ -1,0 +1,160 @@
+// Structured trace events and JSONL sinks.
+//
+// A TraceEvent is a flat, ordered set of typed key/value fields plus a type
+// tag; sinks serialize one event per line as a JSON object ("JSONL"). The
+// per-round AIM records that drive DP auditing and the bench trajectory are
+// emitted through this interface (schema in DESIGN.md "Observability").
+//
+// Contract:
+//  - Tracing is off unless a global sink is installed; TraceEnabled() is a
+//    single relaxed atomic load, so dormant call sites are near-free.
+//  - Sinks must be thread-safe: events arrive concurrently from ParallelFor
+//    workers (e.g. per-trial events from the bench fan-out). Event order is
+//    deterministic within one thread; cross-thread interleaving is not.
+//  - Emitting never mutates mechanism state or any Rng, so enabling tracing
+//    cannot change mechanism output (tested: AIM is bitwise identical with
+//    tracing on vs. off).
+
+#ifndef AIM_OBS_TRACE_H_
+#define AIM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace aim {
+
+class TraceEvent {
+ public:
+  using Value = std::variant<std::string, double, int64_t, bool>;
+
+  explicit TraceEvent(std::string type) : type_(std::move(type)) {}
+
+  const std::string& type() const { return type_; }
+
+  TraceEvent& Set(std::string_view key, std::string_view value) {
+    fields_.emplace_back(std::string(key), std::string(value));
+    return *this;
+  }
+  TraceEvent& Set(std::string_view key, const char* value) {
+    return Set(key, std::string_view(value));
+  }
+  TraceEvent& Set(std::string_view key, double value) {
+    fields_.emplace_back(std::string(key), value);
+    return *this;
+  }
+  TraceEvent& Set(std::string_view key, int64_t value) {
+    fields_.emplace_back(std::string(key), value);
+    return *this;
+  }
+  TraceEvent& Set(std::string_view key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  TraceEvent& Set(std::string_view key, bool value) {
+    fields_.emplace_back(std::string(key), value);
+    return *this;
+  }
+
+  const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+
+  // nullptr when the key is absent.
+  const Value* Find(std::string_view key) const;
+
+  // Typed lookups for tests/consumers; CHECK-fail on a missing key or a
+  // type mismatch.
+  double GetDouble(std::string_view key) const;
+  int64_t GetInt(std::string_view key) const;
+  const std::string& GetString(std::string_view key) const;
+  bool GetBool(std::string_view key) const;
+
+  // One-line JSON object: {"type":"...", <fields in insertion order>}.
+  std::string ToJson() const;
+
+ private:
+  std::string type_;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+  virtual void Flush() {}
+};
+
+// Writes one JSON line per event to an ostream (not owned) or a file path
+// (owned). Thread-safe.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out);  // caller keeps `out` alive
+  // Opens `path` for writing ("-" or "stderr" mean stderr). ok() is false
+  // if the file could not be opened.
+  explicit JsonlTraceSink(const std::string& path);
+
+  bool ok() const { return out_ != nullptr; }
+  void Emit(const TraceEvent& event) override;
+  void Flush() override;
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<std::ofstream> file_;  // set when we own the stream
+  std::ostream* out_ = nullptr;
+};
+
+// Buffers events in memory for tests. Thread-safe.
+class MemoryTraceSink : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override;
+  std::vector<TraceEvent> events() const;
+  // Events of one type, in emission order.
+  std::vector<TraceEvent> events_of_type(std::string_view type) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// ---- Global sink registration. ----
+
+// True when a global sink is installed (one relaxed load).
+bool TraceEnabled();
+
+// The installed sink, or nullptr. The pointer is unowned; the installer
+// keeps the sink alive until it uninstalls it.
+TraceSink* GlobalTraceSink();
+void SetGlobalTraceSink(TraceSink* sink);
+
+// Emits to the global sink if one is installed.
+void EmitTrace(const TraceEvent& event);
+
+// Installs a sink for the current scope and restores the previous one on
+// destruction (tests, CLI main).
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink);
+  ~ScopedTraceSink();
+
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* previous_;
+};
+
+// AIM_TRACE environment override: if AIM_TRACE is set, no sink is installed
+// yet, and this is the first call, installs a process-lifetime JSONL sink —
+// AIM_TRACE=1 or AIM_TRACE=stderr write to stderr, anything else is a file
+// path. Called from mechanism entry points and CLI main; idempotent.
+void InitTraceSinkFromEnv();
+
+}  // namespace aim
+
+#endif  // AIM_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace aim {
@@ -82,8 +83,16 @@ ChunkPlan PlanChunks(int64_t begin, int64_t end, int64_t grain) {
 void RunChunks(int64_t num_chunks,
                const std::function<void(int64_t)>& chunk_fn) {
   if (num_chunks <= 0) return;
+  // Sampled once per loop so one loop's accounting is consistent even if
+  // the flag flips mid-run; costs one relaxed load when disabled.
+  const bool metered = MetricsEnabled();
   const int threads = ParallelThreads();
   if (threads <= 1 || num_chunks == 1 || tl_in_region) {
+    if (metered) {
+      static Counter& serial_runs =
+          MetricsRegistry::Global().counter("parallel.serial_runs");
+      serial_runs.Add(1);
+    }
     RunChunksSerial(num_chunks, chunk_fn);
     return;
   }
@@ -110,8 +119,10 @@ void RunChunks(int64_t num_chunks,
     }
   };
 
+  std::atomic<int64_t> stolen_chunks{0};
   auto body = [&](int participant) {
     tl_in_region = true;
+    int64_t my_steals = 0;
     // Drain the participant's own shard front-to-back.
     for (;;) {
       uint64_t r = shards[participant].range.load(std::memory_order_acquire);
@@ -144,11 +155,24 @@ void RunChunks(int64_t num_chunks,
       if (shards[victim].range.compare_exchange_weak(
               r, Pack(lo, hi - 1), std::memory_order_acq_rel)) {
         run_one(hi - 1);
+        if (metered) ++my_steals;
       }
+    }
+    if (metered && my_steals > 0) {
+      stolen_chunks.fetch_add(my_steals, std::memory_order_relaxed);
     }
     tl_in_region = false;
   };
   pool.Dispatch(body);
+  if (metered) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter& dispatches = registry.counter("parallel.dispatches");
+    static Counter& chunks = registry.counter("parallel.chunks");
+    static Counter& steals = registry.counter("parallel.steals");
+    dispatches.Add(1);
+    chunks.Add(num_chunks);
+    steals.Add(stolen_chunks.load(std::memory_order_relaxed));
+  }
   failure.RethrowIfSet();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -79,8 +80,20 @@ void ThreadPool::Dispatch(const std::function<void(int)>& body) {
   std::unique_lock<std::mutex> dispatch_lock(dispatch_mu_, std::try_to_lock);
   if (!dispatch_lock.owns_lock()) {
     // Another thread is mid-dispatch; run the job alone rather than block.
+    if (MetricsEnabled()) {
+      static Counter& solo =
+          MetricsRegistry::Global().counter("pool.contended_solo_runs");
+      solo.Add(1);
+    }
     body(0);
     return;
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter& dispatches = registry.counter("pool.dispatches");
+    static Counter& tasks = registry.counter("pool.participant_tasks");
+    dispatches.Add(1);
+    tasks.Add(num_threads_);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

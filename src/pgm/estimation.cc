@@ -7,6 +7,9 @@
 #include <limits>
 
 #include "marginal/marginal.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 #include "util/logging.h"
 #include "util/math.h"
@@ -49,8 +52,13 @@ MarkovRandomField EstimateMrf(const Domain& domain,
                               double total,
                               const EstimationOptions& options,
                               const MarkovRandomField* warm_start,
-                              const std::vector<ZeroConstraint>* zeros) {
+                              const std::vector<ZeroConstraint>* zeros,
+                              EstimationStats* stats) {
   AIM_CHECK(!measurements.empty());
+  EstimationStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = EstimationStats();
+  LapClock clock(MetricsEnabled() || TraceEnabled());
   std::vector<AttrSet> cliques;
   for (const Measurement& m : measurements) cliques.push_back(m.attrs);
   if (zeros != nullptr) {
@@ -161,12 +169,14 @@ MarkovRandomField EstimateMrf(const Domain& domain,
         model.SetPotential(c, saved[c]);
       }
       trial *= 0.5;
+      ++stats->backtracking_steps;
       if (trial < 1e-15) break;
     }
     if (!accepted) {
       model.Calibrate();
       break;
     }
+    ++stats->iterations;
     if (std::getenv("AIM_ESTIMATION_TRACE") != nullptr) {
       std::cerr << "[est] iter=" << iter << " accepted=" << accepted
                 << " trial=" << trial << " obj=" << new_objective
@@ -180,13 +190,44 @@ MarkovRandomField EstimateMrf(const Domain& domain,
     objective = new_objective;
     if (improvement < options.tolerance * std::max(1.0, objective)) {
       step = trial * 0.5;
-      if (++stall >= options.patience) break;
+      if (++stall >= options.patience) {
+        stats->converged = true;
+        break;
+      }
     } else {
       step = trial * 2.0;
       stall = 0;
     }
   }
   if (!model.calibrated()) model.Calibrate();
+  stats->final_objective = objective;
+
+  const double seconds = clock.Lap();
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter& calls = registry.counter("pgm.estimation.calls");
+    static Counter& iters = registry.counter("pgm.estimation.iterations");
+    static Counter& backtracks =
+        registry.counter("pgm.estimation.backtracks");
+    static Histogram& seconds_hist =
+        registry.histogram("pgm.estimation.seconds");
+    calls.Add(1);
+    iters.Add(stats->iterations);
+    backtracks.Add(stats->backtracking_steps);
+    seconds_hist.Observe(seconds);
+  }
+  if (TraceEnabled()) {
+    EmitTrace(TraceEvent("estimation")
+                  .Set("measurements",
+                       static_cast<int64_t>(measurements.size()))
+                  .Set("cliques", model.num_cliques())
+                  .Set("iterations", stats->iterations)
+                  .Set("backtracking_steps", stats->backtracking_steps)
+                  .Set("objective", stats->final_objective)
+                  .Set("converged", stats->converged)
+                  .Set("warm_start", warm_start != nullptr)
+                  .Set("seconds", seconds));
+  }
   return model;
 }
 

@@ -52,6 +52,18 @@ struct EstimationOptions {
 // Returns at least 1.
 double EstimateTotal(const std::vector<Measurement>& measurements);
 
+// Convergence diagnostics for one EstimateMrf call (filled when the caller
+// passes a stats pointer; also emitted as an "estimation" trace event when
+// tracing is on).
+struct EstimationStats {
+  int iterations = 0;         // accepted mirror-descent steps
+  int backtracking_steps = 0; // rejected line-search attempts
+  double final_objective = 0.0;
+  // True when the loop stopped on the patience/tolerance rule rather than
+  // exhausting max_iters or stalling on a zero gradient.
+  bool converged = false;
+};
+
 // Fits the model. The model cliques are the measured attribute sets (plus
 // the zero-constraint cliques); every domain attribute participates. If
 // `warm_start` is non-null its potentials are mapped into the new model
@@ -62,7 +74,8 @@ MarkovRandomField EstimateMrf(const Domain& domain,
                               double total,
                               const EstimationOptions& options = {},
                               const MarkovRandomField* warm_start = nullptr,
-                              const std::vector<ZeroConstraint>* zeros = nullptr);
+                              const std::vector<ZeroConstraint>* zeros = nullptr,
+                              EstimationStats* stats = nullptr);
 
 // The estimation objective L(p̂) for diagnostics/tests.
 double EstimationObjective(const MarkovRandomField& model,

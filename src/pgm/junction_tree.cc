@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace aim {
@@ -124,8 +127,10 @@ int JunctionTree::ContainingClique(const AttrSet& r) const {
   return -1;
 }
 
-JunctionTree BuildJunctionTree(const Domain& domain,
-                               const std::vector<AttrSet>& model_cliques) {
+namespace {
+
+JunctionTree BuildJunctionTreeImpl(const Domain& domain,
+                                   const std::vector<AttrSet>& model_cliques) {
   AIM_CHECK_GE(domain.num_attributes(), 1);
   for (const AttrSet& c : model_cliques) {
     for (int attr : c) AIM_CHECK_LT(attr, domain.num_attributes());
@@ -170,10 +175,8 @@ JunctionTree BuildJunctionTree(const Domain& domain,
   return tree;
 }
 
-double JtSizeMb(const Domain& domain,
-                const std::vector<AttrSet>& model_cliques) {
-  std::vector<AttrSet> cliques =
-      MaximalCliques(EliminationCliques(domain, model_cliques));
+double CliquesSizeMb(const Domain& domain,
+                     const std::vector<AttrSet>& cliques) {
   double bytes = 0.0;
   for (const AttrSet& clique : cliques) {
     double cells = 1.0;
@@ -181,6 +184,53 @@ double JtSizeMb(const Domain& domain,
     bytes += 8.0 * cells;
   }
   return bytes / 1e6;
+}
+
+}  // namespace
+
+JunctionTree BuildJunctionTree(const Domain& domain,
+                               const std::vector<AttrSet>& model_cliques) {
+  LapClock clock(MetricsEnabled() || TraceEnabled());
+  JunctionTree tree = BuildJunctionTreeImpl(domain, model_cliques);
+  if (clock.enabled()) {
+    const double seconds = clock.Lap();
+    int max_clique_attrs = 0;
+    for (const AttrSet& c : tree.cliques) {
+      max_clique_attrs = std::max(max_clique_attrs, c.size());
+    }
+    if (MetricsEnabled()) {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      static Counter& builds = registry.counter("pgm.jt.builds");
+      static Histogram& seconds_hist =
+          registry.histogram("pgm.jt.build_seconds");
+      static Histogram& clique_hist =
+          registry.histogram("pgm.jt.max_clique_attrs");
+      builds.Add(1);
+      seconds_hist.Observe(seconds);
+      clique_hist.Observe(static_cast<double>(max_clique_attrs));
+    }
+    if (TraceEnabled()) {
+      EmitTrace(TraceEvent("jt_build")
+                    .Set("cliques", static_cast<int64_t>(tree.cliques.size()))
+                    .Set("max_clique_attrs", max_clique_attrs)
+                    .Set("size_mb", CliquesSizeMb(domain, tree.cliques))
+                    .Set("seconds", seconds));
+    }
+  }
+  return tree;
+}
+
+double JtSizeMb(const Domain& domain,
+                const std::vector<AttrSet>& model_cliques) {
+  // Hot path: called once per candidate per AIM round (in parallel), so the
+  // only instrumentation is a gated counter.
+  if (MetricsEnabled()) {
+    static Counter& evals =
+        MetricsRegistry::Global().counter("pgm.jt.size_evals");
+    evals.Add(1);
+  }
+  return CliquesSizeMb(
+      domain, MaximalCliques(EliminationCliques(domain, model_cliques)));
 }
 
 }  // namespace aim

@@ -76,6 +76,77 @@ TEST(AccountantTest, MechanismCosts) {
   EXPECT_DOUBLE_EQ(ExponentialRho(2.0), 0.5);
 }
 
+// Boundary behavior of the rho <-> (eps, delta) conversions. These regimes
+// used to drive the CdpEps bracket-doubling loop toward inf (poisoning the
+// bisection with NaN midpoints); the loop is now bounded and must instead
+// terminate with a bracket that still round-trips through CdpDelta.
+
+TEST(AccountantTest, CdpEpsZeroRho) {
+  EXPECT_DOUBLE_EQ(CdpEps(0.0, 1e-9), 0.0);
+}
+
+TEST(AccountantTest, CdpEpsDeltaAtLeastOneIsFree) {
+  // Every mechanism is (0, 1)-DP, so delta >= 1 demands nothing.
+  EXPECT_DOUBLE_EQ(CdpEps(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(CdpEps(1e6, 2.0), 0.0);
+}
+
+TEST(AccountantTest, CdpEpsTinyDelta) {
+  // Near the smallest representable positive double. The analytic bound
+  // eps ~= rho + 2*sqrt(rho*log(1/delta)) stays modest, and the result must
+  // be finite and consistent with CdpDelta.
+  const double delta = 1e-300;
+  const double eps = CdpEps(1.0, delta);
+  ASSERT_TRUE(std::isfinite(eps));
+  EXPECT_GT(eps, 0.0);
+  EXPECT_LE(CdpDelta(1.0, eps), delta * 1.05);
+  EXPECT_GT(CdpDelta(1.0, eps * 0.95), delta);
+}
+
+TEST(AccountantTest, CdpEpsHugeRho) {
+  for (double rho : {1e6, 1e10}) {
+    const double delta = 1e-9;
+    const double eps = CdpEps(rho, delta);
+    ASSERT_TRUE(std::isfinite(eps)) << "rho=" << rho;
+    // eps grows with rho and stays within the standard conversion bound.
+    EXPECT_GT(eps, rho);
+    EXPECT_LE(eps, rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta)) + 1.0);
+    EXPECT_LE(CdpDelta(rho, eps), delta * 1.05);
+  }
+}
+
+TEST(AccountantTest, CdpEpsTinyDeltaHugeRhoCombined) {
+  const double eps = CdpEps(1e8, 1e-300);
+  ASSERT_TRUE(std::isfinite(eps));
+  EXPECT_LE(CdpDelta(1e8, eps), 1e-300 * 1.05);
+}
+
+TEST(AccountantTest, CdpRhoRoundTripAtExtremes) {
+  // Tiny delta: the bracket in CdpRho must expand far enough and stay
+  // finite; the result must still be (eps, delta)-admissible and maximal.
+  for (double delta : {1e-300, 1e-30}) {
+    const double rho = CdpRho(1.0, delta);
+    ASSERT_TRUE(std::isfinite(rho)) << "delta=" << delta;
+    EXPECT_GT(rho, 0.0);
+    EXPECT_LE(CdpDelta(rho, 1.0), delta * 1.001);
+    EXPECT_GT(CdpDelta(rho * 1.05, 1.0), delta);
+  }
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(AccountantDeathTest, CdpRhoRejectsDeltaAtLeastOne) {
+  // delta >= 1 admits every rho (CdpDelta clamps at 1), so the bracket
+  // search would never find its target; the precondition is enforced.
+  EXPECT_DEATH(CdpRho(1.0, 1.0), "delta must be in");
+}
+
+TEST(AccountantDeathTest, RejectsNonFiniteInputs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(CdpEps(inf, 1e-9), "finite");
+  EXPECT_DEATH(CdpRho(inf, 1e-9), "finite");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
 // ---------------------------------------------------------------- filter --
 
 TEST(PrivacyFilterTest, TracksSpending) {

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <set>
@@ -17,6 +18,8 @@
 #include "mechanisms/mwem_pgm.h"
 #include "mechanisms/privbayes_pgm.h"
 #include "mechanisms/registry.h"
+#include "obs/trace.h"
+#include "pgm/estimation.h"
 #include "pgm/junction_tree.h"
 #include "util/rng.h"
 
@@ -296,6 +299,88 @@ TEST(AimTest, SyntheticRecordCountOverride) {
   Rng rng(10);
   MechanismResult result = aim.Run(TestData(), TestWorkload(), 0.1, rng);
   EXPECT_EQ(result.synthetic.num_records(), 123);
+}
+
+// Algorithm 1 keeps the total estimate in sync with the full measurement
+// log: every refit re-runs the inverse-variance EstimateTotal over all
+// released measurements. A regression here (e.g. freezing the estimate at
+// its initialization-time value) silently ignores later, lower-noise
+// measurements. Must hold under both ablation settings.
+TEST(AimTest, TotalReestimatedFromAllMeasurements) {
+  for (bool use_init : {true, false}) {
+    AimOptions options = FastAim();
+    options.use_initialization = use_init;
+    AimMechanism aim(options);
+    Rng rng(11);
+    MechanismResult result = aim.Run(TestData(), TestWorkload(), 0.3, rng);
+    ASSERT_FALSE(result.log.measurements.empty());
+    const double expected = EstimateTotal(result.log.measurements);
+    EXPECT_NEAR(result.total_estimate, expected,
+                1e-9 * std::abs(expected) + 1e-12)
+        << "use_initialization=" << use_init;
+  }
+}
+
+// ------------------------------------- JT-SIZE candidate filter ----------
+
+TEST(SizeCapFilterTest, AdmitsCandidatesWithinAllowance) {
+  SizeCapFallback fallback;
+  std::vector<int> ids = FilterCandidatesByJtSize(
+      {0.5, 3.0, 1.0, 2.5}, /*size_cap=*/1.5, /*max_size_mb=*/4.0, &fallback);
+  EXPECT_EQ(fallback, SizeCapFallback::kNone);
+  EXPECT_EQ(ids, (std::vector<int>{0, 2}));
+}
+
+TEST(SizeCapFilterTest, EmptyAllowanceFallsBackToMaxSize) {
+  // Nothing fits the round allowance (0.1), but two candidates fit the full
+  // MAX-SIZE budget; both must be admitted so the exponential mechanism
+  // still has a real choice, and the clamp is against max_size_mb — not
+  // a single global argmin.
+  SizeCapFallback fallback;
+  std::vector<int> ids = FilterCandidatesByJtSize(
+      {2.0, 8.0, 3.0}, /*size_cap=*/0.1, /*max_size_mb=*/4.0, &fallback);
+  EXPECT_EQ(fallback, SizeCapFallback::kRelaxedToMaxSize);
+  EXPECT_EQ(ids, (std::vector<int>{0, 2}));
+}
+
+TEST(SizeCapFilterTest, NothingFitsMaxSizeAdmitsSmallest) {
+  SizeCapFallback fallback;
+  std::vector<int> ids = FilterCandidatesByJtSize(
+      {9.0, 6.0, 7.0}, /*size_cap=*/0.1, /*max_size_mb=*/4.0, &fallback);
+  EXPECT_EQ(fallback, SizeCapFallback::kViolatesMaxSize);
+  EXPECT_EQ(ids, (std::vector<int>{1}));
+}
+
+TEST(SizeCapFilterTest, FallbackEmitsTraceWarning) {
+  // Drive AIM with a cap so tight the mandatory 1-way cliques exceed it:
+  // every round must report a fallback through the trace stream.
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  AimOptions options = FastAim();
+  options.max_size_mb = 1e-6;
+  AimMechanism aim(options);
+  Rng rng(12);
+  MechanismResult result = aim.Run(TestData(), TestWorkload(), 0.1, rng);
+  ASSERT_GE(result.rounds, 1);
+  auto warnings = sink.events_of_type("aim_warning");
+  ASSERT_FALSE(warnings.empty());
+  for (const TraceEvent& w : warnings) {
+    EXPECT_EQ(w.GetString("kind"), "size_cap_fallback");
+    EXPECT_GT(w.GetInt("admitted"), 0);
+  }
+}
+
+TEST(AimMaxRoundsTest, MatchesFormulaAndClamps) {
+  EXPECT_EQ(AimMaxRounds(5.0), 60);
+  EXPECT_EQ(AimMaxRounds(96.0), 970);  // 16 rounds/attr * 6 attrs
+  EXPECT_EQ(AimMaxRounds(0.0), 10);
+  EXPECT_EQ(AimMaxRounds(-3.0), 10);
+  // Values that overflowed the old `10 * int(T) + 10` expression clamp to
+  // the 1e9 ceiling instead of going negative or UB.
+  EXPECT_EQ(AimMaxRounds(3e8), 1000000000);
+  EXPECT_EQ(AimMaxRounds(1e18), 1000000000);
+  EXPECT_EQ(AimMaxRounds(std::numeric_limits<double>::infinity()),
+            1000000000);
 }
 
 // Ablations: each switch must still produce a working mechanism.

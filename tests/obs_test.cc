@@ -1,0 +1,555 @@
+// Tests for the observability subsystem (src/obs/): metrics registry,
+// trace events/sinks, JSONL well-formedness, thread safety under the
+// work-stealing pool (exercised by the TSan CI job), and the determinism
+// contract: enabling tracing/metrics never changes mechanism output.
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/simulators.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+#include "parallel/parallel.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// ------------------------------------------------ minimal JSON checker ----
+//
+// Parses one flat JSON object (no nesting below one level of objects, which
+// is all the metrics dump and the JSONL trace records use) and returns the
+// raw value token per key. Fails the test on malformed input.
+
+struct FlatJson {
+  bool ok = false;
+  std::string error;
+  // Raw value text per key; nested objects are recursed into with
+  // "outer.inner" keys.
+  std::map<std::string, std::string> values;
+};
+
+bool SkipWs(const std::string& s, size_t* i) {
+  while (*i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+  return *i < s.size();
+}
+
+bool ParseJsonString(const std::string& s, size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  out->clear();
+  while (*i < s.size()) {
+    char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) return false;
+      char e = s[*i];
+      if (e == 'u') {
+        if (*i + 4 >= s.size()) return false;
+        for (int k = 1; k <= 4; ++k) {
+          if (!std::isxdigit(static_cast<unsigned char>(s[*i + k]))) {
+            return false;
+          }
+        }
+        *i += 4;
+        out->push_back('?');  // test only needs structural validity
+      } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                 e == 'n' || e == 'r' || e == 't') {
+        out->push_back(e);
+      } else {
+        return false;
+      }
+      ++*i;
+      continue;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // unescaped ctl
+    out->push_back(c);
+    ++*i;
+  }
+  return false;
+}
+
+bool ParseJsonScalar(const std::string& s, size_t* i, std::string* out) {
+  out->clear();
+  while (*i < s.size() && s[*i] != ',' && s[*i] != '}' &&
+         !std::isspace(static_cast<unsigned char>(s[*i]))) {
+    out->push_back(s[*i]);
+    ++*i;
+  }
+  if (out->empty()) return false;
+  if (*out == "true" || *out == "false" || *out == "null") return true;
+  // Must be a JSON number.
+  char* end = nullptr;
+  std::strtod(out->c_str(), &end);
+  return end == out->c_str() + out->size();
+}
+
+bool ParseJsonObject(const std::string& s, size_t* i,
+                     const std::string& prefix, FlatJson* out);
+
+bool ParseJsonValue(const std::string& s, size_t* i, const std::string& key,
+                    FlatJson* out) {
+  if (!SkipWs(s, i)) return false;
+  if (s[*i] == '"') {
+    std::string value;
+    if (!ParseJsonString(s, i, &value)) return false;
+    out->values["\"" + key] = value;  // leading quote marks string-typed
+    return true;
+  }
+  if (s[*i] == '{') return ParseJsonObject(s, i, key + ".", out);
+  std::string value;
+  if (!ParseJsonScalar(s, i, &value)) return false;
+  out->values[key] = value;
+  return true;
+}
+
+bool ParseJsonObject(const std::string& s, size_t* i,
+                     const std::string& prefix, FlatJson* out) {
+  if (!SkipWs(s, i) || s[*i] != '{') return false;
+  ++*i;
+  if (!SkipWs(s, i)) return false;
+  if (s[*i] == '}') {
+    ++*i;
+    return true;
+  }
+  for (;;) {
+    if (!SkipWs(s, i)) return false;
+    std::string key;
+    if (!ParseJsonString(s, i, &key)) return false;
+    if (!SkipWs(s, i) || s[*i] != ':') return false;
+    ++*i;
+    if (!ParseJsonValue(s, i, prefix + key, out)) return false;
+    if (!SkipWs(s, i)) return false;
+    if (s[*i] == ',') {
+      ++*i;
+      continue;
+    }
+    if (s[*i] == '}') {
+      ++*i;
+      return true;
+    }
+    return false;
+  }
+}
+
+FlatJson ParseFlat(const std::string& line) {
+  FlatJson out;
+  size_t i = 0;
+  if (!ParseJsonObject(line, &i, "", &out)) {
+    out.error = "malformed JSON at offset " + std::to_string(i) + ": " + line;
+    return out;
+  }
+  SkipWs(line, &i);
+  if (i != line.size()) {
+    out.error = "trailing garbage: " + line;
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+double NumberOf(const FlatJson& json, const std::string& key) {
+  auto it = json.values.find(key);
+  EXPECT_TRUE(it != json.values.end()) << "missing numeric field " << key;
+  return it == json.values.end() ? 0.0 : std::strtod(it->second.c_str(),
+                                                     nullptr);
+}
+
+bool HasString(const FlatJson& json, const std::string& key) {
+  return json.values.count("\"" + key) > 0;
+}
+
+bool HasBool(const FlatJson& json, const std::string& key) {
+  auto it = json.values.find(key);
+  return it != json.values.end() &&
+         (it->second == "true" || it->second == "false");
+}
+
+// ----------------------------------------------------- shared test data ----
+
+const Dataset& ObsData() {
+  static const Dataset* data = [] {
+    Rng rng(4242);
+    Domain domain = Domain::WithSizes({2, 3, 4, 2, 3});
+    return new Dataset(SampleRandomBayesNet(domain, 2000, 2, 0.3, rng));
+  }();
+  return *data;
+}
+
+Workload ObsWorkload() { return AllKWayWorkload(ObsData().domain(), 3); }
+
+AimOptions FastAim() {
+  AimOptions o;
+  o.round_estimation.max_iters = 30;
+  o.final_estimation.max_iters = 100;
+  return o;
+}
+
+// A fixture that guarantees obs state is restored no matter how a test
+// exits, so test order cannot leak enabled metrics into other suites.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    SetGlobalTraceSink(nullptr);
+    MetricsRegistry::Global().ResetForTesting();
+  }
+};
+
+// ------------------------------------------------------------- metrics ----
+
+TEST_F(ObsTest, CounterGaugeHistogramBasics) {
+  Counter c;
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  h.Observe(1.0);
+  h.Observe(3.0);
+  h.Observe(0.25);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_NEAR(h.mean(), 4.25 / 3.0, 1e-15);
+  int64_t bucketed = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) bucketed += h.bucket(b);
+  EXPECT_EQ(bucketed, 3);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST_F(ObsTest, RegistryHandlesAreStable) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.counter("obs_test.stable");
+  a.Add(7);
+  Counter& b = registry.counter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7);
+  registry.ResetForTesting();
+  EXPECT_EQ(a.value(), 0);  // same handle, zeroed in place
+}
+
+TEST_F(ObsTest, MetricsJsonIsWellFormed) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("obs_test.count").Add(3);
+  registry.gauge("obs_test.gauge").Set(1.5);
+  Histogram& h = registry.histogram("obs_test.hist");
+  h.Observe(2.0);
+  h.Observe(4.0);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  FlatJson json = ParseFlat(out.str());
+  ASSERT_TRUE(json.ok) << json.error;
+  EXPECT_EQ(NumberOf(json, "counters.obs_test.count"), 3.0);
+  EXPECT_EQ(NumberOf(json, "gauges.obs_test.gauge"), 1.5);
+  EXPECT_EQ(NumberOf(json, "histograms.obs_test.hist.count"), 2.0);
+  EXPECT_EQ(NumberOf(json, "histograms.obs_test.hist.sum"), 6.0);
+  EXPECT_EQ(NumberOf(json, "histograms.obs_test.hist.mean"), 3.0);
+}
+
+TEST_F(ObsTest, EmptyHistogramJsonUsesNull) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.histogram("obs_test.empty");
+  std::ostringstream out;
+  registry.WriteJson(out);
+  FlatJson json = ParseFlat(out.str());
+  ASSERT_TRUE(json.ok) << json.error;
+  EXPECT_EQ(json.values.at("histograms.obs_test.empty.min"), "null");
+  EXPECT_EQ(json.values.at("histograms.obs_test.empty.max"), "null");
+}
+
+// --------------------------------------------------------------- traces ----
+
+TEST_F(ObsTest, TraceEventFieldAccess) {
+  TraceEvent e("unit");
+  e.Set("s", "hello").Set("d", 1.5).Set("i", int64_t{7}).Set("b", true);
+  EXPECT_EQ(e.GetString("s"), "hello");
+  EXPECT_DOUBLE_EQ(e.GetDouble("d"), 1.5);
+  EXPECT_EQ(e.GetInt("i"), 7);
+  EXPECT_TRUE(e.GetBool("b"));
+  EXPECT_EQ(e.Find("missing"), nullptr);
+}
+
+TEST_F(ObsTest, TraceEventJsonEscapesAndParses) {
+  TraceEvent e("unit");
+  e.Set("tricky", "quote\" backslash\\ newline\n tab\t ctl\x01 end")
+      .Set("nan", std::nan(""))
+      .Set("inf", std::numeric_limits<double>::infinity())
+      .Set("neg", int64_t{-12})
+      .Set("flag", false);
+  FlatJson json = ParseFlat(e.ToJson());
+  ASSERT_TRUE(json.ok) << json.error;
+  EXPECT_TRUE(HasString(json, "tricky"));
+  // Non-finite doubles must degrade to null, not break the JSON.
+  EXPECT_EQ(json.values.at("nan"), "null");
+  EXPECT_EQ(json.values.at("inf"), "null");
+  EXPECT_EQ(NumberOf(json, "neg"), -12.0);
+  EXPECT_TRUE(HasBool(json, "flag"));
+}
+
+TEST_F(ObsTest, TraceEnabledTracksSinkInstallation) {
+  EXPECT_FALSE(TraceEnabled());
+  MemoryTraceSink sink;
+  {
+    ScopedTraceSink scoped(&sink);
+    EXPECT_TRUE(TraceEnabled());
+    EmitTrace(TraceEvent("unit").Set("x", int64_t{1}));
+  }
+  EXPECT_FALSE(TraceEnabled());
+  EmitTrace(TraceEvent("dropped"));  // no sink: must be a no-op
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].type(), "unit");
+}
+
+TEST_F(ObsTest, JsonlSinkWritesOneValidObjectPerLine) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  sink.Emit(TraceEvent("a").Set("x", 1.5));
+  sink.Emit(TraceEvent("b").Set("y", "z"));
+  sink.Flush();
+  std::istringstream lines(out.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    FlatJson json = ParseFlat(line);
+    ASSERT_TRUE(json.ok) << json.error;
+    EXPECT_TRUE(HasString(json, "type"));
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+}
+
+TEST_F(ObsTest, LapClockDisabledReadsNothing) {
+  LapClock off(false);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.Lap(), 0.0);
+  LapClock on(true);
+  EXPECT_TRUE(on.enabled());
+  EXPECT_GE(on.Lap(), 0.0);
+}
+
+// -------------------------------------------------------- thread safety ----
+//
+// Hammer the registry and the trace sink from ParallelFor workers. Run by
+// the TSan CI job; the assertions double as lost-update checks.
+
+TEST_F(ObsTest, MetricsAndTracesSurviveParallelHammer) {
+  SetMetricsEnabled(true);
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.counter("obs_test.hammer.count");
+  Histogram& hist = registry.histogram("obs_test.hammer.hist");
+  Gauge& gauge = registry.gauge("obs_test.hammer.gauge");
+  constexpr int64_t kIters = 20000;
+  ParallelFor(0, kIters, 64, [&](int64_t i) {
+    counter.Add(1);
+    hist.Observe(static_cast<double>(i % 17) + 0.5);
+    gauge.Set(static_cast<double>(i));
+    // Registry lookup from workers must also be safe (mutex path).
+    registry.counter("obs_test.hammer.lookup").Add(1);
+    if (i % 100 == 0) {
+      EmitTrace(TraceEvent("hammer").Set("i", i));
+    }
+  });
+  EXPECT_EQ(counter.value(), kIters);
+  EXPECT_EQ(registry.counter("obs_test.hammer.lookup").value(), kIters);
+  EXPECT_EQ(hist.count(), kIters);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 16.5);
+  EXPECT_EQ(sink.events().size(), static_cast<size_t>(kIters / 100));
+}
+
+TEST_F(ObsTest, ConcurrentJsonlEmissionStaysLineAtomic) {
+  std::ostringstream out;
+  {
+    JsonlTraceSink sink(out);
+    ScopedTraceSink scoped(&sink);
+    ParallelFor(0, 2000, 16, [&](int64_t i) {
+      EmitTrace(TraceEvent("line").Set("i", i).Set("payload", "x"));
+    });
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  int n = 0;
+  std::vector<bool> seen(2000, false);
+  while (std::getline(lines, line)) {
+    FlatJson json = ParseFlat(line);
+    ASSERT_TRUE(json.ok) << json.error;
+    const int64_t i = static_cast<int64_t>(NumberOf(json, "i"));
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, 2000);
+    EXPECT_FALSE(seen[static_cast<size_t>(i)]);
+    seen[static_cast<size_t>(i)] = true;
+    ++n;
+  }
+  EXPECT_EQ(n, 2000);
+}
+
+// ------------------------------------------------- AIM round-level trace ----
+
+TEST_F(ObsTest, AimOutputBitwiseIdenticalWithTracingOn) {
+  AimMechanism aim(FastAim());
+  const double rho = 0.2;
+
+  Rng rng_off(77);
+  MechanismResult off = aim.Run(ObsData(), ObsWorkload(), rho, rng_off);
+
+  SetMetricsEnabled(true);
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  Rng rng_on(77);
+  MechanismResult on = aim.Run(ObsData(), ObsWorkload(), rho, rng_on);
+
+  EXPECT_GT(sink.events().size(), 0u);
+  // Bitwise-identical outputs: same rounds, same measurements (exact
+  // double equality), same synthetic records.
+  EXPECT_EQ(on.rounds, off.rounds);
+  EXPECT_EQ(on.rho_used, off.rho_used);
+  EXPECT_EQ(on.total_estimate, off.total_estimate);
+  ASSERT_EQ(on.log.measurements.size(), off.log.measurements.size());
+  for (size_t m = 0; m < on.log.measurements.size(); ++m) {
+    EXPECT_EQ(on.log.measurements[m].attrs, off.log.measurements[m].attrs);
+    ASSERT_EQ(on.log.measurements[m].values.size(),
+              off.log.measurements[m].values.size());
+    for (size_t v = 0; v < on.log.measurements[m].values.size(); ++v) {
+      EXPECT_EQ(on.log.measurements[m].values[v],
+                off.log.measurements[m].values[v])
+          << "measurement " << m << " cell " << v;
+    }
+  }
+  ASSERT_EQ(on.synthetic.num_records(), off.synthetic.num_records());
+  for (int64_t row = 0; row < on.synthetic.num_records(); ++row) {
+    EXPECT_EQ(on.synthetic.Record(row), off.synthetic.Record(row))
+        << "synthetic row " << row;
+  }
+}
+
+TEST_F(ObsTest, AimEmitsOneSchemaValidRoundRecordPerRound) {
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  AimMechanism aim(FastAim());
+  const double rho = 0.2;
+  Rng rng(21);
+  MechanismResult result = aim.Run(ObsData(), ObsWorkload(), rho, rng);
+
+  EXPECT_EQ(sink.events_of_type("aim_start").size(), 1u);
+  EXPECT_EQ(sink.events_of_type("aim_init").size(), 1u);
+  EXPECT_EQ(sink.events_of_type("aim_finish").size(), 1u);
+  auto rounds = sink.events_of_type("aim_round");
+  ASSERT_EQ(rounds.size(), static_cast<size_t>(result.rounds));
+
+  double prev_spent = 0.0;
+  for (size_t t = 0; t < rounds.size(); ++t) {
+    const TraceEvent& e = rounds[t];
+    // Round indices are 1-based and contiguous.
+    EXPECT_EQ(e.GetInt("round"), static_cast<int64_t>(t) + 1);
+    // Schema: every per-round field the DP audit consumes must be present
+    // with the right type, and the JSONL rendering must stay parseable.
+    EXPECT_FALSE(e.GetString("selected").empty());
+    EXPECT_GT(e.GetInt("cells"), 0);
+    EXPECT_GT(e.GetDouble("sigma"), 0.0);
+    EXPECT_GT(e.GetDouble("epsilon"), 0.0);
+    EXPECT_GT(e.GetDouble("rho_round"), 0.0);
+    EXPECT_GE(e.GetDouble("rho_remaining"), 0.0);
+    EXPECT_GT(e.GetDouble("size_cap_mb"), 0.0);
+    EXPECT_GT(e.GetInt("pool_size"), 0);
+    EXPECT_GT(e.GetInt("candidates"), 0);
+    EXPECT_LE(e.GetInt("candidates"), e.GetInt("pool_size"));
+    EXPECT_EQ(e.GetString("cap_fallback"), "none");
+    EXPECT_TRUE(std::isfinite(e.GetDouble("score")));
+    EXPECT_GT(e.GetDouble("sensitivity"), 0.0);
+    EXPECT_GE(e.GetDouble("estimated_error"), 0.0);
+    EXPECT_GT(e.GetDouble("total_estimate"), 0.0);
+    EXPECT_GE(e.GetInt("est_iterations"), 0);
+    EXPECT_GE(e.GetInt("est_backtracks"), 0);
+    EXPECT_TRUE(std::isfinite(e.GetDouble("est_objective")));
+    (void)e.GetBool("est_converged");
+    (void)e.GetBool("annealed");
+    (void)e.GetBool("final_round_clamp");
+    (void)e.GetBool("budget_clamped");
+    EXPECT_GE(e.GetDouble("t_filter_s"), 0.0);
+    EXPECT_GE(e.GetDouble("t_score_s"), 0.0);
+    EXPECT_GE(e.GetDouble("t_measure_s"), 0.0);
+    EXPECT_GE(e.GetDouble("t_estimate_s"), 0.0);
+    // rho_spent is the running post-round ledger: strictly increasing.
+    const double spent = e.GetDouble("rho_spent");
+    EXPECT_GT(spent, prev_spent);
+    EXPECT_NEAR(spent + e.GetDouble("rho_remaining"), rho, 1e-9 * rho);
+    prev_spent = spent;
+    FlatJson json = ParseFlat(e.ToJson());
+    EXPECT_TRUE(json.ok) << json.error;
+  }
+}
+
+TEST_F(ObsTest, PerRoundRhoSumsToBudget) {
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  AimMechanism aim(FastAim());
+  const double rho = 0.25;
+  Rng rng(33);
+  MechanismResult result = aim.Run(ObsData(), ObsWorkload(), rho, rng);
+
+  double sum = 0.0;
+  for (const TraceEvent& e : sink.events_of_type("aim_init")) {
+    sum += e.GetDouble("rho_round");
+  }
+  for (const TraceEvent& e : sink.events_of_type("aim_round")) {
+    sum += e.GetDouble("rho_round");
+  }
+  // The traced per-round spends must reconcile exactly with the ledger,
+  // and AIM's final-round rule exhausts the whole budget.
+  EXPECT_NEAR(sum, result.rho_used, 1e-9 * rho);
+  EXPECT_NEAR(sum, rho, 1e-9 * rho + 1e-12);
+  auto finishes = sink.events_of_type("aim_finish");
+  ASSERT_EQ(finishes.size(), 1u);
+  EXPECT_EQ(finishes[0].GetInt("rounds"),
+            static_cast<int64_t>(result.rounds));
+  EXPECT_NEAR(finishes[0].GetDouble("rho_used"), result.rho_used, 0.0);
+}
+
+TEST_F(ObsTest, AimPopulatesMetricsWhenEnabled) {
+  SetMetricsEnabled(true);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.ResetForTesting();
+  AimMechanism aim(FastAim());
+  Rng rng(55);
+  MechanismResult result = aim.Run(ObsData(), ObsWorkload(), 0.1, rng);
+  EXPECT_EQ(registry.counter("aim.runs").value(), 1);
+  EXPECT_EQ(registry.counter("aim.rounds").value(), result.rounds);
+  EXPECT_EQ(registry.histogram("aim.phase.estimate_seconds").count(),
+            result.rounds);
+  EXPECT_GT(registry.counter("pgm.estimation.calls").value(), 0);
+  EXPECT_GT(registry.counter("pgm.jt.size_evals").value(), 0);
+}
+
+}  // namespace
+}  // namespace aim

@@ -3,7 +3,7 @@
 //   aim_cli --input=data.csv --output=synth.csv --epsilon=1.0
 //           [--delta=1e-9] [--workload=all3way|all2way|target:<attr>]
 //           [--bins=32] [--max_size_mb=80] [--records=N] [--seed=N]
-//           [--report]
+//           [--report] [--trace-out=trace.jsonl] [--metrics-out=metrics.json]
 //
 // Reads a raw CSV (header row; categorical and numerical columns detected
 // automatically per Appendix A), runs AIM under the requested (epsilon,
@@ -12,7 +12,9 @@
 // data consumer can judge the quality of every workload marginal without
 // any further privacy cost.
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "data/csv.h"
@@ -22,6 +24,8 @@
 #include "marginal/marginal.h"
 #include "marginal/workload.h"
 #include "mechanisms/aim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "uncertainty/bounds.h"
 #include "util/rng.h"
@@ -41,6 +45,8 @@ struct CliFlags {
   uint64_t seed = 0;
   int threads = 0;  // 0 = automatic (AIM_THREADS env, else hardware)
   bool report = false;
+  std::string trace_out;    // JSONL round trace ("-"/"stderr" = stderr)
+  std::string metrics_out;  // metrics JSON dump ("-" = stdout)
 };
 
 int Usage() {
@@ -55,6 +61,10 @@ int Usage() {
                "estimated input size)\n"
             << "  --threads=N               worker threads (default: "
                "AIM_THREADS env or hardware)\n"
+            << "  --trace-out=F             per-round JSONL trace "
+               "(- or stderr for stderr; AIM_TRACE env also honored)\n"
+            << "  --metrics-out=F           metrics JSON dump at exit "
+               "(- for stdout)\n"
             << "  --seed=N --report\n";
   return 2;
 }
@@ -101,12 +111,33 @@ int main(int argc, char** argv) {
       int64_t v;
       if (!ParseInt64(value, &v) || v < 0) return Usage();
       flags.threads = static_cast<int>(v);
+    } else if (Consume(arg, "--trace-out=", &value)) {
+      flags.trace_out = value;
+    } else if (Consume(arg, "--metrics-out=", &value)) {
+      flags.metrics_out = value;
     } else {
       return Usage();
     }
   }
   if (flags.input.empty()) return Usage();
   SetParallelThreads(flags.threads);
+
+  // ---- Observability. --trace-out installs a JSONL sink (overriding any
+  // AIM_TRACE env sink); --metrics-out turns on metrics collection and dumps
+  // the registry on exit.
+  std::unique_ptr<JsonlTraceSink> trace_sink;
+  if (!flags.trace_out.empty()) {
+    trace_sink = std::make_unique<JsonlTraceSink>(flags.trace_out);
+    if (!trace_sink->ok()) {
+      std::cerr << "error: cannot open trace output '" << flags.trace_out
+                << "'\n";
+      return 1;
+    }
+    SetGlobalTraceSink(trace_sink.get());
+  } else {
+    InitTraceSinkFromEnv();
+  }
+  if (!flags.metrics_out.empty()) SetMetricsEnabled(true);
 
   // ---- Load and preprocess.
   StatusOr<RawTable> table = ReadCsv(flags.input);
@@ -191,6 +222,27 @@ int main(int argc, char** argv) {
            bound.has_value() ? FormatG(bound->bound) : "n/a"});
     }
     report.Print(std::cout);
+  }
+
+  // ---- Observability teardown.
+  if (trace_sink != nullptr) {
+    SetGlobalTraceSink(nullptr);
+    trace_sink->Flush();
+  }
+  if (!flags.metrics_out.empty()) {
+    if (flags.metrics_out == "-") {
+      MetricsRegistry::Global().WriteJson(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream out(flags.metrics_out);
+      if (!out) {
+        std::cerr << "error: cannot open metrics output '"
+                  << flags.metrics_out << "'\n";
+        return 1;
+      }
+      MetricsRegistry::Global().WriteJson(out);
+      out << "\n";
+    }
   }
   return 0;
 }
