@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/fault.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -35,6 +36,9 @@ namespace {
       << "  --trace-out=F     per-round JSONL trace (- or stderr for"
          " stderr)\n"
       << "  --metrics-out=F   metrics JSON dump at exit (- for stdout)\n"
+      << "  --checkpoint-out=F --checkpoint-every=N --resume=F\n"
+      << "                    AIM crash-safe snapshots (see DESIGN.md)\n"
+      << "  --deadline-s=F    AIM wall-clock budget per run\n"
       << "  --full            paper-fidelity settings (slow)\n";
   std::exit(2);
 }
@@ -141,6 +145,16 @@ BenchFlags ParseFlags(int argc, char** argv) {
       flags.trace_out = value;
     } else if (ConsumePrefix(arg, "--metrics-out=", &value)) {
       flags.metrics_out = value;
+    } else if (ConsumePrefix(arg, "--checkpoint-out=", &value)) {
+      flags.checkpoint_out = value;
+    } else if (ConsumePrefix(arg, "--checkpoint-every=", &value)) {
+      int64_t v;
+      if (!ParseInt64(value, &v) || v <= 0) Usage(argv[0]);
+      flags.checkpoint_every = static_cast<int>(v);
+    } else if (ConsumePrefix(arg, "--resume=", &value)) {
+      flags.resume = value;
+    } else if (ConsumePrefix(arg, "--deadline-s=", &value)) {
+      if (!ParseDouble(value, &flags.deadline_s)) Usage(argv[0]);
     } else {
       Usage(argv[0]);
     }
@@ -157,6 +171,7 @@ BenchFlags ParseFlags(int argc, char** argv) {
     flags.mwem_rounds = 0;  // the mechanisms' own 2d default
   }
   SetParallelThreads(flags.threads);
+  InitFaultsFromEnv();
   if (!flags.trace_out.empty()) {
     // Process-lifetime sink. Held in a static so its destructor runs at
     // exit and flushes the underlying file; the global pointer is cleared
@@ -193,6 +208,10 @@ RegistryOptions ToRegistryOptions(const BenchFlags& flags) {
   options.rp_iters = flags.rp_iters;
   options.mwem_rounds = flags.mwem_rounds;
   options.rp_max_cells = flags.rp_max_cells;
+  options.checkpoint_path = flags.checkpoint_out;
+  options.checkpoint_every_rounds = flags.checkpoint_every;
+  options.resume_path = flags.resume;
+  options.deadline_seconds = flags.deadline_s;
   return options;
 }
 

@@ -54,6 +54,12 @@ struct BenchFlags {
   // so individual bench binaries need no changes.
   std::string trace_out;
   std::string metrics_out;
+  // Fault tolerance (AIM only): --checkpoint-out / --checkpoint-every /
+  // --resume / --deadline-s pass through RegistryOptions into AimOptions.
+  std::string checkpoint_out;
+  int checkpoint_every = 1;
+  std::string resume;
+  double deadline_s = 0.0;
 };
 
 // Parses --flag=value style arguments; prints usage and exits on --help or

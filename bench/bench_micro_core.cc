@@ -16,6 +16,7 @@
 #include "pgm/junction_tree.h"
 #include "pgm/markov_random_field.h"
 #include "pgm/synthetic.h"
+#include "robust/fault.h"
 #include "util/rng.h"
 
 namespace aim {
@@ -237,6 +238,46 @@ void BM_ObsDisabledGate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsDisabledGate);
+
+// Raw cost of one dormant fault-injection site: the FaultsArmed() relaxed
+// load every disarmed ShouldInjectFault pays. The contract (robust/fault.h)
+// prices this like the obs gates — compare against BM_ObsDisabledGate.
+void BM_FaultDisabledGate(benchmark::State& state) {
+  DisarmFaults();
+  for (auto _ : state) {
+    bool fire = ShouldInjectFault("estimation_step");
+    benchmark::DoNotOptimize(fire);
+  }
+}
+BENCHMARK(BM_FaultDisabledGate);
+
+// Estimation hot path with the dormant "estimation_step" site in place;
+// Arg(0) = disarmed (must be within 2% of pre-fault-injection timings),
+// Arg(1) = armed with a never-firing rule on that very point, so every
+// EstimateMrf call pays the full rule lookup — the worst realistic case.
+void BM_FaultEstimationOverhead(benchmark::State& state) {
+  if (state.range(0) == 1) {
+    Status s = ArmFaults("estimation_step:p=0");
+    if (!s.ok()) state.SkipWithError("ArmFaults failed");
+  } else {
+    DisarmFaults();
+  }
+  Rng rng(6);
+  Domain domain = Domain::WithSizes({4, 4, 4, 4, 4});
+  Dataset data = SampleRandomBayesNet(domain, 5000, 2, 0.4, rng);
+  std::vector<Measurement> ms;
+  for (const AttrSet& r :
+       {AttrSet({0, 1}), AttrSet({1, 2}), AttrSet({2, 3}), AttrSet({3, 4})}) {
+    ms.push_back({r, ComputeMarginal(data, r), 10.0});
+  }
+  EstimationOptions options;
+  options.max_iters = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateMrf(domain, ms, 5000.0, options));
+  }
+  DisarmFaults();
+}
+BENCHMARK(BM_FaultEstimationOverhead)->Arg(0)->Arg(1);
 
 // Cost of one live counter increment and one live histogram observation
 // (lock-free atomics), for sizing how much instrumentation a hot loop can

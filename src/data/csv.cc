@@ -1,35 +1,100 @@
 #include "data/csv.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "robust/fault.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace aim {
+namespace {
+
+const FaultPointRegistration kCsvReadFault{"csv_read"};
+
+// Per-field size cap: a field this large is a corrupt or hostile file, not
+// data, and must become a Status rather than an allocation blow-up deep in
+// preprocessing.
+constexpr size_t kMaxFieldLength = 1 << 20;  // 1 MiB
+
+// Short printable preview of an offending token for error messages.
+std::string TokenPreview(const std::string& token) {
+  constexpr size_t kMaxPreview = 40;
+  std::string out;
+  const size_t n = std::min(token.size(), kMaxPreview);
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(token[i]);
+    if (c == '\0') {
+      out += "\\0";
+    } else if (c < 0x20 || c == 0x7f) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\x%02x", c);
+      out += buffer;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  if (token.size() > kMaxPreview) out += "...";
+  return out;
+}
+
+std::string Position(int64_t line, size_t column) {
+  return "line " + std::to_string(line) + ", column " +
+         std::to_string(column);
+}
+
+}  // namespace
 
 StatusOr<RawTable> ParseCsv(const std::string& content) {
   RawTable table;
   std::istringstream in(content);
   std::string line;
   bool have_header = false;
-  int64_t line_number = 0;
+  int64_t line_number = 0;  // 1-based, counting every physical line
+  const bool ends_with_newline =
+      !content.empty() && content.back() == '\n';
   while (std::getline(in, line)) {
     ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitString(line, ',');
-    for (auto& field : fields) field = StripWhitespace(field);
+    for (size_t i = 0; i < fields.size(); ++i) {
+      fields[i] = StripWhitespace(fields[i]);
+      const std::string& field = fields[i];
+      // Columns are reported 1-based to match the 1-based line numbers.
+      if (field.find('\0') != std::string::npos) {
+        return InvalidArgumentError(
+            Position(line_number, i + 1) +
+            ": field contains an embedded NUL byte (token '" +
+            TokenPreview(field) + "') — binary data is not valid CSV");
+      }
+      if (field.size() > kMaxFieldLength) {
+        return InvalidArgumentError(
+            Position(line_number, i + 1) + ": field of " +
+            std::to_string(field.size()) + " bytes exceeds the " +
+            std::to_string(kMaxFieldLength) + "-byte limit (token '" +
+            TokenPreview(field) + "')");
+      }
+    }
     if (!have_header) {
       table.header = std::move(fields);
       have_header = true;
       continue;
     }
     if (fields.size() != table.header.size()) {
-      return InvalidArgumentError(
-          "row " + std::to_string(line_number) + " has " +
-          std::to_string(fields.size()) + " fields, expected " +
-          std::to_string(table.header.size()));
+      const bool at_end =
+          in.peek() == std::istringstream::traits_type::eof();
+      std::string message =
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(table.header.size()) + " fields, got " +
+          std::to_string(fields.size()) + " (first field: '" +
+          TokenPreview(fields.empty() ? std::string() : fields.front()) +
+          "')";
+      if (at_end && !ends_with_newline) {
+        message += "; the final row appears truncated (no trailing newline)";
+      }
+      return InvalidArgumentError(std::move(message));
     }
     table.rows.push_back(std::move(fields));
   }
@@ -38,11 +103,19 @@ StatusOr<RawTable> ParseCsv(const std::string& content) {
 }
 
 StatusOr<RawTable> ReadCsv(const std::string& path) {
-  std::ifstream file(path);
+  Status fault = FaultStatus("csv_read");
+  if (!fault.ok()) return fault;
+  std::ifstream file(path, std::ios::binary);
   if (!file) return NotFoundError("cannot open " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ParseCsv(buffer.str());
+  if (file.bad()) return InternalError("read failed for " + path);
+  StatusOr<RawTable> parsed = ParseCsv(buffer.str());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  parsed.status().message() + " (file: " + path + ")");
+  }
+  return parsed;
 }
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {

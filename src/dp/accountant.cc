@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "util/logging.h"
 #include "util/math.h"
@@ -129,6 +130,21 @@ void PrivacyFilter::Spend(double rho) {
   AIM_CHECK(CanSpend(rho)) << "privacy filter overspend: spent=" << spent_
                            << " rho=" << rho << " budget=" << budget_;
   spent_ += rho;
+}
+
+Status PrivacyFilter::RestoreSpent(double spent) {
+  if (!(spent >= 0.0)) {
+    return InvalidArgumentError("privacy filter: cannot restore negative "
+                                "spent rho " +
+                                std::to_string(spent));
+  }
+  if (spent > budget_ * (1.0 + 1e-9) + 1e-12) {
+    return FailedPreconditionError(
+        "privacy filter: restored ledger " + std::to_string(spent) +
+        " exceeds budget " + std::to_string(budget_));
+  }
+  spent_ = spent;
+  return Status::Ok();
 }
 
 }  // namespace aim

@@ -4,6 +4,8 @@
 #ifndef AIM_DP_ACCOUNTANT_H_
 #define AIM_DP_ACCOUNTANT_H_
 
+#include "util/status.h"
+
 namespace aim {
 
 // delta such that rho-zCDP implies (eps, delta)-DP (Proposition 4):
@@ -48,6 +50,12 @@ class PrivacyFilter {
 
   // Records spending `rho`; CHECK-fails on overspend beyond tolerance.
   void Spend(double rho);
+
+  // Restores the ledger to a previously-recorded position (checkpoint
+  // resume). Unlike Spend this returns a Status rather than CHECK-failing:
+  // an overspent or negative position comes from a snapshot file, i.e. an
+  // input error, not a programming error. Uses the CanSpend tolerance.
+  Status RestoreSpent(double spent);
 
  private:
   double budget_;

@@ -12,9 +12,17 @@
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 #include "parallel/parallel.h"
+#include "robust/fault.h"
 #include "util/logging.h"
 
 namespace aim {
+namespace {
+
+// Keyed by the trial index so the injected trial is the same regardless of
+// thread count or scheduling.
+const FaultPointRegistration kTrialRunFault{"trial_run"};
+
+}  // namespace
 
 std::vector<double> PaperEpsilonGrid() {
   // Half-decade grid from 0.01 to 100.
@@ -37,51 +45,87 @@ TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
   struct TrialOutcome {
     double error = 0.0;
     double seconds = 0.0;
+    int rounds = 0;
+    double rho_used = 0.0;
+    bool failed = false;
+    std::string message;
   };
   const bool traced = TraceEnabled();
   const bool metered = MetricsEnabled();
   std::vector<TrialOutcome> outcomes =
       ParallelMap(trials, [&](int64_t t) {
         LapClock clock(traced || metered);
-        Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(t) + 1);
-        MechanismResult result = mechanism.Run(data, workload, rho, rng);
-        TrialOutcome outcome{WorkloadError(data, result, workload),
-                             result.seconds};
+        TrialOutcome outcome;
+        // Per-trial isolation: exceptions (fault-injected crashes or real
+        // estimation failures) must be caught here, inside the parallel
+        // chunk body — if they escaped, ParallelMap would rethrow and take
+        // the whole sweep down with the one bad trial.
+        try {
+          if (ShouldInjectFault("trial_run", static_cast<uint64_t>(t))) {
+            throw FaultInjectedError("trial_run");
+          }
+          Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(t) + 1);
+          MechanismResult result = mechanism.Run(data, workload, rho, rng);
+          outcome.error = WorkloadError(data, result, workload);
+          outcome.seconds = result.seconds;
+          outcome.rounds = result.rounds;
+          outcome.rho_used = result.rho_used;
+        } catch (const std::exception& e) {
+          outcome.failed = true;
+          outcome.message = e.what();
+        }
         const double wall = clock.Lap();
         if (metered) {
           MetricsRegistry& registry = MetricsRegistry::Global();
           static Counter& trials_counter = registry.counter("eval.trials");
+          static Counter& failures_counter =
+              registry.counter("eval.trial_failures");
           static Histogram& trial_hist =
               registry.histogram("eval.trial_seconds");
           trials_counter.Add(1);
+          if (outcome.failed) failures_counter.Add(1);
           trial_hist.Observe(wall);
         }
         if (traced) {
-          EmitTrace(TraceEvent("trial")
-                        .Set("mechanism", mechanism.name())
-                        .Set("trial", t)
-                        .Set("epsilon", epsilon)
-                        .Set("rho", rho)
-                        .Set("rounds", result.rounds)
-                        .Set("rho_used", result.rho_used)
-                        .Set("error", outcome.error)
-                        .Set("mechanism_seconds", result.seconds)
-                        .Set("seconds", wall));
+          TraceEvent event("trial");
+          event.Set("mechanism", mechanism.name())
+              .Set("trial", t)
+              .Set("epsilon", epsilon)
+              .Set("rho", rho)
+              .Set("failed", outcome.failed);
+          if (outcome.failed) {
+            event.Set("error_message", outcome.message);
+          } else {
+            event.Set("rounds", outcome.rounds)
+                .Set("rho_used", outcome.rho_used)
+                .Set("error", outcome.error)
+                .Set("mechanism_seconds", outcome.seconds);
+          }
+          event.Set("seconds", wall);
+          EmitTrace(event);
         }
         return outcome;
       });
   stats.values.reserve(trials);
   double seconds = 0.0;
-  for (const TrialOutcome& outcome : outcomes) {
+  for (int t = 0; t < trials; ++t) {
+    const TrialOutcome& outcome = outcomes[static_cast<size_t>(t)];
+    if (outcome.failed) {
+      stats.failures.push_back({t, outcome.message});
+      continue;
+    }
     stats.values.push_back(outcome.error);
     seconds += outcome.seconds;
   }
-  stats.min = *std::min_element(stats.values.begin(), stats.values.end());
-  stats.max = *std::max_element(stats.values.begin(), stats.values.end());
-  double sum = 0.0;
-  for (double v : stats.values) sum += v;
-  stats.mean = sum / trials;
-  stats.mean_seconds = seconds / trials;
+  const int64_t successes = static_cast<int64_t>(stats.values.size());
+  if (successes > 0) {
+    stats.min = *std::min_element(stats.values.begin(), stats.values.end());
+    stats.max = *std::max_element(stats.values.begin(), stats.values.end());
+    double sum = 0.0;
+    for (double v : stats.values) sum += v;
+    stats.mean = sum / static_cast<double>(successes);
+    stats.mean_seconds = seconds / static_cast<double>(successes);
+  }
   return stats;
 }
 

@@ -25,17 +25,28 @@ std::vector<double> SmallEpsilonGrid();
 constexpr double kPaperDelta = 1e-9;
 
 // Aggregate of repeated trials (the paper reports mean with min/max bars).
+// Trials are isolated: a trial that throws (a fault-injected crash, an
+// estimation failure) is recorded in `failures` and excluded from the
+// statistics; the remaining trials are unaffected. When every trial fails,
+// mean/min/max are 0 and `values` is empty.
 struct TrialStats {
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
   double mean_seconds = 0.0;
-  std::vector<double> values;
+  std::vector<double> values;  // successful trials, in trial order
+
+  struct TrialFailure {
+    int trial = 0;
+    std::string message;
+  };
+  std::vector<TrialFailure> failures;
 };
 
 // Runs `trials` independent executions of the mechanism at (eps, delta)
 // (converted to the zCDP budget via CdpRho) and reports workload-error
 // statistics. Trial t uses an Rng seeded deterministically from `seed` + t.
+// Fault point "trial_run" (keyed by t) injects a per-trial failure.
 TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
                      const Workload& workload, double epsilon, double delta,
                      int trials, uint64_t seed);

@@ -15,6 +15,8 @@
 #include "parallel/parallel.h"
 #include "pgm/junction_tree.h"
 #include "pgm/synthetic.h"
+#include "robust/fault.h"
+#include "robust/snapshot.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -22,6 +24,10 @@ namespace aim {
 namespace {
 
 constexpr double kSqrt2OverPi = 0.7978845608028654;  // sqrt(2/pi)
+
+// Simulated crash at the top of a main-loop round (robust_test and the
+// kill-and-resume smoke use it to interrupt a run at a known point).
+const FaultPointRegistration kAimRoundFault{"aim_round"};
 
 }  // namespace
 
@@ -82,10 +88,64 @@ int64_t AimMaxRounds(double T) {
   return static_cast<int64_t>(rounds);
 }
 
+uint64_t AimRunFingerprint(const Domain& domain, const Workload& workload,
+                           const AimOptions& options, double rho) {
+  FingerprintHasher h;
+  h.Add(static_cast<uint64_t>(AimSnapshot::kVersion));
+  h.Add(rho);
+  h.Add(domain.num_attributes());
+  for (int i = 0; i < domain.num_attributes(); ++i) {
+    h.Add(domain.size(i));
+    h.Add(domain.name(i));
+  }
+  h.Add(static_cast<int64_t>(workload.num_queries()));
+  for (const WorkloadQuery& q : workload.queries()) {
+    h.Add(q.attrs.size());
+    for (int a : q.attrs) h.Add(a);
+    h.Add(q.weight);
+  }
+  h.Add(options.max_size_mb);
+  h.Add(options.alpha);
+  h.Add(options.rounds_per_attribute);
+  for (const EstimationOptions* e :
+       {&options.round_estimation, &options.final_estimation}) {
+    h.Add(e->max_iters);
+    h.Add(e->initial_step);
+    h.Add(e->tolerance);
+    h.Add(e->patience);
+  }
+  h.Add(static_cast<int64_t>(options.structural_zeros.size()));
+  for (const ZeroConstraint& z : options.structural_zeros) {
+    h.Add(z.attrs.size());
+    for (int a : z.attrs) h.Add(a);
+    h.Add(static_cast<int64_t>(z.zero_cells.size()));
+    for (int64_t c : z.zero_cells) h.Add(c);
+  }
+  h.Add(options.record_candidates);
+  h.Add(options.synthetic_records);
+  h.Add(options.use_generalized_em);
+  h.Add(options.public_data != nullptr);
+  if (options.public_data != nullptr) {
+    // Cheap content proxy: hashing the full public dataset would be exact
+    // but slow; size plus the shared-domain requirement catches the
+    // realistic mismatches.
+    h.Add(options.public_data->num_records());
+    h.Add(options.public_prior_weight);
+  }
+  h.Add(static_cast<int>(options.noise));
+  h.Add(options.use_downward_closure);
+  h.Add(options.use_workload_weights);
+  h.Add(options.use_noise_penalty);
+  h.Add(options.use_annealing);
+  h.Add(options.use_initialization);
+  return h.digest();
+}
+
 MechanismResult AimMechanism::Run(const Dataset& data,
                                   const Workload& workload, double rho,
                                   Rng& rng) const {
   InitTraceSinkFromEnv();
+  InitFaultsFromEnv();
   const auto start_time = std::chrono::steady_clock::now();
   AIM_CHECK_GT(rho, 0.0);
   AIM_CHECK_GT(workload.num_queries(), 0);
@@ -107,6 +167,11 @@ MechanismResult AimMechanism::Run(const Dataset& data,
   static Counter& runs_counter = registry.counter("aim.runs");
   static Counter& rounds_counter = registry.counter("aim.rounds");
   static Counter& fallback_counter = registry.counter("aim.cap_fallbacks");
+  static Counter& checkpoint_fail_counter =
+      registry.counter("aim.checkpoint_failures");
+  static Counter& deadline_counter =
+      registry.counter("aim.deadline_expirations");
+  static Counter& resume_counter = registry.counter("aim.resumes");
   static Histogram& filter_hist =
       registry.histogram("aim.phase.filter_seconds");
   static Histogram& score_hist = registry.histogram("aim.phase.score_seconds");
@@ -161,6 +226,25 @@ MechanismResult AimMechanism::Run(const Dataset& data,
   std::vector<Measurement> measurements;
   const double sigma0 = std::sqrt(T / (2.0 * alpha * rho));  // Line 4
 
+  // ---- Resume (DESIGN.md "Fault tolerance"): load and validate the
+  // snapshot up front. Its init prefix takes the place of Algorithm-2
+  // initialization below; the per-round tail replays through the same
+  // warm-started estimation sequence the original process ran.
+  const uint64_t fingerprint =
+      AimRunFingerprint(domain, workload, options_, rho);
+  std::optional<AimSnapshot> resume;
+  if (!options_.resume_path.empty()) {
+    StatusOr<AimSnapshot> loaded = ReadSnapshot(options_.resume_path);
+    AIM_CHECK(loaded.ok()) << loaded.status().ToString();
+    Status valid = ValidateSnapshot(*loaded, fingerprint, rho);
+    AIM_CHECK(valid.ok()) << valid.ToString();
+    resume = *std::move(loaded);
+    Status restored = filter.RestoreSpent(resume->rho_spent);
+    AIM_CHECK(restored.ok()) << restored.ToString();
+    result.resumed_from_round = resume->round;
+    if (metered) resume_counter.Add(1);
+  }
+
   if (traced) {
     EmitTrace(TraceEvent("aim_start")
                   .Set("rho_budget", rho)
@@ -172,7 +256,8 @@ MechanismResult AimMechanism::Run(const Dataset& data,
                   .Set("T", T)
                   .Set("alpha", alpha)
                   .Set("sigma0", sigma0)
-                  .Set("max_size_mb", options_.max_size_mb));
+                  .Set("max_size_mb", options_.max_size_mb)
+                  .Set("resumed_from", result.resumed_from_round));
   }
 
   // Measure-step noise: Gaussian by default; Laplace has the identical
@@ -186,7 +271,14 @@ MechanismResult AimMechanism::Run(const Dataset& data,
   // ---- Initialization (Algorithm 2): measure the 1-way marginals of W+.
   // Computed from the workload directly (not the candidate pool) so the
   // no-downward-closure ablation still initializes per Algorithm 2.
-  if (options_.use_initialization) {
+  if (resume.has_value()) {
+    // The original process already drew this noise and spent this budget;
+    // reuse its measurements verbatim (filter was restored above).
+    for (int64_t i = 0; i < resume->init_measurements; ++i) {
+      measurements.push_back(resume->measurements[static_cast<size_t>(i)]);
+      model_cliques.push_back(measurements.back().attrs);
+    }
+  } else if (options_.use_initialization) {
     std::set<int> workload_attrs;
     for (const auto& q : workload.queries()) {
       for (int attr : q.attrs) workload_attrs.insert(attr);
@@ -209,6 +301,7 @@ MechanismResult AimMechanism::Run(const Dataset& data,
                     .Set("rho_spent", filter.spent()));
     }
   }
+  const int64_t init_count = static_cast<int64_t>(measurements.size());
   double total = measurements.empty() ? 1.0 : EstimateTotal(measurements);
 
   // Optional public-data prior (Section 7): low-order public marginals,
@@ -248,6 +341,25 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     model.Calibrate();
   }
 
+  std::optional<MarkovRandomField> penultimate;
+
+  // ---- Resume replay: refit round by round exactly as the original
+  // process did (append, refresh the total, warm-start re-estimate).
+  // Estimation draws no randomness, so the refit is exact and the restored
+  // noise stream below is untouched.
+  if (resume.has_value()) {
+    for (size_t i = static_cast<size_t>(resume->init_measurements);
+         i < resume->measurements.size(); ++i) {
+      measurements.push_back(resume->measurements[i]);
+      model_cliques.push_back(measurements.back().attrs);
+      total = EstimateTotal(measurements);
+      penultimate = model;
+      model = EstimateMrf(domain, with_priors(), total,
+                          options_.round_estimation, &model, zeros);
+    }
+    result.log.rounds = resume->rounds;
+  }
+
   // Line 9: initial per-round parameters.
   double sigma = sigma0;
   double epsilon = std::sqrt(8.0 * (1.0 - alpha) * rho / T);
@@ -257,18 +369,80 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     sigma = std::sqrt(1.0 / (2.0 * alpha * per_round));
     epsilon = std::sqrt(8.0 * (1.0 - alpha) * per_round);
   }
+  if (resume.has_value()) {
+    // The snapshot stores the post-annealing parameters for the round that
+    // never ran, and the generator state after every draw the original
+    // process made.
+    sigma = resume->sigma;
+    epsilon = resume->epsilon;
+    rng.RestoreState(resume->rng);
+  }
 
-  std::optional<MarkovRandomField> penultimate;
   const double budget_floor = 1e-9 * rho;
-  int64_t round = 0;
+  int64_t round = resume.has_value() ? resume->round : 0;
   // Defensive ceiling computed in 64-bit: T = rounds_per_attribute * d can
   // make the old `10 * int(T) + 10` expression truncate or overflow int.
   const int64_t max_rounds = AimMaxRounds(T);
   double time_filter = 0.0, time_score = 0.0, time_measure = 0.0,
          time_estimate = 0.0;
 
+  // ---- Checkpointing: one atomic snapshot after the initial fit and then
+  // every checkpoint_every_rounds completed rounds. A failed write is a
+  // warning, never an abort — losing a checkpoint must not lose the run.
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  auto write_checkpoint = [&]() {
+    AimSnapshot snap;
+    snap.fingerprint = fingerprint;
+    snap.rho_budget = rho;
+    snap.rho_spent = filter.spent();
+    snap.round = round;
+    snap.init_measurements = init_count;
+    snap.sigma = sigma;
+    snap.epsilon = epsilon;
+    snap.rng = rng.SaveState();
+    snap.measurements = measurements;
+    snap.rounds = result.log.rounds;
+    Status s = WriteSnapshot(snap, options_.checkpoint_path);
+    if (!s.ok()) {
+      if (metered) checkpoint_fail_counter.Add(1);
+      if (traced) {
+        EmitTrace(TraceEvent("aim_warning")
+                      .Set("kind", "checkpoint_failed")
+                      .Set("round", round)
+                      .Set("path", options_.checkpoint_path)
+                      .Set("error", s.ToString()));
+      }
+    }
+  };
+  if (checkpointing) {
+    AIM_CHECK_GT(options_.checkpoint_every_rounds, 0);
+    write_checkpoint();  // baseline: initialization is already paid for
+  }
+
   // ---- Main loop (Lines 10-18).
   while (filter.remaining() > budget_floor && round < max_rounds) {
+    MaybeThrowFault("aim_round");
+    if (options_.deadline_seconds > 0.0) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start_time)
+                                 .count();
+      if (elapsed >= options_.deadline_seconds) {
+        // Graceful degradation: stop selecting and synthesize from what we
+        // have. Under-spending rho is always DP-safe.
+        result.deadline_expired = true;
+        if (metered) deadline_counter.Add(1);
+        if (traced) {
+          EmitTrace(TraceEvent("aim_warning")
+                        .Set("kind", "deadline_expired")
+                        .Set("round", round)
+                        .Set("elapsed_s", elapsed)
+                        .Set("deadline_s", options_.deadline_seconds)
+                        .Set("rho_spent", filter.spent())
+                        .Set("rho_remaining", filter.remaining()));
+        }
+        break;
+      }
+    }
     ++round;
     LapClock phase_clock(timed);
     double round_rho = ExponentialRho(epsilon) + GaussianRho(sigma);
@@ -466,12 +640,20 @@ MechanismResult AimMechanism::Run(const Dataset& data,
                     .Set("t_measure_s", t_measure)
                     .Set("t_estimate_s", t_estimate));
     }
+    if (checkpointing && round % options_.checkpoint_every_rounds == 0) {
+      write_checkpoint();
+    }
   }
 
-  // ---- Final estimation and generation (Line 19).
+  // ---- Final estimation and generation (Line 19). A deadline can expire
+  // before anything was measured (use_initialization=false); the uniform
+  // calibrated model from above is then the only valid fit.
   EstimationStats final_stats;
-  model = EstimateMrf(domain, with_priors(), total,
-                      options_.final_estimation, &model, zeros, &final_stats);
+  if (!measurements.empty() || !priors.empty()) {
+    model = EstimateMrf(domain, with_priors(), total,
+                        options_.final_estimation, &model, zeros,
+                        &final_stats);
+  }
   int64_t synth_records = options_.synthetic_records > 0
                               ? options_.synthetic_records
                               : static_cast<int64_t>(std::llround(total));
@@ -494,6 +676,8 @@ MechanismResult AimMechanism::Run(const Dataset& data,
                   .Set("rho_budget", rho)
                   .Set("rho_used", result.rho_used)
                   .Set("total_estimate", total)
+                  .Set("deadline_expired", result.deadline_expired)
+                  .Set("resumed_from", result.resumed_from_round)
                   .Set("final_est_iterations", final_stats.iterations)
                   .Set("final_est_objective", final_stats.final_objective)
                   .Set("t_filter_s", time_filter)

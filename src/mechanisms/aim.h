@@ -8,6 +8,7 @@
 #define AIM_MECHANISMS_AIM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mechanisms/mechanism.h"
@@ -107,7 +108,36 @@ struct AimOptions {
   // Spend a first slice of budget measuring all 1-way marginals
   // (Algorithm 2); false starts from the uniform model.
   bool use_initialization = true;
+
+  // --- Fault tolerance (DESIGN.md "Fault tolerance"). ---
+  // When non-empty, an AimSnapshot is written here atomically after the
+  // initial fit and then after every `checkpoint_every_rounds` completed
+  // rounds; a failed write warns (aim_warning kind=checkpoint_failed) and
+  // the run continues.
+  std::string checkpoint_path;
+  int checkpoint_every_rounds = 1;
+  // When non-empty, the run resumes from this snapshot instead of starting
+  // fresh: the model is refit by replaying the persisted measurement log,
+  // and the round loop continues with the restored accountant, annealing,
+  // and RNG state — producing output bitwise-identical to an uninterrupted
+  // run. The snapshot's fingerprint must match this run (CHECK-enforced;
+  // callers wanting a recoverable error validate with ValidateSnapshot
+  // first, as aim_cli does).
+  std::string resume_path;
+  // Wall-clock budget for this process, checked at round boundaries; on
+  // expiry the mechanism stops selecting and goes straight to final
+  // estimation + generation from the measurements it has (under-spending
+  // rho is always DP-safe). <= 0 disables the deadline.
+  double deadline_seconds = 0.0;
 };
+
+// Hash of everything a snapshot must agree on to be resumable under this
+// run: the domain, the workload, the rho budget, and every AimOptions field
+// that influences the output. Checkpoint paths, the deadline, and the
+// checkpoint cadence are deliberately excluded — resuming under a different
+// deadline or checkpoint schedule is legitimate.
+uint64_t AimRunFingerprint(const Domain& domain, const Workload& workload,
+                           const AimOptions& options, double rho);
 
 class AimMechanism : public Mechanism {
  public:

@@ -9,6 +9,7 @@
 #ifndef AIM_MECHANISMS_MECHANISM_H_
 #define AIM_MECHANISMS_MECHANISM_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -65,6 +66,12 @@ struct MechanismResult {
   int rounds = 0;
   double total_estimate = 0.0;
   double seconds = 0.0;
+
+  // Fault-tolerance diagnostics (AIM): the round loop stopped because the
+  // wall-clock deadline expired, and the completed-round count the run was
+  // resumed from (-1 for a fresh start).
+  bool deadline_expired = false;
+  int64_t resumed_from_round = -1;
 
   // Final fitted model and (for AIM) the model one estimation step before
   // the end — p̂_{T-1} — used by the Corollary-2 confidence bounds.

@@ -99,6 +99,10 @@ std::unique_ptr<Mechanism> MechanismByName(const std::string& name,
     o.max_size_mb = options.max_size_mb;
     o.round_estimation = RoundEstimation(options);
     o.final_estimation = FinalEstimation(options);
+    o.checkpoint_path = options.checkpoint_path;
+    o.checkpoint_every_rounds = options.checkpoint_every_rounds;
+    o.resume_path = options.resume_path;
+    o.deadline_seconds = options.deadline_seconds;
     return std::make_unique<AimMechanism>(o);
   }
   return nullptr;

@@ -26,6 +26,12 @@ struct RegistryOptions {
   int64_t rp_max_cells = 100000;
   // Rounds for the fixed-round mechanisms; 0 = their 2d default.
   int mwem_rounds = 0;
+  // Fault tolerance, honored by AIM only (see AimOptions): crash-safe
+  // checkpointing, resume, and the wall-clock deadline.
+  std::string checkpoint_path;
+  int checkpoint_every_rounds = 1;
+  std::string resume_path;
+  double deadline_seconds = 0.0;
 };
 
 // The evaluation roster of Section 6, in the paper's plotting order:

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace aim {
@@ -118,9 +119,28 @@ std::string TraceEvent::ToJson() const {
   return out;
 }
 
+namespace {
+
+// Failure counters increment unconditionally (no MetricsEnabled gate): a
+// lost trace event is an error worth counting even when nobody asked for
+// metrics, and these paths are never hot.
+Counter& OpenFailureCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().counter("obs_sink_open_failures");
+  return counter;
+}
+
+Counter& WriteFailureCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().counter("obs_sink_write_failures");
+  return counter;
+}
+
+}  // namespace
+
 JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
 
-JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : path_(path) {
   if (path == "-" || path == "stderr") {
     out_ = &std::cerr;
     return;
@@ -129,6 +149,35 @@ JsonlTraceSink::JsonlTraceSink(const std::string& path) {
   if (file->is_open()) {
     file_ = std::move(file);
     out_ = file_.get();
+    return;
+  }
+  open_error_ = "trace sink: cannot open '" + path + "' for writing";
+  OpenFailureCounter().Add(1);
+  std::cerr << "[obs] " << open_error_ << "; events will be dropped\n";
+}
+
+bool JsonlTraceSink::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return out_ != nullptr && write_failures_ == 0;
+}
+
+Status JsonlTraceSink::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return InternalError(open_error_);
+  if (write_failures_ > 0) {
+    return InternalError("trace sink: " + std::to_string(write_failures_) +
+                         " event(s) lost to write errors" +
+                         (path_.empty() ? "" : " ('" + path_ + "')"));
+  }
+  return Status::Ok();
+}
+
+void JsonlTraceSink::RecordWriteFailure() {
+  WriteFailureCounter().Add(1);
+  if (write_failures_++ == 0) {
+    std::cerr << "[obs] trace sink: write failed"
+              << (path_.empty() ? "" : " ('" + path_ + "')")
+              << "; further losses counted in obs_sink_write_failures\n";
   }
 }
 
@@ -138,11 +187,14 @@ void JsonlTraceSink::Emit(const TraceEvent& event) {
   line += '\n';
   std::lock_guard<std::mutex> lock(mu_);
   *out_ << line;
+  if (out_->fail()) RecordWriteFailure();
 }
 
 void JsonlTraceSink::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (out_ != nullptr) out_->flush();
+  if (out_ == nullptr) return;
+  out_->flush();
+  if (out_->fail()) RecordWriteFailure();
 }
 
 void MemoryTraceSink::Emit(const TraceEvent& event) {
@@ -202,8 +254,8 @@ void InitTraceSinkFromEnv() {
     if (sink->ok()) {
       SetGlobalTraceSink(sink);
     } else {
-      std::cerr << "[obs] AIM_TRACE: cannot open '" << value
-                << "' for writing; tracing disabled\n";
+      // The constructor already warned and counted the open failure.
+      std::cerr << "[obs] AIM_TRACE: tracing disabled\n";
       delete sink;
     }
   });

@@ -28,6 +28,8 @@
 #include <variant>
 #include <vector>
 
+#include "util/status.h"
+
 namespace aim {
 
 class TraceEvent {
@@ -92,6 +94,13 @@ class TraceSink {
 
 // Writes one JSON line per event to an ostream (not owned) or a file path
 // (owned). Thread-safe.
+//
+// Failure policy: an open failure warns on stderr and bumps the
+// obs_sink_open_failures counter (the sink then drops every event); a
+// write/flush failure bumps obs_sink_write_failures per lost event and
+// warns once. Both are visible through status(), which callers should
+// check at teardown (aim_cli does) — a trace that silently lost records
+// would poison any DP audit built on it.
 class JsonlTraceSink : public TraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& out);  // caller keeps `out` alive
@@ -99,14 +108,24 @@ class JsonlTraceSink : public TraceSink {
   // if the file could not be opened.
   explicit JsonlTraceSink(const std::string& path);
 
-  bool ok() const { return out_ != nullptr; }
+  // True when the sink opened and no write has failed since.
+  bool ok() const;
+  // OK, or a description of the open/write failure (with the lost-event
+  // count for write failures).
+  Status status() const;
+
   void Emit(const TraceEvent& event) override;
   void Flush() override;
 
  private:
-  std::mutex mu_;
+  void RecordWriteFailure();  // callers hold mu_
+
+  mutable std::mutex mu_;
   std::unique_ptr<std::ofstream> file_;  // set when we own the stream
   std::ostream* out_ = nullptr;
+  std::string path_;            // diagnostic only; empty for ostream sinks
+  std::string open_error_;      // set when construction failed
+  int64_t write_failures_ = 0;  // events lost to stream errors
 };
 
 // Buffers events in memory for tests. Thread-safe.

@@ -11,10 +11,16 @@
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 #include "parallel/parallel.h"
+#include "robust/fault.h"
 #include "util/logging.h"
 #include "util/math.h"
 
 namespace aim {
+namespace {
+
+const FaultPointRegistration kEstimationFault{"estimation_step"};
+
+}  // namespace
 
 double EstimateTotal(const std::vector<Measurement>& measurements) {
   double numerator = 0.0;
@@ -55,6 +61,7 @@ MarkovRandomField EstimateMrf(const Domain& domain,
                               const std::vector<ZeroConstraint>* zeros,
                               EstimationStats* stats) {
   AIM_CHECK(!measurements.empty());
+  MaybeThrowFault("estimation_step");
   EstimationStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = EstimationStats();

@@ -1,0 +1,231 @@
+#include "robust/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "util/strings.h"
+
+namespace aim {
+namespace {
+
+// Single process-wide gate: every disarmed site pays exactly this load.
+std::atomic<bool> g_faults_armed{false};
+
+enum class FaultMode { kNthHit, kAfterHit, kProbability };
+
+struct FaultRule {
+  FaultMode mode = FaultMode::kNthHit;
+  int64_t k = 1;       // n= / after= threshold
+  double p = 0.0;      // p= probability
+  uint64_t seed = 0;   // p= hash seed
+  std::atomic<int64_t> hits{0};
+};
+
+struct FaultState {
+  std::mutex mu;
+  // Rules are heap-allocated so armed sites can hold a stable pointer while
+  // other threads look up different points.
+  std::map<std::string, std::unique_ptr<FaultRule>, std::less<>> rules;
+  std::set<std::string, std::less<>> registered;
+};
+
+FaultState& State() {
+  static FaultState* state = new FaultState;
+  return *state;
+}
+
+uint64_t FnvHash(std::string_view s, uint64_t h = 0xcbf29ce484222325ULL) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// The rule armed for `point`, or nullptr. Caller must be on the armed path.
+FaultRule* FindRule(std::string_view point) {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.rules.find(point);
+  return it == state.rules.end() ? nullptr : it->second.get();
+}
+
+// Decides whether 1-based hit `hit` of `point` fires under `rule`.
+bool HitFires(const FaultRule& rule, std::string_view point, int64_t hit) {
+  switch (rule.mode) {
+    case FaultMode::kNthHit:
+      return hit == rule.k;
+    case FaultMode::kAfterHit:
+      return hit > rule.k;
+    case FaultMode::kProbability: {
+      // Pure function of (seed, point, hit): the same spec fires the same
+      // hits in every run and at every thread count.
+      uint64_t h = Mix64(rule.seed ^ FnvHash(point) ^
+                         static_cast<uint64_t>(hit));
+      double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      return u < rule.p;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultsArmed() {
+  return g_faults_armed.load(std::memory_order_relaxed);
+}
+
+bool ShouldInjectFault(std::string_view point) {
+  if (!g_faults_armed.load(std::memory_order_relaxed)) return false;
+  FaultRule* rule = FindRule(point);
+  if (rule == nullptr) return false;
+  int64_t hit = rule->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  return HitFires(*rule, point, hit);
+}
+
+bool ShouldInjectFault(std::string_view point, uint64_t key) {
+  if (!g_faults_armed.load(std::memory_order_relaxed)) return false;
+  FaultRule* rule = FindRule(point);
+  if (rule == nullptr) return false;
+  rule->hits.fetch_add(1, std::memory_order_relaxed);
+  return HitFires(*rule, point, static_cast<int64_t>(key) + 1);
+}
+
+Status FaultStatus(std::string_view point) {
+  if (ShouldInjectFault(point)) {
+    return InternalError("fault injected: " + std::string(point));
+  }
+  return Status::Ok();
+}
+
+void MaybeThrowFault(std::string_view point) {
+  if (ShouldInjectFault(point)) {
+    throw FaultInjectedError(std::string(point));
+  }
+}
+
+Status ArmFaults(std::string_view spec) {
+  std::map<std::string, std::unique_ptr<FaultRule>, std::less<>> rules;
+  for (const std::string& part :
+       SplitString(StripWhitespace(spec), ';')) {
+    std::string rule_text = StripWhitespace(part);
+    if (rule_text.empty()) continue;
+    size_t colon = rule_text.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return InvalidArgumentError("fault spec rule '" + rule_text +
+                                  "' is not of the form point:args");
+    }
+    std::string point = StripWhitespace(rule_text.substr(0, colon));
+    auto rule = std::make_unique<FaultRule>();
+    bool have_mode = false;
+    for (const std::string& raw_arg :
+         SplitString(rule_text.substr(colon + 1), ',')) {
+      std::string arg = StripWhitespace(raw_arg);
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        return InvalidArgumentError("fault spec arg '" + arg +
+                                    "' is not of the form key=value");
+      }
+      std::string key = arg.substr(0, eq);
+      std::string value = arg.substr(eq + 1);
+      int64_t int_value = 0;
+      double double_value = 0.0;
+      if (key == "n" || key == "after") {
+        if (!ParseInt64(value, &int_value) || int_value < 0) {
+          return InvalidArgumentError("fault spec: bad count in '" + arg +
+                                      "'");
+        }
+        rule->mode = key == "n" ? FaultMode::kNthHit : FaultMode::kAfterHit;
+        rule->k = int_value;
+        have_mode = true;
+      } else if (key == "p") {
+        if (!ParseDouble(value, &double_value) || double_value < 0.0 ||
+            double_value > 1.0) {
+          return InvalidArgumentError("fault spec: bad probability in '" +
+                                      arg + "'");
+        }
+        rule->mode = FaultMode::kProbability;
+        rule->p = double_value;
+        have_mode = true;
+      } else if (key == "seed") {
+        if (!ParseInt64(value, &int_value)) {
+          return InvalidArgumentError("fault spec: bad seed in '" + arg +
+                                      "'");
+        }
+        rule->seed = static_cast<uint64_t>(int_value);
+      } else {
+        return InvalidArgumentError("fault spec: unknown arg '" + arg + "'");
+      }
+    }
+    if (!have_mode) {
+      return InvalidArgumentError("fault spec rule for '" + point +
+                                  "' needs n=, after=, or p=");
+    }
+    rules[point] = std::move(rule);
+  }
+
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& [point, rule] : rules) {
+    (void)rule;
+    if (!state.registered.empty() &&
+        state.registered.find(point) == state.registered.end()) {
+      std::cerr << "[robust] AIM_FAULTS: warning: no registered fault point "
+                << "named '" << point << "'\n";
+    }
+  }
+  state.rules = std::move(rules);
+  g_faults_armed.store(!state.rules.empty(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void DisarmFaults() {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.rules.clear();
+  g_faults_armed.store(false, std::memory_order_relaxed);
+}
+
+void InitFaultsFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("AIM_FAULTS");
+    if (env == nullptr || env[0] == '\0') return;
+    Status s = ArmFaults(env);
+    if (!s.ok()) {
+      std::cerr << "[robust] AIM_FAULTS ignored: " << s.ToString() << "\n";
+    }
+  });
+}
+
+int64_t FaultHitCount(std::string_view point) {
+  FaultRule* rule = FindRule(point);
+  return rule == nullptr ? 0 : rule->hits.load(std::memory_order_relaxed);
+}
+
+void RegisterFaultPoint(std::string_view point) {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.registered.emplace(point);
+}
+
+std::vector<std::string> RegisteredFaultPoints() {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return std::vector<std::string>(state.registered.begin(),
+                                  state.registered.end());
+}
+
+}  // namespace aim

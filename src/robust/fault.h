@@ -1,0 +1,122 @@
+// Deterministic fault injection for robustness testing.
+//
+// Call sites register named fault points ("csv_read", "snapshot_write",
+// "estimation_step", "trial_run", "aim_round", ...) and consult
+// ShouldInjectFault at the moment the simulated failure would occur. Tests
+// (ScopedFaults) and the AIM_FAULTS environment spec arm points; everything
+// is disarmed by default.
+//
+// Contract (mirrors src/obs/):
+//  - A disarmed site costs exactly one relaxed atomic load and a predictable
+//    branch — the same pricing as the observability gates, so fault points
+//    may sit on hot paths (the obs microbench prices it; target < 2%
+//    overhead on the estimation path).
+//  - Armed decisions are deterministic: given the same spec, seed, and hit
+//    sequence (or caller-supplied keys), the same hits fire. Sites inside
+//    parallel regions should pass an explicit key (e.g. the trial index) so
+//    the decision does not depend on thread interleaving.
+//  - Nothing here touches an Rng or mechanism state: arming faults cannot
+//    change the output of operations that do not fire.
+//
+// Spec grammar (AIM_FAULTS or ArmFaults):
+//   spec   := rule (';' rule)*
+//   rule   := point ':' arg (',' arg)*
+//   arg    := 'n=' K       fire on exactly the Kth hit (1-based)
+//           | 'after=' K   fire on every hit strictly after the Kth
+//           | 'p=' F       fire each hit with probability F
+//           | 'seed=' S    seed for the p= hash (default 0)
+// Example: AIM_FAULTS="snapshot_write:n=3;csv_read:p=0.25,seed=7"
+
+#ifndef AIM_ROBUST_FAULT_H_
+#define AIM_ROBUST_FAULT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aim {
+
+// Thrown by MaybeThrowFault at sites whose APIs have no Status channel
+// (estimation, mechanism round loops). The only exception type the library
+// ever throws, and only under an armed fault point; per-trial isolation in
+// RunTrials catches it.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(std::string point)
+      : std::runtime_error("fault injected: " + point),
+        point_(std::move(point)) {}
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+// True when any fault rule is armed (one relaxed load).
+bool FaultsArmed();
+
+// Records a hit at `point` and returns true when the armed rule says this
+// hit fires. Disarmed: one relaxed load, no hit recorded, returns false.
+// The unkeyed form uses the point's own monotonically increasing hit
+// counter (deterministic for serially-executed sites); the keyed form
+// decides from `key` alone (key K is treated as hit K+1), which stays
+// deterministic under parallel execution.
+bool ShouldInjectFault(std::string_view point);
+bool ShouldInjectFault(std::string_view point, uint64_t key);
+
+// Status-channel convenience: InternalError("fault injected: <point>") when
+// the hit fires, OK otherwise.
+Status FaultStatus(std::string_view point);
+
+// Exception-channel convenience for sites that return values.
+void MaybeThrowFault(std::string_view point);
+
+// Parses and arms `spec` (see grammar above), replacing any armed rules.
+// Unknown point names are accepted (the site may live in a TU that has not
+// registered yet) but reported on stderr when they match no registered
+// point. Empty spec disarms everything.
+Status ArmFaults(std::string_view spec);
+void DisarmFaults();
+
+// Arms from the AIM_FAULTS environment variable once per process (CLI and
+// bench entry points call this; idempotent, no-op when unset).
+void InitFaultsFromEnv();
+
+// Hits recorded at `point` since it was last armed (0 when disarmed —
+// disarmed sites do not count).
+int64_t FaultHitCount(std::string_view point);
+
+// Registration: sites announce their point names for discoverability
+// (RegisteredFaultPoints, spec validation warnings). Registration is
+// optional — arming and hitting work for any name.
+void RegisterFaultPoint(std::string_view point);
+std::vector<std::string> RegisteredFaultPoints();
+
+// Static registrar for call-site TUs:
+//   namespace { const FaultPointRegistration kFault{"csv_read"}; }
+struct FaultPointRegistration {
+  explicit FaultPointRegistration(std::string_view point) {
+    RegisterFaultPoint(point);
+  }
+};
+
+// Arms `spec` for the current scope and disarms on destruction (tests).
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(std::string_view spec) {
+    Status s = ArmFaults(spec);
+    AIM_CHECK(s.ok()) << s.ToString();
+  }
+  ~ScopedFaults() { DisarmFaults(); }
+
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace aim
+
+#endif  // AIM_ROBUST_FAULT_H_

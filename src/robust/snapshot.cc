@@ -1,0 +1,496 @@
+#include "robust/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "robust/fault.h"
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+const FaultPointRegistration kSnapshotWriteFault{"snapshot_write"};
+
+constexpr char kMagic[] = "AIM_SNAPSHOT";
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---- Serialization helpers. Doubles use C99 hexfloats so every bit
+// pattern round-trips exactly through text (the resume identity guarantee
+// depends on it).
+
+void AppendDouble(std::string& out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", v);
+  out += buffer;
+}
+
+void AppendHex64(std::string& out, uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, v);
+  out += buffer;
+}
+
+void AppendAttrSet(std::string& out, const AttrSet& attrs) {
+  out += std::to_string(attrs.size());
+  for (int a : attrs) {
+    out += ' ';
+    out += std::to_string(a);
+  }
+}
+
+// ---- Token-stream parser with a sticky error.
+
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& content) : in_(content) {}
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  std::string Word() {
+    std::string token;
+    if (ok() && !(in_ >> token)) Fail("unexpected end of snapshot");
+    return token;
+  }
+
+  // Consumes a token and checks it equals `expected` (a field label).
+  void Expect(const char* expected) {
+    std::string token = Word();
+    if (ok() && token != expected) {
+      Fail(std::string("expected '") + expected + "', got '" + token + "'");
+    }
+  }
+
+  int64_t Int(const char* what) {
+    std::string token = Word();
+    if (!ok()) return 0;
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (errno != 0 || end == token.c_str() || *end != '\0') {
+      Fail(std::string("bad integer for ") + what + ": '" + token + "'");
+      return 0;
+    }
+    return static_cast<int64_t>(v);
+  }
+
+  uint64_t Hex64(const char* what) {
+    std::string token = Word();
+    if (!ok()) return 0;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(token.c_str(), &end, 16);
+    if (errno != 0 || end == token.c_str() || *end != '\0') {
+      Fail(std::string("bad hex value for ") + what + ": '" + token + "'");
+      return 0;
+    }
+    return static_cast<uint64_t>(v);
+  }
+
+  double Double(const char* what) {
+    std::string token = Word();
+    if (!ok()) return 0.0;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      Fail(std::string("bad double for ") + what + ": '" + token + "'");
+      return 0.0;
+    }
+    return v;
+  }
+
+  AttrSet Attrs(const char* what) {
+    int64_t k = Int(what);
+    if (!ok() || k < 0 || k > 100000) {
+      Fail(std::string("bad attribute count for ") + what);
+      return AttrSet();
+    }
+    std::vector<int> attrs;
+    attrs.reserve(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k && ok(); ++i) {
+      attrs.push_back(static_cast<int>(Int(what)));
+    }
+    return AttrSet(std::move(attrs));
+  }
+
+  void Fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+  }
+
+ private:
+  std::istringstream in_;
+  std::string error_;
+};
+
+}  // namespace
+
+FingerprintHasher& FingerprintHasher::Add(const void* bytes, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 0x100000001b3ULL;
+  }
+  return *this;
+}
+
+FingerprintHasher& FingerprintHasher::Add(uint64_t v) {
+  return Add(&v, sizeof(v));
+}
+
+FingerprintHasher& FingerprintHasher::Add(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Add(bits);
+}
+
+FingerprintHasher& FingerprintHasher::Add(const std::string& s) {
+  Add(static_cast<uint64_t>(s.size()));
+  return Add(s.data(), s.size());
+}
+
+std::string SerializeSnapshot(const AimSnapshot& snapshot) {
+  std::string out;
+  out += kMagic;
+  out += " v";
+  out += std::to_string(AimSnapshot::kVersion);
+  out += '\n';
+  out += "fingerprint ";
+  AppendHex64(out, snapshot.fingerprint);
+  out += '\n';
+  out += "rho_budget ";
+  AppendDouble(out, snapshot.rho_budget);
+  out += '\n';
+  out += "rho_spent ";
+  AppendDouble(out, snapshot.rho_spent);
+  out += '\n';
+  out += "round " + std::to_string(snapshot.round) + '\n';
+  out += "init_measurements " + std::to_string(snapshot.init_measurements) +
+         '\n';
+  out += "sigma ";
+  AppendDouble(out, snapshot.sigma);
+  out += '\n';
+  out += "epsilon ";
+  AppendDouble(out, snapshot.epsilon);
+  out += '\n';
+  out += "rng ";
+  for (uint64_t s : snapshot.rng.state) {
+    AppendHex64(out, s);
+    out += ' ';
+  }
+  out += snapshot.rng.have_spare ? '1' : '0';
+  out += ' ';
+  AppendDouble(out, snapshot.rng.spare);
+  out += '\n';
+
+  out += "measurements " + std::to_string(snapshot.measurements.size()) +
+         '\n';
+  for (const Measurement& m : snapshot.measurements) {
+    out += "m ";
+    AppendAttrSet(out, m.attrs);
+    out += ' ';
+    AppendDouble(out, m.sigma);
+    out += ' ';
+    out += std::to_string(m.values.size());
+    for (double v : m.values) {
+      out += ' ';
+      AppendDouble(out, v);
+    }
+    out += '\n';
+  }
+
+  out += "rounds " + std::to_string(snapshot.rounds.size()) + '\n';
+  for (const RoundInfo& r : snapshot.rounds) {
+    out += "r ";
+    AppendAttrSet(out, r.selected);
+    out += ' ';
+    AppendDouble(out, r.sigma);
+    out += ' ';
+    AppendDouble(out, r.epsilon);
+    out += ' ';
+    AppendDouble(out, r.estimated_error_on_selected);
+    out += ' ';
+    AppendDouble(out, r.sensitivity);
+    out += ' ';
+    out += std::to_string(r.selected_candidate);
+    out += ' ';
+    out += std::to_string(r.candidates.size());
+    out += '\n';
+    for (const CandidateInfo& c : r.candidates) {
+      out += "c ";
+      AppendAttrSet(out, c.attrs);
+      out += ' ';
+      AppendDouble(out, c.weight);
+      out += ' ';
+      out += std::to_string(c.cells);
+      out += '\n';
+    }
+  }
+
+  const uint64_t checksum = Fnv1a(out);  // over the payload, label excluded
+  out += "checksum ";
+  AppendHex64(out, checksum);
+  out += '\n';
+  return out;
+}
+
+StatusOr<AimSnapshot> ParseSnapshot(const std::string& content) {
+  // Split off and verify the trailing checksum line before parsing fields:
+  // a torn or bit-flipped file must be rejected wholesale.
+  size_t pos = content.rfind("checksum ");
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n')) {
+    return InvalidArgumentError("snapshot: missing checksum line");
+  }
+  const std::string payload = content.substr(0, pos);
+  {
+    TokenReader checksum_reader(content.substr(pos));
+    checksum_reader.Expect("checksum");
+    uint64_t stored = checksum_reader.Hex64("checksum");
+    if (!checksum_reader.ok()) {
+      return InvalidArgumentError("snapshot: " + checksum_reader.error());
+    }
+    uint64_t actual = Fnv1a(payload);
+    if (stored != actual) {
+      return InvalidArgumentError(
+          "snapshot: checksum mismatch (file corrupt or truncated)");
+    }
+  }
+
+  TokenReader in(payload);
+  in.Expect(kMagic);
+  std::string version = in.Word();
+  if (in.ok() && version != "v" + std::to_string(AimSnapshot::kVersion)) {
+    return InvalidArgumentError("snapshot: unsupported version '" + version +
+                                "' (expected v" +
+                                std::to_string(AimSnapshot::kVersion) + ")");
+  }
+
+  AimSnapshot snapshot;
+  in.Expect("fingerprint");
+  snapshot.fingerprint = in.Hex64("fingerprint");
+  in.Expect("rho_budget");
+  snapshot.rho_budget = in.Double("rho_budget");
+  in.Expect("rho_spent");
+  snapshot.rho_spent = in.Double("rho_spent");
+  in.Expect("round");
+  snapshot.round = in.Int("round");
+  in.Expect("init_measurements");
+  snapshot.init_measurements = in.Int("init_measurements");
+  in.Expect("sigma");
+  snapshot.sigma = in.Double("sigma");
+  in.Expect("epsilon");
+  snapshot.epsilon = in.Double("epsilon");
+  in.Expect("rng");
+  for (uint64_t& s : snapshot.rng.state) s = in.Hex64("rng state");
+  snapshot.rng.have_spare = in.Int("rng have_spare") != 0;
+  snapshot.rng.spare = in.Double("rng spare");
+
+  in.Expect("measurements");
+  int64_t num_measurements = in.Int("measurement count");
+  if (in.ok() && (num_measurements < 0 || num_measurements > 10000000)) {
+    return InvalidArgumentError("snapshot: implausible measurement count");
+  }
+  for (int64_t i = 0; i < num_measurements && in.ok(); ++i) {
+    in.Expect("m");
+    Measurement m;
+    m.attrs = in.Attrs("measurement attrs");
+    m.sigma = in.Double("measurement sigma");
+    int64_t n = in.Int("measurement size");
+    if (!in.ok()) break;
+    if (n < 0 || n > (int64_t{1} << 32)) {
+      return InvalidArgumentError("snapshot: implausible marginal size");
+    }
+    m.values.reserve(static_cast<size_t>(n));
+    for (int64_t j = 0; j < n && in.ok(); ++j) {
+      m.values.push_back(in.Double("measurement value"));
+    }
+    snapshot.measurements.push_back(std::move(m));
+  }
+
+  in.Expect("rounds");
+  int64_t num_rounds = in.Int("round count");
+  if (in.ok() && (num_rounds < 0 || num_rounds > 10000000)) {
+    return InvalidArgumentError("snapshot: implausible round count");
+  }
+  for (int64_t i = 0; i < num_rounds && in.ok(); ++i) {
+    in.Expect("r");
+    RoundInfo r;
+    r.selected = in.Attrs("round selected");
+    r.sigma = in.Double("round sigma");
+    r.epsilon = in.Double("round epsilon");
+    r.estimated_error_on_selected = in.Double("round estimated_error");
+    r.sensitivity = in.Double("round sensitivity");
+    r.selected_candidate = static_cast<int>(in.Int("round candidate"));
+    int64_t num_candidates = in.Int("candidate count");
+    if (!in.ok()) break;
+    if (num_candidates < 0 || num_candidates > 10000000) {
+      return InvalidArgumentError("snapshot: implausible candidate count");
+    }
+    r.candidates.reserve(static_cast<size_t>(num_candidates));
+    for (int64_t j = 0; j < num_candidates && in.ok(); ++j) {
+      in.Expect("c");
+      CandidateInfo c;
+      c.attrs = in.Attrs("candidate attrs");
+      c.weight = in.Double("candidate weight");
+      c.cells = in.Int("candidate cells");
+      r.candidates.push_back(std::move(c));
+    }
+    snapshot.rounds.push_back(std::move(r));
+  }
+
+  if (!in.ok()) {
+    return InvalidArgumentError("snapshot: " + in.error());
+  }
+  return snapshot;
+}
+
+Status WriteSnapshot(const AimSnapshot& snapshot, const std::string& path) {
+  // The injection point sits before any filesystem work so a simulated
+  // write failure can never damage the previous snapshot — matching the
+  // real guarantee below (rename is the only mutation of `path`).
+  Status fault = FaultStatus("snapshot_write");
+  if (!fault.ok()) return fault;
+
+  const std::string payload = SerializeSnapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return InternalError("snapshot: cannot open " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < payload.size()) {
+    ssize_t n = ::write(fd, payload.data() + written,
+                        payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return InternalError("snapshot: write to " + tmp + " failed: " +
+                           std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return InternalError("snapshot: fsync of " + tmp + " failed: " +
+                         std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return InternalError("snapshot: close of " + tmp + " failed: " +
+                         std::strerror(err));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return InternalError("snapshot: rename to " + path + " failed: " +
+                         std::strerror(err));
+  }
+  // Durability of the rename itself: fsync the containing directory (best
+  // effort — some filesystems reject directory fsync).
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+StatusOr<AimSnapshot> ReadSnapshot(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return NotFoundError("snapshot: cannot open " + path + ": " +
+                         std::strerror(errno));
+  }
+  std::string content;
+  char buffer[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return InternalError("snapshot: read of " + path + " failed: " +
+                           std::strerror(err));
+    }
+    if (n == 0) break;
+    content.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  StatusOr<AimSnapshot> parsed = ParseSnapshot(content);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  parsed.status().message() + " (file: " + path + ")");
+  }
+  return parsed;
+}
+
+Status ValidateSnapshot(const AimSnapshot& snapshot,
+                        uint64_t expected_fingerprint, double rho_budget) {
+  if (snapshot.fingerprint != expected_fingerprint) {
+    return FailedPreconditionError(
+        "snapshot: options fingerprint mismatch — the snapshot was taken "
+        "under a different configuration, workload, dataset shape, or "
+        "budget");
+  }
+  if (snapshot.rho_budget != rho_budget) {
+    return FailedPreconditionError(
+        "snapshot: rho budget mismatch (snapshot " +
+        std::to_string(snapshot.rho_budget) + ", run " +
+        std::to_string(rho_budget) + ")");
+  }
+  // Accountant safety: never resume a ledger that already overspends the
+  // budget (same tolerance as PrivacyFilter).
+  if (!(snapshot.rho_spent >= 0.0) ||
+      snapshot.rho_spent > rho_budget * (1.0 + 1e-9) + 1e-12) {
+    return FailedPreconditionError(
+        "snapshot: spent rho " + std::to_string(snapshot.rho_spent) +
+        " exceeds the run budget " + std::to_string(rho_budget));
+  }
+  if (snapshot.round < 0 || snapshot.init_measurements < 0 ||
+      snapshot.init_measurements >
+          static_cast<int64_t>(snapshot.measurements.size())) {
+    return FailedPreconditionError("snapshot: inconsistent log shape");
+  }
+  if (static_cast<int64_t>(snapshot.measurements.size()) !=
+      snapshot.init_measurements +
+          static_cast<int64_t>(snapshot.rounds.size())) {
+    return FailedPreconditionError(
+        "snapshot: measurement log does not match the round log (" +
+        std::to_string(snapshot.measurements.size()) + " measurements, " +
+        std::to_string(snapshot.init_measurements) + " init + " +
+        std::to_string(snapshot.rounds.size()) + " rounds)");
+  }
+  if (!(snapshot.sigma > 0.0) || !(snapshot.epsilon > 0.0)) {
+    return FailedPreconditionError(
+        "snapshot: non-positive annealing state");
+  }
+  return Status::Ok();
+}
+
+}  // namespace aim

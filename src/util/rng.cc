@@ -199,4 +199,24 @@ std::vector<int> Rng::Permutation(int n) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+bool RngState::operator==(const RngState& other) const {
+  return state[0] == other.state[0] && state[1] == other.state[1] &&
+         state[2] == other.state[2] && state[3] == other.state[3] &&
+         have_spare == other.have_spare && spare == other.spare;
+}
+
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.state[i] = state_[i];
+  s.have_spare = have_spare_;
+  s.spare = spare_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.state[i];
+  have_spare_ = s.have_spare;
+  spare_ = s.spare;
+}
+
 }  // namespace aim

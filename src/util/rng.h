@@ -13,6 +13,17 @@
 
 namespace aim {
 
+// Complete serializable generator state: the xoshiro256++ core plus the
+// Box-Muller spare cache. Restoring a saved state resumes the exact output
+// stream (the crash-safe checkpoint/resume path depends on this).
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  bool have_spare = false;
+  double spare = 0.0;
+
+  bool operator==(const RngState& other) const;
+};
+
 // Deterministic pseudo-random generator (xoshiro256++).
 class Rng {
  public:
@@ -66,6 +77,11 @@ class Rng {
 
   // Derives an independent child generator (useful for per-trial streams).
   Rng Fork();
+
+  // Snapshot of the full generator state; RestoreState(SaveState()) is a
+  // no-op and a restored generator continues the identical stream.
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -1,5 +1,6 @@
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <set>
 
@@ -96,6 +97,64 @@ TEST(CsvTest, RejectsRaggedRows) {
   auto table = ParseCsv("a,b\n1\n");
   EXPECT_FALSE(table.ok());
   EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RaggedRowErrorNamesLineAndFieldCounts) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5\n6,7,8\n");
+  ASSERT_FALSE(table.ok());
+  const std::string& message = table.status().message();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("expected 3 fields, got 2"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("'4'"), std::string::npos) << message;
+  // A mid-file error is not a truncation.
+  EXPECT_EQ(message.find("truncated"), std::string::npos) << message;
+}
+
+TEST(CsvTest, TruncatedFinalRowIsDiagnosed) {
+  // Ragged last line and no trailing newline: a partially-written file.
+  auto table = ParseCsv("a,b\n1,2\n3");
+  ASSERT_FALSE(table.ok());
+  const std::string& message = table.status().message();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+}
+
+TEST(CsvTest, RejectsEmbeddedNulBytes) {
+  std::string content = "a,b\n1,2\n";
+  content += std::string("x\0y", 3);
+  content += ",4\n";
+  auto table = ParseCsv(content);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = table.status().message();
+  EXPECT_NE(message.find("line 3, column 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("NUL"), std::string::npos) << message;
+  EXPECT_NE(message.find("\\0"), std::string::npos) << message;
+}
+
+TEST(CsvTest, RejectsOverlongFieldsWithoutAborting) {
+  std::string huge(static_cast<size_t>(1 << 20) + 1, 'x');
+  auto table = ParseCsv("a,b\n" + huge + ",2\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = table.status().message();
+  EXPECT_NE(message.find("exceeds"), std::string::npos) << message;
+  // The preview is clipped, not echoed wholesale.
+  EXPECT_LT(message.size(), 300u);
+}
+
+TEST(CsvTest, ReadErrorsCarryTheFilePath) {
+  std::string path = ::testing::TempDir() + "/ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1\n";
+  }
+  auto table = ReadCsv(path);
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find(path), std::string::npos)
+      << table.status().ToString();
+  std::remove(path.c_str());
 }
 
 TEST(CsvTest, RejectsEmpty) {

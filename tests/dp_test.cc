@@ -174,6 +174,38 @@ TEST(PrivacyFilterDeathTest, RefusesOverspend) {
   EXPECT_DEATH(filter.Spend(0.2), "overspend");
 }
 
+TEST(PrivacyFilterTest, RestoreSpentSetsTheLedger) {
+  PrivacyFilter filter(1.0);
+  ASSERT_TRUE(filter.RestoreSpent(0.6).ok());
+  EXPECT_EQ(filter.spent(), 0.6);
+  EXPECT_NEAR(filter.remaining(), 0.4, 1e-12);
+  // A restore replaces the position outright; it does not accumulate.
+  ASSERT_TRUE(filter.RestoreSpent(0.25).ok());
+  EXPECT_EQ(filter.spent(), 0.25);
+}
+
+TEST(PrivacyFilterTest, RestoreSpentBoundaries) {
+  PrivacyFilter filter(0.3);
+  // Zero and exactly-the-budget are both legitimate checkpoint positions.
+  EXPECT_TRUE(filter.RestoreSpent(0.0).ok());
+  EXPECT_TRUE(filter.RestoreSpent(0.3).ok());
+  // The Spend/CanSpend float slack applies: three 0.1 spends sum to
+  // 0.30000000000000004, and a snapshot of that ledger must restore.
+  EXPECT_TRUE(filter.RestoreSpent(0.1 + 0.1 + 0.1).ok());
+  // Beyond the tolerance is an input error (a corrupt or foreign
+  // snapshot), reported as a Status rather than a crash.
+  Status overspent = filter.RestoreSpent(0.31);
+  ASSERT_FALSE(overspent.ok());
+  EXPECT_EQ(overspent.code(), StatusCode::kFailedPrecondition);
+  Status negative = filter.RestoreSpent(-0.1);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.code(), StatusCode::kInvalidArgument);
+  Status nan = filter.RestoreSpent(std::nan(""));
+  EXPECT_FALSE(nan.ok());
+  // A failed restore leaves the ledger untouched.
+  EXPECT_EQ(filter.spent(), 0.1 + 0.1 + 0.1);
+}
+
 // ------------------------------------------------------------ gaussian ----
 
 TEST(GaussianMechanismTest, NoiseHasRequestedScale) {

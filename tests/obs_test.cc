@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -345,6 +346,41 @@ TEST_F(ObsTest, JsonlSinkWritesOneValidObjectPerLine) {
     ++n;
   }
   EXPECT_EQ(n, 2);
+}
+
+TEST_F(ObsTest, JsonlSinkOpenFailureIsWarnedCountedAndSafe) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& open_failures = registry.counter("obs_sink_open_failures");
+  const int64_t before = open_failures.value();
+
+  JsonlTraceSink sink("/nonexistent_dir_for_obs_test/trace.jsonl");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(open_failures.value(), before + 1);
+  Status status = sink.status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cannot open"), std::string::npos)
+      << status.ToString();
+  // Emitting into a dead sink is a silent no-op, never a crash.
+  sink.Emit(TraceEvent("dropped").Set("x", int64_t{1}));
+  sink.Flush();
+}
+
+TEST_F(ObsTest, JsonlSinkWriteFailureIsCountedAndReported) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& write_failures = registry.counter("obs_sink_write_failures");
+  const int64_t before = write_failures.value();
+
+  std::ofstream dead;  // never opened: every write sets failbit
+  JsonlTraceSink sink(dead);
+  EXPECT_TRUE(sink.ok());  // healthy until the first write fails
+  sink.Emit(TraceEvent("a").Set("x", int64_t{1}));
+  sink.Emit(TraceEvent("b").Set("x", int64_t{2}));
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(write_failures.value(), before + 2);
+  Status status = sink.status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("lost"), std::string::npos)
+      << status.ToString();
 }
 
 TEST_F(ObsTest, LapClockDisabledReadsNothing) {

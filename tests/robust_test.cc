@@ -1,0 +1,706 @@
+// Tests for src/robust/: deterministic fault injection, crash-safe
+// snapshots, resume identity, deadline degradation, and trial isolation.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/simulators.h"
+#include "dp/accountant.h"
+#include "eval/experiment.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "mechanisms/independent.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+#include "pgm/estimation.h"
+#include "robust/fault.h"
+#include "robust/snapshot.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+// --------------------------------------------------------- fixtures ----
+
+const Dataset& TestData() {
+  static const Dataset* data = [] {
+    Rng rng(4242);
+    Domain domain = Domain::WithSizes({2, 3, 4, 3});
+    return new Dataset(SampleRandomBayesNet(domain, 900, 2, 0.3, rng));
+  }();
+  return *data;
+}
+
+Workload TestWorkload() { return AllKWayWorkload(TestData().domain(), 2); }
+
+AimOptions FastAimOptions() {
+  AimOptions o;
+  o.max_size_mb = 4.0;
+  o.round_estimation.max_iters = 30;
+  o.final_estimation.max_iters = 60;
+  o.record_candidates = false;
+  return o;
+}
+
+MechanismResult RunAim(const AimOptions& options, double rho,
+                       uint64_t seed) {
+  AimMechanism mechanism(options);
+  Rng rng(seed);
+  return mechanism.Run(TestData(), TestWorkload(), rho, rng);
+}
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectBitwiseEqualSynthetic(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_records(), b.num_records());
+  ASSERT_EQ(a.domain().num_attributes(), b.domain().num_attributes());
+  for (int64_t row = 0; row < a.num_records(); ++row) {
+    for (int attr = 0; attr < a.domain().num_attributes(); ++attr) {
+      ASSERT_EQ(a.value(row, attr), b.value(row, attr))
+          << "synthetic datasets differ at row " << row << ", attribute "
+          << attr;
+    }
+  }
+}
+
+void ExpectIdenticalResults(const MechanismResult& a,
+                            const MechanismResult& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(Bits(a.rho_used), Bits(b.rho_used));
+  EXPECT_EQ(Bits(a.total_estimate), Bits(b.total_estimate));
+  EXPECT_EQ(a.log.measurements.size(), b.log.measurements.size());
+  for (size_t i = 0; i < a.log.measurements.size(); ++i) {
+    const Measurement& ma = a.log.measurements[i];
+    const Measurement& mb = b.log.measurements[i];
+    EXPECT_EQ(ma.attrs, mb.attrs);
+    EXPECT_EQ(Bits(ma.sigma), Bits(mb.sigma));
+    ASSERT_EQ(ma.values.size(), mb.values.size());
+    for (size_t j = 0; j < ma.values.size(); ++j) {
+      ASSERT_EQ(Bits(ma.values[j]), Bits(mb.values[j]))
+          << "measurement " << i << " value " << j;
+    }
+  }
+  ExpectBitwiseEqualSynthetic(a.synthetic, b.synthetic);
+}
+
+// The FNV-1a the snapshot format documents; used to re-seal a deliberately
+// tampered payload so tests can reach the checks behind the checksum.
+uint64_t TestFnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string Reseal(const std::string& payload) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(TestFnv1a(payload)));
+  return payload + "checksum " + buffer + "\n";
+}
+
+AimSnapshot SampleSnapshot() {
+  AimSnapshot snapshot;
+  snapshot.fingerprint = 0xdeadbeefcafef00dULL;
+  snapshot.rho_budget = 0.25;
+  snapshot.rho_spent = 0.125;
+  snapshot.round = 3;
+  snapshot.init_measurements = 2;
+  snapshot.sigma = 1.0 / 3.0;
+  snapshot.epsilon = 0.07;
+  Rng rng(99);
+  (void)rng.Gaussian();  // populate the Box-Muller spare
+  snapshot.rng = rng.SaveState();
+  // Awkward doubles that must round-trip bit-exactly through the text
+  // format: denormal, negative zero, non-terminating binary fraction, and
+  // a near-overflow magnitude.
+  Measurement init_a;
+  init_a.attrs = AttrSet(std::vector<int>{0});
+  init_a.sigma = 0.5;
+  init_a.values = {5e-324, -0.0, 1.0 / 3.0, 1.7e308};
+  Measurement init_b;
+  init_b.attrs = AttrSet(std::vector<int>{1});
+  init_b.sigma = 1.25;
+  init_b.values = {-17.5, 0.1, 2.0};
+  Measurement round_m;
+  round_m.attrs = AttrSet(std::vector<int>{0, 1});
+  round_m.sigma = 2.5;
+  round_m.values = {1.0, -2.0, 3.0, 4.5};
+  snapshot.measurements = {init_a, init_b, round_m};
+  RoundInfo round;
+  round.selected = AttrSet(std::vector<int>{0, 1});
+  round.sigma = 2.5;
+  round.epsilon = 0.07;
+  round.estimated_error_on_selected = 12.5;
+  round.sensitivity = 1.0;
+  round.selected_candidate = 1;
+  CandidateInfo c0;
+  c0.attrs = AttrSet(std::vector<int>{0, 1});
+  c0.weight = 1.5;
+  c0.cells = 6;
+  CandidateInfo c1;
+  c1.attrs = AttrSet(std::vector<int>{1, 2});
+  c1.weight = 0.25;
+  c1.cells = 12;
+  round.candidates = {c0, c1};
+  snapshot.rounds = {round};
+  return snapshot;
+}
+
+// ----------------------------------------------------- RNG state ----
+
+TEST(RngStateTest, SaveRestoreReproducesTheStream) {
+  Rng rng(123);
+  for (int i = 0; i < 10; ++i) (void)rng.NextUint64();
+  RngState saved = rng.SaveState();
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 20; ++i) expected.push_back(rng.NextUint64());
+
+  Rng other(777);  // different state entirely
+  other.RestoreState(saved);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(other.NextUint64(), expected[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(RngStateTest, CapturesTheGaussianSpare) {
+  Rng rng(5);
+  (void)rng.Gaussian();  // Box-Muller leaves a cached spare behind
+  RngState saved = rng.SaveState();
+  std::vector<double> expected;
+  for (int i = 0; i < 8; ++i) expected.push_back(rng.Gaussian());
+
+  Rng other(6);
+  other.RestoreState(saved);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(Bits(other.Gaussian()),
+              Bits(expected[static_cast<size_t>(i)]))
+        << i;
+  }
+}
+
+// ----------------------------------------------- snapshot format ----
+
+TEST(SnapshotTest, SerializeParseRoundTripIsBitExact) {
+  AimSnapshot snapshot = SampleSnapshot();
+  StatusOr<AimSnapshot> parsed =
+      ParseSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->fingerprint, snapshot.fingerprint);
+  EXPECT_EQ(Bits(parsed->rho_budget), Bits(snapshot.rho_budget));
+  EXPECT_EQ(Bits(parsed->rho_spent), Bits(snapshot.rho_spent));
+  EXPECT_EQ(parsed->round, snapshot.round);
+  EXPECT_EQ(parsed->init_measurements, snapshot.init_measurements);
+  EXPECT_EQ(Bits(parsed->sigma), Bits(snapshot.sigma));
+  EXPECT_EQ(Bits(parsed->epsilon), Bits(snapshot.epsilon));
+  EXPECT_TRUE(parsed->rng == snapshot.rng);
+
+  ASSERT_EQ(parsed->measurements.size(), snapshot.measurements.size());
+  for (size_t i = 0; i < snapshot.measurements.size(); ++i) {
+    const Measurement& want = snapshot.measurements[i];
+    const Measurement& got = parsed->measurements[i];
+    EXPECT_EQ(got.attrs, want.attrs);
+    EXPECT_EQ(Bits(got.sigma), Bits(want.sigma));
+    ASSERT_EQ(got.values.size(), want.values.size());
+    for (size_t j = 0; j < want.values.size(); ++j) {
+      EXPECT_EQ(Bits(got.values[j]), Bits(want.values[j]))
+          << "measurement " << i << " value " << j;
+    }
+  }
+  ASSERT_EQ(parsed->rounds.size(), snapshot.rounds.size());
+  const RoundInfo& want = snapshot.rounds[0];
+  const RoundInfo& got = parsed->rounds[0];
+  EXPECT_EQ(got.selected, want.selected);
+  EXPECT_EQ(Bits(got.sigma), Bits(want.sigma));
+  EXPECT_EQ(Bits(got.epsilon), Bits(want.epsilon));
+  EXPECT_EQ(Bits(got.estimated_error_on_selected),
+            Bits(want.estimated_error_on_selected));
+  EXPECT_EQ(Bits(got.sensitivity), Bits(want.sensitivity));
+  EXPECT_EQ(got.selected_candidate, want.selected_candidate);
+  ASSERT_EQ(got.candidates.size(), want.candidates.size());
+  for (size_t i = 0; i < want.candidates.size(); ++i) {
+    EXPECT_EQ(got.candidates[i].attrs, want.candidates[i].attrs);
+    EXPECT_EQ(Bits(got.candidates[i].weight),
+              Bits(want.candidates[i].weight));
+    EXPECT_EQ(got.candidates[i].cells, want.candidates[i].cells);
+  }
+}
+
+TEST(SnapshotTest, RejectsBitFlipsTruncationAndMissingChecksum) {
+  std::string serialized = SerializeSnapshot(SampleSnapshot());
+
+  std::string flipped = serialized;
+  flipped[serialized.size() / 2] ^= 0x01;
+  EXPECT_FALSE(ParseSnapshot(flipped).ok());
+
+  std::string truncated = serialized.substr(0, serialized.size() / 2);
+  EXPECT_FALSE(ParseSnapshot(truncated).ok());
+
+  EXPECT_FALSE(ParseSnapshot("AIM_SNAPSHOT v1\n").ok());
+  EXPECT_FALSE(ParseSnapshot("").ok());
+}
+
+TEST(SnapshotTest, RejectsUnsupportedVersionEvenWithValidChecksum) {
+  std::string serialized = SerializeSnapshot(SampleSnapshot());
+  std::string payload =
+      serialized.substr(0, serialized.rfind("checksum "));
+  size_t version = payload.find("v1");
+  ASSERT_NE(version, std::string::npos);
+  payload.replace(version, 2, "v9");
+  StatusOr<AimSnapshot> parsed = ParseSnapshot(Reseal(payload));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unsupported version"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SnapshotTest, RejectsTamperedFieldsBehindAFreshChecksum) {
+  std::string serialized = SerializeSnapshot(SampleSnapshot());
+  std::string payload =
+      serialized.substr(0, serialized.rfind("checksum "));
+  size_t round = payload.find("round 3");
+  ASSERT_NE(round, std::string::npos);
+  payload.replace(round, 7, "round x");
+  EXPECT_FALSE(ParseSnapshot(Reseal(payload)).ok());
+}
+
+TEST(SnapshotTest, WriteReadRoundTripsThroughTheFilesystem) {
+  const std::string path = ::testing::TempDir() + "/snapshot_roundtrip.bin";
+  AimSnapshot snapshot = SampleSnapshot();
+  ASSERT_TRUE(WriteSnapshot(snapshot, path).ok());
+  StatusOr<AimSnapshot> read = ReadSnapshot(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->fingerprint, snapshot.fingerprint);
+  EXPECT_EQ(read->round, snapshot.round);
+  EXPECT_EQ(read->measurements.size(), snapshot.measurements.size());
+}
+
+TEST(SnapshotTest, ReadMissingFileIsNotFound) {
+  StatusOr<AimSnapshot> read =
+      ReadSnapshot(::testing::TempDir() + "/no_such_snapshot");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, InjectedWriteFailurePreservesThePreviousSnapshot) {
+  const std::string path = ::testing::TempDir() + "/snapshot_atomic.bin";
+  AimSnapshot first = SampleSnapshot();
+  first.round = 3;
+  ASSERT_TRUE(WriteSnapshot(first, path).ok());
+
+  AimSnapshot second = SampleSnapshot();
+  second.round = 4;
+  {
+    ScopedFaults faults("snapshot_write:n=1");
+    Status status = WriteSnapshot(second, path);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(FaultHitCount("snapshot_write"), 1);
+  }
+
+  StatusOr<AimSnapshot> read = ReadSnapshot(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->round, 3);  // the old snapshot survived intact
+}
+
+// ------------------------------------------------ validate gate ----
+
+TEST(SnapshotTest, ValidateRejectsMismatchesAndOverspend) {
+  AimSnapshot snapshot = SampleSnapshot();
+  const uint64_t fp = snapshot.fingerprint;
+  const double budget = snapshot.rho_budget;
+
+  EXPECT_TRUE(ValidateSnapshot(snapshot, fp, budget).ok());
+  EXPECT_FALSE(ValidateSnapshot(snapshot, fp + 1, budget).ok());
+  EXPECT_FALSE(ValidateSnapshot(snapshot, fp, budget * 2.0).ok());
+
+  AimSnapshot overspent = snapshot;
+  overspent.rho_spent = budget * 1.1;
+  EXPECT_FALSE(ValidateSnapshot(overspent, fp, budget).ok());
+  overspent.rho_spent = -1.0;
+  EXPECT_FALSE(ValidateSnapshot(overspent, fp, budget).ok());
+
+  // Exactly-at-budget (modulo accumulation rounding) must be accepted: a
+  // checkpoint taken after the last round legitimately sits there.
+  AimSnapshot boundary = snapshot;
+  boundary.rho_spent = budget * (1.0 + 1e-10);
+  EXPECT_TRUE(ValidateSnapshot(boundary, fp, budget).ok());
+
+  AimSnapshot inconsistent = snapshot;
+  inconsistent.rounds.clear();  // 3 measurements != 2 init + 0 rounds
+  EXPECT_FALSE(ValidateSnapshot(inconsistent, fp, budget).ok());
+
+  AimSnapshot bad_annealing = snapshot;
+  bad_annealing.sigma = 0.0;
+  EXPECT_FALSE(ValidateSnapshot(bad_annealing, fp, budget).ok());
+}
+
+TEST(FingerprintTest, SensitiveToOptionsWorkloadAndBudget) {
+  const Domain& domain = TestData().domain();
+  Workload workload = TestWorkload();
+  AimOptions options = FastAimOptions();
+  const double rho = 0.1;
+
+  const uint64_t base = AimRunFingerprint(domain, workload, options, rho);
+  EXPECT_EQ(base, AimRunFingerprint(domain, workload, options, rho));
+
+  AimOptions different = options;
+  different.max_size_mb = 8.0;
+  EXPECT_NE(base, AimRunFingerprint(domain, workload, different, rho));
+  EXPECT_NE(base, AimRunFingerprint(domain, workload, options, rho * 2.0));
+  Workload smaller = AllKWayWorkload(domain, 1);
+  EXPECT_NE(base, AimRunFingerprint(domain, smaller, options, rho));
+
+  // Checkpoint plumbing must NOT change the fingerprint: a resumed run
+  // points at different paths than the run that wrote the snapshot.
+  AimOptions replumbed = options;
+  replumbed.checkpoint_path = "/tmp/elsewhere.snap";
+  replumbed.resume_path = "/tmp/old.snap";
+  replumbed.deadline_seconds = 123.0;
+  EXPECT_EQ(base, AimRunFingerprint(domain, workload, replumbed, rho));
+}
+
+// ------------------------------------------------ fault framework ----
+
+TEST(FaultTest, DisarmedSitesNeverFireOrCount) {
+  DisarmFaults();
+  EXPECT_FALSE(FaultsArmed());
+  EXPECT_FALSE(ShouldInjectFault("snapshot_write"));
+  EXPECT_FALSE(ShouldInjectFault("snapshot_write", 7));
+  EXPECT_TRUE(FaultStatus("csv_read").ok());
+  EXPECT_NO_THROW(MaybeThrowFault("aim_round"));
+  EXPECT_EQ(FaultHitCount("snapshot_write"), 0);
+}
+
+TEST(FaultTest, SpecParsing) {
+  EXPECT_TRUE(ArmFaults("csv_read:n=2").ok());
+  EXPECT_TRUE(ArmFaults("csv_read:after=0;snapshot_write:p=0.5,seed=9").ok());
+  EXPECT_TRUE(ArmFaults("").ok());  // empty spec disarms
+  EXPECT_FALSE(FaultsArmed());
+
+  EXPECT_FALSE(ArmFaults("no_colon").ok());
+  EXPECT_FALSE(ArmFaults(":n=1").ok());
+  EXPECT_FALSE(ArmFaults("x:").ok());
+  EXPECT_FALSE(ArmFaults("x:q=1").ok());
+  EXPECT_FALSE(ArmFaults("x:n=-1").ok());
+  EXPECT_FALSE(ArmFaults("x:p=1.5").ok());
+  EXPECT_FALSE(ArmFaults("x:seed=3").ok());  // seed without a mode
+  DisarmFaults();
+}
+
+TEST(FaultTest, NthHitAndAfterSemantics) {
+  {
+    ScopedFaults faults("pt:n=3");
+    EXPECT_FALSE(ShouldInjectFault("pt"));
+    EXPECT_FALSE(ShouldInjectFault("pt"));
+    EXPECT_TRUE(ShouldInjectFault("pt"));
+    EXPECT_FALSE(ShouldInjectFault("pt"));
+    EXPECT_EQ(FaultHitCount("pt"), 4);
+    EXPECT_FALSE(ShouldInjectFault("other_point"));
+  }
+  {
+    ScopedFaults faults("pt:after=2");
+    EXPECT_FALSE(ShouldInjectFault("pt"));
+    EXPECT_FALSE(ShouldInjectFault("pt"));
+    EXPECT_TRUE(ShouldInjectFault("pt"));
+    EXPECT_TRUE(ShouldInjectFault("pt"));
+  }
+}
+
+TEST(FaultTest, KeyedDecisionsIgnoreCallOrder) {
+  ScopedFaults faults("pt:n=3");
+  // Key k is treated as hit k+1, independent of when the call happens.
+  EXPECT_TRUE(ShouldInjectFault("pt", 2));
+  EXPECT_FALSE(ShouldInjectFault("pt", 0));
+  EXPECT_FALSE(ShouldInjectFault("pt", 5));
+  EXPECT_TRUE(ShouldInjectFault("pt", 2));
+}
+
+TEST(FaultTest, ProbabilityRulesAreDeterministicGivenSeed) {
+  std::vector<bool> first;
+  {
+    ScopedFaults faults("pt:p=0.5,seed=9");
+    for (uint64_t k = 0; k < 64; ++k) {
+      first.push_back(ShouldInjectFault("pt", k));
+    }
+  }
+  {
+    ScopedFaults faults("pt:p=0.5,seed=9");
+    for (uint64_t k = 0; k < 64; ++k) {
+      EXPECT_EQ(ShouldInjectFault("pt", k), first[static_cast<size_t>(k)])
+          << k;
+    }
+  }
+  {
+    ScopedFaults always("pt:p=1");
+    EXPECT_TRUE(ShouldInjectFault("pt", 0));
+  }
+  {
+    ScopedFaults never("pt:p=0");
+    EXPECT_FALSE(ShouldInjectFault("pt", 0));
+  }
+}
+
+TEST(FaultTest, CsvReadFaultFiresThroughTheStatusChannel) {
+  ScopedFaults faults("csv_read:n=1");
+  StatusOr<RawTable> table =
+      ReadCsv(::testing::TempDir() + "/does_not_matter.csv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("fault injected: csv_read"),
+            std::string::npos)
+      << table.status().ToString();
+}
+
+TEST(FaultTest, CorePointsAreRegistered) {
+  std::vector<std::string> points = RegisteredFaultPoints();
+  auto has = [&](const char* name) {
+    for (const std::string& p : points) {
+      if (p == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("csv_read"));
+  EXPECT_TRUE(has("snapshot_write"));
+  EXPECT_TRUE(has("estimation_step"));
+  EXPECT_TRUE(has("trial_run"));
+  // "aim_round" registers from aim.cc, linked into this binary.
+  EXPECT_TRUE(has("aim_round"));
+}
+
+// ----------------------------------------------- trial isolation ----
+
+TEST(TrialIsolationTest, InjectedTrialFailureOnlyLosesThatTrial) {
+  ScopedFaults faults("trial_run:n=2");  // key 1 => trial index 1
+  IndependentMechanism mechanism;
+  TrialStats stats = RunTrials(mechanism, TestData(), TestWorkload(),
+                               /*epsilon=*/1.0, /*delta=*/1e-9,
+                               /*trials=*/4, /*seed=*/11);
+  ASSERT_EQ(stats.failures.size(), 1u);
+  EXPECT_EQ(stats.failures[0].trial, 1);
+  EXPECT_NE(stats.failures[0].message.find("trial_run"), std::string::npos);
+  EXPECT_EQ(stats.values.size(), 3u);
+  EXPECT_GT(stats.mean, 0.0);
+}
+
+TEST(TrialIsolationTest, SurvivingTrialsMatchAFaultFreeRun) {
+  IndependentMechanism mechanism;
+  TrialStats clean = RunTrials(mechanism, TestData(), TestWorkload(), 1.0,
+                               1e-9, 4, 11);
+  ScopedFaults faults("trial_run:n=3");  // key 2 => trial index 2
+  TrialStats faulted = RunTrials(mechanism, TestData(), TestWorkload(), 1.0,
+                                 1e-9, 4, 11);
+  ASSERT_EQ(clean.values.size(), 4u);
+  ASSERT_EQ(faulted.values.size(), 3u);
+  // Trials draw from per-trial generators, so survivors are unchanged.
+  EXPECT_EQ(Bits(faulted.values[0]), Bits(clean.values[0]));
+  EXPECT_EQ(Bits(faulted.values[1]), Bits(clean.values[1]));
+  EXPECT_EQ(Bits(faulted.values[2]), Bits(clean.values[3]));
+}
+
+TEST(TrialIsolationTest, EstimationFaultIsCaughtPerTrial) {
+  ScopedFaults faults("estimation_step:n=1");
+  AimMechanism mechanism(FastAimOptions());
+  TrialStats stats = RunTrials(mechanism, TestData(), TestWorkload(), 1.0,
+                               1e-9, /*trials=*/1, /*seed=*/3);
+  ASSERT_EQ(stats.failures.size(), 1u);
+  EXPECT_NE(stats.failures[0].message.find("estimation_step"),
+            std::string::npos);
+  EXPECT_TRUE(stats.values.empty());
+  EXPECT_EQ(stats.mean, 0.0);
+}
+
+// -------------------------------------------------- resume identity ----
+
+TEST(ResumeTest, ResumeMatchesUninterruptedAtEveryThreadCount) {
+  const double rho = CdpRho(1.0, 1e-9);
+  const uint64_t seed = 31;
+  std::optional<MechanismResult> reference;
+
+  for (int threads : {1, 8}) {
+    SetParallelThreads(threads);
+    const std::string checkpoint = ::testing::TempDir() +
+                                   "/resume_identity_t" +
+                                   std::to_string(threads) + ".snap";
+
+    // Uninterrupted control run (no checkpointing at all).
+    MechanismResult uninterrupted = RunAim(FastAimOptions(), rho, seed);
+    ASSERT_GE(uninterrupted.rounds, 3)
+        << "fixture too small for a mid-run crash";
+
+    // Crashed run: checkpoint every round, die at the top of round 3.
+    AimOptions crash_options = FastAimOptions();
+    crash_options.checkpoint_path = checkpoint;
+    crash_options.checkpoint_every_rounds = 1;
+    bool threw = false;
+    try {
+      ScopedFaults faults("aim_round:n=3");
+      (void)RunAim(crash_options, rho, seed);
+    } catch (const FaultInjectedError& e) {
+      threw = true;
+      EXPECT_EQ(e.point(), "aim_round");
+    }
+    ASSERT_TRUE(threw);
+
+    StatusOr<AimSnapshot> snapshot = ReadSnapshot(checkpoint);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    EXPECT_EQ(snapshot->round, 2);  // two completed rounds before the crash
+    ASSERT_TRUE(ValidateSnapshot(*snapshot,
+                                 AimRunFingerprint(TestData().domain(),
+                                                   TestWorkload(),
+                                                   crash_options, rho),
+                                 rho)
+                    .ok());
+
+    // Resume and run to completion.
+    AimOptions resume_options = FastAimOptions();
+    resume_options.resume_path = checkpoint;
+    MechanismResult resumed = RunAim(resume_options, rho, seed);
+    EXPECT_EQ(resumed.resumed_from_round, 2);
+    EXPECT_EQ(uninterrupted.resumed_from_round, -1);
+
+    ExpectIdenticalResults(uninterrupted, resumed);
+
+    // Thread-count invariance: every thread count produces the same bits.
+    if (!reference.has_value()) {
+      reference = std::move(uninterrupted);
+    } else {
+      ExpectIdenticalResults(*reference, uninterrupted);
+    }
+  }
+  SetParallelThreads(0);
+}
+
+TEST(ResumeTest, CheckpointWriteFailuresDoNotPerturbTheRun) {
+  const double rho = 0.05;
+  MechanismResult plain = RunAim(FastAimOptions(), rho, 17);
+
+  AimOptions options = FastAimOptions();
+  options.checkpoint_path =
+      ::testing::TempDir() + "/never_written.snap";
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  ScopedFaults faults("snapshot_write:after=0");  // every write fails
+  MechanismResult checkpointed = RunAim(options, rho, 17);
+
+  ExpectIdenticalResults(plain, checkpointed);
+  std::vector<TraceEvent> warnings = sink.events_of_type("aim_warning");
+  bool saw_checkpoint_failure = false;
+  for (const TraceEvent& event : warnings) {
+    if (event.GetString("kind") == "checkpoint_failed") {
+      saw_checkpoint_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_checkpoint_failure);
+}
+
+TEST(ResumeTest, StaleSnapshotIsRejectedByTheValidationGate) {
+  const double rho = 0.05;
+  const std::string checkpoint =
+      ::testing::TempDir() + "/stale_config.snap";
+  AimOptions options = FastAimOptions();
+  options.checkpoint_path = checkpoint;
+  (void)RunAim(options, rho, 23);
+
+  StatusOr<AimSnapshot> snapshot = ReadSnapshot(checkpoint);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  AimOptions different = FastAimOptions();
+  different.max_size_mb = 16.0;  // a different run configuration
+  Status valid = ValidateSnapshot(
+      *snapshot,
+      AimRunFingerprint(TestData().domain(), TestWorkload(), different, rho),
+      rho);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_EQ(valid.code(), StatusCode::kFailedPrecondition);
+
+  // Same options under a different budget is also a mismatch.
+  EXPECT_FALSE(ValidateSnapshot(*snapshot,
+                                AimRunFingerprint(TestData().domain(),
+                                                  TestWorkload(), options,
+                                                  rho * 2.0),
+                                rho * 2.0)
+                   .ok());
+}
+
+TEST(ResumeTest, LedgerReconcilesAfterResume) {
+  const double rho = CdpRho(1.0, 1e-9);
+  const std::string checkpoint =
+      ::testing::TempDir() + "/ledger_reconcile.snap";
+  AimOptions crash_options = FastAimOptions();
+  crash_options.checkpoint_path = checkpoint;
+  try {
+    ScopedFaults faults("aim_round:n=2");
+    (void)RunAim(crash_options, rho, 41);
+    FAIL() << "fault did not fire";
+  } catch (const FaultInjectedError&) {
+  }
+
+  StatusOr<AimSnapshot> snapshot = ReadSnapshot(checkpoint);
+  ASSERT_TRUE(snapshot.ok());
+  AimOptions resume_options = FastAimOptions();
+  resume_options.resume_path = checkpoint;
+  MechanismResult resumed = RunAim(resume_options, rho, 41);
+  MechanismResult plain = RunAim(FastAimOptions(), rho, 41);
+
+  // The resumed ledger picks up exactly where the snapshot left off and
+  // lands exactly where the uninterrupted run lands.
+  EXPECT_GE(resumed.rho_used, snapshot->rho_spent);
+  EXPECT_NEAR(resumed.rho_used, plain.rho_used, 1e-9);
+  EXPECT_LE(resumed.rho_used, rho * (1.0 + 1e-9) + 1e-12);
+}
+
+// ------------------------------------------------------- deadline ----
+
+TEST(DeadlineTest, ExpiryDegradesGracefully) {
+  AimOptions options = FastAimOptions();
+  options.deadline_seconds = 1e-9;  // expires before the first round
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  const double rho = 0.1;
+  MechanismResult result = RunAim(options, rho, 7);
+
+  EXPECT_TRUE(result.deadline_expired);
+  EXPECT_EQ(result.rounds, 0);
+  // Initialization already spent rho and produced one-way measurements, so
+  // the degraded output is a real model, not garbage.
+  EXPECT_GT(result.rho_used, 0.0);
+  EXPECT_LE(result.rho_used, rho * (1.0 + 1e-9) + 1e-12);
+  EXPECT_GT(result.synthetic.num_records(), 0);
+  EXPECT_FALSE(result.log.measurements.empty());
+
+  bool saw_deadline_warning = false;
+  for (const TraceEvent& event : sink.events_of_type("aim_warning")) {
+    if (event.GetString("kind") == "deadline_expired") {
+      saw_deadline_warning = true;
+      EXPECT_GE(event.GetDouble("elapsed_s"),
+                event.GetDouble("deadline_s"));
+      EXPECT_GE(event.GetDouble("rho_remaining"), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_deadline_warning);
+}
+
+TEST(DeadlineTest, GenerousDeadlineChangesNothing) {
+  const double rho = 0.05;
+  MechanismResult plain = RunAim(FastAimOptions(), rho, 29);
+  AimOptions options = FastAimOptions();
+  options.deadline_seconds = 3600.0;
+  MechanismResult bounded = RunAim(options, rho, 29);
+  EXPECT_FALSE(bounded.deadline_expired);
+  ExpectIdenticalResults(plain, bounded);
+}
+
+}  // namespace
+}  // namespace aim

@@ -27,6 +27,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/fault.h"
+#include "robust/snapshot.h"
 #include "uncertainty/bounds.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -47,6 +49,10 @@ struct CliFlags {
   bool report = false;
   std::string trace_out;    // JSONL round trace ("-"/"stderr" = stderr)
   std::string metrics_out;  // metrics JSON dump ("-" = stdout)
+  std::string checkpoint_out;  // atomic AimSnapshot written at round ends
+  int64_t checkpoint_every = 1;
+  std::string resume;       // snapshot to resume from
+  double deadline_s = 0.0;  // wall-clock budget; <= 0 = none
 };
 
 int Usage() {
@@ -65,7 +71,15 @@ int Usage() {
                "(- or stderr for stderr; AIM_TRACE env also honored)\n"
             << "  --metrics-out=F           metrics JSON dump at exit "
                "(- for stdout)\n"
-            << "  --seed=N --report\n";
+            << "  --checkpoint-out=F        crash-safe snapshot, written "
+               "atomically every --checkpoint-every=N rounds (default 1)\n"
+            << "  --resume=F                resume from a snapshot written "
+               "by --checkpoint-out (same data/flags/seed required)\n"
+            << "  --deadline-s=F            wall-clock budget; on expiry "
+               "AIM stops selecting and synthesizes from what it has\n"
+            << "  --seed=N --report\n"
+            << "  (AIM_FAULTS env arms deterministic fault injection; see "
+               "DESIGN.md)\n";
   return 2;
 }
 
@@ -115,12 +129,24 @@ int main(int argc, char** argv) {
       flags.trace_out = value;
     } else if (Consume(arg, "--metrics-out=", &value)) {
       flags.metrics_out = value;
+    } else if (Consume(arg, "--checkpoint-out=", &value)) {
+      flags.checkpoint_out = value;
+    } else if (Consume(arg, "--checkpoint-every=", &value)) {
+      if (!ParseInt64(value, &flags.checkpoint_every) ||
+          flags.checkpoint_every <= 0) {
+        return Usage();
+      }
+    } else if (Consume(arg, "--resume=", &value)) {
+      flags.resume = value;
+    } else if (Consume(arg, "--deadline-s=", &value)) {
+      if (!ParseDouble(value, &flags.deadline_s)) return Usage();
     } else {
       return Usage();
     }
   }
   if (flags.input.empty()) return Usage();
   SetParallelThreads(flags.threads);
+  InitFaultsFromEnv();
 
   // ---- Observability. --trace-out installs a JSONL sink (overriding any
   // AIM_TRACE env sink); --metrics-out turns on metrics collection and dumps
@@ -187,12 +213,40 @@ int main(int argc, char** argv) {
   options.max_size_mb = flags.max_size_mb;
   options.synthetic_records = flags.records;
   options.record_candidates = flags.report;
+  options.checkpoint_path = flags.checkpoint_out;
+  options.checkpoint_every_rounds = static_cast<int>(flags.checkpoint_every);
+  options.resume_path = flags.resume;
+  options.deadline_seconds = flags.deadline_s;
+
+  // Pre-validate a resume snapshot here so a stale or mismatched file is a
+  // clean CLI error rather than a CHECK failure inside Run.
+  if (!flags.resume.empty()) {
+    StatusOr<AimSnapshot> snapshot = ReadSnapshot(flags.resume);
+    if (!snapshot.ok()) {
+      std::cerr << "error: " << snapshot.status().ToString() << "\n";
+      return 1;
+    }
+    Status valid = ValidateSnapshot(
+        *snapshot, AimRunFingerprint(data.domain(), workload, options, rho),
+        rho);
+    if (!valid.ok()) {
+      std::cerr << "error: cannot resume from '" << flags.resume
+                << "': " << valid.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "resuming from '" << flags.resume << "' (round "
+              << snapshot->round << ", rho spent " << snapshot->rho_spent
+              << ")\n";
+  }
+
   AimMechanism mechanism(options);
   Rng rng(flags.seed + 0x41494D);
   MechanismResult result = mechanism.Run(data, workload, rho, rng);
   std::cerr << "AIM: " << result.rounds << " rounds, "
             << result.log.measurements.size() << " measurements, "
-            << result.seconds << "s\n";
+            << result.seconds << "s"
+            << (result.deadline_expired ? " (deadline expired)" : "")
+            << "\n";
 
   // ---- Write output.
   Status status = WriteCsv(result.synthetic, flags.output);
@@ -228,6 +282,11 @@ int main(int argc, char** argv) {
   if (trace_sink != nullptr) {
     SetGlobalTraceSink(nullptr);
     trace_sink->Flush();
+    Status sink_status = trace_sink->status();
+    if (!sink_status.ok()) {
+      std::cerr << "warning: " << sink_status.ToString()
+                << " — the trace is incomplete\n";
+    }
   }
   if (!flags.metrics_out.empty()) {
     if (flags.metrics_out == "-") {
