@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the inference microbenchmarks.
+
+Compares a fresh ``bench_infer --benchmark_format=json`` run against the
+checked-in baseline (BENCH_infer.json) and fails when any benchmark got more
+than ``--max-ratio`` times slower than its recorded real_time. Also verifies,
+within the *current* run (so machine speed cancels out), that dirty-clique
+caching keeps its advertised win: Calibrate with one dirty clique must be at
+least ``--min-speedup`` times faster than a full recalibration.
+
+Usage:
+  check_bench_regression.py BENCH_infer.json current.json [--max-ratio 2.0]
+  check_bench_regression.py --update BENCH_infer.json current.json
+
+``current.json`` is raw google-benchmark JSON output. ``--update`` rewrites
+the baseline from the current run (keeping only the fields the gate reads).
+"""
+
+import argparse
+import json
+import sys
+
+FULL = "BM_CalibrateFullRecalibration/24"
+ONE_DIRTY = "BM_CalibrateOneDirtyFar/24"
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} from either raw google-benchmark JSON or
+    a simplified baseline written by --update."""
+    with open(path) as f:
+        doc = json.load(f)
+    benchmarks = doc.get("benchmarks")
+    if isinstance(benchmarks, dict):  # simplified baseline
+        return {name: entry["real_time"] for name, entry in benchmarks.items()}
+    out = {}
+    for entry in benchmarks:  # raw google-benchmark output
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            entry.get("time_unit", "ns")]
+        out[entry["name"]] = entry["real_time"] * scale
+    return out
+
+
+def write_baseline(path, current):
+    doc = {
+        "comment": "Baseline real_time (ns) for bench_infer; regenerate with "
+                   "scripts/check_bench_regression.py --update",
+        "benchmarks": {
+            name: {"real_time": t, "time_unit": "ns"}
+            for name, t in sorted(current.items())
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail if current/baseline exceeds this")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required FullRecalibration/OneDirtyFar ratio "
+                             "within the current run")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run")
+    args = parser.parse_args()
+
+    current = load_benchmarks(args.current)
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"wrote {args.baseline} ({len(current)} benchmarks)")
+        return 0
+
+    failures = []
+    baseline = load_benchmarks(args.baseline)
+    for name, base_time in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = current[name] / base_time
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{status:4} {name}: {base_time / 1e3:.1f}us -> "
+              f"{current[name] / 1e3:.1f}us ({ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline "
+                            f"(limit {args.max_ratio}x)")
+
+    if FULL in current and ONE_DIRTY in current:
+        speedup = current[FULL] / current[ONE_DIRTY]
+        print(f"dirty-clique caching speedup (current run): {speedup:.2f}x")
+        if speedup < args.min_speedup:
+            failures.append(f"one-dirty Calibrate only {speedup:.2f}x faster "
+                            f"than full recalibration "
+                            f"(need {args.min_speedup}x)")
+    else:
+        failures.append("current run is missing the Calibrate benchmarks")
+
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,48 @@
 #include "eval/error.h"
 
 #include "marginal/marginal.h"
+#include "parallel/parallel.h"
 #include "util/logging.h"
 #include "util/math.h"
 
 namespace aim {
 
+WorkloadMarginalCache::WorkloadMarginalCache(const Dataset& data,
+                                             const Workload& workload,
+                                             double weight)
+    : weight_(weight) {
+  marginals_ = ParallelMap(
+      static_cast<int64_t>(workload.num_queries()), [&](int64_t i) {
+        return ComputeMarginal(data, workload.query(static_cast<int>(i)).attrs,
+                               weight);
+      });
+}
+
+const std::vector<double>& WorkloadMarginalCache::marginal(
+    int query_index) const {
+  AIM_CHECK_GE(query_index, 0);
+  AIM_CHECK_LT(query_index, num_queries());
+  return marginals_[query_index];
+}
+
 double WorkloadError(const Dataset& data, const Dataset& synthetic,
-                     const Workload& workload) {
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache) {
   AIM_CHECK_GT(workload.num_queries(), 0);
   AIM_CHECK_GT(data.num_records(), 0);
+  if (data_cache != nullptr) {
+    AIM_CHECK_EQ(data_cache->num_queries(), workload.num_queries());
+    AIM_CHECK_EQ(data_cache->weight(), 1.0);
+  }
   double total = 0.0;
-  for (const auto& q : workload.queries()) {
-    total += q.weight * L1Distance(ComputeMarginal(data, q.attrs),
+  for (int i = 0; i < workload.num_queries(); ++i) {
+    const auto& q = workload.query(i);
+    const std::vector<double> truth =
+        data_cache != nullptr ? std::vector<double>()
+                              : ComputeMarginal(data, q.attrs);
+    const std::vector<double>& data_marginal =
+        data_cache != nullptr ? data_cache->marginal(i) : truth;
+    total += q.weight * L1Distance(data_marginal,
                                    ComputeMarginal(synthetic, q.attrs));
   }
   return total / (workload.num_queries() *
@@ -20,42 +50,63 @@ double WorkloadError(const Dataset& data, const Dataset& synthetic,
 }
 
 double NormalizedWorkloadError(const Dataset& data, const Dataset& synthetic,
-                               const Workload& workload) {
+                               const Workload& workload,
+                               const WorkloadMarginalCache* data_cache) {
   AIM_CHECK_GT(workload.num_queries(), 0);
   AIM_CHECK_GT(data.num_records(), 0);
   AIM_CHECK_GT(synthetic.num_records(), 0);
-  double total = 0.0;
   const double data_w = 1.0 / static_cast<double>(data.num_records());
   const double synth_w = 1.0 / static_cast<double>(synthetic.num_records());
-  for (const auto& q : workload.queries()) {
-    total +=
-        q.weight * L1Distance(ComputeMarginal(data, q.attrs, data_w),
-                              ComputeMarginal(synthetic, q.attrs, synth_w));
+  if (data_cache != nullptr) {
+    AIM_CHECK_EQ(data_cache->num_queries(), workload.num_queries());
+    AIM_CHECK_EQ(data_cache->weight(), data_w);
+  }
+  double total = 0.0;
+  for (int i = 0; i < workload.num_queries(); ++i) {
+    const auto& q = workload.query(i);
+    const std::vector<double> truth =
+        data_cache != nullptr ? std::vector<double>()
+                              : ComputeMarginal(data, q.attrs, data_w);
+    const std::vector<double>& data_marginal =
+        data_cache != nullptr ? data_cache->marginal(i) : truth;
+    total += q.weight *
+             L1Distance(data_marginal,
+                        ComputeMarginal(synthetic, q.attrs, synth_w));
   }
   return total / workload.num_queries();
 }
 
 double WorkloadErrorFromAnswers(
     const Dataset& data, const std::vector<std::vector<double>>& answers,
-    const Workload& workload) {
+    const Workload& workload, const WorkloadMarginalCache* data_cache) {
   AIM_CHECK_EQ(static_cast<int>(answers.size()), workload.num_queries());
   AIM_CHECK_GT(data.num_records(), 0);
+  if (data_cache != nullptr) {
+    AIM_CHECK_EQ(data_cache->num_queries(), workload.num_queries());
+    AIM_CHECK_EQ(data_cache->weight(), 1.0);
+  }
   double total = 0.0;
   for (int i = 0; i < workload.num_queries(); ++i) {
     const auto& q = workload.query(i);
-    total += q.weight *
-             L1Distance(ComputeMarginal(data, q.attrs), answers[i]);
+    const std::vector<double> truth =
+        data_cache != nullptr ? std::vector<double>()
+                              : ComputeMarginal(data, q.attrs);
+    const std::vector<double>& data_marginal =
+        data_cache != nullptr ? data_cache->marginal(i) : truth;
+    total += q.weight * L1Distance(data_marginal, answers[i]);
   }
   return total / (workload.num_queries() *
                   static_cast<double>(data.num_records()));
 }
 
 double WorkloadError(const Dataset& data, const MechanismResult& result,
-                     const Workload& workload) {
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache) {
   if (result.has_synthetic) {
-    return WorkloadError(data, result.synthetic, workload);
+    return WorkloadError(data, result.synthetic, workload, data_cache);
   }
-  return WorkloadErrorFromAnswers(data, result.query_answers, workload);
+  return WorkloadErrorFromAnswers(data, result.query_answers, workload,
+                                  data_cache);
 }
 
 }  // namespace aim

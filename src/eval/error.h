@@ -12,26 +12,58 @@
 
 namespace aim {
 
+// Precomputed true-data marginals for one (dataset, workload) pair. The
+// error functions below recompute M_{r_i}(D) on every call, which an eval
+// sweep repeats for every mechanism × trial even though the true data never
+// changes; build the cache once and pass it to reuse them. Marginals are
+// computed with the same ComputeMarginal call the uncached path uses (in
+// parallel across queries), so cached evaluations are bitwise identical.
+// Construction-then-read-only, safe to share across concurrent trials.
+class WorkloadMarginalCache {
+ public:
+  // `weight` is the per-record weight forwarded to ComputeMarginal: 1.0
+  // (the default) matches WorkloadError / WorkloadErrorFromAnswers raw
+  // counts; pass 1.0 / data.num_records() for NormalizedWorkloadError's
+  // data side. Consumers check the weight matches what they expect.
+  WorkloadMarginalCache(const Dataset& data, const Workload& workload,
+                        double weight = 1.0);
+
+  double weight() const { return weight_; }
+  int num_queries() const { return static_cast<int>(marginals_.size()); }
+  const std::vector<double>& marginal(int query_index) const;
+
+ private:
+  double weight_ = 1.0;
+  std::vector<std::vector<double>> marginals_;
+};
+
 // Definition 2: Error(D, D̂) = (1 / (k |D|)) sum_i c_i ||M_{r_i}(D) -
-// M_{r_i}(D̂)||_1.
+// M_{r_i}(D̂)||_1. `data_cache`, when given, must be built from the same
+// (data, workload) with weight 1.0.
 double WorkloadError(const Dataset& data, const Dataset& synthetic,
-                     const Workload& workload);
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache = nullptr);
 
 // As above but with each dataset's marginals normalized by its own record
 // count (used by the Appendix-C subsampling comparison, where the synthetic
-// dataset intentionally has fewer records).
+// dataset intentionally has fewer records). `data_cache`, when given, must
+// be built with weight 1.0 / data.num_records().
 double NormalizedWorkloadError(const Dataset& data, const Dataset& synthetic,
-                               const Workload& workload);
+                               const Workload& workload,
+                               const WorkloadMarginalCache* data_cache =
+                                   nullptr);
 
 // Definition-2 error for an answer-only mechanism: the noisy answers stand
 // in for M_{r_i}(D̂). `answers` must be aligned with workload.queries().
 double WorkloadErrorFromAnswers(
     const Dataset& data, const std::vector<std::vector<double>>& answers,
-    const Workload& workload);
+    const Workload& workload,
+    const WorkloadMarginalCache* data_cache = nullptr);
 
 // Dispatches on the result type (synthetic data vs. query answers).
 double WorkloadError(const Dataset& data, const MechanismResult& result,
-                     const Workload& workload);
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache = nullptr);
 
 }  // namespace aim
 

@@ -37,6 +37,10 @@ TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
   AIM_CHECK_GT(trials, 0);
   const double rho = CdpRho(epsilon, delta);
   TrialStats stats;
+  // The true-data marginals are shared by every trial (and every mechanism
+  // in a sweep); compute them once up front instead of once per trial.
+  // Cached evaluations are bitwise identical to the recompute path.
+  const WorkloadMarginalCache data_cache(data, workload);
   // Trial fan-out: every trial has an Rng derived from (seed, t) alone and
   // mechanisms only read the shared data/workload, so trials run
   // concurrently on the pool and aggregate in trial order — identical
@@ -66,7 +70,7 @@ TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
           }
           Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(t) + 1);
           MechanismResult result = mechanism.Run(data, workload, rho, rng);
-          outcome.error = WorkloadError(data, result, workload);
+          outcome.error = WorkloadError(data, result, workload, &data_cache);
           outcome.seconds = result.seconds;
           outcome.rounds = result.rounds;
           outcome.rho_used = result.rho_used;

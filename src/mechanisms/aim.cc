@@ -505,6 +505,14 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     for (size_t k = 0; k < uncached.size(); ++k) {
       data_marginals.emplace(*uncached[k], std::move(fresh[k]));
     }
+    // One batched inference pass answers every candidate's model marginal
+    // (shared calibration state, memoized VE orders, ParallelMap inside);
+    // scoring then reduces each answer in parallel.
+    std::vector<AttrSet> candidate_attrs;
+    candidate_attrs.reserve(candidate_ids.size());
+    for (int id : candidate_ids) candidate_attrs.push_back(pool[id]);
+    std::vector<std::vector<double>> model_marginals =
+        model.AnswerMarginalVectors(candidate_attrs);
     std::vector<double> scores(candidate_ids.size());
     std::vector<double> sensitivities(candidate_ids.size());
     ParallelFor(0, static_cast<int64_t>(candidate_ids.size()), 1,
@@ -515,7 +523,7 @@ MechanismResult AimMechanism::Run(const Dataset& data,
                                        ? kSqrt2OverPi * sigma * n_r
                                        : n_r;
                   double model_error = L1Distance(data_marginals.at(r),
-                                                  model.MarginalVector(r));
+                                                  model_marginals[j]);
                   const double w = weights.at(r);
                   scores[j] = w * (model_error - penalty);
                   sensitivities[j] = std::max(w, 1e-12);

@@ -39,14 +39,18 @@ double EstimateTotal(const std::vector<Measurement>& measurements) {
 
 double EstimationObjective(const MarkovRandomField& model,
                            const std::vector<Measurement>& measurements) {
-  // Each term reads only the calibrated model; terms are computed in
-  // parallel and summed in measurement order, so the result is bitwise
-  // identical to the serial loop at any thread count.
+  // One batched inference pass answers every measurement marginal (repeated
+  // cliques share all message work); terms are then computed in parallel
+  // and summed in measurement order, so the result is bitwise identical to
+  // the serial per-query loop at any thread count.
+  std::vector<AttrSet> queries;
+  queries.reserve(measurements.size());
+  for (const Measurement& m : measurements) queries.push_back(m.attrs);
+  std::vector<std::vector<double>> mus = model.AnswerMarginalVectors(queries);
   std::vector<double> terms = ParallelMap(
       static_cast<int64_t>(measurements.size()), [&](int64_t i) {
-        const Measurement& m = measurements[i];
-        std::vector<double> mu = model.MarginalVector(m.attrs);
-        return SquaredL2Distance(mu, m.values) / m.sigma;
+        return SquaredL2Distance(mus[i], measurements[i].values) /
+               measurements[i].sigma;
       });
   double objective = 0.0;
   for (double term : terms) objective += term;
@@ -106,13 +110,22 @@ MarkovRandomField EstimateMrf(const Domain& domain,
 
   // Map each measurement to a containing tree clique once.
   std::vector<int> home(measurements.size());
+  std::vector<AttrSet> query_attrs;
+  query_attrs.reserve(measurements.size());
   for (size_t i = 0; i < measurements.size(); ++i) {
     home[i] = model.ContainingClique(measurements[i].attrs);
     AIM_CHECK_GE(home[i], 0);
     AIM_CHECK_EQ(
         static_cast<int64_t>(measurements[i].values.size()),
         MarginalSize(domain, measurements[i].attrs));
+    query_attrs.push_back(measurements[i].attrs);
   }
+  // The gradient step only mutates the home cliques, so the line search
+  // saves and restores exactly those — keeping every other clique's cached
+  // messages valid across backtracking attempts.
+  std::vector<int> touched = home;
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
   model.Calibrate();
   double objective = EstimationObjective(model, measurements);
@@ -130,10 +143,11 @@ MarkovRandomField EstimateMrf(const Domain& domain,
     // clique log-potentials (entropic mirror descent step). Per-measurement
     // gradients only read the calibrated model, so they compute in
     // parallel; the vector keeps measurement order.
+    std::vector<Factor> mus = model.AnswerMarginals(query_attrs);
     std::vector<Factor> gradients = ParallelMap(
         static_cast<int64_t>(measurements.size()), [&](int64_t i) {
           const Measurement& m = measurements[i];
-          Factor mu = model.Marginal(m.attrs);
+          const Factor& mu = mus[i];
           Factor grad = mu;  // reuse shape
           std::vector<double>& g = grad.mutable_values();
           const double scale = 2.0 / m.sigma;
@@ -155,8 +169,8 @@ MarkovRandomField EstimateMrf(const Domain& domain,
 
     // Backtracking line search on the primal objective.
     std::vector<Factor> saved;
-    saved.reserve(model.num_cliques());
-    for (int c = 0; c < model.num_cliques(); ++c) {
+    saved.reserve(touched.size());
+    for (int c : touched) {
       saved.push_back(model.potential(c));
     }
     bool accepted = false;
@@ -172,8 +186,8 @@ MarkovRandomField EstimateMrf(const Domain& domain,
         break;
       }
       // Restore and retry with a smaller step.
-      for (int c = 0; c < model.num_cliques(); ++c) {
-        model.SetPotential(c, saved[c]);
+      for (size_t c = 0; c < touched.size(); ++c) {
+        model.SetPotential(touched[c], saved[c]);
       }
       trial *= 0.5;
       ++stats->backtracking_steps;

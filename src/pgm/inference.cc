@@ -1,0 +1,49 @@
+#include "pgm/inference.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace aim {
+namespace {
+
+bool CacheEnabledFromEnv() {
+  const char* env = std::getenv("AIM_INFER_CACHE");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& CacheEnabledFlag() {
+  static std::atomic<bool> enabled{CacheEnabledFromEnv()};
+  return enabled;
+}
+
+}  // namespace
+
+bool InferenceCacheEnabled() {
+  return CacheEnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetInferenceCacheEnabled(bool enabled) {
+  CacheEnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void FlushInferCounters(const InferCounters& counters, int64_t batch_queries) {
+  if (!MetricsEnabled()) return;
+  static Counter& recomputed =
+      MetricsRegistry::Global().counter("pgm.infer.messages_recomputed");
+  static Counter& reused =
+      MetricsRegistry::Global().counter("pgm.infer.messages_reused");
+  static Counter& batch =
+      MetricsRegistry::Global().counter("pgm.infer.batch_queries");
+  if (counters.messages_recomputed > 0) {
+    recomputed.Add(counters.messages_recomputed);
+  }
+  if (counters.messages_reused > 0) reused.Add(counters.messages_reused);
+  if (batch_queries > 0) batch.Add(batch_queries);
+}
+
+}  // namespace aim

@@ -33,7 +33,20 @@ std::vector<int64_t> RandomizedRound(const std::vector<double>& weights,
   int64_t remainder = total - assigned;
   AIM_CHECK_GE(remainder, 0);
   if (remainder > 0) {
-    std::vector<int64_t> extra = rng.Multinomial(remainder, fractional);
+    // The fractional parts can underflow to all zeros while remainder stays
+    // positive: when expected values are huge, `expected - floor(expected)`
+    // is exactly 0.0 in double precision even though the floors don't sum
+    // to total. Rng::Multinomial on an all-zero weight vector dumps the
+    // whole remainder into cell 0; spread it uniformly instead.
+    double fractional_mass = 0.0;
+    for (double f : fractional) fractional_mass += f;
+    std::vector<int64_t> extra;
+    if (fractional_mass > 0.0) {
+      extra = rng.Multinomial(remainder, fractional);
+    } else {
+      std::vector<double> uniform(weights.size(), 1.0);
+      extra = rng.Multinomial(remainder, uniform);
+    }
     for (size_t i = 0; i < counts.size(); ++i) counts[i] += extra[i];
   }
   return counts;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "marginal/marginal.h"
+#include "parallel/parallel.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -27,12 +28,17 @@ double ExpectedSubsamplingL1(const std::vector<double>& marginal, int64_t n,
 double ExpectedSubsamplingWorkloadError(const Dataset& data,
                                         const Workload& workload, int64_t k) {
   AIM_CHECK_GT(workload.num_queries(), 0);
+  // Per-query terms are independent; compute them in parallel and sum in
+  // query order (bitwise identical to the serial loop).
+  std::vector<double> terms = ParallelMap(
+      static_cast<int64_t>(workload.num_queries()), [&](int64_t i) {
+        const auto& q = workload.query(static_cast<int>(i));
+        std::vector<double> marginal = ComputeMarginal(data, q.attrs);
+        return q.weight *
+               ExpectedSubsamplingL1(marginal, data.num_records(), k);
+      });
   double total = 0.0;
-  for (const auto& q : workload.queries()) {
-    std::vector<double> marginal = ComputeMarginal(data, q.attrs);
-    total += q.weight *
-             ExpectedSubsamplingL1(marginal, data.num_records(), k);
-  }
+  for (double term : terms) total += term;
   return total / workload.num_queries();
 }
 

@@ -79,6 +79,38 @@ TEST(ErrorTest, AnswersPathMatchesExactAnswers) {
   EXPECT_DOUBLE_EQ(WorkloadErrorFromAnswers(data, answers, workload), 0.0);
 }
 
+TEST(ErrorTest, CachedTrueMarginalsAreBitwiseIdenticalToRecompute) {
+  Dataset data = SmallData();
+  Rng rng(4);
+  Dataset synthetic =
+      SampleRandomBayesNet(data.domain(), 300, 1, 0.2, rng);
+  Workload workload = AllKWayWorkload(data.domain(), 2);
+
+  WorkloadMarginalCache raw_cache(data, workload);
+  EXPECT_EQ(raw_cache.num_queries(), workload.num_queries());
+  for (int i = 0; i < workload.num_queries(); ++i) {
+    EXPECT_EQ(raw_cache.marginal(i),
+              ComputeMarginal(data, workload.query(i).attrs));
+  }
+  // Exact (==) equality: the cached evaluation must be bitwise identical
+  // to the recompute path, not just close.
+  EXPECT_EQ(WorkloadError(data, synthetic, workload),
+            WorkloadError(data, synthetic, workload, &raw_cache));
+
+  const double data_w = 1.0 / static_cast<double>(data.num_records());
+  WorkloadMarginalCache normalized_cache(data, workload, data_w);
+  EXPECT_EQ(NormalizedWorkloadError(data, synthetic, workload),
+            NormalizedWorkloadError(data, synthetic, workload,
+                                    &normalized_cache));
+
+  std::vector<std::vector<double>> answers;
+  for (const auto& q : workload.queries()) {
+    answers.push_back(ComputeMarginal(synthetic, q.attrs));
+  }
+  EXPECT_EQ(WorkloadErrorFromAnswers(data, answers, workload),
+            WorkloadErrorFromAnswers(data, answers, workload, &raw_cache));
+}
+
 TEST(ExperimentTest, EpsilonGrids) {
   auto grid = PaperEpsilonGrid();
   ASSERT_EQ(grid.size(), 9u);

@@ -344,6 +344,56 @@ TEST(RandomizedRoundTest, UniformFallbackOnZeroMass) {
   EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), 30);
 }
 
+TEST(RandomizedRoundTest, ExactDivisionConsumesNoRandomness) {
+  // With expected values exactly integral the floor pass assigns every
+  // record; the remainder draw must not run, so the generator stays
+  // untouched (asserted against a twin that never touched the sampler).
+  Rng rng(55), twin(55);
+  std::vector<double> weights = {2.0, 2.0, 4.0};
+  auto counts = RandomizedRound(weights, 8, rng);
+  EXPECT_EQ(counts, (std::vector<int64_t>{2, 2, 4}));
+  EXPECT_EQ(rng.NextUint64(), twin.NextUint64());
+}
+
+TEST(RandomizedRoundTest, FractionalUnderflowFallsBackToUniform) {
+  // Regression: at totals near 2^53 the per-cell expected value can be an
+  // exact double integer (fractional part 0.0) while the floors still sum
+  // below the total. The remainder draw then saw an all-zero weight vector,
+  // and Rng::Multinomial dumped the whole remainder into cell 0 without
+  // consuming randomness. The fix spreads such a remainder uniformly.
+  const int64_t total = (int64_t{1} << 53) + 1;  // casts to 2^53 as double
+  const std::vector<double> weights = {1.0, 1.0};
+  const int64_t floor_each = int64_t{1} << 52;
+  bool remainder_reached_cell_1 = false;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(seed);
+    auto counts = RandomizedRound(weights, total, rng);
+    EXPECT_EQ(counts[0] + counts[1], total);
+    // Mirror the expected fallback with an identically seeded generator:
+    // floors plus one uniformly multinomial-distributed leftover record.
+    Rng mirror(seed);
+    auto extra = mirror.Multinomial(1, {1.0, 1.0});
+    EXPECT_EQ(counts[0], floor_each + extra[0]) << "seed " << seed;
+    EXPECT_EQ(counts[1], floor_each + extra[1]) << "seed " << seed;
+    if (counts[1] > floor_each) remainder_reached_cell_1 = true;
+  }
+  // The buggy path put the leftover in cell 0 every time; the uniform
+  // fallback must reach the other cell for some seed.
+  EXPECT_TRUE(remainder_reached_cell_1);
+}
+
+TEST(RandomizedRoundTest, NearIntegerWeightsStillSumExactly) {
+  // Weights a hair below exact division: fractional parts are tiny but
+  // positive, so the multinomial remainder path (not the fallback) runs.
+  Rng rng(77);
+  std::vector<double> weights = {1.0, 1.0 - 1e-12, 2.0};
+  for (int64_t total : {4, 400, 40000}) {
+    auto counts = RandomizedRound(weights, total, rng);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}),
+              total);
+  }
+}
+
 TEST(SyntheticTest, ReproducesModelMarginals) {
   Rng rng(10);
   Domain domain = Domain::WithSizes({2, 3, 2, 2});
