@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate for the inference microbenchmarks.
+"""Perf-smoke gate for the microbenchmark suites.
 
-Compares a fresh ``bench_infer --benchmark_format=json`` run against the
-checked-in baseline (BENCH_infer.json) and fails when any benchmark got more
-than ``--max-ratio`` times slower than its recorded real_time. Also verifies,
-within the *current* run (so machine speed cancels out), that dirty-clique
-caching keeps its advertised win: Calibrate with one dirty clique must be at
-least ``--min-speedup`` times faster than a full recalibration.
+Compares a fresh ``--benchmark_format=json`` run against a checked-in
+baseline (BENCH_infer.json, BENCH_factor.json) and fails when any benchmark
+got more than ``--max-ratio`` times slower than its recorded real_time.
+Also verifies speedup invariants within the *current* run (so machine speed
+cancels out):
+
+  - With no ``--speedup`` flags (the bench_infer invocation): dirty-clique
+    caching must keep its advertised win — Calibrate with one dirty clique
+    at least ``--min-speedup`` times faster than a full recalibration.
+  - With one or more ``--speedup SLOW FAST MIN`` triples (the bench_factor
+    invocation): benchmark SLOW must be at least MIN times slower than FAST,
+    e.g. the seed odometer kernels vs the flat kernels. The built-in
+    Calibrate check is skipped in this mode.
 
 Usage:
   check_bench_regression.py BENCH_infer.json current.json [--max-ratio 2.0]
+  check_bench_regression.py BENCH_factor.json current.json \
+      --speedup BM_MultiplySameShape/0 BM_MultiplySameShape/1 1.5
   check_bench_regression.py --update BENCH_infer.json current.json
 
 ``current.json`` is raw google-benchmark JSON output. ``--update`` rewrites
@@ -65,6 +74,11 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required FullRecalibration/OneDirtyFar ratio "
                              "within the current run")
+    parser.add_argument("--speedup", nargs=3, action="append", default=[],
+                        metavar=("SLOW", "FAST", "MIN"),
+                        help="require current[SLOW]/current[FAST] >= MIN; "
+                             "repeatable; replaces the built-in Calibrate "
+                             "speedup check")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run")
     args = parser.parse_args()
@@ -89,7 +103,19 @@ def main():
             failures.append(f"{name}: {ratio:.2f}x slower than baseline "
                             f"(limit {args.max_ratio}x)")
 
-    if FULL in current and ONE_DIRTY in current:
+    if args.speedup:
+        for slow, fast, min_ratio in args.speedup:
+            min_ratio = float(min_ratio)
+            if slow not in current or fast not in current:
+                failures.append(f"speedup check {slow} vs {fast}: benchmark "
+                                f"missing from current run")
+                continue
+            speedup = current[slow] / current[fast]
+            print(f"speedup {slow} / {fast} (current run): {speedup:.2f}x")
+            if speedup < min_ratio:
+                failures.append(f"{fast} only {speedup:.2f}x faster than "
+                                f"{slow} (need {min_ratio}x)")
+    elif FULL in current and ONE_DIRTY in current:
         speedup = current[FULL] / current[ONE_DIRTY]
         print(f"dirty-clique caching speedup (current run): {speedup:.2f}x")
         if speedup < args.min_speedup:

@@ -1,6 +1,7 @@
 #include "data/domain.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -47,9 +48,16 @@ double Domain::Log10TotalSize() const {
 }
 
 int64_t Domain::ProjectionSize(const std::vector<int>& attrs) const {
+  // Saturating product: wide cliques can exceed 2^63, and a wrapped
+  // (negative) size would sail through every "size <= budget" filter.
+  // Sizes are >= 1 (constructor invariant), so the product never shrinks
+  // and the overflow check is a plain division bound.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
   int64_t total = 1;
   for (int attr : attrs) {
-    total *= size(attr);
+    const int64_t s = size(attr);
+    if (total > kMax / s) return kMax;
+    total *= s;
   }
   return total;
 }

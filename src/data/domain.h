@@ -39,6 +39,8 @@ class Domain {
   double Log10TotalSize() const;
 
   // Product of sizes of the given attributes. Attributes must be valid.
+  // Saturates at INT64_MAX instead of wrapping, so size-budget comparisons
+  // against huge projections stay correct.
   int64_t ProjectionSize(const std::vector<int>& attrs) const;
 
   bool operator==(const Domain& other) const {

@@ -58,18 +58,66 @@ int GeneralizedExponentialMechanism(const std::vector<double>& scores,
   AIM_CHECK(!scores.empty());
   AIM_CHECK_EQ(scores.size(), sensitivities.size());
   const size_t k = scores.size();
-  std::vector<double> normalized(k);
+  bool uniform_sensitivity = true;
+  bool finite_scores = true;
   for (size_t i = 0; i < k; ++i) {
     AIM_CHECK_GT(sensitivities[i], 0.0);
-    double margin = std::numeric_limits<double>::infinity();
-    for (size_t j = 0; j < k; ++j) {
-      if (j == i) continue;
-      margin = std::min(margin, (scores[i] - scores[j]) /
-                                    (sensitivities[i] + sensitivities[j]));
+    uniform_sensitivity &= sensitivities[i] == sensitivities[0];
+    finite_scores &= std::isfinite(scores[i]);
+  }
+  std::vector<double> normalized(k);
+  if (k > 1 && uniform_sensitivity && finite_scores) {
+    // O(k) fast path for the common case (AIM feeds equal workload weights,
+    // so all sensitivities coincide). With one shared sensitivity every
+    // margin term for candidate i has the same positive denominator, and
+    // IEEE subtraction and division are monotone in s_j, so the min over j
+    // is attained at the largest other score: margin_i =
+    // (s_i - max_{j != i} s_j) / (sens_i + sens_j*). A top-2 scan therefore
+    // reproduces the quadratic loop's result exactly (asserted bitwise on
+    // randomized inputs in tests/extras_test.cc). Non-uniform sensitivities
+    // break the argument — a far-away score with a huge sensitivity can
+    // undercut the argmax — and non-finite scores break it through inf-inf
+    // and NaN-ignoring std::min, so both fall back to the exact O(k^2) loop.
+    size_t best = scores[1] > scores[0] ? 1 : 0;
+    size_t second = 1 - best;
+    for (size_t j = 2; j < k; ++j) {
+      if (scores[j] > scores[best]) {
+        second = best;
+        best = j;
+      } else if (scores[j] > scores[second]) {
+        second = j;
+      }
     }
-    normalized[i] = k > 1 ? margin : 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i == best ? second : best;
+      normalized[i] =
+          (scores[i] - scores[j]) / (sensitivities[i] + sensitivities[j]);
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      double margin = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < k; ++j) {
+        if (j == i) continue;
+        margin = std::min(margin, (scores[i] - scores[j]) /
+                                      (sensitivities[i] + sensitivities[j]));
+      }
+      normalized[i] = k > 1 ? margin : 0.0;
+    }
   }
   return ExponentialMechanism(normalized, eps, 1.0, rng);
+}
+
+double LaplaceInverseCdf(double u, double scale) {
+  // Laplace = -scale * sign(u) * ln(1 - 2|u|). Uniform() includes 0, so
+  // u = -0.5 is reachable and 1 - 2|u| underflows to exactly 0, which
+  // log() turns into -inf noise. Clamp the log argument to the smallest
+  // positive normal double: for every non-boundary draw 1 - 2|u| is at
+  // least ~2^-54 (Sterbenz), so the clamp only changes the boundary draw —
+  // from an infinite sample to the distribution's finite tail cap.
+  double a = std::max(1.0 - 2.0 * std::fabs(u),
+                      std::numeric_limits<double>::min());
+  double magnitude = -scale * std::log(a);
+  return u < 0 ? -magnitude : magnitude;
 }
 
 std::vector<double> AddLaplaceNoise(const std::vector<double>& values,
@@ -77,11 +125,8 @@ std::vector<double> AddLaplaceNoise(const std::vector<double>& values,
   AIM_CHECK_GE(scale, 0.0);
   std::vector<double> noisy(values.size());
   for (size_t i = 0; i < values.size(); ++i) {
-    // Inverse-CDF sampling: Laplace = -scale * sign(u) * ln(1 - 2|u|),
-    // u uniform on (-1/2, 1/2).
-    double u = rng.Uniform() - 0.5;
-    double magnitude = -scale * std::log(1.0 - 2.0 * std::fabs(u));
-    noisy[i] = values[i] + (u < 0 ? -magnitude : magnitude);
+    // Inverse-CDF sampling, u uniform on [-1/2, 1/2).
+    noisy[i] = values[i] + LaplaceInverseCdf(rng.Uniform() - 0.5, scale);
   }
   return noisy;
 }

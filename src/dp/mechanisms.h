@@ -36,14 +36,24 @@ int NoisyMax(const std::vector<double>& scores, double gumbel_scale, Rng& rng);
 // which has sensitivity 1, and the standard exponential mechanism is run on
 // s with parameter eps. Costs ExponentialRho(eps) zCDP. This is the
 // alternative the AIM paper mentions to using Delta_t = max_r w_r.
-// All sensitivities must be positive. O(k^2).
+// All sensitivities must be positive. O(k) via a top-2 scan when all
+// sensitivities are equal and all scores finite (the common case); exact
+// O(k^2) fallback otherwise. Both paths select identically.
 int GeneralizedExponentialMechanism(const std::vector<double>& scores,
                                     const std::vector<double>& sensitivities,
                                     double eps, Rng& rng);
 
+// Laplace(scale) sample via inverse-CDF transform of u in [-1/2, 1/2).
+// Defined for the closed boundary u = -1/2 (which Rng::Uniform() can
+// produce): the log argument is clamped away from 0 so the sample is the
+// distribution's finite tail cap instead of -inf. Exposed so the boundary
+// behavior is directly testable.
+double LaplaceInverseCdf(double u, double scale);
+
 // Adds iid Laplace(scale) noise to every entry. For a query with L1
 // sensitivity 1 this satisfies (1/scale)-DP, hence 1/(2*scale^2)-zCDP —
-// the Section-3.2 "use Gaussian noise" comparison point.
+// the Section-3.2 "use Gaussian noise" comparison point. Never produces
+// infinite noise (see LaplaceInverseCdf).
 std::vector<double> AddLaplaceNoise(const std::vector<double>& values,
                                     double scale, Rng& rng);
 

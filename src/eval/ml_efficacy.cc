@@ -15,11 +15,17 @@ NaiveBayesClassifier::NaiveBayesClassifier(const Dataset& train,
   AIM_CHECK_GT(train.num_records(), 0);
   AIM_CHECK_GT(smoothing, 0.0);
   num_labels_ = domain.size(label_attr);
+  attr_sizes_ = domain.sizes();
 
-  // Class counts.
+  // Class counts. Values index the count tables, so validate each one
+  // against the domain before use — a hand-built dataset whose values
+  // disagree with its declared domain must fail loudly, not corrupt memory.
   std::vector<double> class_count(num_labels_, smoothing);
   for (int64_t row = 0; row < train.num_records(); ++row) {
-    class_count[train.value(row, label_attr_)] += 1.0;
+    const int y = train.value(row, label_attr_);
+    AIM_CHECK(y >= 0 && y < num_labels_)
+        << "label value" << y << "outside domain of size" << num_labels_;
+    class_count[y] += 1.0;
   }
   double total = 0.0;
   for (double c : class_count) total += c;
@@ -36,7 +42,11 @@ NaiveBayesClassifier::NaiveBayesClassifier(const Dataset& train,
     std::vector<double> counts(static_cast<size_t>(num_labels_) * n,
                                smoothing);
     for (int64_t row = 0; row < train.num_records(); ++row) {
-      counts[train.value(row, label_attr_) * n + train.value(row, a)] += 1.0;
+      const int y = train.value(row, label_attr_);
+      const int v = train.value(row, a);
+      AIM_CHECK(v >= 0 && v < n) << "attribute" << a << "value" << v
+                                 << "outside domain of size" << n;
+      counts[static_cast<size_t>(y) * n + v] += 1.0;
     }
     log_conditional_[a].resize(counts.size());
     for (int y = 0; y < num_labels_; ++y) {
@@ -51,14 +61,26 @@ NaiveBayesClassifier::NaiveBayesClassifier(const Dataset& train,
 }
 
 int NaiveBayesClassifier::Predict(const Dataset& data, int64_t row) const {
-  const Domain& domain = data.domain();
+  // Score with the training domain's sizes, never the query dataset's: a
+  // dataset over a wider domain must be rejected here, not silently read
+  // past the conditional tables.
+  const int d = static_cast<int>(attr_sizes_.size());
+  AIM_CHECK_EQ(data.domain().num_attributes(), d)
+      << "dataset schema differs from the training domain";
+  for (int a = 0; a < d; ++a) {
+    if (a == label_attr_) continue;
+    const int v = data.value(row, a);
+    AIM_CHECK(v >= 0 && v < attr_sizes_[a])
+        << "attribute" << a << "value" << v
+        << "outside training domain of size" << attr_sizes_[a];
+  }
   int best = 0;
   double best_score = -1e300;
   for (int y = 0; y < num_labels_; ++y) {
     double score = log_prior_[y];
-    for (int a = 0; a < domain.num_attributes(); ++a) {
+    for (int a = 0; a < d; ++a) {
       if (a == label_attr_) continue;
-      const int n = domain.size(a);
+      const int n = attr_sizes_[a];
       score += log_conditional_[a][y * n + data.value(row, a)];
     }
     if (score > best_score) {

@@ -36,6 +36,11 @@ class NaiveBayesClassifier {
  private:
   int label_attr_;
   int num_labels_;
+  // Per-attribute sizes of the *training* domain. Prediction indexes the
+  // count tables with these (never the query dataset's own domain), and
+  // every incoming value is validated against them — a dataset with a
+  // mismatched schema fails an AIM_CHECK instead of reading out of bounds.
+  std::vector<int> attr_sizes_;
   std::vector<double> log_prior_;
   // log_conditional_[attr][label * n_attr + value]
   std::vector<std::vector<double>> log_conditional_;

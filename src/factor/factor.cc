@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "factor/kernel_plan.h"
+#include "factor/kernels.h"
+#include "factor/workspace.h"
 #include "parallel/parallel.h"
 #include "util/logging.h"
 #include "util/math.h"
@@ -13,24 +16,36 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
+// True when `sub` (sorted ascending, distinct) is a subset of `super`
+// (same convention). Allocation-free replacement for building AttrSets.
+bool IsSortedSubset(const std::vector<int>& sub,
+                    const std::vector<int>& super) {
+  size_t i = 0;
+  for (int attr : sub) {
+    while (i < super.size() && super[i] < attr) ++i;
+    if (i == super.size() || super[i] != attr) return false;
+    ++i;
+  }
+  return true;
+}
+
 // Strides of `sub`'s cells when iterating over the axes of `super`.
 // Axis j of `super` gets sub-stride 0 if super.attrs[j] is not in `sub`.
-std::vector<int64_t> StridesInto(const std::vector<int>& super_attrs,
-                                 const std::vector<int>& sub_attrs,
-                                 const std::vector<int>& sub_sizes) {
-  std::vector<int64_t> sub_strides(sub_attrs.size(), 1);
-  for (int j = static_cast<int>(sub_attrs.size()) - 2; j >= 0; --j) {
-    sub_strides[j] = sub_strides[j + 1] * sub_sizes[j + 1];
+// Writes into *out (reused caller buffer) instead of allocating; requires
+// sub ⊆ super, both sorted ascending.
+void StridesIntoBuf(const std::vector<int>& super_attrs,
+                    const std::vector<int>& sub_attrs,
+                    const std::vector<int>& sub_sizes,
+                    std::vector<int64_t>* out) {
+  out->assign(super_attrs.size(), 0);
+  int64_t stride = 1;
+  int i = static_cast<int>(super_attrs.size()) - 1;
+  for (int j = static_cast<int>(sub_attrs.size()) - 1; j >= 0; --j) {
+    while (i >= 0 && super_attrs[i] > sub_attrs[j]) --i;
+    AIM_DCHECK(i >= 0 && super_attrs[i] == sub_attrs[j]);
+    (*out)[i] = stride;
+    stride *= sub_sizes[j];
   }
-  std::vector<int64_t> out(super_attrs.size(), 0);
-  for (size_t i = 0; i < super_attrs.size(); ++i) {
-    auto it =
-        std::find(sub_attrs.begin(), sub_attrs.end(), super_attrs[i]);
-    if (it != sub_attrs.end()) {
-      out[i] = sub_strides[it - sub_attrs.begin()];
-    }
-  }
-  return out;
 }
 
 // Cell count below which element-wise loops stay serial (the chunking
@@ -40,6 +55,11 @@ constexpr int64_t kParallelCellThreshold = 1 << 15;
 // from the thread count) so chunk boundaries — and therefore any chunked
 // arithmetic — are identical at every parallelism level.
 constexpr int64_t kCellGrain = 1 << 14;
+
+// ---------------------------------------------------------------------------
+// Seed odometer (fallback path; also the reference the flat kernels are
+// asserted bitwise-identical against in tests/factor_test.cc).
+// ---------------------------------------------------------------------------
 
 // Iterates cells [cell_begin, cell_end) of a factor with axes `sizes` in
 // row-major order (last axis fastest), maintaining a set of derived linear
@@ -96,6 +116,207 @@ void ForEachCellParallel(const std::vector<int>& sizes,
                     [&](int64_t lo, int64_t hi, int64_t /*chunk*/) {
                       ForEachCellRange<kNumDerived>(sizes, strides, lo, hi,
                                                     fn);
+                    });
+}
+
+// ---------------------------------------------------------------------------
+// Flat kernels: loop-collapsed executors over a KernelPlan. Each one visits
+// cells in exactly the seed order and performs the identical per-cell
+// floating-point operations, so results are bitwise equal to the odometer
+// path (see kernel_plan.h for the argument and factor_test.cc for the
+// assertion). The inner-stride specializations (0 = operand constant over
+// the run, 1 = operand contiguous — the only values sub-factor broadcasting
+// produces) give the compiler unit-stride loops it can vectorize.
+// ---------------------------------------------------------------------------
+
+template <typename Op>
+void RunBinaryRange(const KernelPlan& plan, double* dst, const double* av,
+                    const double* bv, Op op, int64_t lo, int64_t hi) {
+  const int64_t ia = plan.inner_strides[0];
+  const int64_t ib = plan.inner_strides[1];
+  if (ia == 1 && ib == 1) {
+    ForEachRunRange<2>(plan, lo, hi,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* pa = av + base[0];
+                         const double* pb = bv + base[1];
+                         double* pd = dst + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] = op(pa[t], pb[t]);
+                         }
+                       });
+  } else if (ia == 1 && ib == 0) {
+    ForEachRunRange<2>(plan, lo, hi,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* pa = av + base[0];
+                         const double y = bv[base[1]];
+                         double* pd = dst + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] = op(pa[t], y);
+                         }
+                       });
+  } else if (ia == 0 && ib == 1) {
+    ForEachRunRange<2>(plan, lo, hi,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double x = av[base[0]];
+                         const double* pb = bv + base[1];
+                         double* pd = dst + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] = op(x, pb[t]);
+                         }
+                       });
+  } else {
+    ForEachRunRange<2>(plan, lo, hi,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         double* pd = dst + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] = op(av[base[0] + t * ia],
+                                      bv[base[1] + t * ib]);
+                         }
+                       });
+  }
+}
+
+void RunAddInPlaceRange(const KernelPlan& plan, double* dst,
+                        const double* src, double scale, int64_t lo,
+                        int64_t hi) {
+  const int64_t is = plan.inner_strides[0];
+  if (is == 1) {
+    ForEachRunRange<1>(plan, lo, hi,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* ps = src + base[0];
+                         double* pd = dst + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] += scale * ps[t];
+                         }
+                       });
+  } else if (is == 0) {
+    ForEachRunRange<1>(plan, lo, hi,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double add = scale * src[base[0]];
+                         double* pd = dst + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] += add;
+                         }
+                       });
+  } else {
+    ForEachRunRange<1>(plan, lo, hi,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         double* pd = dst + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] += scale * src[base[0] + t * is];
+                         }
+                       });
+  }
+}
+
+// Scatter-add src (full shape) into dst (marginal shape). A run whose
+// destination stride is 0 reduces into a scalar accumulator — the additions
+// happen in the same left-to-right order as the seed's per-cell
+// dst[idx] += src[cell], so the result is bitwise identical.
+void RunScatterAdd(const KernelPlan& plan, double* dst, const double* src,
+                   int64_t total) {
+  const int64_t os = plan.inner_strides[0];
+  if (os == 0) {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* ps = src + cell;
+                         double acc = dst[base[0]];
+                         for (int64_t t = 0; t < len; ++t) {
+                           acc += ps[t];
+                         }
+                         dst[base[0]] = acc;
+                       });
+  } else if (os == 1) {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* ps = src + cell;
+                         double* pd = dst + base[0];
+                         for (int64_t t = 0; t < len; ++t) {
+                           pd[t] += ps[t];
+                         }
+                       });
+  } else {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* ps = src + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           dst[base[0] + t * os] += ps[t];
+                         }
+                       });
+  }
+}
+
+// Scatter-max (LogSumExpTo pass 1). max is exact, so accumulation into a
+// scalar matches the seed's per-cell sequence bit for bit.
+void RunScatterMax(const KernelPlan& plan, double* dst, const double* src,
+                   int64_t total) {
+  const int64_t os = plan.inner_strides[0];
+  if (os == 0) {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* ps = src + cell;
+                         double m = dst[base[0]];
+                         for (int64_t t = 0; t < len; ++t) {
+                           m = std::max(m, ps[t]);
+                         }
+                         dst[base[0]] = m;
+                       });
+  } else {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* ps = src + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           double& d = dst[base[0] + t * os];
+                           d = std::max(d, ps[t]);
+                         }
+                       });
+  }
+}
+
+// LogSumExpTo pass 2: dst[idx] += exp(src - mx[idx]) with the seed's
+// structural-zero skip (per-destination max of -inf means every
+// contribution is skipped, which the run-level branch reproduces exactly).
+void RunScatterExpAcc(const KernelPlan& plan, double* dst, const double* mx,
+                      const double* src, int64_t total) {
+  const int64_t os = plan.inner_strides[0];
+  if (os == 0) {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double m = mx[base[0]];
+                         if (std::isinf(m) && m < 0) return;
+                         const double* ps = src + cell;
+                         double acc = dst[base[0]];
+                         for (int64_t t = 0; t < len; ++t) {
+                           acc += std::exp(ps[t] - m);
+                         }
+                         dst[base[0]] = acc;
+                       });
+  } else {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         const double* ps = src + cell;
+                         for (int64_t t = 0; t < len; ++t) {
+                           const double m = mx[base[0] + t * os];
+                           if (!(std::isinf(m) && m < 0)) {
+                             dst[base[0] + t * os] += std::exp(ps[t] - m);
+                           }
+                         }
+                       });
+  }
+}
+
+// Runs body(lo, hi) over [0, total) with the same serial threshold and
+// fixed grain as the seed's ForEachCellParallel, so parallel chunk
+// boundaries are unchanged.
+template <typename Body>
+void RunFlatParallel(int64_t total, Body&& body) {
+  if (total < kParallelCellThreshold) {
+    body(0, total);
+    return;
+  }
+  ParallelForChunks(0, total, kCellGrain,
+                    [&](int64_t lo, int64_t hi, int64_t /*chunk*/) {
+                      body(lo, hi);
                     });
 }
 
@@ -168,12 +389,23 @@ Factor BinaryOp(const Factor& a, const Factor& b, Op op) {
     }
   }
   Factor out(attrs, sizes);
-  std::vector<int64_t> a_strides = StridesInto(attrs, a.attrs(), a.sizes());
-  std::vector<int64_t> b_strides = StridesInto(attrs, b.attrs(), b.sizes());
+  FactorWorkspace& ws = FactorWorkspace::Get();
+  std::vector<int64_t>& a_strides = ws.IndexBuf(0);
+  std::vector<int64_t>& b_strides = ws.IndexBuf(1);
+  StridesIntoBuf(attrs, a.attrs(), a.sizes(), &a_strides);
+  StridesIntoBuf(attrs, b.attrs(), b.sizes(), &b_strides);
   const std::vector<int64_t>* strides[2] = {&a_strides, &b_strides};
   double* dst = out.mutable_values().data();
   const double* av = a.values().data();
   const double* bv = b.values().data();
+  const KernelPlan* plan =
+      FlatKernelsEnabled() ? ws.GetPlan(sizes, strides, 2) : nullptr;
+  if (plan != nullptr) {
+    RunFlatParallel(out.num_cells(), [&](int64_t lo, int64_t hi) {
+      RunBinaryRange(*plan, dst, av, bv, op, lo, hi);
+    });
+    return out;
+  }
   ForEachCellParallel<2>(sizes, strides, out.num_cells(),
                          [&](int64_t cell, const int64_t* idx) {
                            dst[cell] = op(av[idx[0]], bv[idx[1]]);
@@ -196,13 +428,22 @@ Factor Factor::Multiply(const Factor& other) const {
 }
 
 void Factor::AddInPlace(const Factor& other, double scale) {
-  AIM_CHECK(AttrSet(other.attrs_).IsSubsetOf(AttrSet(attrs_)))
+  AIM_CHECK(IsSortedSubset(other.attrs_, attrs_))
       << "AddInPlace requires other.attrs ⊆ attrs";
-  std::vector<int64_t> other_strides =
-      StridesInto(attrs_, other.attrs_, other.sizes_);
+  FactorWorkspace& ws = FactorWorkspace::Get();
+  std::vector<int64_t>& other_strides = ws.IndexBuf(0);
+  StridesIntoBuf(attrs_, other.attrs_, other.sizes_, &other_strides);
   const std::vector<int64_t>* strides[1] = {&other_strides};
   double* dst = values_.data();
   const double* src = other.values_.data();
+  const KernelPlan* plan =
+      FlatKernelsEnabled() ? ws.GetPlan(sizes_, strides, 1) : nullptr;
+  if (plan != nullptr) {
+    RunFlatParallel(num_cells(), [&](int64_t lo, int64_t hi) {
+      RunAddInPlaceRange(*plan, dst, src, scale, lo, hi);
+    });
+    return;
+  }
   ForEachCellParallel<1>(sizes_, strides, num_cells(),
                          [&](int64_t cell, const int64_t* idx) {
                            dst[cell] += scale * src[idx[0]];
@@ -217,51 +458,81 @@ void Factor::AddScalarInPlace(double shift) {
   for (double& v : values_) v += shift;
 }
 
+void Factor::PrepareMarginalInto(const AttrSet& target, double fill,
+                                 Factor* out) const {
+  AIM_CHECK(out != this);
+  AIM_CHECK(IsSortedSubset(target.attrs(), attrs_));
+  out->attrs_.assign(target.attrs().begin(), target.attrs().end());
+  out->sizes_.clear();
+  int64_t total = 1;
+  for (int attr : target) {
+    const int s = sizes_[AxisOf(attr)];
+    out->sizes_.push_back(s);
+    total *= s;
+  }
+  out->values_.assign(total, fill);
+}
+
 Factor Factor::SumTo(const AttrSet& target) const {
-  AIM_CHECK(target.IsSubsetOf(AttrSet(attrs_)));
-  std::vector<int> t_sizes;
-  for (int attr : target) t_sizes.push_back(sizes_[AxisOf(attr)]);
-  Factor out(target.attrs(), t_sizes, 0.0);
-  std::vector<int64_t> out_strides =
-      StridesInto(attrs_, out.attrs_, out.sizes_);
+  Factor out;
+  SumToInto(target, &out);
+  return out;
+}
+
+void Factor::SumToInto(const AttrSet& target, Factor* out) const {
+  PrepareMarginalInto(target, 0.0, out);
+  FactorWorkspace& ws = FactorWorkspace::Get();
+  std::vector<int64_t>& out_strides = ws.IndexBuf(0);
+  StridesIntoBuf(attrs_, out->attrs_, out->sizes_, &out_strides);
   const std::vector<int64_t>* strides[1] = {&out_strides};
-  double* dst = out.values_.data();
+  double* dst = out->values_.data();
   const double* src = values_.data();
   // Scatter-add into dst[idx] — destinations collide across cells, so this
   // stays serial (parallelizing would need per-thread partials keyed by
   // destination, which the small output rarely justifies).
+  const KernelPlan* plan =
+      FlatKernelsEnabled() ? ws.GetPlan(sizes_, strides, 1) : nullptr;
+  if (plan != nullptr) {
+    RunScatterAdd(*plan, dst, src, num_cells());
+    return;
+  }
   ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
                       [&](int64_t cell, const int64_t* idx) {
                         dst[idx[0]] += src[cell];
                       });
-  return out;
 }
 
 Factor Factor::LogSumExpTo(const AttrSet& target) const {
-  AIM_CHECK(target.IsSubsetOf(AttrSet(attrs_)));
-  std::vector<int> t_sizes;
-  for (int attr : target) t_sizes.push_back(sizes_[AxisOf(attr)]);
-  Factor maxes(target.attrs(), t_sizes, kNegInf);
-  std::vector<int64_t> out_strides =
-      StridesInto(attrs_, maxes.attrs_, maxes.sizes_);
+  Factor out;
+  LogSumExpToInto(target, &out);
+  return out;
+}
+
+void Factor::LogSumExpToInto(const AttrSet& target, Factor* out) const {
+  PrepareMarginalInto(target, 0.0, out);
+  FactorWorkspace& ws = FactorWorkspace::Get();
+  std::vector<int64_t>& out_strides = ws.IndexBuf(0);
+  StridesIntoBuf(attrs_, out->attrs_, out->sizes_, &out_strides);
   const std::vector<int64_t>* strides[1] = {&out_strides};
-  // Both passes scatter into dst[idx] (colliding destinations): serial, as
-  // in SumTo.
-  // Pass 1: per-destination max.
-  {
-    double* dst = maxes.values_.data();
-    const double* src = values_.data();
+  const int64_t out_cells = out->num_cells();
+  std::vector<double>& max_buf = ws.DoubleBuf(0);
+  max_buf.assign(out_cells, kNegInf);
+  double* mx = max_buf.data();
+  double* dst = out->values_.data();
+  const double* src = values_.data();
+  // Both passes scatter into colliding destinations: serial, as in SumTo.
+  const KernelPlan* plan =
+      FlatKernelsEnabled() ? ws.GetPlan(sizes_, strides, 1) : nullptr;
+  if (plan != nullptr) {
+    RunScatterMax(*plan, mx, src, num_cells());
+    RunScatterExpAcc(*plan, dst, mx, src, num_cells());
+  } else {
+    // Pass 1: per-destination max.
     ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
                         [&](int64_t cell, const int64_t* idx) {
-                          dst[idx[0]] = std::max(dst[idx[0]], src[cell]);
+                          mx[idx[0]] = std::max(mx[idx[0]], src[cell]);
                         });
-  }
-  // Pass 2: accumulate exp(v - max).
-  Factor out(maxes.attrs_, maxes.sizes_, 0.0);
-  {
-    double* dst = out.values_.data();
-    const double* mx = maxes.values_.data();
-    const double* src = values_.data();
+    // Pass 2: accumulate exp(v - max).
     ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
                         [&](int64_t cell, const int64_t* idx) {
                           double m = mx[idx[0]];
@@ -271,12 +542,11 @@ Factor Factor::LogSumExpTo(const AttrSet& target) const {
                           }
                         });
   }
-  for (int64_t i = 0; i < out.num_cells(); ++i) {
-    double m = maxes.values_[i];
-    out.values_[i] =
-        (std::isinf(m) && m < 0) ? kNegInf : m + std::log(out.values_[i]);
+  for (int64_t i = 0; i < out_cells; ++i) {
+    double m = mx[i];
+    out->values_[i] =
+        (std::isinf(m) && m < 0) ? kNegInf : m + std::log(out->values_[i]);
   }
-  return out;
 }
 
 double Factor::Sum() const { return aim::Sum(values_); }
@@ -301,6 +571,18 @@ Factor Factor::Exp(double shift) const {
     out.values_[i] = std::exp(values_[i] - shift);
   });
   return out;
+}
+
+void Factor::ExpInPlace(double shift) {
+  const int64_t n = num_cells();
+  if (n < kParallelCellThreshold) {
+    for (int64_t i = 0; i < n; ++i) {
+      values_[i] = std::exp(values_[i] - shift);
+    }
+    return;
+  }
+  ParallelFor(0, n, kCellGrain,
+              [&](int64_t i) { values_[i] = std::exp(values_[i] - shift); });
 }
 
 Factor Factor::Log() const {

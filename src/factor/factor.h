@@ -68,12 +68,22 @@ class Factor {
   // Stable under -inf cells (structural zeros).
   Factor LogSumExpTo(const AttrSet& target) const;
 
+  // Allocation-reusing variants: overwrite *out (which must not alias this)
+  // with the marginal. When out's buffers already have capacity — e.g. a
+  // cached message being recomputed — no heap allocation occurs, which is
+  // what keeps Calibrate alloc-free after warm-up (DESIGN.md "Factor
+  // kernels"). Results are bitwise identical to SumTo / LogSumExpTo.
+  void SumToInto(const AttrSet& target, Factor* out) const;
+  void LogSumExpToInto(const AttrSet& target, Factor* out) const;
+
   double Sum() const;
   double LogSumExp() const;
   double Max() const;
 
   // Returns exp(v - shift) cellwise (shift typically the log-partition).
   Factor Exp(double shift = 0.0) const;
+  // In-place version of Exp (same chunking, bitwise-identical values).
+  void ExpInPlace(double shift = 0.0);
   // Returns log(v) cellwise; log(0) = -inf.
   Factor Log() const;
 
@@ -81,6 +91,11 @@ class Factor {
   double L1DistanceTo(const Factor& other) const;
 
  private:
+  // Sets *out to the marginal shape for `target` (attrs/sizes/values
+  // assigned in place so existing capacity is reused), every cell `fill`.
+  void PrepareMarginalInto(const AttrSet& target, double fill,
+                           Factor* out) const;
+
   std::vector<int> attrs_;
   std::vector<int> sizes_;
   std::vector<double> values_;

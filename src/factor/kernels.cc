@@ -1,0 +1,32 @@
+#include "factor/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace aim {
+namespace {
+
+bool FlatKernelsFromEnv() {
+  const char* env = std::getenv("AIM_FLAT_KERNELS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& FlatKernelsFlag() {
+  static std::atomic<bool> enabled{FlatKernelsFromEnv()};
+  return enabled;
+}
+
+}  // namespace
+
+bool FlatKernelsEnabled() {
+  return FlatKernelsFlag().load(std::memory_order_relaxed);
+}
+
+void SetFlatKernelsEnabled(bool enabled) {
+  FlatKernelsFlag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace aim

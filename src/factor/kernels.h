@@ -1,0 +1,29 @@
+// Flat-kernel switch for the factor engine.
+//
+// The factor element-wise kernels (DESIGN.md "Factor kernels") run through a
+// loop-collapse planner: trailing axes with compatible strides are fused
+// into a single unit-stride inner run, so Multiply / AddInPlace /
+// SumTo / LogSumExpTo execute as (outer blocks) x (contiguous inner loop)
+// instead of a per-cell odometer with a callback. The flat kernels visit
+// cells in exactly the seed's row-major order and perform the identical
+// floating-point operations per cell, so every output is bitwise identical
+// to the odometer path (asserted op-by-op and end-to-end in
+// tests/factor_test.cc).
+//
+// The switch below exists for A/B benchmarking and the bitwise equivalence
+// tests; production keeps it on.
+
+#ifndef AIM_FACTOR_KERNELS_H_
+#define AIM_FACTOR_KERNELS_H_
+
+namespace aim {
+
+// Global flat-kernel switch. Defaults to on; the environment variable
+// AIM_FLAT_KERNELS=0 (read once, at first use) disables it, in which case
+// every kernel falls back to the seed's rank-generic odometer loop.
+bool FlatKernelsEnabled();
+void SetFlatKernelsEnabled(bool enabled);
+
+}  // namespace aim
+
+#endif  // AIM_FACTOR_KERNELS_H_

@@ -1,0 +1,89 @@
+#include "factor/workspace.h"
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+// FNV-1a over the (rank, num_operands, sizes, strides) key.
+uint64_t HashKey(const std::vector<int>& sizes,
+                 const std::vector<int64_t>* const* operand_strides,
+                 int num_operands) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(sizes.size()));
+  mix(static_cast<uint64_t>(num_operands));
+  for (int s : sizes) mix(static_cast<uint64_t>(s));
+  for (int k = 0; k < num_operands; ++k) {
+    for (int64_t s : *operand_strides[k]) mix(static_cast<uint64_t>(s));
+  }
+  return h;
+}
+
+}  // namespace
+
+FactorWorkspace& FactorWorkspace::Get() {
+  thread_local FactorWorkspace workspace;
+  return workspace;
+}
+
+const KernelPlan* FactorWorkspace::GetPlan(
+    const std::vector<int>& sizes,
+    const std::vector<int64_t>* const* operand_strides, int num_operands) {
+  const int rank = static_cast<int>(sizes.size());
+  if (rank > KernelPlan::kMaxAxes ||
+      num_operands > KernelPlan::kMaxOperands) {
+    return nullptr;
+  }
+  const uint64_t hash = HashKey(sizes, operand_strides, num_operands);
+  CacheSlot& slot = slots_[hash & (kCacheSlots - 1)];
+  if (slot.used && slot.hash == hash && slot.rank == rank &&
+      slot.num_operands == num_operands) {
+    bool match = true;
+    for (int axis = 0; match && axis < rank; ++axis) {
+      match = slot.sizes[axis] == sizes[axis];
+    }
+    for (int k = 0; match && k < num_operands; ++k) {
+      for (int axis = 0; match && axis < rank; ++axis) {
+        match = slot.strides[k][axis] == (*operand_strides[k])[axis];
+      }
+    }
+    if (match) {
+      ++plan_hits_;
+      return &slot.plan;
+    }
+  }
+  // Miss (or direct-mapped collision): rebuild and overwrite the slot.
+  ++plan_misses_;
+  slot.used = true;
+  slot.hash = hash;
+  slot.rank = rank;
+  slot.num_operands = num_operands;
+  for (int axis = 0; axis < rank; ++axis) slot.sizes[axis] = sizes[axis];
+  for (int k = 0; k < num_operands; ++k) {
+    for (int axis = 0; axis < rank; ++axis) {
+      slot.strides[k][axis] = (*operand_strides[k])[axis];
+    }
+  }
+  slot.plan = BuildKernelPlan(sizes, operand_strides, num_operands);
+  if (!slot.plan.valid) {
+    slot.used = false;  // do not cache unplannable shapes
+    return nullptr;
+  }
+  return &slot.plan;
+}
+
+std::vector<int64_t>& FactorWorkspace::IndexBuf(int slot) {
+  AIM_CHECK(slot >= 0 && slot < kIndexBufs);
+  return index_bufs_[slot];
+}
+
+std::vector<double>& FactorWorkspace::DoubleBuf(int slot) {
+  AIM_CHECK(slot >= 0 && slot < kDoubleBufs);
+  return double_bufs_[slot];
+}
+
+}  // namespace aim

@@ -1,0 +1,82 @@
+// Thread-local scratch arena for the factor kernels.
+//
+// Two jobs:
+//   1. Memoize KernelPlans. Plan construction is cheap but not free, and
+//      the hot loops (Calibrate, EstimateMrf, GenerateSynthetic) run the
+//      same handful of (sizes, strides) combinations thousands of times.
+//      A small direct-mapped cache keyed on the exact (sizes, operand
+//      strides) tuple makes repeat lookups allocation-free pointer returns.
+//   2. Lend out reusable index/double scratch vectors so kernels (stride
+//      tables, logsumexp max buffers) stop allocating per call. Buffers
+//      only ever grow, so after a warm-up pass the steady state performs
+//      zero heap allocations (asserted in tests/factor_test.cc).
+//
+// The arena is thread_local: workers in a parallel region each get their
+// own, so no locking is needed. A kernel that hands a cached plan to
+// ParallelForChunks is safe because the submitting thread blocks until the
+// region completes, and nested regions run inline on the worker.
+//
+// Slot discipline: kernels never nest factor kernels, so each kernel may
+// claim fixed slot numbers. Current assignments:
+//   IndexBuf(0)  — operand stride table (all kernels)
+//   DoubleBuf(0) — per-destination max buffer (LogSumExpTo)
+
+#ifndef AIM_FACTOR_WORKSPACE_H_
+#define AIM_FACTOR_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/kernel_plan.h"
+
+namespace aim {
+
+class FactorWorkspace {
+ public:
+  // The calling thread's arena (created on first use).
+  static FactorWorkspace& Get();
+
+  // Returns the memoized plan for (sizes, operand_strides), building and
+  // caching it on a miss. Returns nullptr when the shape is unplannable
+  // (more than KernelPlan::kMaxAxes fused axes) — callers fall back to the
+  // seed odometer. The pointer stays valid until a colliding shape evicts
+  // the slot; kernels must finish with the plan before invoking code that
+  // could insert new plans on this thread.
+  const KernelPlan* GetPlan(const std::vector<int>& sizes,
+                            const std::vector<int64_t>* const* operand_strides,
+                            int num_operands);
+
+  // Reusable scratch buffers (see slot discipline above). Contents are
+  // unspecified on entry; callers assign/resize as needed.
+  std::vector<int64_t>& IndexBuf(int slot);
+  std::vector<double>& DoubleBuf(int slot);
+
+  // Cache statistics for tests.
+  int64_t plan_hits() const { return plan_hits_; }
+  int64_t plan_misses() const { return plan_misses_; }
+
+ private:
+  static constexpr int kCacheSlots = 256;  // power of two
+  static constexpr int kIndexBufs = 4;
+  static constexpr int kDoubleBufs = 2;
+
+  struct CacheSlot {
+    bool used = false;
+    uint64_t hash = 0;
+    int rank = 0;
+    int num_operands = 0;
+    int sizes[KernelPlan::kMaxAxes] = {};
+    int64_t strides[KernelPlan::kMaxOperands][KernelPlan::kMaxAxes] = {};
+    KernelPlan plan;
+  };
+
+  CacheSlot slots_[kCacheSlots];
+  std::vector<int64_t> index_bufs_[kIndexBufs];
+  std::vector<double> double_bufs_[kDoubleBufs];
+  int64_t plan_hits_ = 0;
+  int64_t plan_misses_ = 0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_FACTOR_WORKSPACE_H_

@@ -33,13 +33,19 @@ int64_t MarginalIndexer::IndexOfTuple(const std::vector<int>& tuple) const {
 }
 
 std::vector<int> MarginalIndexer::TupleOfIndex(int64_t index) const {
+  std::vector<int> tuple;
+  TupleOfIndex(index, &tuple);
+  return tuple;
+}
+
+void MarginalIndexer::TupleOfIndex(int64_t index,
+                                   std::vector<int>* out) const {
   AIM_CHECK(index >= 0 && index < size_);
-  std::vector<int> tuple(attr_ids_.size());
+  out->assign(attr_ids_.size(), 0);
   for (size_t j = 0; j < attr_ids_.size(); ++j) {
-    tuple[j] = static_cast<int>(index / strides_[j]);
+    (*out)[j] = static_cast<int>(index / strides_[j]);
     index %= strides_[j];
   }
-  return tuple;
 }
 
 std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs,

@@ -44,6 +44,10 @@ class MarginalIndexer {
 
   // Inverse of IndexOfTuple.
   std::vector<int> TupleOfIndex(int64_t index) const;
+  // Buffer-reusing variant for per-cell loops (GenerateSyntheticData walks
+  // every clique cell): writes the tuple into *out without allocating once
+  // out has capacity.
+  void TupleOfIndex(int64_t index, std::vector<int>* out) const;
 
  private:
   AttrSet attrs_;

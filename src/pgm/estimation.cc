@@ -137,25 +137,32 @@ MarkovRandomField EstimateMrf(const Domain& domain,
   // the effective step tracks the problem's own curvature.
   double step = std::numeric_limits<double>::infinity();
 
+  // Gradient and line-search buffers persist across iterations: each pass
+  // copy-assigns into them, so after the first iteration the mirror-descent
+  // loop reuses capacity instead of allocating per step.
+  std::vector<Factor> gradients(measurements.size());
+  std::vector<Factor> saved(touched.size());
+
   int stall = 0;
   for (int iter = 0; iter < options.max_iters; ++iter) {
     // Gradient of L with respect to each clique's marginal, lifted to the
     // clique log-potentials (entropic mirror descent step). Per-measurement
     // gradients only read the calibrated model, so they compute in
-    // parallel; the vector keeps measurement order.
+    // parallel; each writes only its own slot, so the result is identical
+    // to the sequential loop.
     std::vector<Factor> mus = model.AnswerMarginals(query_attrs);
-    std::vector<Factor> gradients = ParallelMap(
-        static_cast<int64_t>(measurements.size()), [&](int64_t i) {
-          const Measurement& m = measurements[i];
-          const Factor& mu = mus[i];
-          Factor grad = mu;  // reuse shape
-          std::vector<double>& g = grad.mutable_values();
-          const double scale = 2.0 / m.sigma;
-          for (size_t t = 0; t < g.size(); ++t) {
-            g[t] = scale * (mu.value(t) - m.values[t]);
-          }
-          return grad;
-        });
+    ParallelFor(0, static_cast<int64_t>(measurements.size()), 1,
+                [&](int64_t i) {
+                  const Measurement& m = measurements[i];
+                  const Factor& mu = mus[i];
+                  Factor& grad = gradients[i];
+                  grad = mu;  // reuse shape (and capacity after iter 0)
+                  std::vector<double>& g = grad.mutable_values();
+                  const double scale = 2.0 / m.sigma;
+                  for (size_t t = 0; t < g.size(); ++t) {
+                    g[t] = scale * (mu.value(t) - m.values[t]);
+                  }
+                });
 
     // Cap the step so the largest per-cell potential change stays bounded.
     double grad_max = 0.0;
@@ -168,10 +175,8 @@ MarkovRandomField EstimateMrf(const Domain& domain,
     if (!std::isfinite(trial) || trial <= 0.0) break;  // zero gradient
 
     // Backtracking line search on the primal objective.
-    std::vector<Factor> saved;
-    saved.reserve(touched.size());
-    for (int c : touched) {
-      saved.push_back(model.potential(c));
+    for (size_t c = 0; c < touched.size(); ++c) {
+      saved[c] = model.potential(touched[c]);
     }
     bool accepted = false;
     double new_objective = objective;

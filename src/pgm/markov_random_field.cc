@@ -164,7 +164,8 @@ void MarkovRandomField::ApplyDirtyLocked() {
   int64_t total_dirty = 0;
   for (char d : dirty_) total_dirty += d;
   if (total_dirty == 0) return;
-  std::vector<int64_t> sub(k, 0);
+  dirty_subtree_.assign(k, 0);
+  std::vector<int64_t>& sub = dirty_subtree_;
   for (int c : order0_) {
     sub[c] += dirty_[c];
     if (parent0_[c] >= 0) sub[parent0_[c]] += sub[c];
@@ -206,15 +207,18 @@ void MarkovRandomField::ComputeMessageLocked(int from, int to, int edge_index,
                                              InferCounters* counters) {
   const JunctionTree::Edge& edge = tree_.edges[edge_index];
   int dir = DirFrom(edge, from);
-  Factor accum = potentials_[from];
+  // Copy-assign into the scratch accumulator (and LogSumExpToInto into the
+  // existing message slot) so steady-state recomputation reuses capacity
+  // instead of allocating per message.
+  msg_accum_ = potentials_[from];
   for (auto [nbr, e] : tree_.neighbors[from]) {
     if (nbr == to) continue;
     const JunctionTree::Edge& in_edge = tree_.edges[e];
     int in_dir = DirFrom(in_edge, nbr);
     AIM_CHECK(message_valid_[e][in_dir]);
-    accum.AddInPlace(messages_[e][in_dir]);
+    msg_accum_.AddInPlace(messages_[e][in_dir]);
   }
-  messages_[edge_index][dir] = accum.LogSumExpTo(edge.separator);
+  msg_accum_.LogSumExpToInto(edge.separator, &messages_[edge_index][dir]);
   message_valid_[edge_index][dir] = 1;
   ++counters->messages_recomputed;
 }
@@ -226,11 +230,16 @@ void MarkovRandomField::EnsureMessagesTowardLocked(
   // message is a fixed function of the potentials and the already-validated
   // messages behind it, so materialization order cannot change its bits.
   const int k = num_cliques();
-  std::vector<int> pre;
-  pre.reserve(k);
-  std::vector<int> parent(k, -1), parent_edge(k, -1);
-  std::vector<int> stack = {target};
-  std::vector<char> seen(k, 0);
+  std::vector<int>& pre = walk_pre_;
+  std::vector<int>& parent = walk_parent_;
+  std::vector<int>& parent_edge = walk_parent_edge_;
+  std::vector<int>& stack = walk_stack_;
+  pre.clear();
+  parent.assign(k, -1);
+  parent_edge.assign(k, -1);
+  stack.assign(1, target);
+  walk_seen_.assign(k, 0);
+  std::vector<char>& seen = walk_seen_;
   seen[target] = 1;
   while (!stack.empty()) {
     int c = stack.back();
@@ -263,14 +272,16 @@ void MarkovRandomField::EnsureBeliefLocked(int c,
                                            InferCounters* counters) const {
   if (belief_valid_[c]) return;
   EnsureMessagesTowardLocked(c, counters);
-  Factor belief = potentials_[c];
+  // Copy-assign so a belief recomputed into an already-materialized slot
+  // reuses its buffer. Partial state is invisible: the caller holds
+  // infer_mu_ and belief_valid_ flips only at the end.
+  beliefs_[c] = potentials_[c];
   for (auto [nbr, e] : tree_.neighbors[c]) {
     const JunctionTree::Edge& in_edge = tree_.edges[e];
     int in_dir = DirFrom(in_edge, nbr);
     AIM_CHECK(message_valid_[e][in_dir]);
-    belief.AddInPlace(messages_[e][in_dir]);
+    beliefs_[c].AddInPlace(messages_[e][in_dir]);
   }
-  beliefs_[c] = std::move(belief);
   belief_valid_[c] = 1;
 }
 
@@ -358,9 +369,9 @@ Factor MarkovRandomField::Marginal(const AttrSet& r) const {
   // partition function — gives both answer paths the same normalizer, so a
   // query gets bitwise the same answer no matter which path serves it.
   double log_z = log_marginal.LogSumExp();
-  Factor out = log_marginal.Exp(log_z);
-  out.ScaleInPlace(total_);
-  return out;
+  log_marginal.ExpInPlace(log_z);
+  log_marginal.ScaleInPlace(total_);
+  return log_marginal;
 }
 
 std::vector<double> MarkovRandomField::MarginalVector(const AttrSet& r) const {
@@ -379,9 +390,9 @@ Factor MarkovRandomField::MarginalViaVariableElimination(
   }
   Factor log_marginal = RunVe(r, *order);
   double log_z = log_marginal.LogSumExp();
-  Factor out = log_marginal.Exp(log_z);
-  out.ScaleInPlace(total_);
-  return out;
+  log_marginal.ExpInPlace(log_z);
+  log_marginal.ScaleInPlace(total_);
+  return log_marginal;
 }
 
 std::vector<Factor> MarkovRandomField::AnswerMarginals(
@@ -416,9 +427,9 @@ std::vector<Factor> MarkovRandomField::AnswerMarginals(
                               ? beliefs_[clique[i]].LogSumExpTo(queries[i])
                               : RunVe(queries[i], *ve_order[i]);
     double log_z = log_marginal.LogSumExp();
-    Factor out = log_marginal.Exp(log_z);
-    out.ScaleInPlace(total_);
-    return out;
+    log_marginal.ExpInPlace(log_z);
+    log_marginal.ScaleInPlace(total_);
+    return log_marginal;
   });
 }
 

@@ -164,6 +164,19 @@ class MarkovRandomField {
   mutable std::vector<int> ve_component_;
   mutable bool ve_components_ready_ = false;
   mutable std::unordered_map<AttrSet, VeOrder, AttrSetHash> ve_orders_;
+  // Reusable scratch for the locked helpers (message accumulator, dirty
+  // subtree counts, DFS walk state). Guarded by infer_mu_ like the caches
+  // they serve; deliberately NOT transferred by CopyStateFrom/MoveStateFrom
+  // — scratch contents are meaningless between calls, and keeping them
+  // local means Calibrate performs no heap allocations once the buffers
+  // have grown to their steady-state sizes (tests/factor_test.cc).
+  mutable Factor msg_accum_;
+  mutable std::vector<int64_t> dirty_subtree_;
+  mutable std::vector<int> walk_pre_;
+  mutable std::vector<int> walk_parent_;
+  mutable std::vector<int> walk_parent_edge_;
+  mutable std::vector<int> walk_stack_;
+  mutable std::vector<char> walk_seen_;
   mutable std::mutex infer_mu_;
 
   double total_ = 1.0;

@@ -87,12 +87,25 @@ Dataset GenerateSyntheticData(const MarkovRandomField& model,
     AIM_CHECK_EQ(static_cast<int>(order.size()), k);
   }
 
+  // Per-step scratch, hoisted so the clique loop reuses capacity instead of
+  // allocating per step (and, for `tuple`, per clique cell).
+  std::vector<int> new_attrs;
+  std::vector<int> sep_attrs;
+  std::vector<double> cond;
+  std::vector<std::vector<int64_t>> groups;
+  std::vector<int64_t> strides;
+  std::vector<double> weights;
+  std::vector<int> tuple;
+  std::vector<int> new_tuple;
+  std::vector<int> sep_tuple;
+  std::vector<int> value_tuple;
+
   for (int step = 0; step < k; ++step) {
     const int c = order[step];
     const AttrSet& clique = tree.cliques[c];
     // New attributes introduced by this clique.
-    std::vector<int> new_attrs;
-    std::vector<int> sep_attrs;
+    new_attrs.clear();
+    sep_attrs.clear();
     for (int attr : clique) {
       if (assigned[attr]) {
         sep_attrs.push_back(attr);
@@ -112,14 +125,13 @@ Dataset GenerateSyntheticData(const MarkovRandomField& model,
     const int64_t num_new = new_indexer.size();
 
     // cond[s * num_new + a] = marginal mass of (sep=s, new=a).
-    std::vector<double> cond(num_sep * num_new, 0.0);
+    cond.assign(num_sep * num_new, 0.0);
     {
       const std::vector<int>& cl_attrs = clique.attrs();
-      std::vector<int> tuple;
-      std::vector<int> new_tuple(new_set.size());
-      std::vector<int> sep_tuple(sep_set.size());
+      new_tuple.assign(new_set.size(), 0);
+      sep_tuple.assign(sep_set.size(), 0);
       for (int64_t cell = 0; cell < clique_indexer.size(); ++cell) {
-        tuple = clique_indexer.TupleOfIndex(cell);
+        clique_indexer.TupleOfIndex(cell, &tuple);
         int ni = 0, si = 0;
         for (size_t j = 0; j < cl_attrs.size(); ++j) {
           if (assigned[cl_attrs[j]]) {
@@ -134,14 +146,16 @@ Dataset GenerateSyntheticData(const MarkovRandomField& model,
       }
     }
 
-    // Group records by separator value.
-    std::vector<std::vector<int64_t>> groups(num_sep);
+    // Group records by separator value. The outer vector only grows; the
+    // inner vectors are cleared (keeping capacity) each step.
+    if (static_cast<int64_t>(groups.size()) < num_sep) groups.resize(num_sep);
+    for (int64_t s = 0; s < num_sep; ++s) groups[s].clear();
     if (sep_attrs.empty()) {
       groups[0].resize(num_records);
       for (int64_t row = 0; row < num_records; ++row) groups[0][row] = row;
     } else {
       // Strides over separator attributes (ascending, last fastest).
-      std::vector<int64_t> strides(sep_attrs.size(), 1);
+      strides.assign(sep_attrs.size(), 1);
       for (int j = static_cast<int>(sep_attrs.size()) - 2; j >= 0; --j) {
         strides[j] = strides[j + 1] * domain.size(sep_attrs[j + 1]);
       }
@@ -156,8 +170,7 @@ Dataset GenerateSyntheticData(const MarkovRandomField& model,
 
     // Assign new attributes within each separator group by randomized
     // rounding of the conditional distribution.
-    std::vector<double> weights(num_new);
-    std::vector<int> value_tuple;
+    weights.resize(num_new);
     for (int64_t s = 0; s < num_sep; ++s) {
       const std::vector<int64_t>& rows = groups[s];
       if (rows.empty()) continue;
@@ -168,7 +181,7 @@ Dataset GenerateSyntheticData(const MarkovRandomField& model,
       size_t row_pos = 0;
       for (int64_t a = 0; a < num_new; ++a) {
         if (counts[a] == 0) continue;
-        value_tuple = new_indexer.TupleOfIndex(a);
+        new_indexer.TupleOfIndex(a, &value_tuple);
         for (int64_t rep = 0; rep < counts[a]; ++rep) {
           int64_t row = rows[row_pos++];
           for (size_t j = 0; j < new_attrs.size(); ++j) {

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -45,6 +46,23 @@ TEST(DomainTest, ProjectionSize) {
   Domain d = Domain::WithSizes({2, 3, 4});
   EXPECT_EQ(d.ProjectionSize({0, 2}), 8);
   EXPECT_EQ(d.ProjectionSize({}), 1);
+}
+
+TEST(DomainTest, ProjectionSizeSaturatesInsteadOfWrapping) {
+  // 10 attributes of size 2^10 multiply to 2^100 >> 2^63. A wrapping
+  // product would go negative and sail through size-budget filters; the
+  // product must saturate at INT64_MAX instead.
+  Domain d = Domain::WithSizes(std::vector<int>(10, 1 << 10));
+  std::vector<int> all(10);
+  for (int i = 0; i < 10; ++i) all[i] = i;
+  EXPECT_EQ(d.ProjectionSize(all), std::numeric_limits<int64_t>::max());
+  // Just below the edge stays exact: 2^62 fits.
+  Domain big = Domain::WithSizes({1 << 21, 1 << 21, 1 << 20});
+  EXPECT_EQ(big.ProjectionSize({0, 1, 2}), int64_t{1} << 62);
+  // One more doubling saturates.
+  Domain over = Domain::WithSizes({1 << 21, 1 << 21, 1 << 21, 2});
+  EXPECT_EQ(over.ProjectionSize({0, 1, 2, 3}),
+            std::numeric_limits<int64_t>::max());
 }
 
 // ------------------------------------------------------------- Dataset ----

@@ -74,6 +74,26 @@ TEST(NaiveBayesTest, SmoothingHandlesUnseenValues) {
   EXPECT_TRUE(prediction == 0 || prediction == 1);
 }
 
+TEST(NaiveBayesDeathTest, RejectsDatasetOverWiderDomain) {
+  // Predict must validate values against the *training* domain: a dataset
+  // over a wider domain would otherwise index past the conditional tables.
+  Domain train_domain = Domain::WithSizes({2, 3});
+  Dataset train(train_domain);
+  train.AppendRecord({0, 0});
+  train.AppendRecord({1, 2});
+  NaiveBayesClassifier model(train, /*label_attr=*/0);
+
+  Domain wide_domain = Domain::WithSizes({2, 5});
+  Dataset wide(wide_domain);
+  wide.AppendRecord({0, 4});  // valid for its own domain, not for training
+  EXPECT_DEATH(model.Predict(wide, 0), "outside training domain");
+
+  Domain extra_domain = Domain::WithSizes({2, 3, 2});
+  Dataset extra(extra_domain);
+  extra.AppendRecord({0, 1, 0});
+  EXPECT_DEATH(model.Predict(extra, 0), "schema");
+}
+
 TEST(NaiveBayesTest, TrainTestSplitIsDisjointAndComplete) {
   Rng rng(4);
   Dataset data = LabeledData(100, 0.2, rng);

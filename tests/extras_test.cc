@@ -66,6 +66,70 @@ TEST(GeneralizedEmTest, SingleCandidate) {
   EXPECT_EQ(GeneralizedExponentialMechanism({7.0}, {2.0}, 1.0, rng), 0);
 }
 
+// Reference O(k^2) normalized-margin computation (the pre-optimization
+// loop), used to pin down the top-2 fast path bit for bit.
+std::vector<double> ReferenceNormalizedMargins(
+    const std::vector<double>& scores,
+    const std::vector<double>& sensitivities) {
+  const size_t k = scores.size();
+  std::vector<double> normalized(k);
+  for (size_t i = 0; i < k; ++i) {
+    double margin = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      margin = std::min(margin, (scores[i] - scores[j]) /
+                                    (sensitivities[i] + sensitivities[j]));
+    }
+    normalized[i] = k > 1 ? margin : 0.0;
+  }
+  return normalized;
+}
+
+TEST(GeneralizedEmTest, TopTwoFastPathSelectsIdenticallyToQuadraticLoop) {
+  // The O(k) top-2 scan must be *bitwise* equivalent to the quadratic
+  // margin loop: same normalized scores, hence the same selection for the
+  // same rng stream. Uniform sensitivities trigger the fast path.
+  Rng data_rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int k = 2 + static_cast<int>(data_rng.Uniform(0.0, 40.0));
+    std::vector<double> scores(k);
+    for (double& s : scores) s = data_rng.Uniform(-50.0, 50.0);
+    if (trial % 3 == 0) scores[k / 2] = scores[0];  // exercise ties
+    const double sens = data_rng.Uniform(0.5, 4.0);
+    std::vector<double> sensitivities(k, sens);
+
+    std::vector<double> reference =
+        ReferenceNormalizedMargins(scores, sensitivities);
+    // Gumbel-max over identical inputs with identical rng streams selects
+    // identically, so comparing selections across many eps values verifies
+    // the normalized scores agree bitwise.
+    for (double eps : {0.1, 1.0, 10.0}) {
+      Rng rng_fast(1000 + trial), rng_ref(1000 + trial);
+      const int fast =
+          GeneralizedExponentialMechanism(scores, sensitivities, eps, rng_fast);
+      const int ref = ExponentialMechanism(reference, eps, 1.0, rng_ref);
+      EXPECT_EQ(fast, ref) << "trial " << trial << " eps " << eps;
+    }
+  }
+}
+
+TEST(GeneralizedEmTest, NonUniformSensitivitiesUseExactQuadraticPath) {
+  // Counterexample shape where the naive top-2-by-score shortcut would
+  // pick the wrong pair: the best margin partner is NOT the runner-up by
+  // score when sensitivities differ. The implementation must fall back to
+  // the exact loop and agree with the reference.
+  std::vector<double> scores = {0.0, -1.0, -0.9};
+  std::vector<double> sensitivities = {100.0, 1.0, 1.0};
+  std::vector<double> reference =
+      ReferenceNormalizedMargins(scores, sensitivities);
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng_a(seed), rng_b(seed);
+    EXPECT_EQ(
+        GeneralizedExponentialMechanism(scores, sensitivities, 2.0, rng_a),
+        ExponentialMechanism(reference, 2.0, 1.0, rng_b));
+  }
+}
+
 // --------------------------------------------------------- Laplace --------
 
 TEST(LaplaceTest, VarianceIsTwoScaleSquared) {
@@ -79,6 +143,40 @@ TEST(LaplaceTest, VarianceIsTwoScaleSquared) {
   var /= noisy.size();
   EXPECT_NEAR(mean, 0.0, 0.05);
   EXPECT_NEAR(var, 2.0 * 9.0, 0.5);
+}
+
+TEST(LaplaceTest, InverseCdfFiniteAtClosedBoundary) {
+  // Rng::Uniform() draws from [0, 1), so u = Uniform() - 0.5 can be exactly
+  // -0.5; the unclamped inverse CDF takes log(1 - 2*0.5) = log(0) = -inf
+  // there. The clamp must cap the boundary at the distribution's finite
+  // tail while leaving interior draws untouched.
+  const double scale = 3.0;
+  const double boundary = LaplaceInverseCdf(-0.5, scale);
+  EXPECT_TRUE(std::isfinite(boundary));
+  EXPECT_LT(boundary, 0.0);
+  // The cap is the quantile of the smallest representable CDF argument —
+  // deeper into the tail than any interior draw can reach.
+  const double interior =
+      LaplaceInverseCdf(std::nextafter(-0.5, 0.0), scale);
+  EXPECT_TRUE(std::isfinite(interior));
+  EXPECT_LT(boundary, interior);
+  // Interior values are the plain inverse CDF, bit for bit.
+  for (double u : {-0.4999, -0.25, -1e-12, 0.0, 1e-12, 0.25, 0.4999}) {
+    const double expected =
+        u < 0 ? scale * std::log(1.0 - 2.0 * std::fabs(u))
+              : -scale * std::log(1.0 - 2.0 * std::fabs(u));
+    EXPECT_DOUBLE_EQ(LaplaceInverseCdf(u, scale), expected) << "u=" << u;
+  }
+  // Symmetry: the positive side caps at the mirrored finite value.
+  EXPECT_DOUBLE_EQ(LaplaceInverseCdf(0.5, scale), -boundary);
+}
+
+TEST(LaplaceTest, NoiseIsAlwaysFinite) {
+  Rng rng(12);
+  std::vector<double> zeros(200000, 0.0);
+  for (double v : AddLaplaceNoise(zeros, 2.0, rng)) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
 }
 
 TEST(LaplaceTest, RhoAccounting) {

@@ -1,14 +1,53 @@
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <new>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "data/simulators.h"
 #include "factor/factor.h"
+#include "factor/kernels.h"
+#include "factor/workspace.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "parallel/thread_pool.h"
+#include "pgm/inference.h"
+#include "pgm/markov_random_field.h"
 #include "util/rng.h"
+
+// ------------------------------------------------- allocation counting ----
+// Replacement global operator new/delete family that counts every heap
+// allocation made by this binary. Used by the zero-allocation Calibrate
+// test below; all other tests are unaffected (counting is a relaxed atomic
+// increment). Must live at global scope, outside any namespace.
+
+namespace {
+std::atomic<int64_t> g_heap_allocations{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace aim {
 namespace {
+
+int64_t HeapAllocations() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
@@ -266,6 +305,241 @@ INSTANTIATE_TEST_SUITE_P(Targets, FactorMarginalizeTest,
                                            std::vector<int>{0, 2},
                                            std::vector<int>{0, 2, 3},
                                            std::vector<int>{}));
+
+// ------------------------------------------ flat kernels == seed kernels --
+// The loop-collapse kernels (DESIGN.md "Factor kernels") promise bitwise
+// identical results to the seed odometer path. These tests run every
+// rewritten operation under both switch positions and memcmp the bits.
+
+// Restores the flat-kernel switch and thread count on test exit.
+struct KernelConfigGuard {
+  ~KernelConfigGuard() {
+    SetFlatKernelsEnabled(true);
+    SetParallelThreads(0);
+  }
+};
+
+void ExpectBitwiseEq(const std::vector<double>& a,
+                     const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+        << what << " differs bitwise between flat and seed kernels";
+  }
+}
+
+// Runs every rewritten kernel on (a, b) and returns the concatenated result
+// bits, so one vector comparison covers the whole operation set. `b`'s
+// attrs must be a subset of `a.Add(b)`'s union (always true).
+std::vector<double> RunAllKernels(const Factor& a, const Factor& b,
+                                  const AttrSet& marg_target) {
+  std::vector<double> out;
+  auto append = [&out](const std::vector<double>& v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  Factor sum = a.Add(b);
+  append(sum.values());
+  append(a.Subtract(b).values());
+  append(a.Multiply(b).values());
+
+  Factor acc = sum;  // union shape: both a and b are subsets
+  acc.AddInPlace(a, 1.75);
+  acc.AddInPlace(b, -0.5);
+  append(acc.values());
+
+  append(sum.SumTo(marg_target).values());
+  append(sum.LogSumExpTo(marg_target).values());
+  Factor into;
+  sum.SumToInto(marg_target, &into);
+  append(into.values());
+  sum.LogSumExpToInto(marg_target, &into);
+  append(into.values());
+
+  Factor ex = sum;
+  ex.ExpInPlace(0.25);
+  append(ex.values());
+  append(sum.Exp(0.25).values());
+  out.push_back(sum.Sum());
+  out.push_back(sum.LogSumExp());
+  out.push_back(a.L1DistanceTo(a.Multiply(Factor())));
+  return out;
+}
+
+// Random factor pair sharing a random subset of attributes, with size-1
+// axes allowed (they stress the planner's axis-dropping path).
+struct FactorPair {
+  Factor a, b;
+  AttrSet target;  // subset of union(a, b) to marginalize onto
+};
+
+FactorPair RandomPair(Rng& rng) {
+  const int universe = 5;
+  std::vector<int> sizes(universe);
+  for (int& s : sizes) s = 1 + static_cast<int>(rng.Uniform(0.0, 4.0));
+  auto random_attrs = [&](bool allow_empty) {
+    std::vector<int> attrs;
+    for (int i = 0; i < universe; ++i) {
+      if (rng.Uniform() < 0.5) attrs.push_back(i);
+    }
+    if (attrs.empty() && !allow_empty) attrs.push_back(0);
+    return attrs;
+  };
+  auto build = [&](const std::vector<int>& attrs) {
+    std::vector<int> fsizes;
+    for (int atr : attrs) fsizes.push_back(sizes[atr]);
+    Factor f(attrs, fsizes);
+    for (double& v : f.mutable_values()) v = rng.Uniform(-3.0, 3.0);
+    return f;
+  };
+  FactorPair pair;
+  pair.a = build(random_attrs(false));
+  pair.b = build(random_attrs(true));
+  AttrSet union_set = pair.a.attr_set().Union(pair.b.attr_set());
+  std::vector<int> target;
+  for (int attr : union_set.attrs()) {
+    if (rng.Uniform() < 0.5) target.push_back(attr);
+  }
+  pair.target = AttrSet(target);
+  return pair;
+}
+
+TEST(FlatKernelTest, RandomizedShapesMatchSeedBitwise) {
+  KernelConfigGuard guard;
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    FactorPair pair = RandomPair(rng);
+    SetFlatKernelsEnabled(false);
+    std::vector<double> seed = RunAllKernels(pair.a, pair.b, pair.target);
+    SetFlatKernelsEnabled(true);
+    std::vector<double> flat = RunAllKernels(pair.a, pair.b, pair.target);
+    ExpectBitwiseEq(seed, flat, "randomized kernel sweep");
+  }
+}
+
+TEST(FlatKernelTest, LargeFactorsMatchSeedBitwiseAtAnyThreadCount) {
+  KernelConfigGuard guard;
+  // 32*32*34 = 34816 cells >= the parallel threshold (1 << 15), so the
+  // chunked parallel paths run; 1-thread and 8-thread runs must agree with
+  // each other and with the seed path bit for bit.
+  Rng rng(77);
+  Factor a({0, 1, 2}, {32, 32, 34});
+  for (double& v : a.mutable_values()) v = rng.Uniform(-2.0, 2.0);
+  Factor b({1, 2}, {32, 34});
+  for (double& v : b.mutable_values()) v = rng.Uniform(-2.0, 2.0);
+  AttrSet target({0, 2});
+
+  std::vector<std::vector<double>> runs;
+  for (bool flat : {false, true}) {
+    for (int threads : {1, 8}) {
+      SetFlatKernelsEnabled(flat);
+      SetParallelThreads(threads);
+      runs.push_back(RunAllKernels(a, b, target));
+    }
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ExpectBitwiseEq(runs[0], runs[r], "large-factor kernel sweep");
+  }
+}
+
+TEST(FlatKernelTest, SumToIntoReusesCapacityAndMatchesSumTo) {
+  Rng rng(11);
+  Factor f = RandomFactor({0, 1, 2}, {4, 3, 5}, rng);
+  Factor out;
+  f.SumToInto(AttrSet({0, 2}), &out);
+  const double* data_before = out.values().data();
+  ExpectBitwiseEq(f.SumTo(AttrSet({0, 2})).values(), out.values(),
+                  "SumToInto");
+  // Same-shape recompute into the warm buffer must not reallocate.
+  f.SumToInto(AttrSet({0, 2}), &out);
+  EXPECT_EQ(out.values().data(), data_before);
+  f.LogSumExpToInto(AttrSet({0, 2}), &out);
+  ExpectBitwiseEq(f.LogSumExpTo(AttrSet({0, 2})).values(), out.values(),
+                  "LogSumExpToInto");
+}
+
+TEST(FlatKernelTest, PlanCacheHitsOnRepeatedShapes) {
+  KernelConfigGuard guard;
+  SetFlatKernelsEnabled(true);
+  Rng rng(5);
+  Factor a = RandomFactor({0, 1}, {6, 7}, rng);
+  Factor b = RandomFactor({1}, {7}, rng);
+  a.Multiply(b);  // prime the cache for this shape
+  FactorWorkspace& ws = FactorWorkspace::Get();
+  const int64_t hits_before = ws.plan_hits();
+  for (int i = 0; i < 10; ++i) a.Multiply(b);
+  EXPECT_GE(ws.plan_hits(), hits_before + 10);
+}
+
+// --------------------------------------- zero-allocation steady state ----
+
+TEST(FlatKernelTest, CalibrateAllocatesNothingAfterWarmup) {
+  KernelConfigGuard guard;
+  struct CacheGuard {
+    ~CacheGuard() { SetInferenceCacheEnabled(true); }
+  } cache_guard;
+  // Cache-off Calibrate eagerly recomputes every message, belief, and the
+  // partition function inside the call, into slots allocated on the first
+  // pass. Factors stay far below the parallel threshold so everything runs
+  // serially on this thread (parallel dispatch heap-allocates closures).
+  SetInferenceCacheEnabled(false);
+  std::vector<int> sizes(7, 3);
+  Domain domain = Domain::WithSizes(sizes);
+  std::vector<AttrSet> cliques;
+  for (int i = 0; i < 6; ++i) cliques.push_back(AttrSet({i, i + 1}));
+  MarkovRandomField model(domain, cliques);
+  Rng rng(99);
+  for (int c = 0; c < model.num_cliques(); ++c) {
+    Factor potential = model.potential(c);
+    for (double& v : potential.mutable_values()) v = rng.Gaussian(0.0, 0.7);
+    model.SetPotential(c, std::move(potential));
+  }
+  model.set_total(500.0);
+  model.Calibrate();  // warm-up: allocates messages, beliefs, scratch
+  model.Calibrate();  // warm-up: everything reaches steady-state capacity
+
+  const int64_t before = HeapAllocations();
+  model.Calibrate();
+  const int64_t after = HeapAllocations();
+  EXPECT_EQ(after - before, 0)
+      << "steady-state Calibrate performed heap allocations";
+}
+
+// ----------------------------------------------- end-to-end determinism --
+
+TEST(FlatKernelEndToEndTest, AimSyntheticBytesInvariantToKernelsAndThreads) {
+  KernelConfigGuard guard;
+  Domain domain = Domain::WithSizes({2, 3, 4, 2, 3});
+  Rng data_rng(808);
+  Dataset data = SampleRandomBayesNet(domain, 800, 2, 0.4, data_rng);
+  Workload workload = AllKWayWorkload(domain, 2);
+  AimOptions options;
+  options.max_size_mb = 20.0;
+  options.round_estimation.max_iters = 30;
+  options.final_estimation.max_iters = 80;
+
+  std::vector<std::vector<std::vector<int32_t>>> runs;
+  for (bool flat : {true, false}) {
+    for (int threads : {1, 8}) {
+      SetFlatKernelsEnabled(flat);
+      SetParallelThreads(threads);
+      AimMechanism aim(options);
+      Rng rng(2024);
+      MechanismResult result = aim.Run(data, workload, 0.2, rng);
+      std::vector<std::vector<int32_t>> columns;
+      for (int a = 0; a < domain.num_attributes(); ++a) {
+        columns.push_back(result.synthetic.column(a));
+      }
+      runs.push_back(std::move(columns));
+    }
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[0].size(), runs[r].size());
+    for (size_t a = 0; a < runs[0].size(); ++a) {
+      EXPECT_EQ(runs[0][a], runs[r][a])
+          << "synthetic column " << a << " differs in configuration " << r;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace aim
