@@ -53,7 +53,7 @@ def load_benchmarks(path):
 
 def write_baseline(path, current):
     doc = {
-        "comment": "Baseline real_time (ns) for bench_infer; regenerate with "
+        "comment": "Baseline real_time (ns); regenerate with "
                    "scripts/check_bench_regression.py --update",
         "benchmarks": {
             name: {"real_time": t, "time_unit": "ns"}

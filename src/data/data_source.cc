@@ -1,0 +1,54 @@
+#include "data/data_source.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace aim {
+
+Dataset DataSource::Materialize() const {
+  const Domain& dom = domain();
+  const int d = dom.num_attributes();
+  std::vector<std::vector<int32_t>> columns(d);
+  for (auto& column : columns) {
+    column.reserve(static_cast<size_t>(num_records()));
+  }
+  for (int shard = 0; shard < num_shards(); ++shard) {
+    const int64_t n = ShardRecords(shard);
+    for (int a = 0; a < d; ++a) {
+      const size_t old_size = columns[a].size();
+      columns[a].resize(old_size + static_cast<size_t>(n));
+      ReadColumn(shard, a, 0, n, columns[a].data() + old_size);
+    }
+  }
+  return Dataset::FromColumns(dom, std::move(columns));
+}
+
+int64_t DatasetSource::ShardRecords(int shard) const {
+  AIM_CHECK_EQ(shard, 0);
+  return data_->num_records();
+}
+
+bool DatasetSource::TryColumnView(int shard, int attr, int64_t row_begin,
+                                  int64_t row_end, ColumnView* view) const {
+  (void)row_end;
+  AIM_CHECK_EQ(shard, 0);
+  AIM_DCHECK(row_begin >= 0 && row_begin <= row_end &&
+             row_end <= data_->num_records());
+  view->data = data_->column(attr).data() + row_begin;
+  view->width = 4;
+  return true;
+}
+
+void DatasetSource::ReadColumn(int shard, int attr, int64_t row_begin,
+                               int64_t row_end, int32_t* out) const {
+  AIM_CHECK_EQ(shard, 0);
+  AIM_CHECK(row_begin >= 0 && row_begin <= row_end &&
+            row_end <= data_->num_records());
+  const std::vector<int32_t>& column = data_->column(attr);
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    out[i - row_begin] = column[i];
+  }
+}
+
+}  // namespace aim

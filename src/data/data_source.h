@@ -1,0 +1,118 @@
+// DataSource: the read path every marginal-counting consumer uses.
+//
+// A DataSource is a sharded, chunk-iterable view of N discretized records
+// over a Domain. Records are the concatenation of the shards in shard
+// order; within a shard, consumers read column ranges either zero-copy
+// (TryColumnView — the backing bytes are exposed directly, in their native
+// 1/2/4-byte little-endian encoding) or decoded into an int32 buffer
+// (ReadColumn). Nothing here requires the records to be materialized in
+// RAM: the mmap-backed store (src/store/) implements the same interface
+// over files far larger than memory.
+//
+// Determinism contract: a DataSource is read-only and position-stable —
+// the value of (shard, attr, row) never changes over the source's
+// lifetime — so any counting pass that fixes its chunk plan independently
+// of the thread count is reproducible (see ComputeMarginal in
+// src/marginal/marginal.cc).
+
+#ifndef AIM_DATA_DATA_SOURCE_H_
+#define AIM_DATA_DATA_SOURCE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/domain.h"
+
+namespace aim {
+
+// Zero-copy view of one column over a contiguous row range. `data` points
+// at the value of the first row in the range; values are unsigned
+// little-endian integers of `width` bytes (1, 2, or 4 — the store's
+// width-minimal encodings; in-memory datasets always expose width 4).
+struct ColumnView {
+  const void* data = nullptr;
+  int width = 4;
+
+  int32_t at(int64_t i) const {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    switch (width) {
+      case 1:
+        return p[i];
+      case 2: {
+        const uint8_t* q = p + 2 * i;
+        return static_cast<int32_t>(q[0] | (uint32_t{q[1]} << 8));
+      }
+      default: {
+        const uint8_t* q = p + 4 * i;
+        return static_cast<int32_t>(q[0] | (uint32_t{q[1]} << 8) |
+                                    (uint32_t{q[2]} << 16) |
+                                    (uint32_t{q[3]} << 24));
+      }
+    }
+  }
+};
+
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  virtual const Domain& domain() const = 0;
+
+  // Total records across all shards.
+  virtual int64_t num_records() const = 0;
+
+  // Shards partition the records; always >= 1.
+  virtual int num_shards() const = 0;
+  virtual int64_t ShardRecords(int shard) const = 0;
+
+  // Zero-copy view of attribute `attr` over rows [row_begin, row_end) of
+  // `shard`. Returns false when the backing storage cannot expose the
+  // range without copying; callers then fall back to ReadColumn.
+  virtual bool TryColumnView(int shard, int attr, int64_t row_begin,
+                             int64_t row_end, ColumnView* view) const = 0;
+
+  // Decodes attribute `attr` for rows [row_begin, row_end) of `shard` into
+  // `out` (which must hold row_end - row_begin values).
+  virtual void ReadColumn(int shard, int attr, int64_t row_begin,
+                          int64_t row_end, int32_t* out) const = 0;
+
+  // Hint that rows [row_begin, row_end) of `shard` have been consumed and
+  // will not be re-read soon; out-of-core sources drop the backing pages
+  // so a streaming pass holds only its chunk working set resident.
+  virtual void ReleaseRows(int shard, int64_t row_begin,
+                           int64_t row_end) const {
+    (void)shard;
+    (void)row_begin;
+    (void)row_end;
+  }
+
+  // Copies every record into an in-memory Dataset (for consumers that need
+  // random row access, e.g. subsampling baselines). Defeats the purpose of
+  // an out-of-core source — counting paths must not call this.
+  Dataset Materialize() const;
+};
+
+// Non-owning DataSource view of an in-memory Dataset (single shard, every
+// column zero-copy at width 4). The Dataset must outlive the view.
+class DatasetSource final : public DataSource {
+ public:
+  explicit DatasetSource(const Dataset& data) : data_(&data) {}
+
+  const Domain& domain() const override { return data_->domain(); }
+  int64_t num_records() const override { return data_->num_records(); }
+  int num_shards() const override { return 1; }
+  int64_t ShardRecords(int shard) const override;
+  bool TryColumnView(int shard, int attr, int64_t row_begin, int64_t row_end,
+                     ColumnView* view) const override;
+  void ReadColumn(int shard, int attr, int64_t row_begin, int64_t row_end,
+                  int32_t* out) const override;
+
+  const Dataset& dataset() const { return *data_; }
+
+ private:
+  const Dataset* data_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_DATA_DATA_SOURCE_H_

@@ -10,14 +10,39 @@ Dataset::Dataset(Domain domain) : domain_(std::move(domain)) {
 
 Dataset Dataset::FromColumns(Domain domain,
                              std::vector<std::vector<int32_t>> columns) {
-  AIM_CHECK_EQ(static_cast<int>(columns.size()), domain.num_attributes());
+  StatusOr<Dataset> out =
+      FromColumnsValidated(std::move(domain), std::move(columns));
+  AIM_CHECK(out.ok()) << out.status().ToString();
+  return *std::move(out);
+}
+
+StatusOr<Dataset> Dataset::FromColumnsValidated(
+    Domain domain, std::vector<std::vector<int32_t>> columns) {
+  if (static_cast<int>(columns.size()) != domain.num_attributes()) {
+    return InvalidArgumentError(
+        "dataset: " + std::to_string(columns.size()) + " columns for a " +
+        std::to_string(domain.num_attributes()) + "-attribute domain");
+  }
   Dataset out(std::move(domain));
-  int64_t n = columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  const int64_t n =
+      columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
   for (int a = 0; a < out.domain_.num_attributes(); ++a) {
-    AIM_CHECK_EQ(static_cast<int64_t>(columns[a].size()), n);
-    for (int32_t v : columns[a]) {
-      AIM_CHECK(v >= 0 && v < out.domain_.size(a))
-          << "value" << v << "out of domain for attribute" << a;
+    if (static_cast<int64_t>(columns[a].size()) != n) {
+      return InvalidArgumentError(
+          "dataset: column '" + out.domain_.name(a) + "' has " +
+          std::to_string(columns[a].size()) + " values, expected " +
+          std::to_string(n));
+    }
+    const int size = out.domain_.size(a);
+    for (size_t row = 0; row < columns[a].size(); ++row) {
+      const int32_t v = columns[a][row];
+      if (v < 0 || v >= size) {
+        return InvalidArgumentError(
+            "dataset: value " + std::to_string(v) + " at row " +
+            std::to_string(row) + " is out of domain [0, " +
+            std::to_string(size) + ") for attribute '" +
+            out.domain_.name(a) + "'");
+      }
     }
   }
   out.columns_ = std::move(columns);

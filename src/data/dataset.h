@@ -8,6 +8,7 @@
 
 #include "data/domain.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace aim {
 
@@ -21,9 +22,17 @@ class Dataset {
   explicit Dataset(Domain domain);
 
   // Builds a dataset directly from columns. All columns must have equal
-  // length and values within the attribute domain.
+  // length and values within the attribute domain (CHECK-enforced; for
+  // untrusted input use FromColumnsValidated).
   static Dataset FromColumns(Domain domain,
                              std::vector<std::vector<int32_t>> columns);
+
+  // As FromColumns, but reports mismatched column counts/lengths and
+  // out-of-domain values as a recoverable error naming the offending
+  // attribute and row, instead of aborting or silently constructing an
+  // out-of-domain dataset.
+  static StatusOr<Dataset> FromColumnsValidated(
+      Domain domain, std::vector<std::vector<int32_t>> columns);
 
   const Domain& domain() const { return domain_; }
   int64_t num_records() const { return num_records_; }

@@ -10,10 +10,16 @@ namespace aim {
 WorkloadMarginalCache::WorkloadMarginalCache(const Dataset& data,
                                              const Workload& workload,
                                              double weight)
+    : WorkloadMarginalCache(DatasetSource(data), workload, weight) {}
+
+WorkloadMarginalCache::WorkloadMarginalCache(const DataSource& source,
+                                             const Workload& workload,
+                                             double weight)
     : weight_(weight) {
   marginals_ = ParallelMap(
       static_cast<int64_t>(workload.num_queries()), [&](int64_t i) {
-        return ComputeMarginal(data, workload.query(static_cast<int>(i)).attrs,
+        return ComputeMarginal(source,
+                               workload.query(static_cast<int>(i)).attrs,
                                weight);
       });
 }
@@ -25,11 +31,11 @@ const std::vector<double>& WorkloadMarginalCache::marginal(
   return marginals_[query_index];
 }
 
-double WorkloadError(const Dataset& data, const Dataset& synthetic,
+double WorkloadError(const DataSource& source, const Dataset& synthetic,
                      const Workload& workload,
                      const WorkloadMarginalCache* data_cache) {
   AIM_CHECK_GT(workload.num_queries(), 0);
-  AIM_CHECK_GT(data.num_records(), 0);
+  AIM_CHECK_GT(source.num_records(), 0);
   if (data_cache != nullptr) {
     AIM_CHECK_EQ(data_cache->num_queries(), workload.num_queries());
     AIM_CHECK_EQ(data_cache->weight(), 1.0);
@@ -39,14 +45,20 @@ double WorkloadError(const Dataset& data, const Dataset& synthetic,
     const auto& q = workload.query(i);
     const std::vector<double> truth =
         data_cache != nullptr ? std::vector<double>()
-                              : ComputeMarginal(data, q.attrs);
+                              : ComputeMarginal(source, q.attrs);
     const std::vector<double>& data_marginal =
         data_cache != nullptr ? data_cache->marginal(i) : truth;
     total += q.weight * L1Distance(data_marginal,
                                    ComputeMarginal(synthetic, q.attrs));
   }
   return total / (workload.num_queries() *
-                  static_cast<double>(data.num_records()));
+                  static_cast<double>(source.num_records()));
+}
+
+double WorkloadError(const Dataset& data, const Dataset& synthetic,
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache) {
+  return WorkloadError(DatasetSource(data), synthetic, workload, data_cache);
 }
 
 double NormalizedWorkloadError(const Dataset& data, const Dataset& synthetic,
@@ -107,6 +119,35 @@ double WorkloadError(const Dataset& data, const MechanismResult& result,
   }
   return WorkloadErrorFromAnswers(data, result.query_answers, workload,
                                   data_cache);
+}
+
+double WorkloadError(const DataSource& source, const MechanismResult& result,
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache) {
+  if (result.has_synthetic) {
+    return WorkloadError(source, result.synthetic, workload, data_cache);
+  }
+  // Answer-only mechanisms compare against cached/streamed true marginals
+  // the same way; only the record count is needed from the source.
+  AIM_CHECK_EQ(static_cast<int>(result.query_answers.size()),
+               workload.num_queries());
+  AIM_CHECK_GT(source.num_records(), 0);
+  if (data_cache != nullptr) {
+    AIM_CHECK_EQ(data_cache->num_queries(), workload.num_queries());
+    AIM_CHECK_EQ(data_cache->weight(), 1.0);
+  }
+  double total = 0.0;
+  for (int i = 0; i < workload.num_queries(); ++i) {
+    const auto& q = workload.query(i);
+    const std::vector<double> truth =
+        data_cache != nullptr ? std::vector<double>()
+                              : ComputeMarginal(source, q.attrs);
+    const std::vector<double>& data_marginal =
+        data_cache != nullptr ? data_cache->marginal(i) : truth;
+    total += q.weight * L1Distance(data_marginal, result.query_answers[i]);
+  }
+  return total / (workload.num_queries() *
+                  static_cast<double>(source.num_records()));
 }
 
 }  // namespace aim

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "data/data_source.h"
 #include "data/dataset.h"
 #include "marginal/workload.h"
 #include "mechanisms/mechanism.h"
@@ -26,6 +27,10 @@ class WorkloadMarginalCache {
   // counts; pass 1.0 / data.num_records() for NormalizedWorkloadError's
   // data side. Consumers check the weight matches what they expect.
   WorkloadMarginalCache(const Dataset& data, const Workload& workload,
+                        double weight = 1.0);
+  // As above, streaming from a (possibly out-of-core) source. One counting
+  // pass per query; the source is not retained after construction.
+  WorkloadMarginalCache(const DataSource& source, const Workload& workload,
                         double weight = 1.0);
 
   double weight() const { return weight_; }
@@ -62,6 +67,16 @@ double WorkloadErrorFromAnswers(
 
 // Dispatches on the result type (synthetic data vs. query answers).
 double WorkloadError(const Dataset& data, const MechanismResult& result,
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache = nullptr);
+
+// DataSource counterparts: the true-data side streams from `source` (or
+// comes from `data_cache`); the synthetic side is always in-memory. Results
+// are bitwise identical to the Dataset overloads on the same records.
+double WorkloadError(const DataSource& source, const Dataset& synthetic,
+                     const Workload& workload,
+                     const WorkloadMarginalCache* data_cache = nullptr);
+double WorkloadError(const DataSource& source, const MechanismResult& result,
                      const Workload& workload,
                      const WorkloadMarginalCache* data_cache = nullptr);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -34,13 +35,34 @@ std::vector<double> SmallEpsilonGrid() { return {0.1, 1.0, 10.0}; }
 TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
                      const Workload& workload, double epsilon, double delta,
                      int trials, uint64_t seed) {
+  return RunTrials(mechanism, DatasetSource(data), workload, epsilon, delta,
+                   trials, seed);
+}
+
+TrialStats RunTrials(const Mechanism& mechanism, const DataSource& source,
+                     const Workload& workload, double epsilon, double delta,
+                     int trials, uint64_t seed) {
   AIM_CHECK_GT(trials, 0);
   const double rho = CdpRho(epsilon, delta);
   TrialStats stats;
   // The true-data marginals are shared by every trial (and every mechanism
   // in a sweep); compute them once up front instead of once per trial.
   // Cached evaluations are bitwise identical to the recompute path.
-  const WorkloadMarginalCache data_cache(data, workload);
+  const WorkloadMarginalCache data_cache(source, workload);
+  // Non-streaming mechanisms need in-memory records. Materialize once here
+  // and share across trials (the default Run(DataSource) would materialize
+  // inside every trial); a DatasetSource already wraps an in-memory dataset,
+  // so borrow it instead of copying.
+  std::optional<Dataset> materialized;
+  const Dataset* in_memory = nullptr;
+  if (!mechanism.SupportsStreaming()) {
+    if (const auto* wrapped = dynamic_cast<const DatasetSource*>(&source)) {
+      in_memory = &wrapped->dataset();
+    } else {
+      materialized.emplace(source.Materialize());
+      in_memory = &*materialized;
+    }
+  }
   // Trial fan-out: every trial has an Rng derived from (seed, t) alone and
   // mechanisms only read the shared data/workload, so trials run
   // concurrently on the pool and aggregate in trial order — identical
@@ -69,8 +91,12 @@ TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
             throw FaultInjectedError("trial_run");
           }
           Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(t) + 1);
-          MechanismResult result = mechanism.Run(data, workload, rho, rng);
-          outcome.error = WorkloadError(data, result, workload, &data_cache);
+          MechanismResult result =
+              in_memory != nullptr
+                  ? mechanism.Run(*in_memory, workload, rho, rng)
+                  : mechanism.Run(source, workload, rho, rng);
+          outcome.error =
+              WorkloadError(source, result, workload, &data_cache);
           outcome.seconds = result.seconds;
           outcome.rounds = result.rounds;
           outcome.rho_used = result.rho_used;

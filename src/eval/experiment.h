@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "data/data_source.h"
 #include "data/dataset.h"
 #include "marginal/workload.h"
 #include "mechanisms/mechanism.h"
@@ -48,6 +49,15 @@ struct TrialStats {
 // statistics. Trial t uses an Rng seeded deterministically from `seed` + t.
 // Fault point "trial_run" (keyed by t) injects a per-trial failure.
 TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
+                     const Workload& workload, double epsilon, double delta,
+                     int trials, uint64_t seed);
+
+// As above over a (possibly out-of-core) DataSource. All trials share the
+// one source — a single mmap of a store — instead of each materializing
+// their own copy. Streaming mechanisms run against the source directly;
+// for the rest the records are materialized once up front (not once per
+// trial, which is what the default Run(DataSource) would do).
+TrialStats RunTrials(const Mechanism& mechanism, const DataSource& source,
                      const Workload& workload, double epsilon, double delta,
                      int trials, uint64_t seed);
 

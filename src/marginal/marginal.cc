@@ -1,7 +1,9 @@
 #include "marginal/marginal.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/metrics.h"
 #include "parallel/parallel.h"
 #include "util/logging.h"
 
@@ -48,33 +50,128 @@ void MarginalIndexer::TupleOfIndex(int64_t index,
   }
 }
 
-std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs,
-                                    double weight) {
-  MarginalIndexer indexer(data.domain(), attrs);
-  const int64_t n = data.num_records();
-  // Records are partitioned into chunks, each chunk counts into its own
-  // histogram, and the histograms merge in chunk order. The chunk plan
-  // depends only on (n, cells) — never the thread count — so the result is
-  // bitwise identical at any parallelism level. The grain floor bounds the
-  // scratch histograms at ~8 MB for wide marginals.
+namespace {
+
+// Automatic rows-per-chunk: at least 16384 rows (amortizes scratch
+// allocation), at most 64 chunks, fewer for wide marginals so the per-chunk
+// scratch histograms total at most ~8 MB. A function of (n, cells) only —
+// never the thread count — matching the parallel determinism contract.
+int64_t AutoChunkRows(int64_t n, int64_t cells) {
   constexpr int64_t kRowGrain = 16384;
   const int64_t max_chunks = std::clamp<int64_t>(
-      (int64_t{8} << 20) / (8 * std::max<int64_t>(1, indexer.size())), 1, 64);
-  const int64_t grain =
-      std::max(kRowGrain, (n + max_chunks - 1) / std::max<int64_t>(1, max_chunks));
-  std::vector<std::vector<double>> partial = ParallelMapChunks(
+      (int64_t{8} << 20) / (8 * std::max<int64_t>(1, cells)), 1, 64);
+  return std::max(kRowGrain, (n + max_chunks - 1) / max_chunks);
+}
+
+// Counts one shard into an int64 histogram: per-chunk local histograms
+// (zero-copy column views where the source supports them), merged in chunk
+// order. Integer accumulation makes the merge exact, so the histogram is
+// identical for every chunk plan and thread count.
+std::vector<int64_t> CountShard(const DataSource& source, int shard,
+                                const MarginalIndexer& indexer,
+                                const std::vector<int>& attr_ids,
+                                const MarginalCountOptions& options,
+                                int64_t* chunks_scanned) {
+  const int64_t n = source.ShardRecords(shard);
+  const int64_t grain = options.chunk_rows > 0
+                            ? options.chunk_rows
+                            : AutoChunkRows(n, indexer.size());
+  const int m = static_cast<int>(attr_ids.size());
+  std::vector<std::vector<int64_t>> partial = ParallelMapChunks(
       0, n, grain, [&](int64_t row_begin, int64_t row_end) {
-        std::vector<double> local(indexer.size(), 0.0);
-        for (int64_t row = row_begin; row < row_end; ++row) {
-          local[indexer.IndexOfRecord(data, row)] += weight;
+        const int64_t rows = row_end - row_begin;
+        std::vector<ColumnView> views(m);
+        std::vector<std::vector<int32_t>> scratch(m);
+        for (int j = 0; j < m; ++j) {
+          if (!source.TryColumnView(shard, attr_ids[j], row_begin, row_end,
+                                    &views[j])) {
+            scratch[j].resize(static_cast<size_t>(rows));
+            source.ReadColumn(shard, attr_ids[j], row_begin, row_end,
+                              scratch[j].data());
+            views[j] = ColumnView{scratch[j].data(), 4};
+          }
+        }
+        std::vector<int64_t> local(indexer.size(), 0);
+        for (int64_t i = 0; i < rows; ++i) {
+          ++local[indexer.IndexOfViews(views.data(), i)];
+        }
+        if (options.release_pages) {
+          source.ReleaseRows(shard, row_begin, row_end);
         }
         return local;
       });
-  std::vector<double> counts(indexer.size(), 0.0);
-  for (const std::vector<double>& local : partial) {
+  *chunks_scanned += static_cast<int64_t>(partial.size());
+  std::vector<int64_t> counts(indexer.size(), 0);
+  for (const std::vector<int64_t>& local : partial) {
     for (int64_t i = 0; i < indexer.size(); ++i) counts[i] += local[i];
   }
   return counts;
+}
+
+}  // namespace
+
+std::vector<double> ComputeMarginal(const DataSource& source,
+                                    const AttrSet& attrs, double weight,
+                                    const MarginalCountOptions& options) {
+  MarginalIndexer indexer(source.domain(), attrs);
+  const std::vector<int>& attr_ids = attrs.attrs();
+  const int num_shards = source.num_shards();
+
+  int64_t chunks_scanned = 0;
+  std::vector<std::vector<int64_t>> shard_counts;
+  shard_counts.reserve(static_cast<size_t>(num_shards));
+  for (int shard = 0; shard < num_shards; ++shard) {
+    shard_counts.push_back(
+        CountShard(source, shard, indexer, attr_ids, options,
+                   &chunks_scanned));
+  }
+
+  // Pairwise tree-reduce across shards. Also exact (integer adds); the tree
+  // shape bounds the combine critical path at ceil(log2(shards)) for future
+  // distributed reducers and is what the depth gauge reports.
+  int reduce_depth = 0;
+  while (shard_counts.size() > 1) {
+    ++reduce_depth;
+    size_t out = 0;
+    for (size_t i = 0; i + 1 < shard_counts.size(); i += 2) {
+      for (int64_t c = 0; c < indexer.size(); ++c) {
+        shard_counts[i][c] += shard_counts[i + 1][c];
+      }
+      if (out != i) shard_counts[out] = std::move(shard_counts[i]);
+      ++out;
+    }
+    if (shard_counts.size() % 2 == 1) {
+      if (out != shard_counts.size() - 1) {
+        shard_counts[out] = std::move(shard_counts.back());
+      }
+      ++out;
+    }
+    shard_counts.resize(out);
+  }
+
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter& chunks = registry.counter("store.chunks_scanned");
+    static Gauge& depth = registry.gauge("store.shard_reduce_depth");
+    chunks.Add(chunks_scanned);
+    depth.Set(static_cast<double>(reduce_depth));
+  }
+
+  // One final scale: double(count) * weight. Exact for weight == 1 (counts
+  // are integers <= 2^53) and within half an ulp otherwise — unlike the
+  // repeated-addition alternative, independent of the accumulation order.
+  if (shard_counts.empty()) shard_counts.emplace_back(indexer.size(), 0);
+  const std::vector<int64_t>& total = shard_counts.front();
+  std::vector<double> counts(indexer.size());
+  for (int64_t i = 0; i < indexer.size(); ++i) {
+    counts[i] = static_cast<double>(total[i]) * weight;
+  }
+  return counts;
+}
+
+std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs,
+                                    double weight) {
+  return ComputeMarginal(DatasetSource(data), attrs, weight);
 }
 
 std::vector<double> ComputeMarginal(const Dataset& data,

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/data_source.h"
 #include "data/dataset.h"
 #include "marginal/attr_set.h"
 
@@ -39,6 +40,16 @@ class MarginalIndexer {
     return index;
   }
 
+  // Cell index for row `i` of a set of per-attribute column views aligned
+  // with attrs() order (the streaming counting path).
+  int64_t IndexOfViews(const ColumnView* views, int64_t i) const {
+    int64_t index = 0;
+    for (size_t j = 0; j < strides_.size(); ++j) {
+      index += static_cast<int64_t>(views[j].at(i)) * strides_[j];
+    }
+    return index;
+  }
+
   // Cell index for a coordinate tuple aligned with attrs() order.
   int64_t IndexOfTuple(const std::vector<int>& tuple) const;
 
@@ -57,7 +68,36 @@ class MarginalIndexer {
   int64_t size_;
 };
 
+// Tuning knobs for the streaming counting engine. The defaults reproduce
+// the classic in-memory behaviour; out-of-core callers bound their working
+// set by fixing chunk_rows and turning on release_pages.
+struct MarginalCountOptions {
+  // Rows per counting chunk. <= 0 picks the automatic grain (>= 16384 rows,
+  // sized so the per-chunk scratch histograms total at most ~8 MB). The
+  // result is bitwise identical for EVERY chunk size: chunks count into
+  // int64 histograms and integer addition is exact and associative.
+  int64_t chunk_rows = 0;
+
+  // After counting a chunk, hint the source to drop the pages backing it
+  // (DataSource::ReleaseRows). With a fixed chunk_rows this bounds the
+  // resident working set of a pass over an mmap-backed store regardless of
+  // file size.
+  bool release_pages = false;
+};
+
+// Computes the marginal (vector of counts) of `source` on `attrs`, one
+// streaming pass per shard, each record contributing `weight`. Per-chunk
+// int64 histograms merge in chunk order within a shard; shard histograms
+// combine by pairwise tree-reduce; the single final scale by `weight`
+// happens after all integer accumulation. Counts are therefore bitwise
+// identical across every (chunk size, shard count, thread count)
+// combination, and identical to the in-memory Dataset overloads.
+std::vector<double> ComputeMarginal(const DataSource& source,
+                                    const AttrSet& attrs, double weight = 1.0,
+                                    const MarginalCountOptions& options = {});
+
 // Computes the marginal (vector of counts) of `data` on `attrs`.
+// (Delegates to the streaming engine through a DatasetSource view.)
 std::vector<double> ComputeMarginal(const Dataset& data, const AttrSet& attrs);
 
 // As above but each record contributes `weight` instead of 1 (used to

@@ -144,12 +144,18 @@ uint64_t AimRunFingerprint(const Domain& domain, const Workload& workload,
 MechanismResult AimMechanism::Run(const Dataset& data,
                                   const Workload& workload, double rho,
                                   Rng& rng) const {
+  return Run(DatasetSource(data), workload, rho, rng);
+}
+
+MechanismResult AimMechanism::Run(const DataSource& source,
+                                  const Workload& workload, double rho,
+                                  Rng& rng) const {
   InitTraceSinkFromEnv();
   InitFaultsFromEnv();
   const auto start_time = std::chrono::steady_clock::now();
   AIM_CHECK_GT(rho, 0.0);
   AIM_CHECK_GT(workload.num_queries(), 0);
-  const Domain& domain = data.domain();
+  const Domain& domain = source.domain();
   const int d = domain.num_attributes();
   const double T =
       static_cast<double>(options_.rounds_per_attribute) * d;  // Line 3
@@ -209,7 +215,7 @@ MechanismResult AimMechanism::Run(const Dataset& data,
       [&](const AttrSet& r) -> const std::vector<double>& {
     auto it = data_marginals.find(r);
     if (it == data_marginals.end()) {
-      it = data_marginals.emplace(r, ComputeMarginal(data, r)).first;
+      it = data_marginals.emplace(r, ComputeMarginal(source, r)).first;
     }
     return it->second;
   };
@@ -249,7 +255,7 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     EmitTrace(TraceEvent("aim_start")
                   .Set("rho_budget", rho)
                   .Set("attributes", d)
-                  .Set("records", data.num_records())
+                  .Set("records", source.num_records())
                   .Set("workload_queries",
                        static_cast<int64_t>(workload.num_queries()))
                   .Set("pool_size", static_cast<int64_t>(pool.size()))
@@ -501,7 +507,7 @@ MechanismResult AimMechanism::Run(const Dataset& data,
     }
     std::vector<std::vector<double>> fresh = ParallelMap(
         static_cast<int64_t>(uncached.size()),
-        [&](int64_t k) { return ComputeMarginal(data, *uncached[k]); });
+        [&](int64_t k) { return ComputeMarginal(source, *uncached[k]); });
     for (size_t k = 0; k < uncached.size(); ++k) {
       data_marginals.emplace(*uncached[k], std::move(fresh[k]));
     }

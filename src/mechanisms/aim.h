@@ -155,6 +155,14 @@ class AimMechanism : public Mechanism {
   MechanismResult Run(const Dataset& data, const Workload& workload,
                       double rho, Rng& rng) const override;
 
+  // AIM touches the data only through domain(), num_records(), and marginal
+  // counting, so it streams directly from any DataSource (mmap-backed
+  // stores included) without ever materializing the records. Produces
+  // bitwise-identical output to the Dataset overload on the same records.
+  MechanismResult Run(const DataSource& source, const Workload& workload,
+                      double rho, Rng& rng) const override;
+  bool SupportsStreaming() const override { return true; }
+
   const AimOptions& options() const { return options_; }
 
  private:

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "data/data_source.h"
 #include "data/dataset.h"
 #include "marginal/workload.h"
 #include "pgm/estimation.h"
@@ -98,6 +99,23 @@ class Mechanism {
   // must not exceed the budget (they use a PrivacyFilter internally).
   virtual MechanismResult Run(const Dataset& data, const Workload& workload,
                               double rho, Rng& rng) const = 0;
+
+  // Runs against a (possibly out-of-core) DataSource. Mechanisms that touch
+  // data only through marginal counting override this to stream directly
+  // (and return true from SupportsStreaming); the default materializes the
+  // source and runs the in-memory path. Callers holding a large store
+  // should check SupportsStreaming() first and materialize once themselves
+  // if it is false (see RunTrials).
+  virtual MechanismResult Run(const DataSource& source,
+                              const Workload& workload, double rho,
+                              Rng& rng) const {
+    Dataset data = source.Materialize();
+    return Run(data, workload, rho, rng);
+  }
+
+  // True when Run(DataSource) streams — i.e. never materializes the full
+  // record set in memory.
+  virtual bool SupportsStreaming() const { return false; }
 };
 
 }  // namespace aim

@@ -1,15 +1,12 @@
 #include "robust/snapshot.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 
 #include "robust/fault.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace aim {
@@ -366,83 +363,15 @@ Status WriteSnapshot(const AimSnapshot& snapshot, const std::string& path) {
   Status fault = FaultStatus("snapshot_write");
   if (!fault.ok()) return fault;
 
-  const std::string payload = SerializeSnapshot(snapshot);
-  const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0644);
-  if (fd < 0) {
-    return InternalError("snapshot: cannot open " + tmp + ": " +
-                         std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < payload.size()) {
-    ssize_t n = ::write(fd, payload.data() + written,
-                        payload.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      int err = errno;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return InternalError("snapshot: write to " + tmp + " failed: " +
-                           std::strerror(err));
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    int err = errno;
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return InternalError("snapshot: fsync of " + tmp + " failed: " +
-                         std::strerror(err));
-  }
-  if (::close(fd) != 0) {
-    int err = errno;
-    ::unlink(tmp.c_str());
-    return InternalError("snapshot: close of " + tmp + " failed: " +
-                         std::strerror(err));
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    int err = errno;
-    ::unlink(tmp.c_str());
-    return InternalError("snapshot: rename to " + path + " failed: " +
-                         std::strerror(err));
-  }
-  // Durability of the rename itself: fsync the containing directory (best
-  // effort — some filesystems reject directory fsync).
-  size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
-  }
-  return Status::Ok();
+  // tmp + fsync + rename + directory fsync, shared with the store writer
+  // (util/atomic_file.h).
+  return AtomicWriteFile(path, SerializeSnapshot(snapshot), "snapshot");
 }
 
 StatusOr<AimSnapshot> ReadSnapshot(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    return NotFoundError("snapshot: cannot open " + path + ": " +
-                         std::strerror(errno));
-  }
-  std::string content;
-  char buffer[1 << 16];
-  while (true) {
-    ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      int err = errno;
-      ::close(fd);
-      return InternalError("snapshot: read of " + path + " failed: " +
-                           std::strerror(err));
-    }
-    if (n == 0) break;
-    content.append(buffer, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  StatusOr<AimSnapshot> parsed = ParseSnapshot(content);
+  StatusOr<std::string> content = ReadFileToString(path, "snapshot");
+  if (!content.ok()) return content.status();
+  StatusOr<AimSnapshot> parsed = ParseSnapshot(*content);
   if (!parsed.ok()) {
     return Status(parsed.status().code(),
                   parsed.status().message() + " (file: " + path + ")");

@@ -1,0 +1,102 @@
+// The `.aim` binary columnar file format (DESIGN.md "Data layer").
+//
+// A store file holds one shard of a discretized dataset in column-major
+// blocks, sized for width-minimal unsigned little-endian integer encoding
+// (1 byte when the attribute's domain fits in 256 values, 2 bytes up to
+// 65536, 4 bytes otherwise). All multi-byte integers in the header are
+// little-endian regardless of host. Layout (byte offsets):
+//
+//   [0,  8)   magic "AIMSTORE"
+//   [8, 12)   u32 format version (kFormatVersion)
+//   [12,16)   u32 header_bytes   (total header size incl. trailing checksum)
+//   [16,24)   u64 num_records
+//   [24,28)   u32 num_attributes
+//   [28,32)   u32 flags (reserved, 0)
+//   then, per attribute, in attribute order:
+//     u32 name_bytes, <name>        attribute name (raw bytes)
+//     u32 domain_size               n_i >= 1
+//     u32 width                     1, 2, or 4 (must fit domain_size - 1)
+//     u64 column_offset             absolute file offset, 64-byte aligned
+//     u64 column_bytes              num_records * width
+//     u64 column_checksum           FNV-1a 64 over the column bytes
+//   [header_bytes-8, header_bytes)  u64 header checksum: FNV-1a 64 over
+//                                   bytes [0, header_bytes - 8)
+//
+// Column blocks follow the header at their recorded 64-byte-aligned
+// offsets, in attribute order. Versioning rule: readers reject any version
+// other than kFormatVersion — additions bump the version, never reinterpret
+// fields.
+//
+// A sharded dataset is a text manifest (magic line "AIM_MANIFEST v1")
+// listing shard file names and row counts, closed by an FNV-1a checksum
+// line — see src/store/writer.cc for the grammar.
+
+#ifndef AIM_STORE_FORMAT_H_
+#define AIM_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aim {
+namespace store_format {
+
+inline constexpr char kMagic[8] = {'A', 'I', 'M', 'S', 'T', 'O', 'R', 'E'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kFixedHeaderBytes = 32;
+inline constexpr size_t kColumnAlignment = 64;
+inline constexpr char kManifestMagic[] = "AIM_MANIFEST";
+
+// Width-minimal encoding for an attribute with `domain_size` values.
+inline int EncodingWidth(int domain_size) {
+  if (domain_size <= 256) return 1;
+  if (domain_size <= 65536) return 2;
+  return 4;
+}
+
+// Order-sensitive FNV-1a 64 over a byte range (the same hash the snapshot
+// subsystem uses; seeded fresh per range here).
+inline uint64_t Fnv1a(const void* bytes, size_t n,
+                      uint64_t seed = 0xcbf29ce484222325ULL) {
+  const uint8_t* p = static_cast<const uint8_t*>(bytes);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Little-endian append/load helpers (explicit shifts so the format is
+// host-endianness independent).
+inline void AppendLe32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+inline void AppendLe64(std::string& out, uint64_t v) {
+  AppendLe32(out, static_cast<uint32_t>(v & 0xffffffffULL));
+  AppendLe32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t LoadLe64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) |
+         (static_cast<uint64_t>(LoadLe32(p + 4)) << 32);
+}
+
+inline size_t AlignUp(size_t offset, size_t alignment) {
+  return (offset + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace store_format
+}  // namespace aim
+
+#endif  // AIM_STORE_FORMAT_H_

@@ -1,0 +1,469 @@
+#include "store/reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "robust/fault.h"
+#include "store/format.h"
+#include "util/atomic_file.h"
+#include "util/logging.h"
+
+namespace aim {
+
+using namespace store_format;
+
+namespace {
+
+const FaultPointRegistration kStoreReadFault{"store_read"};
+
+constexpr size_t kPageSize = 4096;
+
+Status CorruptError(const std::string& path, const std::string& detail) {
+  return InvalidArgumentError("store: " + path + ": " + detail);
+}
+
+}  // namespace
+
+StoreReader::StoreReader(StoreReader&& other) noexcept
+    : domain_(std::move(other.domain_)),
+      num_records_(other.num_records_),
+      base_(other.base_),
+      size_(other.size_),
+      columns_(std::move(other.columns_)) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+StoreReader& StoreReader::operator=(StoreReader&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    domain_ = std::move(other.domain_);
+    num_records_ = other.num_records_;
+    base_ = other.base_;
+    size_ = other.size_;
+    columns_ = std::move(other.columns_);
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+StoreReader::~StoreReader() { Unmap(); }
+
+void StoreReader::Unmap() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(base_), size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+}
+
+StatusOr<StoreReader> StoreReader::Open(const std::string& path,
+                                        const StoreOpenOptions& options) {
+  Status fault = FaultStatus("store_read");
+  if (!fault.ok()) return fault;
+
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return errno == ENOENT
+               ? NotFoundError("store: cannot open " + path)
+               : InternalError("store: cannot open " + path + ": " +
+                               std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return InternalError("store: fstat of " + path + " failed: " +
+                         std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kFixedHeaderBytes + 8) {
+    ::close(fd);
+    return CorruptError(path, "file too small to hold a store header (" +
+                                  std::to_string(size) + " bytes)");
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) {
+    return InternalError("store: mmap of " + path + " failed: " +
+                         std::strerror(errno));
+  }
+
+  StoreReader reader;
+  reader.base_ = static_cast<const uint8_t*>(mapping);
+  reader.size_ = size;
+  const uint8_t* p = reader.base_;
+
+  // ---- Fixed header.
+  if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+    return CorruptError(path, "bad magic (not an .aim store)");
+  }
+  const uint32_t version = LoadLe32(p + 8);
+  if (version != kFormatVersion) {
+    return CorruptError(path, "unsupported format version " +
+                                  std::to_string(version) + " (expected " +
+                                  std::to_string(kFormatVersion) + ")");
+  }
+  const uint32_t header_bytes = LoadLe32(p + 12);
+  if (header_bytes < kFixedHeaderBytes + 8 || header_bytes > size) {
+    return CorruptError(path, "implausible header size " +
+                                  std::to_string(header_bytes));
+  }
+  const uint64_t num_records = LoadLe64(p + 16);
+  const uint32_t num_attributes = LoadLe32(p + 24);
+  if (num_records > (uint64_t{1} << 48)) {
+    return CorruptError(path, "implausible record count");
+  }
+  if (num_attributes == 0 || num_attributes > 1000000) {
+    return CorruptError(path, "implausible attribute count " +
+                                  std::to_string(num_attributes));
+  }
+
+  // ---- Header checksum (before parsing the variable section, so a torn
+  // or bit-flipped header is rejected wholesale).
+  const uint64_t stored_header_checksum = LoadLe64(p + header_bytes - 8);
+  const uint64_t actual_header_checksum = Fnv1a(p, header_bytes - 8);
+  if (stored_header_checksum != actual_header_checksum) {
+    return CorruptError(path, "header checksum mismatch (file corrupt)");
+  }
+
+  // ---- Per-attribute entries.
+  std::vector<std::string> names;
+  std::vector<int> sizes;
+  names.reserve(num_attributes);
+  sizes.reserve(num_attributes);
+  reader.columns_.reserve(num_attributes);
+  size_t offset = kFixedHeaderBytes;
+  const size_t header_end = header_bytes - 8;
+  for (uint32_t a = 0; a < num_attributes; ++a) {
+    auto need = [&](size_t n) { return offset + n <= header_end; };
+    if (!need(4)) return CorruptError(path, "truncated attribute table");
+    const uint32_t name_bytes = LoadLe32(p + offset);
+    offset += 4;
+    if (name_bytes > 65536 || !need(name_bytes + 4 + 4 + 8 + 8 + 8)) {
+      return CorruptError(path, "truncated attribute table");
+    }
+    names.emplace_back(reinterpret_cast<const char*>(p + offset), name_bytes);
+    offset += name_bytes;
+    const uint32_t domain_size = LoadLe32(p + offset);
+    offset += 4;
+    const uint32_t width = LoadLe32(p + offset);
+    offset += 4;
+    const uint64_t column_offset = LoadLe64(p + offset);
+    offset += 8;
+    const uint64_t column_bytes = LoadLe64(p + offset);
+    offset += 8;
+    const uint64_t column_checksum = LoadLe64(p + offset);
+    offset += 8;
+
+    if (domain_size == 0 || domain_size > (uint32_t{1} << 30)) {
+      return CorruptError(path, "attribute " + std::to_string(a) +
+                                    ": implausible domain size");
+    }
+    if (width != static_cast<uint32_t>(
+                     EncodingWidth(static_cast<int>(domain_size)))) {
+      return CorruptError(path, "attribute " + std::to_string(a) +
+                                    ": width " + std::to_string(width) +
+                                    " is not the minimal encoding for " +
+                                    std::to_string(domain_size) + " values");
+    }
+    if (column_bytes != num_records * width) {
+      return CorruptError(path, "attribute " + std::to_string(a) +
+                                    ": column byte count disagrees with the "
+                                    "record count");
+    }
+    if (column_offset % kColumnAlignment != 0 ||
+        column_offset < header_bytes || column_offset > size ||
+        column_bytes > size - column_offset) {
+      return CorruptError(path, "attribute " + std::to_string(a) +
+                                    ": column block out of file bounds");
+    }
+    Column column;
+    column.data = p + column_offset;
+    column.width = static_cast<int>(width);
+    column.bytes = column_bytes;
+    reader.columns_.push_back(column);
+
+    if (options.verify) {
+      if (Fnv1a(column.data, column.bytes) != column_checksum) {
+        return CorruptError(path, "attribute " + std::to_string(a) + " ('" +
+                                      names.back() +
+                                      "'): column checksum mismatch");
+      }
+      ColumnView view{column.data, column.width};
+      for (uint64_t row = 0; row < num_records; ++row) {
+        const int32_t v = view.at(static_cast<int64_t>(row));
+        if (static_cast<uint32_t>(v) >= domain_size) {
+          return CorruptError(
+              path, "attribute " + std::to_string(a) + " ('" + names.back() +
+                        "'): value " + std::to_string(v) + " at row " +
+                        std::to_string(row) + " is out of domain [0, " +
+                        std::to_string(domain_size) + ")");
+        }
+      }
+    }
+    sizes.push_back(static_cast<int>(domain_size));
+  }
+  if (offset != header_end) {
+    return CorruptError(path, "attribute table size disagrees with header");
+  }
+
+  reader.domain_ = Domain(std::move(names), std::move(sizes));
+  reader.num_records_ = static_cast<int64_t>(num_records);
+
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter& opens = registry.counter("store.opens");
+    static Counter& bytes_mapped = registry.counter("store.bytes_mapped");
+    opens.Add(1);
+    bytes_mapped.Add(static_cast<int64_t>(size));
+  }
+  return reader;
+}
+
+void StoreReader::ReleaseRows(int64_t row_begin, int64_t row_end) const {
+  if (base_ == nullptr || row_begin >= row_end) return;
+  int64_t dropped = 0;
+  for (const Column& column : columns_) {
+    // Page-align inward: a page shared with rows outside the range stays.
+    const uintptr_t lo_addr =
+        reinterpret_cast<uintptr_t>(column.data) + row_begin * column.width;
+    const uintptr_t hi_addr =
+        reinterpret_cast<uintptr_t>(column.data) + row_end * column.width;
+    const uintptr_t lo = (lo_addr + kPageSize - 1) / kPageSize * kPageSize;
+    const uintptr_t hi = hi_addr / kPageSize * kPageSize;
+    if (lo >= hi) continue;
+    ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_DONTNEED);
+    dropped += static_cast<int64_t>(hi - lo);
+  }
+  if (dropped > 0 && MetricsEnabled()) {
+    static Counter& pages_dropped =
+        MetricsRegistry::Global().counter("store.pages_dropped");
+    pages_dropped.Add(dropped / static_cast<int64_t>(kPageSize));
+  }
+}
+
+int64_t StoreReader::ResidentBytes() const {
+#ifdef __linux__
+  if (base_ == nullptr) return 0;
+  std::ifstream smaps("/proc/self/smaps");
+  if (!smaps) return -1;
+  char start_hex[32];
+  std::snprintf(start_hex, sizeof(start_hex), "%" PRIxPTR,
+                reinterpret_cast<uintptr_t>(base_));
+  std::string line;
+  bool in_mapping = false;
+  while (std::getline(smaps, line)) {
+    if (line.compare(0, std::strlen(start_hex), start_hex) == 0 &&
+        line.find('-') == std::strlen(start_hex)) {
+      in_mapping = true;
+      continue;
+    }
+    if (in_mapping && line.compare(0, 4, "Rss:") == 0) {
+      int64_t kb = 0;
+      std::istringstream fields(line.substr(4));
+      fields >> kb;
+      return kb * 1024;
+    }
+  }
+  return -1;
+#else
+  return -1;
+#endif
+}
+
+// ---------------------------------------------------------- StoreSource ----
+
+namespace {
+
+// Manifest grammar:
+//   AIM_MANIFEST v1
+//   shards <k>
+//   s <filename> <rows>        (k lines; filename relative to the manifest)
+//   checksum <fnv1a-64 hex of everything above>
+StatusOr<std::vector<std::pair<std::string, int64_t>>> ParseManifest(
+    const std::string& content, const std::string& path) {
+  const size_t pos = content.rfind("checksum ");
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n')) {
+    return CorruptError(path, "manifest: missing checksum line");
+  }
+  {
+    std::istringstream tail(content.substr(pos));
+    std::string label, hex;
+    tail >> label >> hex;
+    uint64_t stored = 0;
+    char* end = nullptr;
+    errno = 0;
+    stored = std::strtoull(hex.c_str(), &end, 16);
+    if (errno != 0 || end == hex.c_str() || *end != '\0') {
+      return CorruptError(path, "manifest: bad checksum value");
+    }
+    if (stored != Fnv1a(content.data(), pos)) {
+      return CorruptError(path,
+                          "manifest: checksum mismatch (file corrupt)");
+    }
+  }
+  std::istringstream in(content.substr(0, pos));
+  std::string magic, version, label;
+  in >> magic >> version;
+  if (magic != kManifestMagic) {
+    return CorruptError(path, "manifest: bad magic");
+  }
+  if (version != "v1") {
+    return CorruptError(path, "manifest: unsupported version '" + version +
+                                  "'");
+  }
+  int64_t num_shards = 0;
+  in >> label >> num_shards;
+  if (label != "shards" || num_shards < 0 || num_shards > 1000000) {
+    return CorruptError(path, "manifest: implausible shard count");
+  }
+  std::vector<std::pair<std::string, int64_t>> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  for (int64_t i = 0; i < num_shards; ++i) {
+    std::string tag, name;
+    int64_t rows = -1;
+    in >> tag >> name >> rows;
+    if (tag != "s" || name.empty() || rows < 0) {
+      return CorruptError(path, "manifest: malformed shard entry " +
+                                    std::to_string(i));
+    }
+    if (name.find('/') != std::string::npos) {
+      return CorruptError(path, "manifest: shard name '" + name +
+                                    "' must be relative to the manifest");
+    }
+    shards.emplace_back(std::move(name), rows);
+  }
+  return shards;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StoreSource>> StoreSource::Open(
+    const std::string& path, const StoreOpenOptions& options) {
+  // Sniff the leading bytes to pick single-shard vs manifest.
+  std::ifstream sniff(path, std::ios::binary);
+  if (!sniff) return NotFoundError("store: cannot open " + path);
+  char lead[sizeof(kMagic)] = {};
+  sniff.read(lead, sizeof(lead));
+  sniff.close();
+
+  std::unique_ptr<StoreSource> source(new StoreSource());
+  if (std::memcmp(lead, kMagic, sizeof(kMagic)) == 0) {
+    StatusOr<StoreReader> reader = StoreReader::Open(path, options);
+    if (!reader.ok()) return reader.status();
+    source->domain_ = reader->domain();
+    source->total_records_ = reader->num_records();
+    source->shards_.push_back(std::move(*reader));
+    return source;
+  }
+
+  StatusOr<std::string> content = ReadFileToString(path, "store manifest");
+  if (!content.ok()) return content.status();
+  if (content->compare(0, std::strlen(kManifestMagic), kManifestMagic) !=
+      0) {
+    return CorruptError(path, "neither an .aim store nor a shard manifest");
+  }
+  auto shards = ParseManifest(*content, path);
+  if (!shards.ok()) return shards.status();
+  if (shards->empty()) {
+    return CorruptError(path, "manifest lists no shards");
+  }
+
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+  for (size_t i = 0; i < shards->size(); ++i) {
+    const auto& [name, rows] = (*shards)[i];
+    StatusOr<StoreReader> reader = StoreReader::Open(dir + name, options);
+    if (!reader.ok()) return reader.status();
+    if (reader->num_records() != rows) {
+      return CorruptError(dir + name,
+                          "shard row count disagrees with the manifest");
+    }
+    if (i == 0) {
+      source->domain_ = reader->domain();
+    } else if (!(reader->domain() == source->domain_)) {
+      return CorruptError(dir + name,
+                          "shard domain disagrees with shard 0");
+    }
+    source->total_records_ += reader->num_records();
+    source->shards_.push_back(std::move(*reader));
+  }
+  if (MetricsEnabled()) {
+    static Counter& shards_opened =
+        MetricsRegistry::Global().counter("store.shards_opened");
+    shards_opened.Add(static_cast<int64_t>(source->shards_.size()));
+  }
+  return source;
+}
+
+int64_t StoreSource::ShardRecords(int shard) const {
+  return shards_[static_cast<size_t>(shard)].num_records();
+}
+
+bool StoreSource::TryColumnView(int shard, int attr, int64_t row_begin,
+                                int64_t row_end, ColumnView* view) const {
+  (void)row_end;
+  AIM_DCHECK(row_begin >= 0 && row_begin <= row_end &&
+             row_end <= ShardRecords(shard));
+  *view = shards_[static_cast<size_t>(shard)].column(attr, row_begin);
+  return true;
+}
+
+void StoreSource::ReadColumn(int shard, int attr, int64_t row_begin,
+                             int64_t row_end, int32_t* out) const {
+  AIM_CHECK(row_begin >= 0 && row_begin <= row_end &&
+            row_end <= ShardRecords(shard));
+  const ColumnView view =
+      shards_[static_cast<size_t>(shard)].column(attr, row_begin);
+  for (int64_t i = 0; i < row_end - row_begin; ++i) out[i] = view.at(i);
+}
+
+void StoreSource::ReleaseRows(int shard, int64_t row_begin,
+                              int64_t row_end) const {
+  shards_[static_cast<size_t>(shard)].ReleaseRows(row_begin, row_end);
+}
+
+int64_t StoreSource::mapped_bytes() const {
+  int64_t total = 0;
+  for (const StoreReader& shard : shards_) total += shard.mapped_bytes();
+  return total;
+}
+
+int64_t StoreSource::ResidentBytes() const {
+  int64_t total = 0;
+  for (const StoreReader& shard : shards_) {
+    const int64_t resident = shard.ResidentBytes();
+    if (resident < 0) return -1;
+    total += resident;
+  }
+  return total;
+}
+
+bool IsStoreFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  char lead[sizeof(kMagic)] = {};
+  file.read(lead, sizeof(lead));
+  if (std::memcmp(lead, kMagic, sizeof(kMagic)) == 0) return true;
+  return std::memcmp(lead, kManifestMagic,
+                     std::min(sizeof(lead), std::strlen(kManifestMagic))) ==
+         0;
+}
+
+}  // namespace aim

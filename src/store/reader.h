@@ -1,0 +1,127 @@
+// Read-only memory-mapped access to `.aim` stores and sharded store sets.
+
+#ifndef AIM_STORE_READER_H_
+#define AIM_STORE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/data_source.h"
+#include "data/domain.h"
+#include "util/status.h"
+
+namespace aim {
+
+struct StoreOpenOptions {
+  // Verify every column checksum and that every value is in-domain (one
+  // streaming pass over the mapped file). On by default: the counting
+  // paths index histograms with stored values, so an out-of-domain value
+  // in a corrupt file must be rejected at open, not discovered as heap
+  // corruption. Disable only for very large files of trusted provenance.
+  bool verify = true;
+};
+
+// One mmap'd `.aim` shard. Movable, not copyable; unmaps on destruction.
+// All reads are zero-copy against the mapping, so any number of readers
+// (and processes) share one page-cache copy of the data.
+class StoreReader {
+ public:
+  // Validates magic, version, header checksum, and structural bounds;
+  // with options.verify also column checksums and value ranges. Fault
+  // point "store_read" fires here (robust/fault.h).
+  static StatusOr<StoreReader> Open(const std::string& path,
+                                    const StoreOpenOptions& options = {});
+
+  StoreReader(StoreReader&& other) noexcept;
+  StoreReader& operator=(StoreReader&& other) noexcept;
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+  ~StoreReader();
+
+  const Domain& domain() const { return domain_; }
+  int64_t num_records() const { return num_records_; }
+  int64_t mapped_bytes() const { return static_cast<int64_t>(size_); }
+
+  // Encoding width (bytes) of attribute `attr`: 1, 2, or 4.
+  int width(int attr) const { return columns_[attr].width; }
+
+  // Zero-copy view of attribute `attr` over rows [row_begin, ...).
+  ColumnView column(int attr, int64_t row_begin = 0) const {
+    const Column& c = columns_[attr];
+    return ColumnView{c.data + row_begin * c.width, c.width};
+  }
+
+  int32_t value(int64_t row, int attr) const {
+    return column(attr).at(row);
+  }
+
+  // Drops the mapped pages backing rows [row_begin, row_end) of every
+  // column (madvise MADV_DONTNEED on the page-aligned interior), so a
+  // streaming pass over a file larger than RAM keeps only its chunk
+  // working set resident. Re-reading later re-faults from the file.
+  void ReleaseRows(int64_t row_begin, int64_t row_end) const;
+
+  // Resident bytes of this mapping per /proc/self/smaps (Linux; -1 when
+  // unavailable). Used by tests and benches to demonstrate the bounded
+  // working set of streamed counting.
+  int64_t ResidentBytes() const;
+
+ private:
+  struct Column {
+    const uint8_t* data = nullptr;
+    int width = 4;
+    uint64_t bytes = 0;
+  };
+
+  StoreReader() = default;
+  void Unmap();
+
+  Domain domain_;
+  int64_t num_records_ = 0;
+  const uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  std::vector<Column> columns_;
+};
+
+// DataSource over one `.aim` store or a sharded store set: each shard is
+// one mmap'd StoreReader, every column access is zero-copy, and ReleaseRows
+// forwards to the shard's page-drop hint.
+class StoreSource final : public DataSource {
+ public:
+  // `path` is either a single `.aim` file or an AIM_MANIFEST shard set
+  // (auto-detected from the file content). Shard domains must all match.
+  static StatusOr<std::unique_ptr<StoreSource>> Open(
+      const std::string& path, const StoreOpenOptions& options = {});
+
+  const Domain& domain() const override { return domain_; }
+  int64_t num_records() const override { return total_records_; }
+  int num_shards() const override { return static_cast<int>(shards_.size()); }
+  int64_t ShardRecords(int shard) const override;
+  bool TryColumnView(int shard, int attr, int64_t row_begin, int64_t row_end,
+                     ColumnView* view) const override;
+  void ReadColumn(int shard, int attr, int64_t row_begin, int64_t row_end,
+                  int32_t* out) const override;
+  void ReleaseRows(int shard, int64_t row_begin,
+                   int64_t row_end) const override;
+
+  const StoreReader& shard(int i) const { return shards_[i]; }
+  int64_t mapped_bytes() const;
+  int64_t ResidentBytes() const;
+
+ private:
+  StoreSource() = default;
+
+  Domain domain_;
+  int64_t total_records_ = 0;
+  std::vector<StoreReader> shards_;
+};
+
+// True when the file at `path` begins with the `.aim` store magic or the
+// shard-manifest magic (used by aim_cli's --data format auto-detection).
+bool IsStoreFile(const std::string& path);
+
+}  // namespace aim
+
+#endif  // AIM_STORE_READER_H_

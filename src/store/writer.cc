@@ -1,0 +1,202 @@
+#include "store/writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "store/format.h"
+#include "util/atomic_file.h"
+#include "util/logging.h"
+
+namespace aim {
+
+using namespace store_format;
+
+namespace {
+
+// "data.aim" -> "data", "data" -> "data" (shard names derive from the stem
+// so `csv2aim --output=foo.aim --shard-rows=N` produces foo.00000.aim ...).
+std::string PathStem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.rfind(".aim");
+  if (dot != std::string::npos && dot == path.size() - 4 &&
+      (slash == std::string::npos || dot > slash)) {
+    return path.substr(0, dot);
+  }
+  return path;
+}
+
+std::string ShardFileName(const std::string& stem, int index) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), ".%05d.aim", index);
+  return stem + buffer;
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+std::string SerializeStoreShard(const Domain& domain,
+                                const std::vector<std::string>& column_bytes,
+                                int64_t num_records) {
+  const int d = domain.num_attributes();
+  AIM_CHECK_EQ(static_cast<int>(column_bytes.size()), d);
+
+  // Header size: fixed prefix + per-attribute entries + trailing checksum.
+  size_t header_bytes = kFixedHeaderBytes;
+  for (int a = 0; a < d; ++a) {
+    header_bytes += 4 + domain.name(a).size() + 4 + 4 + 8 + 8 + 8;
+  }
+  header_bytes += 8;  // header checksum
+
+  // Column offsets: 64-byte aligned, in attribute order after the header.
+  std::vector<uint64_t> offsets(d);
+  size_t offset = AlignUp(header_bytes, kColumnAlignment);
+  for (int a = 0; a < d; ++a) {
+    offsets[a] = offset;
+    offset = AlignUp(offset + column_bytes[a].size(), kColumnAlignment);
+  }
+
+  std::string out;
+  out.reserve(offset);
+  out.append(kMagic, sizeof(kMagic));
+  AppendLe32(out, kFormatVersion);
+  AppendLe32(out, static_cast<uint32_t>(header_bytes));
+  AppendLe64(out, static_cast<uint64_t>(num_records));
+  AppendLe32(out, static_cast<uint32_t>(d));
+  AppendLe32(out, 0);  // flags
+  for (int a = 0; a < d; ++a) {
+    const std::string& name = domain.name(a);
+    const int width = EncodingWidth(domain.size(a));
+    AppendLe32(out, static_cast<uint32_t>(name.size()));
+    out += name;
+    AppendLe32(out, static_cast<uint32_t>(domain.size(a)));
+    AppendLe32(out, static_cast<uint32_t>(width));
+    AppendLe64(out, offsets[a]);
+    AppendLe64(out, static_cast<uint64_t>(column_bytes[a].size()));
+    AppendLe64(out, Fnv1a(column_bytes[a].data(), column_bytes[a].size()));
+  }
+  AIM_CHECK_EQ(out.size(), header_bytes - 8);
+  AppendLe64(out, Fnv1a(out.data(), out.size()));
+
+  for (int a = 0; a < d; ++a) {
+    out.resize(offsets[a], '\0');  // alignment padding
+    out += column_bytes[a];
+  }
+  return out;
+}
+
+StoreWriter::StoreWriter(Domain domain, std::string path,
+                         StoreWriterOptions options)
+    : domain_(std::move(domain)),
+      path_(std::move(path)),
+      options_(options) {
+  const int d = domain_.num_attributes();
+  widths_.reserve(d);
+  columns_.resize(d);
+  for (int a = 0; a < d; ++a) {
+    widths_.push_back(EncodingWidth(domain_.size(a)));
+    if (options_.shard_rows > 0) {
+      columns_[a].reserve(static_cast<size_t>(options_.shard_rows) *
+                          static_cast<size_t>(widths_[a]));
+    }
+  }
+}
+
+Status StoreWriter::Append(const std::vector<int>& record) {
+  if (!status_.ok()) return status_;
+  AIM_CHECK(!finished_) << "Append after Finish";
+  const int d = domain_.num_attributes();
+  if (static_cast<int>(record.size()) != d) {
+    return status_ = InvalidArgumentError(
+               "store: record has " + std::to_string(record.size()) +
+               " values, domain has " + std::to_string(d) + " attributes");
+  }
+  for (int a = 0; a < d; ++a) {
+    if (record[a] < 0 || record[a] >= domain_.size(a)) {
+      return status_ = InvalidArgumentError(
+                 "store: value " + std::to_string(record[a]) +
+                 " out of domain [0, " + std::to_string(domain_.size(a)) +
+                 ") for attribute '" + domain_.name(a) + "'");
+    }
+    const uint32_t v = static_cast<uint32_t>(record[a]);
+    std::string& column = columns_[a];
+    column.push_back(static_cast<char>(v & 0xff));
+    if (widths_[a] >= 2) column.push_back(static_cast<char>((v >> 8) & 0xff));
+    if (widths_[a] == 4) {
+      column.push_back(static_cast<char>((v >> 16) & 0xff));
+      column.push_back(static_cast<char>((v >> 24) & 0xff));
+    }
+  }
+  ++shard_rows_buffered_;
+  ++total_rows_;
+  if (options_.shard_rows > 0 && shard_rows_buffered_ >= options_.shard_rows) {
+    return status_ = FlushShard();
+  }
+  return Status::Ok();
+}
+
+Status StoreWriter::FlushShard() {
+  const bool sharded = options_.shard_rows > 0;
+  const std::string shard_path =
+      sharded ? ShardFileName(PathStem(path_), shards_flushed_) : path_;
+  const std::string payload =
+      SerializeStoreShard(domain_, columns_, shard_rows_buffered_);
+  Status s = AtomicWriteFile(shard_path, payload, "store");
+  if (!s.ok()) return s;
+  shard_files_.emplace_back(BaseName(shard_path), shard_rows_buffered_);
+  ++shards_flushed_;
+  shard_rows_buffered_ = 0;
+  for (std::string& column : columns_) column.clear();
+  return Status::Ok();
+}
+
+Status StoreWriter::Finish() {
+  AIM_CHECK(!finished_) << "Finish called twice";
+  finished_ = true;
+  if (!status_.ok()) return status_;
+  // Flush the trailing partial shard; an empty dataset still writes one
+  // (empty) shard so the domain schema is preserved on disk.
+  if (shard_rows_buffered_ > 0 || shards_flushed_ == 0) {
+    status_ = FlushShard();
+    if (!status_.ok()) return status_;
+  }
+  if (options_.shard_rows <= 0) return Status::Ok();
+
+  // Manifest: line-oriented text closed by an FNV-1a checksum (the same
+  // convention as AimSnapshot). Shard paths are stored relative to the
+  // manifest's directory.
+  std::string manifest;
+  manifest += kManifestMagic;
+  manifest += " v1\n";
+  manifest += "shards " + std::to_string(shard_files_.size()) + '\n';
+  for (const auto& [name, rows] : shard_files_) {
+    manifest += "s " + name + ' ' + std::to_string(rows) + '\n';
+  }
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016" PRIx64,
+                Fnv1a(manifest.data(), manifest.size()));
+  manifest += "checksum ";
+  manifest += checksum;
+  manifest += '\n';
+  return status_ = AtomicWriteFile(path_, manifest, "store manifest");
+}
+
+Status WriteStore(const Dataset& data, const std::string& path,
+                  const StoreWriterOptions& options) {
+  StoreWriter writer(data.domain(), path, options);
+  std::vector<int> record(data.domain().num_attributes());
+  for (int64_t row = 0; row < data.num_records(); ++row) {
+    for (int a = 0; a < data.domain().num_attributes(); ++a) {
+      record[a] = data.value(row, a);
+    }
+    Status s = writer.Append(record);
+    if (!s.ok()) return s;
+  }
+  return writer.Finish();
+}
+
+}  // namespace aim

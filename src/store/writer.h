@@ -1,0 +1,81 @@
+// Streaming writer for `.aim` columnar stores and sharded store sets.
+
+#ifndef AIM_STORE_WRITER_H_
+#define AIM_STORE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/domain.h"
+#include "util/status.h"
+
+namespace aim {
+
+struct StoreWriterOptions {
+  // Rows per shard. <= 0 writes a single `.aim` file at the target path.
+  // Positive: the target path becomes a shard manifest and the shards land
+  // next to it as `<stem>.00000.aim`, `<stem>.00001.aim`, ... — the writer
+  // buffers at most one shard (shard_rows x sum of column widths bytes), so
+  // converting a dataset far beyond RAM needs only the shard working set.
+  int64_t shard_rows = 0;
+};
+
+// Single-pass streaming writer. Records append one at a time; every flush
+// (full shard, or Finish) is an atomic tmp+fsync+rename write, so a crash
+// mid-conversion never leaves a torn store — at worst a missing manifest.
+//
+//   StoreWriter writer(domain, "data.aim", {.shard_rows = 1 << 20});
+//   for (...) AIM_CHECK(writer.Append(record).ok());
+//   Status s = writer.Finish();
+class StoreWriter {
+ public:
+  StoreWriter(Domain domain, std::string path,
+              StoreWriterOptions options = {});
+
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  // Appends one record (one in-domain value per attribute). Fails on
+  // out-of-domain values and on shard-flush I/O errors; after a failure the
+  // writer is dead (every later call reports the first error).
+  Status Append(const std::vector<int>& record);
+
+  // Flushes the trailing shard (and the manifest, in sharded mode). Must be
+  // called exactly once; no Append may follow.
+  Status Finish();
+
+  int64_t rows_written() const { return total_rows_; }
+  int shards_written() const { return shards_flushed_; }
+
+ private:
+  Status FlushShard();
+
+  Domain domain_;
+  std::string path_;
+  StoreWriterOptions options_;
+  std::vector<int> widths_;            // per-attribute encoding width
+  std::vector<std::string> columns_;   // buffered encoded column bytes
+  int64_t shard_rows_buffered_ = 0;
+  int64_t total_rows_ = 0;
+  int shards_flushed_ = 0;
+  bool finished_ = false;
+  std::vector<std::pair<std::string, int64_t>> shard_files_;  // name, rows
+  Status status_;  // first error, sticky
+};
+
+// Serializes one shard to the in-memory `.aim` byte layout (exposed for
+// tests that corrupt specific bytes).
+std::string SerializeStoreShard(const Domain& domain,
+                                const std::vector<std::string>& column_bytes,
+                                int64_t num_records);
+
+// Convenience: writes an in-memory dataset as a store (sharded per
+// `options`).
+Status WriteStore(const Dataset& data, const std::string& path,
+                  const StoreWriterOptions& options = {});
+
+}  // namespace aim
+
+#endif  // AIM_STORE_WRITER_H_

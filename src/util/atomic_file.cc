@@ -1,0 +1,79 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace aim {
+
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       const std::string& what) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return InternalError(what + ": cannot open " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written,
+                        content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return InternalError(what + ": write to " + tmp + " failed: " +
+                           std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return InternalError(what + ": fsync of " + tmp + " failed: " +
+                         std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return InternalError(what + ": close of " + tmp + " failed: " +
+                         std::strerror(err));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return InternalError(what + ": rename to " + path + " failed: " +
+                         std::strerror(err));
+  }
+  // Durability of the rename itself: fsync the containing directory (best
+  // effort — some filesystems reject directory fsync).
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path,
+                                       const std::string& what) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return NotFoundError(what + ": cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return InternalError(what + ": read failed for " + path);
+  return buffer.str();
+}
+
+}  // namespace aim

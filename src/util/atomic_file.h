@@ -1,0 +1,31 @@
+// Crash-safe whole-file writes: tmp + fsync + rename (+ directory fsync).
+//
+// The only mutation of `path` is the final rename, so a crash at any point
+// leaves either the previous file intact or the new one fully in place —
+// never a torn mix. Shared by the snapshot writer (src/robust/) and the
+// columnar store writer (src/store/).
+
+#ifndef AIM_UTIL_ATOMIC_FILE_H_
+#define AIM_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace aim {
+
+// Writes `content` to `path` atomically and durably: the bytes land in
+// `path + ".tmp"`, are fsync'd, and replace `path` via rename; the
+// containing directory is fsync'd best-effort so the rename itself
+// survives a crash. `what` labels error messages ("snapshot", "store").
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       const std::string& what);
+
+// Reads the entire file into a string; NotFoundError when it does not
+// exist, InternalError on read failure.
+StatusOr<std::string> ReadFileToString(const std::string& path,
+                                       const std::string& what);
+
+}  // namespace aim
+
+#endif  // AIM_UTIL_ATOMIC_FILE_H_

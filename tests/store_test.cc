@@ -1,0 +1,569 @@
+// Tests for the out-of-core columnar store (src/store/): format round-trip,
+// corruption rejection, shard manifests, fault injection, and — the load-
+// bearing property — bitwise-identical streamed counts at every chunk size,
+// shard count, and thread count.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/data_source.h"
+#include "data/preprocess.h"
+#include "data/simulators.h"
+#include "marginal/marginal.h"
+#include "parallel/thread_pool.h"
+#include "robust/fault.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "util/rng.h"
+
+namespace aim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+// Domain exercising all three encoding widths (u8, u16, u32).
+Domain MixedWidthDomain() { return Domain::WithSizes({3, 300, 70000}); }
+
+Dataset MixedWidthDataset(int64_t n, uint64_t seed = 7) {
+  Rng rng(seed);
+  return SampleRandomBayesNet(MixedWidthDomain(), n, 2, 0.5, rng);
+}
+
+// Restores the automatic thread count even when a test fails mid-body.
+struct ScopedThreads {
+  explicit ScopedThreads(int n) { SetParallelThreads(n); }
+  ~ScopedThreads() { SetParallelThreads(0); }
+};
+
+// ----------------------------------------------------------- Round trip ----
+
+TEST(StoreTest, RoundTripSingleFile) {
+  const Dataset data = MixedWidthDataset(500);
+  const std::string path = TempPath("roundtrip.aim");
+  ASSERT_TRUE(WriteStore(data, path).ok());
+
+  StatusOr<StoreReader> reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->domain() == data.domain());
+  EXPECT_EQ(reader->num_records(), data.num_records());
+  EXPECT_EQ(reader->width(0), 1);
+  EXPECT_EQ(reader->width(1), 2);
+  EXPECT_EQ(reader->width(2), 4);
+  for (int64_t row = 0; row < data.num_records(); ++row) {
+    for (int a = 0; a < data.domain().num_attributes(); ++a) {
+      ASSERT_EQ(reader->value(row, a), data.value(row, a))
+          << "row " << row << " attr " << a;
+    }
+  }
+}
+
+TEST(StoreTest, RoundTripSharded) {
+  const Dataset data = MixedWidthDataset(1000);
+  const std::string path = TempPath("sharded_roundtrip.aim");
+  StoreWriterOptions options;
+  options.shard_rows = 334;
+  ASSERT_TRUE(WriteStore(data, path, options).ok());
+
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ((*source)->num_shards(), 3);
+  EXPECT_EQ((*source)->num_records(), data.num_records());
+  int64_t shard_total = 0;
+  for (int s = 0; s < (*source)->num_shards(); ++s) {
+    shard_total += (*source)->ShardRecords(s);
+  }
+  EXPECT_EQ(shard_total, data.num_records());
+
+  const Dataset materialized = (*source)->Materialize();
+  ASSERT_EQ(materialized.num_records(), data.num_records());
+  for (int64_t row = 0; row < data.num_records(); ++row) {
+    for (int a = 0; a < data.domain().num_attributes(); ++a) {
+      ASSERT_EQ(materialized.value(row, a), data.value(row, a));
+    }
+  }
+}
+
+TEST(StoreTest, EmptyDatasetRoundTrip) {
+  const Domain domain = MixedWidthDomain();
+  const std::string path = TempPath("empty.aim");
+  StoreWriter writer(domain, path);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ((*source)->num_records(), 0);
+  EXPECT_TRUE((*source)->domain() == domain);
+  const std::vector<double> counts = ComputeMarginal(**source, AttrSet({0}));
+  for (double c : counts) EXPECT_EQ(c, 0.0);
+}
+
+TEST(StoreTest, IsStoreFileDetection) {
+  const Dataset data = MixedWidthDataset(50);
+  const std::string single = TempPath("detect_single.aim");
+  const std::string sharded = TempPath("detect_sharded.aim");
+  const std::string csv = TempPath("detect.csv");
+  StoreWriterOptions options;
+  options.shard_rows = 20;
+  ASSERT_TRUE(WriteStore(data, single).ok());
+  ASSERT_TRUE(WriteStore(data, sharded, options).ok());
+  WriteFile(csv, "a,b,c\n1,2,3\n");
+
+  EXPECT_TRUE(IsStoreFile(single));
+  EXPECT_TRUE(IsStoreFile(sharded));  // manifest magic
+  EXPECT_FALSE(IsStoreFile(csv));
+  EXPECT_FALSE(IsStoreFile(TempPath("no_such_file.aim")));
+}
+
+// ------------------------------------------- Streamed count determinism ----
+
+TEST(StoreTest, StreamedCountsBitwiseEqualInMemoryPath) {
+  const Dataset data = MixedWidthDataset(1000);
+  // Small marginals only: the chunk_rows=1 leg of the matrix allocates one
+  // local histogram per row, so cells x rows must stay modest. Wide
+  // (width-4) marginals are covered by WideMarginalStreamsAtWidth4 below.
+  const std::vector<AttrSet> queries = {AttrSet({0}), AttrSet({0, 1})};
+  // Reference: the in-memory Dataset overload (what the seed computed).
+  std::vector<std::vector<double>> reference;
+  for (const AttrSet& r : queries) {
+    reference.push_back(ComputeMarginal(data, r));
+  }
+
+  for (int64_t shard_rows : {int64_t{0}, int64_t{334}}) {
+    const std::string path = TempPath(
+        "equality_" + std::to_string(shard_rows) + ".aim");
+    StoreWriterOptions options;
+    options.shard_rows = shard_rows;
+    ASSERT_TRUE(WriteStore(data, path, options).ok());
+    StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+    EXPECT_EQ((*source)->num_shards(), shard_rows == 0 ? 1 : 3);
+
+    for (int threads : {1, 8}) {
+      ScopedThreads scoped(threads);
+      for (int64_t chunk_rows : {int64_t{1}, int64_t{7}, int64_t{4096}}) {
+        MarginalCountOptions count_options;
+        count_options.chunk_rows = chunk_rows;
+        for (size_t q = 0; q < queries.size(); ++q) {
+          const std::vector<double> streamed =
+              ComputeMarginal(**source, queries[q], 1.0, count_options);
+          ASSERT_EQ(streamed.size(), reference[q].size());
+          for (size_t i = 0; i < streamed.size(); ++i) {
+            // Bitwise equality: integer accumulation makes every chunk
+            // plan, shard split, and thread count produce the same count.
+            ASSERT_EQ(streamed[i], reference[q][i])
+                << "shard_rows=" << shard_rows << " threads=" << threads
+                << " chunk_rows=" << chunk_rows << " query=" << q
+                << " cell=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StoreTest, WideMarginalStreamsAtWidth4) {
+  // A marginal touching the u32-encoded attribute (70000 values), counted
+  // with a chunk plan that actually splits the rows.
+  const Dataset data = MixedWidthDataset(1000);
+  const std::string path = TempPath("wide.aim");
+  StoreWriterOptions options;
+  options.shard_rows = 334;
+  ASSERT_TRUE(WriteStore(data, path, options).ok());
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_TRUE(source.ok());
+
+  const AttrSet r({0, 2});
+  const std::vector<double> in_memory = ComputeMarginal(data, r);
+  MarginalCountOptions count_options;
+  count_options.chunk_rows = 100;
+  const std::vector<double> streamed =
+      ComputeMarginal(**source, r, 1.0, count_options);
+  ASSERT_EQ(in_memory.size(), streamed.size());
+  for (size_t i = 0; i < in_memory.size(); ++i) {
+    ASSERT_EQ(in_memory[i], streamed[i]);
+  }
+}
+
+TEST(StoreTest, WeightedStreamedCountsMatchInMemory) {
+  const Dataset data = MixedWidthDataset(400);
+  const std::string path = TempPath("weighted.aim");
+  ASSERT_TRUE(WriteStore(data, path).ok());
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  const AttrSet r({0, 1});
+  const double weight = 1.0 / 3.0;
+  const std::vector<double> in_memory = ComputeMarginal(data, r, weight);
+  const std::vector<double> streamed = ComputeMarginal(**source, r, weight);
+  ASSERT_EQ(in_memory.size(), streamed.size());
+  for (size_t i = 0; i < in_memory.size(); ++i) {
+    EXPECT_EQ(in_memory[i], streamed[i]);
+  }
+}
+
+TEST(StoreTest, ReleasePagesBoundsResidency) {
+  // A store several hundred times the chunk working set; streaming with
+  // release_pages drops consumed pages, so residency stays well under the
+  // full mapping.
+  const int64_t n = 2000000;
+  std::vector<std::vector<int32_t>> columns(2);
+  columns[0].reserve(n);
+  columns[1].reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    columns[0].push_back(static_cast<int32_t>(i % 250));
+    columns[1].push_back(static_cast<int32_t>((i * 7) % 4000));
+  }
+  const Dataset data = Dataset::FromColumns(Domain::WithSizes({250, 4000}),
+                                            std::move(columns));
+  const std::string path = TempPath("residency.aim");
+  ASSERT_TRUE(WriteStore(data, path).ok());
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_TRUE(source.ok());
+
+  MarginalCountOptions options;
+  options.chunk_rows = 8192;
+  options.release_pages = true;
+  const std::vector<double> streamed =
+      ComputeMarginal(**source, AttrSet({0}), 1.0, options);
+  const std::vector<double> in_memory = ComputeMarginal(data, AttrSet({0}));
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    ASSERT_EQ(streamed[i], in_memory[i]);
+  }
+
+  const int64_t resident = (*source)->ResidentBytes();
+  if (resident < 0) GTEST_SKIP() << "/proc/self/smaps unavailable";
+  EXPECT_LT(resident, (*source)->mapped_bytes() / 2)
+      << "streamed pass left most of the mapping resident";
+}
+
+// ---------------------------------------------------- Corruption defense ----
+
+// `tag` must be unique per test: ctest runs each case as its own process,
+// so a shared scratch path would race between concurrently-running tests.
+std::string SerializedShard(const Dataset& data, const std::string& tag) {
+  const std::string path = TempPath("serialize_" + tag + ".aim");
+  EXPECT_TRUE(WriteStore(data, path).ok());
+  return ReadFileBytes(path);
+}
+
+TEST(StoreTest, RejectsBadMagic) {
+  std::string bytes = SerializedShard(MixedWidthDataset(100), "bad_magic");
+  bytes[0] = 'X';
+  const std::string path = TempPath("bad_magic.aim");
+  WriteFile(path, bytes);
+  StatusOr<StoreReader> reader = StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("bad magic"), std::string::npos);
+  // The source-level opener no longer sees a store, and the bytes are not
+  // a manifest either.
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find("neither an .aim store"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsUnsupportedVersion) {
+  std::string bytes = SerializedShard(MixedWidthDataset(100), "bad_version");
+  bytes[8] = static_cast<char>(0x7f);
+  const std::string path = TempPath("bad_version.aim");
+  WriteFile(path, bytes);
+  StatusOr<StoreReader> reader = StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("unsupported format version"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsTruncatedHeader) {
+  std::string bytes = SerializedShard(MixedWidthDataset(100), "truncated_header");
+  bytes.resize(10);
+  const std::string path = TempPath("truncated_header.aim");
+  WriteFile(path, bytes);
+  StatusOr<StoreReader> reader = StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("too small"), std::string::npos);
+}
+
+TEST(StoreTest, RejectsTruncatedColumns) {
+  std::string bytes = SerializedShard(MixedWidthDataset(100), "truncated_columns");
+  bytes.resize(bytes.size() - 64);
+  const std::string path = TempPath("truncated_columns.aim");
+  WriteFile(path, bytes);
+  StatusOr<StoreReader> reader = StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("out of file bounds"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsFlippedHeaderByte) {
+  std::string bytes = SerializedShard(MixedWidthDataset(100), "flipped_header");
+  // Inside the attribute table (after the fixed prefix): caught by the
+  // whole-header checksum before any entry is trusted.
+  bytes[store_format::kFixedHeaderBytes + 1] ^= 0x40;
+  const std::string path = TempPath("flipped_header.aim");
+  WriteFile(path, bytes);
+  StatusOr<StoreReader> reader = StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("header checksum mismatch"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsFlippedColumnByte) {
+  std::string bytes = SerializedShard(MixedWidthDataset(100), "flipped_column");
+  // The file ends with the last column's final value byte.
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  const std::string path = TempPath("flipped_column.aim");
+  WriteFile(path, bytes);
+  StatusOr<StoreReader> reader = StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("column checksum mismatch"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsOutOfDomainValueOnVerify) {
+  // Hand-build a shard whose checksums are all valid but whose column
+  // holds a value outside the declared domain — exactly the corruption a
+  // checksum cannot catch and the verify scan exists for.
+  const Domain domain = Domain::WithSizes({4});
+  std::vector<std::string> column_bytes(1);
+  column_bytes[0].push_back(static_cast<char>(2));
+  column_bytes[0].push_back(static_cast<char>(9));  // domain is [0, 4)
+  const std::string path = TempPath("out_of_domain.aim");
+  WriteFile(path, SerializeStoreShard(domain, column_bytes, 2));
+
+  StatusOr<StoreReader> verified = StoreReader::Open(path);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_NE(verified.status().ToString().find("out of domain"),
+            std::string::npos);
+
+  StoreOpenOptions trusting;
+  trusting.verify = false;
+  EXPECT_TRUE(StoreReader::Open(path, trusting).ok());
+}
+
+// ------------------------------------------------------------- Manifest ----
+
+// Builds a checksum-valid manifest from raw body lines.
+std::string ManifestWithBody(const std::string& body) {
+  std::string manifest = std::string(store_format::kManifestMagic) + " v1\n" +
+                         body;
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(
+                    store_format::Fnv1a(manifest.data(), manifest.size())));
+  return manifest + "checksum " + checksum + "\n";
+}
+
+TEST(StoreTest, RejectsManifestChecksumMismatch) {
+  const Dataset data = MixedWidthDataset(100);
+  const std::string path = TempPath("manifest_corrupt.aim");
+  StoreWriterOptions options;
+  options.shard_rows = 40;
+  ASSERT_TRUE(WriteStore(data, path, options).ok());
+  std::string manifest = ReadFileBytes(path);
+  const size_t digit = manifest.find("shards ") + 7;
+  manifest[digit] = manifest[digit] == '3' ? '2' : '3';
+  WriteFile(path, manifest);
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsManifestRowCountMismatch) {
+  const Dataset data = MixedWidthDataset(100);
+  const std::string shard = TempPath("rows_mismatch_shard.aim");
+  ASSERT_TRUE(WriteStore(data, shard).ok());
+  const std::string path = TempPath("rows_mismatch.aim");
+  WriteFile(path, ManifestWithBody(
+                      "shards 1\ns rows_mismatch_shard.aim 99\n"));
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find(
+                "row count disagrees with the manifest"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsManifestDomainMismatch) {
+  Rng rng(3);
+  const Dataset a = MixedWidthDataset(50);
+  const Dataset b =
+      SampleRandomBayesNet(Domain::WithSizes({5, 6}), 50, 1, 0.5, rng);
+  const std::string shard_a = TempPath("domain_a.aim");
+  const std::string shard_b = TempPath("domain_b.aim");
+  ASSERT_TRUE(WriteStore(a, shard_a).ok());
+  ASSERT_TRUE(WriteStore(b, shard_b).ok());
+  const std::string path = TempPath("domain_mismatch.aim");
+  WriteFile(path, ManifestWithBody(
+                      "shards 2\ns domain_a.aim 50\ns domain_b.aim 50\n"));
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find("domain disagrees"),
+            std::string::npos);
+}
+
+TEST(StoreTest, RejectsManifestMissingShard) {
+  const std::string path = TempPath("missing_shard.aim");
+  WriteFile(path, ManifestWithBody("shards 1\ns no_such_shard.aim 10\n"));
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StoreTest, RejectsManifestPathTraversal) {
+  const std::string path = TempPath("traversal.aim");
+  WriteFile(path, ManifestWithBody("shards 1\ns ../evil.aim 10\n"));
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find(
+                "must be relative to the manifest"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ Fault injection ----
+
+TEST(StoreTest, StoreReadFaultPointFires) {
+  const Dataset data = MixedWidthDataset(50);
+  const std::string path = TempPath("faulted.aim");
+  ASSERT_TRUE(WriteStore(data, path).ok());
+
+  ScopedFaults faults("store_read:n=1");
+  StatusOr<StoreReader> first = StoreReader::Open(path);
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.status().ToString().find("fault injected: store_read"),
+            std::string::npos);
+  // Only the first hit fires; the retry opens cleanly.
+  EXPECT_TRUE(StoreReader::Open(path).ok());
+}
+
+TEST(StoreTest, StoreSourcePropagatesShardOpenFault) {
+  const Dataset data = MixedWidthDataset(100);
+  const std::string path = TempPath("faulted_sharded.aim");
+  StoreWriterOptions options;
+  options.shard_rows = 40;
+  ASSERT_TRUE(WriteStore(data, path, options).ok());
+
+  ScopedFaults faults("store_read:n=2");
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find("fault injected: store_read"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------------- Writer ----
+
+TEST(StoreTest, WriterRejectsOutOfDomainRecord) {
+  StoreWriter writer(Domain::WithSizes({3, 4}), TempPath("reject.aim"));
+  ASSERT_TRUE(writer.Append({2, 3}).ok());
+  Status bad = writer.Append({2, 4});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("out of domain"), std::string::npos);
+  // The writer is dead after the first error: every later call reports it.
+  EXPECT_FALSE(writer.Append({0, 0}).ok());
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST(StoreTest, WriterRejectsWrongArity) {
+  StoreWriter writer(Domain::WithSizes({3, 4}), TempPath("arity.aim"));
+  Status bad = writer.Append({1});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("1 values"), std::string::npos);
+}
+
+// ------------------------------------------------- Satellites (data/...) ----
+
+TEST(DatasetValidationTest, FromColumnsValidatedAcceptsInDomain) {
+  StatusOr<Dataset> data = Dataset::FromColumnsValidated(
+      Domain::WithSizes({3, 2}), {{0, 1, 2}, {1, 0, 1}});
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_records(), 3);
+  EXPECT_EQ(data->value(2, 0), 2);
+}
+
+TEST(DatasetValidationTest, FromColumnsValidatedRejectsColumnCount) {
+  StatusOr<Dataset> data =
+      Dataset::FromColumnsValidated(Domain::WithSizes({3, 2}), {{0, 1}});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetValidationTest, FromColumnsValidatedRejectsLengthMismatch) {
+  StatusOr<Dataset> data = Dataset::FromColumnsValidated(
+      Domain::WithSizes({3, 2}), {{0, 1, 2}, {1, 0}});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetValidationTest, FromColumnsValidatedRejectsOutOfDomain) {
+  StatusOr<Dataset> data = Dataset::FromColumnsValidated(
+      Domain::WithSizes({3, 2}), {{0, 1, 3}, {1, 0, 1}});
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.status().ToString().find("3"), std::string::npos);
+}
+
+TEST(PreprocessStoreTest, PreprocessedCsvRoundTripsThroughStore) {
+  // CSV -> preprocess -> store -> streamed counts must equal the in-memory
+  // counts on the preprocessed dataset (the csv2aim + aim_cli --data path).
+  RawTable table;
+  table.header = {"color", "score"};
+  const char* colors[] = {"red", "green", "blue"};
+  for (int i = 0; i < 200; ++i) {
+    table.rows.push_back(
+        {colors[i % 3], std::to_string((i * 37) % 100)});
+  }
+  StatusOr<PreprocessResult> prep = Preprocess(table, {});
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+
+  const std::string path = TempPath("preprocessed.aim");
+  StoreWriterOptions options;
+  options.shard_rows = 64;
+  ASSERT_TRUE(WriteStore(prep->dataset, path, options).ok());
+  StatusOr<std::unique_ptr<StoreSource>> source = StoreSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+
+  const AttrSet r({0, 1});
+  const std::vector<double> streamed = ComputeMarginal(**source, r);
+  const std::vector<double> in_memory = ComputeMarginal(prep->dataset, r);
+  ASSERT_EQ(streamed.size(), in_memory.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i], in_memory[i]);
+  }
+}
+
+TEST(DataSourceTest, DatasetSourceExposesZeroCopyViews) {
+  const Dataset data = MixedWidthDataset(64);
+  const DatasetSource source(data);
+  EXPECT_EQ(source.num_shards(), 1);
+  EXPECT_EQ(source.ShardRecords(0), 64);
+  for (int a = 0; a < data.domain().num_attributes(); ++a) {
+    ColumnView view;
+    ASSERT_TRUE(source.TryColumnView(0, a, 16, 64, &view));
+    EXPECT_EQ(view.width, 4);
+    for (int64_t i = 0; i < 48; ++i) {
+      ASSERT_EQ(view.at(i), data.value(16 + i, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aim

@@ -15,9 +15,11 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "data/csv.h"
+#include "data/data_source.h"
 #include "data/preprocess.h"
 #include "dp/accountant.h"
 #include "eval/experiment.h"
@@ -29,6 +31,7 @@
 #include "parallel/thread_pool.h"
 #include "robust/fault.h"
 #include "robust/snapshot.h"
+#include "store/reader.h"
 #include "uncertainty/bounds.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -56,7 +59,11 @@ struct CliFlags {
 };
 
 int Usage() {
-  std::cerr << "usage: aim_cli --input=data.csv [--output=synth.csv]\n"
+  std::cerr << "usage: aim_cli --input=data.{csv,aim} [--output=synth.csv]\n"
+            << "  --data=F                  alias for --input; the format is "
+               "auto-detected from the file content (raw CSV, an .aim "
+               "columnar store, or a csv2aim shard manifest — stores are "
+               "mmap'd and streamed, never fully loaded)\n"
             << "  --epsilon=F --delta=F     privacy budget (default 1.0, "
                "1e-9)\n"
             << "  --workload=all3way|all2way|target:<attribute name>\n"
@@ -99,7 +106,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i], value;
     if (arg == "--report") {
       flags.report = true;
-    } else if (Consume(arg, "--input=", &value)) {
+    } else if (Consume(arg, "--input=", &value) ||
+               Consume(arg, "--data=", &value)) {
       flags.input = value;
     } else if (Consume(arg, "--output=", &value)) {
       flags.output = value;
@@ -165,40 +173,65 @@ int main(int argc, char** argv) {
   }
   if (!flags.metrics_out.empty()) SetMetricsEnabled(true);
 
-  // ---- Load and preprocess.
-  StatusOr<RawTable> table = ReadCsv(flags.input);
-  if (!table.ok()) {
-    std::cerr << "error: " << table.status().ToString() << "\n";
-    return 1;
+  // ---- Load: a raw CSV (parsed + Appendix-A preprocessed) or an .aim
+  // columnar store / shard manifest written by csv2aim (mmap'd and streamed
+  // — the records are never materialized). Auto-detected from the file
+  // content, not the extension.
+  std::unique_ptr<StoreSource> store;
+  std::optional<PreprocessResult> prep;
+  std::optional<DatasetSource> csv_source;
+  const DataSource* source = nullptr;
+  if (IsStoreFile(flags.input)) {
+    StatusOr<std::unique_ptr<StoreSource>> opened =
+        StoreSource::Open(flags.input);
+    if (!opened.ok()) {
+      std::cerr << "error: " << opened.status().ToString() << "\n";
+      return 1;
+    }
+    store = std::move(*opened);
+    source = store.get();
+    std::cerr << "mapped store: " << store->num_records() << " records, "
+              << store->domain().num_attributes() << " attributes, "
+              << store->num_shards() << " shard(s), "
+              << (store->mapped_bytes() >> 20) << " MB\n";
+  } else {
+    StatusOr<RawTable> table = ReadCsv(flags.input);
+    if (!table.ok()) {
+      std::cerr << "error: " << table.status().ToString() << "\n";
+      return 1;
+    }
+    PreprocessOptions prep_options;
+    prep_options.num_bins = flags.bins;
+    StatusOr<PreprocessResult> preprocessed = Preprocess(*table, prep_options);
+    if (!preprocessed.ok()) {
+      std::cerr << "error: " << preprocessed.status().ToString() << "\n";
+      return 1;
+    }
+    prep.emplace(*std::move(preprocessed));
+    csv_source.emplace(prep->dataset);
+    source = &*csv_source;
+    std::cerr << "loaded " << source->num_records() << " records, "
+              << source->domain().num_attributes() << " attributes\n";
   }
-  PreprocessOptions prep_options;
-  prep_options.num_bins = flags.bins;
-  StatusOr<PreprocessResult> prep = Preprocess(*table, prep_options);
-  if (!prep.ok()) {
-    std::cerr << "error: " << prep.status().ToString() << "\n";
-    return 1;
-  }
-  const Dataset& data = prep->dataset;
-  std::cerr << "loaded " << data.num_records() << " records, "
-            << data.domain().num_attributes() << " attributes\n";
+  const Domain& domain = source->domain();
 
   // ---- Workload.
   Workload workload;
   if (flags.workload == "all3way") {
     workload = AllKWayWorkload(
-        data.domain(), std::min(3, data.domain().num_attributes()));
+        domain, std::min(3, domain.num_attributes()));
   } else if (flags.workload == "all2way") {
     workload = AllKWayWorkload(
-        data.domain(), std::min(2, data.domain().num_attributes()));
+        domain, std::min(2, domain.num_attributes()));
   } else if (flags.workload.rfind("target:", 0) == 0) {
     std::string name = flags.workload.substr(7);
-    int target = data.domain().IndexOf(name);
+    int target = domain.IndexOf(name);
     if (target < 0) {
       std::cerr << "error: no attribute named '" << name << "'\n";
       return 1;
     }
     workload = TargetWorkload(
-        data.domain(), std::min(3, data.domain().num_attributes()), target);
+        domain, std::min(3, domain.num_attributes()), target);
   } else {
     return Usage();
   }
@@ -227,7 +260,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     Status valid = ValidateSnapshot(
-        *snapshot, AimRunFingerprint(data.domain(), workload, options, rho),
+        *snapshot, AimRunFingerprint(domain, workload, options, rho),
         rho);
     if (!valid.ok()) {
       std::cerr << "error: cannot resume from '" << flags.resume
@@ -241,7 +274,7 @@ int main(int argc, char** argv) {
 
   AimMechanism mechanism(options);
   Rng rng(flags.seed + 0x41494D);
-  MechanismResult result = mechanism.Run(data, workload, rho, rng);
+  MechanismResult result = mechanism.Run(*source, workload, rho, rng);
   std::cerr << "AIM: " << result.rounds << " rounds, "
             << result.log.measurements.size() << " measurements, "
             << result.seconds << "s"
@@ -260,7 +293,7 @@ int main(int argc, char** argv) {
 
   // ---- Optional quality report.
   if (flags.report) {
-    UncertaintyQuantifier uq(data.domain(), result);
+    UncertaintyQuantifier uq(domain, result);
     TablePrinter report({"workload_marginal", "cells", "supported",
                          "error_bound_95(L1 counts)"});
     for (const auto& q : workload.queries()) {
@@ -268,10 +301,10 @@ int main(int argc, char** argv) {
       std::string names;
       for (int attr : q.attrs) {
         if (!names.empty()) names += "*";
-        names += data.domain().name(attr);
+        names += domain.name(attr);
       }
       report.AddRow(
-          {names, std::to_string(MarginalSize(data.domain(), q.attrs)),
+          {names, std::to_string(MarginalSize(domain, q.attrs)),
            bound.has_value() ? (bound->supported ? "yes" : "no") : "?",
            bound.has_value() ? FormatG(bound->bound) : "n/a"});
     }
