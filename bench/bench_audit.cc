@@ -1,0 +1,121 @@
+// Microbenchmarks for the empirical privacy-auditing harness: exact
+// Clopper-Pearson interval evaluation (the per-audit estimator cost),
+// canary-pair construction, attack-statistic extraction from a measurement
+// log, and a small end-to-end paired audit of MST (the per-pair fan-out
+// cost that dominates audit_cli wall-clock).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "audit/attack.h"
+#include "audit/audit.h"
+#include "audit/canary.h"
+#include "audit/estimator.h"
+#include "data/domain.h"
+#include "dp/accountant.h"
+#include "marginal/workload.h"
+#include "mechanisms/mst.h"
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+const Domain& BenchDomain() {
+  static const Domain* domain = new Domain(Domain::WithSizes({4, 4, 4}));
+  return *domain;
+}
+
+void BM_RegularizedIncompleteBeta(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int k = 1; k <= 64; ++k) {
+      acc += RegularizedIncompleteBeta(x, static_cast<double>(k),
+                                       static_cast<double>(65 - k));
+    }
+    benchmark::DoNotOptimize(acc);
+    x = x < 0.8 ? x + 0.1 : 0.1;
+  }
+}
+BENCHMARK(BM_RegularizedIncompleteBeta);
+
+void BM_ClopperPearsonCi(benchmark::State& state) {
+  const int64_t trials = state.range(0);
+  for (auto _ : state) {
+    for (int64_t k = 0; k <= trials; k += trials / 8) {
+      BinomialCi ci = ClopperPearsonCi(k, trials, 0.95);
+      benchmark::DoNotOptimize(ci);
+    }
+  }
+}
+BENCHMARK(BM_ClopperPearsonCi)->Arg(100)->Arg(10000);
+
+void BM_MakeWorstCaseCanaryPair(benchmark::State& state) {
+  const int64_t records = state.range(0);
+  for (auto _ : state) {
+    CanaryPair pair = MakeWorstCaseCanaryPair(BenchDomain(), records);
+    benchmark::DoNotOptimize(pair);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_MakeWorstCaseCanaryPair)->Arg(500)->Arg(50000);
+
+// Statistic extraction against a realistic measurement log: run MST once,
+// then time the extraction alone (this is what each audit pair pays twice
+// on top of the mechanism run itself).
+void BM_ExtractStatistic(benchmark::State& state) {
+  const AttackStatistic stat = static_cast<AttackStatistic>(state.range(0));
+  static const MechanismResult* result = [] {
+    CanaryPair pair = MakeWorstCaseCanaryPair(BenchDomain(), 500);
+    const Workload workload = AllKWayWorkload(BenchDomain(), 2);
+    Rng rng(7);
+    MstOptions options;
+    options.estimation.max_iters = 100;
+    MstMechanism mst(options);
+    return new MechanismResult(
+        mst.Run(pair.with_canary, workload, CdpRho(1.0, 1e-9), rng));
+  }();
+  static const std::vector<int>* canary = [] {
+    return new std::vector<int>(
+        MakeWorstCaseCanaryPair(BenchDomain(), 500).canary);
+  }();
+  for (auto _ : state) {
+    double value = ExtractStatistic(stat, *result, BenchDomain(), *canary);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_ExtractStatistic)
+    ->Arg(static_cast<int>(AttackStatistic::kMeasurementCanaryMass))
+    ->Arg(static_cast<int>(AttackStatistic::kSyntheticCanaryLikelihood))
+    ->Arg(static_cast<int>(AttackStatistic::kSelectionTrace));
+
+// End-to-end paired audit of MST at a handful of pairs: measures the
+// per-pair cost (two mechanism runs + two extractions + estimator) that
+// audit_cli multiplies by --pairs.
+void BM_RunAuditMst(benchmark::State& state) {
+  MstOptions mst_options;
+  mst_options.estimation.max_iters = 100;
+  const MstMechanism mst(mst_options);
+  const Workload workload = AllKWayWorkload(BenchDomain(), 2);
+  AuditOptions options;
+  options.epsilon = 1.0;
+  options.delta = 1e-9;
+  options.pairs = static_cast<int>(state.range(0));
+  options.num_records = 200;
+  options.seed = 11;
+  for (auto _ : state) {
+    StatusOr<AuditResult> audit =
+        RunAudit(mst, BenchDomain(), workload, options);
+    AIM_CHECK(audit.ok());
+    benchmark::DoNotOptimize(*audit);
+  }
+  state.SetItemsProcessed(state.iterations() * options.pairs);
+}
+BENCHMARK(BM_RunAuditMst)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aim
+
+BENCHMARK_MAIN();

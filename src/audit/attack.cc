@@ -1,0 +1,107 @@
+#include "audit/attack.h"
+
+#include <cmath>
+#include <set>
+
+#include "audit/canary.h"
+#include "marginal/marginal.h"
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+double MeasurementCanaryMass(const MechanismResult& result,
+                             const Domain& domain,
+                             const std::vector<int>& canary) {
+  double mass = 0.0;
+  for (const Measurement& m : result.log.measurements) {
+    if (m.attrs.empty() || m.sigma <= 0.0) continue;
+    const int64_t cell = CanaryCell(domain, m.attrs, canary);
+    AIM_CHECK_LT(cell, static_cast<int64_t>(m.values.size()));
+    mass += m.values[static_cast<size_t>(cell)] / (m.sigma * m.sigma);
+  }
+  return mass;
+}
+
+double SyntheticCanaryLikelihood(const MechanismResult& result,
+                                 const Domain& domain,
+                                 const std::vector<int>& canary) {
+  if (!result.has_synthetic || result.synthetic.num_records() == 0) {
+    return 0.0;
+  }
+  // One term per DISTINCT measured projection: repeated measurements of the
+  // same marginal (AIM re-selects under annealing) carry no extra
+  // information about the synthetic data.
+  std::set<AttrSet> projections;
+  for (const Measurement& m : result.log.measurements) {
+    if (!m.attrs.empty()) projections.insert(m.attrs);
+  }
+  const double n = static_cast<double>(result.synthetic.num_records());
+  double log_lik = 0.0;
+  for (const AttrSet& attrs : projections) {
+    const std::vector<double> marginal =
+        ComputeMarginal(result.synthetic, attrs);
+    const int64_t cell = CanaryCell(domain, attrs, canary);
+    AIM_CHECK_LT(cell, static_cast<int64_t>(marginal.size()));
+    const double cells = static_cast<double>(marginal.size());
+    // Add-one smoothing keeps the term finite when the synthetic data never
+    // generated the canary's cell (the overwhelmingly common case under D).
+    log_lik += std::log((marginal[static_cast<size_t>(cell)] + 1.0) /
+                        (n + cells));
+  }
+  return log_lik;
+}
+
+double SelectionTrace(const MechanismResult& result) {
+  double trace = 0.0;
+  for (const RoundInfo& round : result.log.rounds) {
+    const double scale = round.sigma > 0.0 ? round.sigma : 1.0;
+    trace += round.estimated_error_on_selected / scale;
+  }
+  return trace;
+}
+
+}  // namespace
+
+const char* ToString(AttackStatistic statistic) {
+  switch (statistic) {
+    case AttackStatistic::kMeasurementCanaryMass:
+      return "measurement";
+    case AttackStatistic::kSyntheticCanaryLikelihood:
+      return "synthetic";
+    case AttackStatistic::kSelectionTrace:
+      return "selection";
+  }
+  return "unknown";
+}
+
+StatusOr<AttackStatistic> ParseAttackStatistic(const std::string& name) {
+  if (name == "measurement" || name == "measurement-canary-mass") {
+    return AttackStatistic::kMeasurementCanaryMass;
+  }
+  if (name == "synthetic" || name == "synthetic-canary-likelihood") {
+    return AttackStatistic::kSyntheticCanaryLikelihood;
+  }
+  if (name == "selection" || name == "selection-trace") {
+    return AttackStatistic::kSelectionTrace;
+  }
+  return InvalidArgumentError("unknown attack statistic '" + name +
+                              "' (want measurement|synthetic|selection)");
+}
+
+double ExtractStatistic(AttackStatistic statistic,
+                        const MechanismResult& result, const Domain& domain,
+                        const std::vector<int>& canary) {
+  switch (statistic) {
+    case AttackStatistic::kMeasurementCanaryMass:
+      return MeasurementCanaryMass(result, domain, canary);
+    case AttackStatistic::kSyntheticCanaryLikelihood:
+      return SyntheticCanaryLikelihood(result, domain, canary);
+    case AttackStatistic::kSelectionTrace:
+      return SelectionTrace(result);
+  }
+  AIM_CHECK(false) << "unreachable attack statistic";
+  return 0.0;
+}
+
+}  // namespace aim

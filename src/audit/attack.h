@@ -1,0 +1,58 @@
+// Per-trial distinguishing statistics for the privacy audit.
+//
+// Each statistic maps one MechanismResult to a scalar that should be
+// stochastically larger when the canary was in the input. The audit
+// thresholds the statistic to turn each trial into a binary membership
+// guess (see estimator.h for how guesses become epsilon bounds).
+
+#ifndef AIM_AUDIT_ATTACK_H_
+#define AIM_AUDIT_ATTACK_H_
+
+#include <string>
+#include <vector>
+
+#include "data/domain.h"
+#include "mechanisms/mechanism.h"
+#include "util/status.h"
+
+namespace aim {
+
+enum class AttackStatistic {
+  // Σ_m ỹ_m[canary cell] / σ_m² over the noisy measurements in the log —
+  // the sufficient statistic of the Gaussian likelihood-ratio test between
+  // "canary counted once" and "canary counted never" when the base dataset
+  // contributes zero mass to the cell (which the worst-case pair
+  // guarantees). The strongest attack: it reads the measurements the
+  // mechanism actually released through its DP channel, with effect size
+  // sqrt(2 · rho_measured) standard deviations.
+  kMeasurementCanaryMass,
+
+  // Smoothed log-likelihood of the canary record under the synthetic
+  // data's marginals on each measured projection (add-one smoothing, one
+  // term per distinct measured attribute set). Attacks the released
+  // synthetic records only — what a real adversary holding just the
+  // product sees. 0 when the mechanism produced no synthetic data.
+  kSyntheticCanaryLikelihood,
+
+  // Σ_t estimated_error_on_selected / σ_t over the selection rounds: the
+  // canary inflates the model-vs-data gap on marginals it touches, nudging
+  // AIM's adaptive selection. Degenerates to 0 for mechanisms that do not
+  // record per-round estimated errors (MST).
+  kSelectionTrace,
+};
+
+const char* ToString(AttackStatistic statistic);
+
+// Parses "measurement" / "synthetic" / "selection" (full enum-ish names
+// accepted too); InvalidArgumentError otherwise.
+StatusOr<AttackStatistic> ParseAttackStatistic(const std::string& name);
+
+// Extracts the statistic from one run's result. `canary` is the full
+// d-tuple of the audited record.
+double ExtractStatistic(AttackStatistic statistic,
+                        const MechanismResult& result, const Domain& domain,
+                        const std::vector<int>& canary);
+
+}  // namespace aim
+
+#endif  // AIM_AUDIT_ATTACK_H_

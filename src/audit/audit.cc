@@ -1,0 +1,201 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "dp/accountant.h"
+#include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+#include "parallel/parallel.h"
+#include "robust/fault.h"
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+// Shares the eval harness's per-trial fault point so one AIM_FAULTS spec
+// covers both fan-outs.
+const FaultPointRegistration kTrialRunFault{"trial_run"};
+
+// Median of the pooled statistics, computed from a sorted copy — a
+// deterministic, symmetric threshold that does not favor either side.
+double PooledMedian(const std::vector<double>& base,
+                    const std::vector<double>& canary) {
+  std::vector<double> pooled;
+  pooled.reserve(base.size() + canary.size());
+  pooled.insert(pooled.end(), base.begin(), base.end());
+  pooled.insert(pooled.end(), canary.begin(), canary.end());
+  std::sort(pooled.begin(), pooled.end());
+  const size_t n = pooled.size();
+  if (n % 2 == 1) return pooled[n / 2];
+  return 0.5 * (pooled[n / 2 - 1] + pooled[n / 2]);
+}
+
+}  // namespace
+
+StatusOr<AuditResult> RunAudit(const Mechanism& mechanism,
+                               const Domain& domain,
+                               const Workload& workload,
+                               const AuditOptions& options) {
+  if (options.pairs < 1) {
+    return InvalidArgumentError("audit needs at least one pair");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return InvalidArgumentError("audited epsilon must be positive");
+  }
+  if (!(options.delta > 0.0 && options.delta < 1.0)) {
+    return InvalidArgumentError("audited delta must be in (0, 1)");
+  }
+  if (!(options.confidence > 0.0 && options.confidence < 1.0)) {
+    return InvalidArgumentError("confidence must be in (0, 1)");
+  }
+  const auto start_time = std::chrono::steady_clock::now();
+  const CanaryPair pair =
+      MakeWorstCaseCanaryPair(domain, options.num_records);
+  const double rho = CdpRho(options.epsilon, options.delta);
+
+  AuditResult audit;
+  audit.mechanism = mechanism.name();
+  audit.claimed_epsilon = options.epsilon;
+  audit.delta = options.delta;
+  audit.rho = rho;
+  audit.statistic = options.statistic;
+
+  struct PairOutcome {
+    double base = 0.0;
+    double canary = 0.0;
+    bool failed = false;
+    std::string message;
+  };
+  const bool traced = TraceEnabled();
+  const bool metered = MetricsEnabled();
+  // Pair fan-out mirrors RunTrials: outcome t is a pure function of
+  // (options.seed, t) and the shared read-only inputs, so the results are
+  // bitwise identical for every thread count. Both sides of a pair replay
+  // the SAME TrialRng stream — the mechanism consumes randomness in the
+  // same order on D and D', so every draw not causally downstream of the
+  // canary is literally shared, maximizing the attack's power (the
+  // randomized-response view of auditing with coupled randomness).
+  std::vector<PairOutcome> outcomes =
+      ParallelMap(options.pairs, [&](int64_t t) {
+        LapClock clock(traced || metered);
+        PairOutcome outcome;
+        try {
+          if (ShouldInjectFault("trial_run", static_cast<uint64_t>(t))) {
+            throw FaultInjectedError("trial_run");
+          }
+          Rng base_rng = TrialRng(options.seed, t);
+          Rng canary_rng = TrialRng(options.seed, t);
+          const MechanismResult base_result =
+              mechanism.Run(pair.base, workload, rho, base_rng);
+          const MechanismResult canary_result =
+              mechanism.Run(pair.with_canary, workload, rho, canary_rng);
+          outcome.base = ExtractStatistic(options.statistic, base_result,
+                                          domain, pair.canary);
+          outcome.canary = ExtractStatistic(options.statistic, canary_result,
+                                            domain, pair.canary);
+        } catch (const std::exception& e) {
+          outcome.failed = true;
+          outcome.message = e.what();
+        }
+        const double wall = clock.Lap();
+        if (metered) {
+          MetricsRegistry& registry = MetricsRegistry::Global();
+          static Counter& pairs_counter = registry.counter("audit.pairs");
+          static Counter& failures_counter =
+              registry.counter("audit.pair_failures");
+          static Histogram& pair_hist =
+              registry.histogram("audit.pair_seconds");
+          pairs_counter.Add(1);
+          if (outcome.failed) failures_counter.Add(1);
+          pair_hist.Observe(wall);
+        }
+        if (traced) {
+          TraceEvent event("audit_pair");
+          event.Set("mechanism", mechanism.name())
+              .Set("pair", t)
+              .Set("failed", outcome.failed);
+          if (outcome.failed) {
+            event.Set("error_message", outcome.message);
+          } else {
+            event.Set("base_stat", outcome.base)
+                .Set("canary_stat", outcome.canary);
+          }
+          event.Set("seconds", wall);
+          EmitTrace(event);
+        }
+        return outcome;
+      });
+
+  audit.base_stats.reserve(static_cast<size_t>(options.pairs));
+  audit.canary_stats.reserve(static_cast<size_t>(options.pairs));
+  for (int t = 0; t < options.pairs; ++t) {
+    const PairOutcome& outcome = outcomes[static_cast<size_t>(t)];
+    if (outcome.failed) {
+      audit.failures.push_back({t, outcome.message});
+      continue;
+    }
+    audit.base_stats.push_back(outcome.base);
+    audit.canary_stats.push_back(outcome.canary);
+  }
+  const int64_t successes = static_cast<int64_t>(audit.base_stats.size());
+  if (successes == 0) {
+    return InternalError("audit: every pair failed (first failure: " +
+                         audit.failures.front().message + ")");
+  }
+
+  audit.threshold = PooledMedian(audit.base_stats, audit.canary_stats);
+  int64_t true_positives = 0, false_positives = 0;
+  for (double s : audit.canary_stats) {
+    if (s > audit.threshold) ++true_positives;
+  }
+  for (double s : audit.base_stats) {
+    if (s > audit.threshold) ++false_positives;
+  }
+  audit.estimate = EstimateEpsilon(true_positives, false_positives,
+                                   successes, options.delta,
+                                   options.confidence);
+  audit.refuted = audit.estimate.eps_lower > options.epsilon;
+  audit.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_time)
+                      .count();
+
+  if (metered) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Gauge& claimed_gauge = registry.gauge("audit.eps_claimed");
+    static Gauge& lower_gauge = registry.gauge("audit.eps_lower");
+    static Gauge& upper_gauge = registry.gauge("audit.eps_upper");
+    static Counter& audits_counter = registry.counter("audit.audits");
+    static Counter& refuted_counter = registry.counter("audit.refutations");
+    claimed_gauge.Set(options.epsilon);
+    lower_gauge.Set(audit.estimate.eps_lower);
+    upper_gauge.Set(audit.estimate.eps_upper);
+    audits_counter.Add(1);
+    if (audit.refuted) refuted_counter.Add(1);
+  }
+  if (traced) {
+    TraceEvent event("audit");
+    event.Set("mechanism", audit.mechanism)
+        .Set("statistic", ToString(audit.statistic))
+        .Set("eps_claimed", audit.claimed_epsilon)
+        .Set("delta", audit.delta)
+        .Set("rho", audit.rho)
+        .Set("pairs", static_cast<int64_t>(options.pairs))
+        .Set("failed_pairs", static_cast<int64_t>(audit.failures.size()))
+        .Set("threshold", audit.threshold)
+        .Set("tpr", audit.estimate.tpr)
+        .Set("fpr", audit.estimate.fpr)
+        .Set("eps_point", audit.estimate.eps_point)
+        .Set("eps_lower", audit.estimate.eps_lower)
+        .Set("eps_upper", audit.estimate.eps_upper)
+        .Set("refuted", audit.refuted)
+        .Set("seconds", audit.seconds);
+    EmitTrace(event);
+  }
+  return audit;
+}
+
+}  // namespace aim

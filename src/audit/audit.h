@@ -1,0 +1,91 @@
+// The empirical privacy auditing harness: paired mechanism runs on a
+// worst-case neighboring pair, a thresholded distinguishing attack, and
+// Clopper-Pearson epsilon bounds compared against the accountant's claim.
+//
+// Threat model and statistic definitions: DESIGN.md "Privacy auditing".
+
+#ifndef AIM_AUDIT_AUDIT_H_
+#define AIM_AUDIT_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/attack.h"
+#include "audit/canary.h"
+#include "audit/estimator.h"
+#include "marginal/workload.h"
+#include "mechanisms/mechanism.h"
+
+namespace aim {
+
+struct AuditOptions {
+  // The claimed (epsilon, delta) guarantee under audit. The mechanism runs
+  // at rho = CdpRho(epsilon, delta), exactly as the eval harness would.
+  double epsilon = 1.0;
+  double delta = 1e-9;
+
+  // Paired trials. Each pair runs the mechanism once on D and once on
+  // D ∪ {canary} with IDENTICAL per-trial Rng streams (TrialRng(seed, t)),
+  // so the only difference between the two runs is the canary itself.
+  int pairs = 100;
+
+  // Records in the base dataset D.
+  int64_t num_records = 500;
+
+  AttackStatistic statistic = AttackStatistic::kMeasurementCanaryMass;
+
+  // Two-sided coverage of the Clopper-Pearson intervals (0.95 = the usual
+  // "95% CI" whose edges bound the empirical epsilon).
+  double confidence = 0.95;
+
+  uint64_t seed = 0;
+};
+
+struct AuditResult {
+  std::string mechanism;
+  double claimed_epsilon = 0.0;
+  double delta = 0.0;
+  double rho = 0.0;  // the zCDP budget each run received
+  AttackStatistic statistic = AttackStatistic::kMeasurementCanaryMass;
+
+  // Attack statistics of the successful pairs, in trial order.
+  std::vector<double> base_stats;    // runs on D
+  std::vector<double> canary_stats;  // runs on D'
+
+  // The decision threshold (median of the pooled statistics; a trial is
+  // flagged "canary present" when its statistic exceeds it).
+  double threshold = 0.0;
+
+  EpsEstimate estimate;
+
+  // True when the sound lower bound exceeds the claim — empirical evidence
+  // (at the configured confidence) that the mechanism is NOT
+  // (claimed_epsilon, delta)-DP.
+  bool refuted = false;
+
+  // Pairs excluded from the bound because either side failed (fault
+  // injection at "trial_run", estimation errors). Failed pairs are never
+  // silently counted; the estimate uses only base_stats/canary_stats.
+  struct PairFailure {
+    int pair = 0;
+    std::string message;
+  };
+  std::vector<PairFailure> failures;
+
+  double seconds = 0.0;
+};
+
+// Runs the full audit of `mechanism` on the worst-case canary pair over
+// `domain` (every attribute size >= 2). Deterministic given (options.seed,
+// thread count independent); fault point "trial_run" (keyed by the pair
+// index) fails individual pairs. Returns an error when every pair failed
+// or the options are inconsistent.
+StatusOr<AuditResult> RunAudit(const Mechanism& mechanism,
+                               const Domain& domain,
+                               const Workload& workload,
+                               const AuditOptions& options);
+
+}  // namespace aim
+
+#endif  // AIM_AUDIT_AUDIT_H_

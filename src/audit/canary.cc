@@ -1,0 +1,46 @@
+#include "audit/canary.h"
+
+#include "marginal/marginal.h"
+#include "util/logging.h"
+
+namespace aim {
+
+CanaryPair MakeWorstCaseCanaryPair(const Domain& domain,
+                                   int64_t num_records) {
+  AIM_CHECK_GE(num_records, 1);
+  const int d = domain.num_attributes();
+  AIM_CHECK_GE(d, 1);
+  for (int a = 0; a < d; ++a) {
+    AIM_CHECK_GE(domain.size(a), 2)
+        << "canary construction needs attribute " << a
+        << " to have at least 2 values";
+  }
+  CanaryPair pair;
+  pair.base = Dataset(domain);
+  pair.base.Reserve(num_records);
+  std::vector<int> record(d);
+  for (int64_t r = 0; r < num_records; ++r) {
+    for (int a = 0; a < d; ++a) {
+      record[a] = static_cast<int>((r + a) % (domain.size(a) - 1));
+    }
+    pair.base.AppendRecord(record);
+  }
+  pair.canary.resize(d);
+  for (int a = 0; a < d; ++a) pair.canary[a] = domain.size(a) - 1;
+  pair.with_canary = pair.base;
+  pair.with_canary.AppendRecord(pair.canary);
+  return pair;
+}
+
+int64_t CanaryCell(const Domain& domain, const AttrSet& attrs,
+                   const std::vector<int>& canary) {
+  AIM_CHECK(!attrs.empty());
+  AIM_CHECK_EQ(static_cast<int>(canary.size()), domain.num_attributes());
+  MarginalIndexer indexer(domain, attrs);
+  std::vector<int> tuple;
+  tuple.reserve(static_cast<size_t>(attrs.size()));
+  for (int a : attrs) tuple.push_back(canary[static_cast<size_t>(a)]);
+  return indexer.IndexOfTuple(tuple);
+}
+
+}  // namespace aim

@@ -1,0 +1,45 @@
+// Worst-case neighboring dataset pairs for empirical privacy auditing.
+//
+// The auditor plays the membership-inference game of "Tight Auditing of
+// Differential Privacy" style attacks: run the mechanism on D and on
+// D' = D ∪ {canary} and try to tell the two apart from the output. The
+// distinguishing power is maximized when the canary is as far from the rest
+// of the data as the domain allows, so the pair here is crafted such that
+// the canary's cell has mass exactly 0 under D and exactly 1 under D' on
+// EVERY marginal projection of the domain.
+
+#ifndef AIM_AUDIT_CANARY_H_
+#define AIM_AUDIT_CANARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/domain.h"
+#include "marginal/attr_set.h"
+
+namespace aim {
+
+// A neighboring pair (D, D ∪ {canary}) under the add/remove adjacency the
+// zCDP accounting assumes.
+struct CanaryPair {
+  Dataset base;         // D: num_records records
+  Dataset with_canary;  // D': the same records plus the canary, appended last
+  std::vector<int> canary;  // the distinguished record
+};
+
+// Builds the worst-case pair: base record r takes value (r + a) % (n_a - 1)
+// on attribute a, so no base record ever touches coordinate n_a - 1, and the
+// canary sits at (n_1 - 1, ..., n_d - 1). Hence every marginal projection
+// has zero mass at the canary's cell under D and mass 1 under D'. Requires
+// num_records >= 1 and every attribute size >= 2 (CHECK-enforced).
+CanaryPair MakeWorstCaseCanaryPair(const Domain& domain, int64_t num_records);
+
+// Cell index of the canary record in the marginal on `attrs`, under the
+// library's row-major marginal convention.
+int64_t CanaryCell(const Domain& domain, const AttrSet& attrs,
+                   const std::vector<int>& canary);
+
+}  // namespace aim
+
+#endif  // AIM_AUDIT_CANARY_H_

@@ -1,0 +1,139 @@
+#include "audit/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+// Continued-fraction evaluation of the incomplete beta function (Lentz's
+// method, the standard Numerical-Recipes-style formulation). Converges in a
+// few dozen iterations for the x < (a+1)/(a+b+2) regime the caller ensures.
+double BetaContinuedFraction(double x, double a, double b) {
+  constexpr int kMaxIters = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIters; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+// Smallest p in [0, 1] with I_p(a, b) >= target (I is increasing in p).
+double InverseRegularizedBeta(double target, double a, double b) {
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (RegularizedIncompleteBeta(mid, a, b) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double x, double a, double b) {
+  AIM_CHECK_GT(a, 0.0);
+  AIM_CHECK_GT(b, 0.0);
+  AIM_CHECK(x >= 0.0 && x <= 1.0) << "x=" << x;
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the continued fraction on whichever side converges fast and reflect
+  // via I_x(a, b) = 1 - I_{1-x}(b, a) for the other.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(x, a, b) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(1.0 - x, b, a) / b;
+}
+
+BinomialCi ClopperPearsonCi(int64_t successes, int64_t trials,
+                            double confidence) {
+  AIM_CHECK_GE(trials, 1);
+  AIM_CHECK(successes >= 0 && successes <= trials)
+      << successes << "/" << trials;
+  AIM_CHECK(confidence > 0.0 && confidence < 1.0);
+  const double alpha = 1.0 - confidence;
+  const double k = static_cast<double>(successes);
+  const double n = static_cast<double>(trials);
+  BinomialCi ci;
+  // Beta quantile form of the exact binomial tail inversion: lo is the
+  // alpha/2 quantile of Beta(k, n - k + 1), i.e. I_lo(k, n - k + 1) =
+  // alpha/2, and hi is the 1 - alpha/2 quantile of Beta(k + 1, n - k).
+  if (successes > 0) {
+    ci.lo = InverseRegularizedBeta(alpha / 2.0, k, n - k + 1.0);
+  }
+  if (successes < trials) {
+    ci.hi = InverseRegularizedBeta(1.0 - alpha / 2.0, k + 1.0, n - k);
+  }
+  return ci;
+}
+
+double EpsFromRates(double tpr, double fpr, double delta) {
+  const double inf = std::numeric_limits<double>::infinity();
+  auto direction = [&](double hit, double miss) {
+    // eps >= log((hit - delta) / miss); no constraint when the numerator
+    // does not clear delta.
+    if (hit - delta <= 0.0) return 0.0;
+    if (miss <= 0.0) return inf;
+    return std::log((hit - delta) / miss);
+  };
+  const double forward = direction(tpr, fpr);
+  const double reverse = direction(1.0 - fpr, 1.0 - tpr);
+  return std::max({0.0, forward, reverse});
+}
+
+EpsEstimate EstimateEpsilon(int64_t true_positives, int64_t false_positives,
+                            int64_t pairs, double delta, double confidence) {
+  AIM_CHECK_GE(pairs, 1);
+  EpsEstimate estimate;
+  estimate.pairs = pairs;
+  estimate.true_positives = true_positives;
+  estimate.false_positives = false_positives;
+  const double n = static_cast<double>(pairs);
+  estimate.tpr = static_cast<double>(true_positives) / n;
+  estimate.fpr = static_cast<double>(false_positives) / n;
+  estimate.tpr_ci = ClopperPearsonCi(true_positives, pairs, confidence);
+  estimate.fpr_ci = ClopperPearsonCi(false_positives, pairs, confidence);
+  estimate.eps_point = EpsFromRates(estimate.tpr, estimate.fpr, delta);
+  estimate.eps_lower =
+      EpsFromRates(estimate.tpr_ci.lo, estimate.fpr_ci.hi, delta);
+  estimate.eps_upper =
+      EpsFromRates(estimate.tpr_ci.hi, estimate.fpr_ci.lo, delta);
+  return estimate;
+}
+
+}  // namespace aim

@@ -1,0 +1,66 @@
+// From membership guesses to empirical epsilon bounds.
+//
+// An (eps, delta)-DP mechanism constrains every distinguishing attack on a
+// neighboring pair by
+//     TPR <= e^eps * FPR + delta   and   TNR <= e^eps * FNR + delta,
+// so observed rates imply eps >= max(log((TPR-delta)/FPR),
+// log((TNR-delta)/FNR)). Replacing the rates with exact Clopper-Pearson
+// confidence limits gives high-confidence lower (conservative limits) and
+// upper (optimistic limits) edges for the empirical epsilon.
+
+#ifndef AIM_AUDIT_ESTIMATOR_H_
+#define AIM_AUDIT_ESTIMATOR_H_
+
+#include <cstdint>
+
+namespace aim {
+
+// Regularized incomplete beta function I_x(a, b), for the Clopper-Pearson
+// limits. Exposed for tests; a, b > 0, x in [0, 1].
+double RegularizedIncompleteBeta(double x, double a, double b);
+
+struct BinomialCi {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+// Exact (Clopper-Pearson) two-sided confidence interval for a binomial
+// proportion: `successes` out of `trials` at the given two-sided coverage
+// (e.g. 0.95). lo = 0 when successes = 0 and hi = 1 when successes =
+// trials, as usual.
+BinomialCi ClopperPearsonCi(int64_t successes, int64_t trials,
+                            double confidence);
+
+// The empirical epsilon implied by a (TPR, FPR) operating point under the
+// given delta: max over the two DP directions, clamped at 0. Returns +inf
+// when a denominator rate is exactly 0 while the numerator clears delta
+// (a perfect distinguisher is inconsistent with every finite epsilon).
+double EpsFromRates(double tpr, double fpr, double delta);
+
+struct EpsEstimate {
+  int64_t pairs = 0;  // classified trials per side
+  int64_t true_positives = 0;   // canary runs flagged "canary present"
+  int64_t false_positives = 0;  // base runs flagged "canary present"
+  double tpr = 0.0;
+  double fpr = 0.0;
+  BinomialCi tpr_ci;
+  BinomialCi fpr_ci;
+  // Point estimate at the raw rates; conservative edge (tpr lower limit,
+  // fpr upper limit) — a sound high-confidence LOWER bound on epsilon; and
+  // optimistic edge (tpr upper limit, fpr lower limit) — the largest
+  // epsilon the confidence region still allows. eps_upper may be +inf when
+  // the fpr lower limit is 0.
+  double eps_point = 0.0;
+  double eps_lower = 0.0;
+  double eps_upper = 0.0;
+};
+
+// Computes rates, Clopper-Pearson intervals, and the three epsilon figures
+// from the attack's confusion counts. `pairs` >= 1; counts within [0,
+// pairs]; confidence in (0, 1).
+EpsEstimate EstimateEpsilon(int64_t true_positives, int64_t false_positives,
+                            int64_t pairs, double delta, double confidence);
+
+}  // namespace aim
+
+#endif  // AIM_AUDIT_ESTIMATOR_H_

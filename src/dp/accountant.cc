@@ -1,9 +1,11 @@
 #include "dp/accountant.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -33,7 +35,20 @@ double CdpDelta(double rho, double eps) {
   AIM_CHECK_GE(eps, 0.0);
   if (rho == 0.0) return 0.0;
   DeltaContext ctx{rho, eps};
-  double best_u = GoldenSectionMinimize(&LogDeltaOfU, &ctx, -40.0, 40.0, 200);
+  // The minimizing alpha sits near (rho + eps) / (2 rho) (the stationary
+  // point of the quadratic term), i.e. u* ~= log((eps - rho) / (2 rho)).
+  // A fixed u-bracket of [-40, 40] caps alpha at 1 + e^40 ~= 2.4e17: for
+  // very small rho the true minimizer lies beyond it and the truncated
+  // minimum silently OVERestimates delta (and so every epsilon derived
+  // from it — the audit's reference claim included). Widen the upper edge
+  // to cover the stationary point, capped so 1 + e^u stays finite.
+  double u_hi = 40.0;
+  if (eps > rho) {
+    const double u_star = std::log((eps - rho) / (2.0 * rho));
+    if (std::isfinite(u_star)) u_hi = std::max(u_hi, u_star + 5.0);
+    u_hi = std::min(u_hi, 700.0);
+  }
+  double best_u = GoldenSectionMinimize(&LogDeltaOfU, &ctx, -40.0, u_hi, 200);
   double log_delta = LogDeltaOfU(best_u, &ctx);
   double delta = std::exp(log_delta);
   return std::min(delta, 1.0);
@@ -130,6 +145,12 @@ void PrivacyFilter::Spend(double rho) {
   AIM_CHECK(CanSpend(rho)) << "privacy filter overspend: spent=" << spent_
                            << " rho=" << rho << " budget=" << budget_;
   spent_ += rho;
+  // The CanSpend tolerance admits a final spend that overshoots the budget
+  // by floating-point dust; without this clamp the run would end with
+  // spent_ > budget_ and report a rho_used the accountant cannot honor.
+  // The clamp lands the ledger on the exact budget instead.
+  if (spent_ > budget_) spent_ = budget_;
+  ledger_.push_back(spent_);
 }
 
 Status PrivacyFilter::RestoreSpent(double spent) {
@@ -143,8 +164,25 @@ Status PrivacyFilter::RestoreSpent(double spent) {
         "privacy filter: restored ledger " + std::to_string(spent) +
         " exceeds budget " + std::to_string(budget_));
   }
-  spent_ = spent;
+  spent_ = std::min(spent, budget_);
+  ledger_.assign(1, spent_);
   return Status::Ok();
+}
+
+double PrivacyFilter::Finish() const {
+  AIM_CHECK_LE(spent_, budget_)
+      << "privacy filter finished overspent: spent=" << spent_
+      << " budget=" << budget_;
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Gauge& spent_gauge = registry.gauge("dp.filter.spent");
+    static Gauge& budget_gauge = registry.gauge("dp.filter.budget");
+    static Counter& finish_counter = registry.counter("dp.filter.finishes");
+    spent_gauge.Set(spent_);
+    budget_gauge.Set(budget_);
+    finish_counter.Add(1);
+  }
+  return spent_;
 }
 
 }  // namespace aim

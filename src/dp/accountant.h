@@ -4,6 +4,8 @@
 #ifndef AIM_DP_ACCOUNTANT_H_
 #define AIM_DP_ACCOUNTANT_H_
 
+#include <vector>
+
 #include "util/status.h"
 
 namespace aim {
@@ -36,6 +38,13 @@ double ExponentialRho(double eps);
 // Privacy filter (Rogers et al.): a ledger of adaptively-spent zCDP budget
 // that refuses to overspend. AIM's stopping rule is "run until the filter
 // is exactly exhausted".
+//
+// Invariant: spent() <= budget() always. A spend that lands inside the
+// CanSpend numerical tolerance but past the budget (the "final round" of a
+// run that divides the budget into floating-point slices) is clamped to the
+// exact remaining budget, so the ledger never reports a claim the
+// accountant cannot back — the empirical audit harness (src/audit/)
+// reconciles spent() against the claimed CdpEps(budget, delta).
 class PrivacyFilter {
  public:
   explicit PrivacyFilter(double rho_budget);
@@ -49,17 +58,33 @@ class PrivacyFilter {
   bool CanSpend(double rho) const;
 
   // Records spending `rho`; CHECK-fails on overspend beyond tolerance.
+  // Within tolerance, the ledger is clamped so spent() never exceeds
+  // budget().
   void Spend(double rho);
 
   // Restores the ledger to a previously-recorded position (checkpoint
   // resume). Unlike Spend this returns a Status rather than CHECK-failing:
   // an overspent or negative position comes from a snapshot file, i.e. an
-  // input error, not a programming error. Uses the CanSpend tolerance.
+  // input error, not a programming error. Uses the CanSpend tolerance (and
+  // the same clamp, so the invariant survives resume).
   Status RestoreSpent(double spent);
+
+  // Per-spend ledger snapshots: entry i is the ledger position after the
+  // i-th recorded spend (clamping included; reset by RestoreSpent). The
+  // audit harness reads this to reconcile per-round trace records against
+  // the accountant.
+  const std::vector<double>& ledger() const { return ledger_; }
+
+  // Finalizes the ledger: asserts the spent() <= budget() invariant,
+  // publishes dp.filter.{spent,budget} gauges when metrics are enabled, and
+  // returns the final spent(). Mechanisms call this once before reporting
+  // rho_used.
+  double Finish() const;
 
  private:
   double budget_;
   double spent_ = 0.0;
+  std::vector<double> ledger_;
 };
 
 }  // namespace aim

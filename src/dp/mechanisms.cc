@@ -20,6 +20,22 @@ std::vector<double> AddGaussianNoise(const std::vector<double>& values,
 int NoisyMax(const std::vector<double>& scores, double gumbel_scale,
              Rng& rng) {
   AIM_CHECK(!scores.empty());
+  // Degenerate slate: every candidate filtered to -inf. Gumbel noise leaves
+  // every perturbed score at -inf, so the scan below would never update and
+  // return index 0 deterministically — a biased pick that leaks nothing but
+  // also samples nothing. The exponential mechanism conditioned on such a
+  // slate is uniform, so draw uniformly (consuming the RNG deterministically
+  // to keep paired/replayed streams aligned).
+  bool any_finite = false;
+  for (double s : scores) {
+    if (s > -std::numeric_limits<double>::infinity()) {
+      any_finite = true;
+      break;
+    }
+  }
+  if (!any_finite) {
+    return static_cast<int>(rng.UniformInt(scores.size()));
+  }
   int best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < scores.size(); ++i) {

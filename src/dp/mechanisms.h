@@ -26,6 +26,9 @@ int ExponentialMechanism(const std::vector<double>& scores, double eps,
 // Report-noisy-max with Gumbel noise of the given scale added to each score
 // (equivalent to the exponential mechanism with eps/(2*sensitivity) =
 // 1/scale). Exposed for mechanisms (RAP) specified in this form.
+// A slate where every score is -inf (every candidate filtered out) selects
+// uniformly at random — the exponential mechanism's conditional
+// distribution over such a slate — instead of degenerating to index 0.
 int NoisyMax(const std::vector<double>& scores, double gumbel_scale, Rng& rng);
 
 // Generalized exponential mechanism (Raskhodnikova & Smith [39]) for

@@ -32,6 +32,14 @@ std::vector<double> PaperEpsilonGrid() {
 
 std::vector<double> SmallEpsilonGrid() { return {0.1, 1.0, 10.0}; }
 
+Rng TrialRng(uint64_t seed, int64_t trial) {
+  // Knuth multiplicative spread of the sweep seed plus the trial index, so
+  // adjacent seeds do not produce overlapping trial streams. The audit's
+  // paired runs (src/audit/) replay this exact derivation on both sides of
+  // a neighboring-dataset pair.
+  return Rng(seed * 2654435761ULL + static_cast<uint64_t>(trial) + 1);
+}
+
 TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
                      const Workload& workload, double epsilon, double delta,
                      int trials, uint64_t seed) {
@@ -90,7 +98,7 @@ TrialStats RunTrials(const Mechanism& mechanism, const DataSource& source,
           if (ShouldInjectFault("trial_run", static_cast<uint64_t>(t))) {
             throw FaultInjectedError("trial_run");
           }
-          Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(t) + 1);
+          Rng rng = TrialRng(seed, t);
           MechanismResult result =
               in_memory != nullptr
                   ? mechanism.Run(*in_memory, workload, rho, rng)

@@ -4,6 +4,7 @@
 #ifndef AIM_EVAL_EXPERIMENT_H_
 #define AIM_EVAL_EXPERIMENT_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "data/dataset.h"
 #include "marginal/workload.h"
 #include "mechanisms/mechanism.h"
+#include "util/rng.h"
 
 namespace aim {
 
@@ -44,9 +46,14 @@ struct TrialStats {
   std::vector<TrialFailure> failures;
 };
 
+// The Rng driving trial `trial` of a sweep seeded with `seed`. Exposed so
+// other fan-outs that must replay the exact per-trial streams (the privacy
+// audit's paired runs in src/audit/) derive them from one place.
+Rng TrialRng(uint64_t seed, int64_t trial);
+
 // Runs `trials` independent executions of the mechanism at (eps, delta)
 // (converted to the zCDP budget via CdpRho) and reports workload-error
-// statistics. Trial t uses an Rng seeded deterministically from `seed` + t.
+// statistics. Trial t uses TrialRng(seed, t).
 // Fault point "trial_run" (keyed by t) injects a per-trial failure.
 TrialStats RunTrials(const Mechanism& mechanism, const Dataset& data,
                      const Workload& workload, double epsilon, double delta,

@@ -673,7 +673,8 @@ MechanismResult AimMechanism::Run(const DataSource& source,
                               : static_cast<int64_t>(std::llround(total));
   result.synthetic = GenerateSyntheticData(model, synth_records, rng);
   result.log.measurements = std::move(measurements);
-  result.rho_used = filter.spent();
+  result.rho_used = filter.Finish();
+  result.rho_ledger = filter.ledger();
   result.rounds = static_cast<int>(round);
   result.total_estimate = total;
   result.final_model = std::move(model);

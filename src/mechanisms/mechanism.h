@@ -64,6 +64,11 @@ struct MechanismResult {
 
   double rho_budget = 0.0;
   double rho_used = 0.0;
+  // Cumulative privacy-filter ledger: spent rho after each Spend call, in
+  // spend order (AIM and MST fill this; see PrivacyFilter::ledger()). The
+  // audit harness reads it to report how much of the claimed budget the
+  // distinguishing statistics could actually draw on.
+  std::vector<double> rho_ledger;
   int rounds = 0;
   double total_estimate = 0.0;
   double seconds = 0.0;

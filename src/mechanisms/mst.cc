@@ -101,7 +101,8 @@ MechanismResult MstMechanism::Run(const Dataset& data,
                               : static_cast<int64_t>(std::llround(total));
   result.synthetic = GenerateSyntheticData(model, synth_records, rng);
   result.log.measurements = std::move(measurements);
-  result.rho_used = filter.spent();
+  result.rho_used = filter.Finish();
+  result.rho_ledger = filter.ledger();
   result.rounds = d;
   result.total_estimate = total;
   result.final_model = std::move(model);

@@ -1,0 +1,383 @@
+// Tests for the empirical privacy auditing harness (src/audit/): canary
+// pair construction, the Clopper-Pearson estimator, attack statistics,
+// paired-trial determinism across thread counts, fault-injection isolation,
+// and the end-to-end claim check for AIM and MST.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/attack.h"
+#include "audit/audit.h"
+#include "audit/canary.h"
+#include "audit/estimator.h"
+#include "marginal/marginal.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "mechanisms/mst.h"
+#include "parallel/thread_pool.h"
+#include "robust/fault.h"
+
+namespace aim {
+namespace {
+
+// ---------------------------------------------------------------- canary --
+
+TEST(CanaryTest, WorstCasePairShape) {
+  const Domain domain = Domain::WithSizes({4, 3, 5});
+  const CanaryPair pair = MakeWorstCaseCanaryPair(domain, 100);
+  EXPECT_EQ(pair.base.num_records(), 100);
+  EXPECT_EQ(pair.with_canary.num_records(), 101);
+  ASSERT_EQ(pair.canary.size(), 3u);
+  EXPECT_EQ(pair.canary[0], 3);
+  EXPECT_EQ(pair.canary[1], 2);
+  EXPECT_EQ(pair.canary[2], 4);
+  // The first 100 records agree between the two sides.
+  for (int64_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(pair.base.Record(r), pair.with_canary.Record(r));
+  }
+  EXPECT_EQ(pair.with_canary.Record(100), pair.canary);
+}
+
+TEST(CanaryTest, CanaryCellIsEmptyUnderBaseOnEveryProjection) {
+  const Domain domain = Domain::WithSizes({4, 3, 5});
+  const CanaryPair pair = MakeWorstCaseCanaryPair(domain, 200);
+  // Every 1-way and 2-way projection: zero mass under D, exactly 1 under D'.
+  for (const Workload& workload :
+       {AllKWayWorkload(domain, 1), AllKWayWorkload(domain, 2),
+        AllKWayWorkload(domain, 3)}) {
+    for (const WorkloadQuery& query : workload.queries()) {
+      const int64_t cell = CanaryCell(domain, query.attrs, pair.canary);
+      const std::vector<double> base_marginal =
+          ComputeMarginal(pair.base, query.attrs);
+      const std::vector<double> canary_marginal =
+          ComputeMarginal(pair.with_canary, query.attrs);
+      ASSERT_LT(cell, static_cast<int64_t>(base_marginal.size()));
+      EXPECT_EQ(base_marginal[static_cast<size_t>(cell)], 0.0)
+          << query.attrs.ToString();
+      EXPECT_EQ(canary_marginal[static_cast<size_t>(cell)], 1.0)
+          << query.attrs.ToString();
+    }
+  }
+}
+
+TEST(CanaryTest, MassConservation) {
+  const Domain domain = Domain::WithSizes({3, 3});
+  const CanaryPair pair = MakeWorstCaseCanaryPair(domain, 50);
+  const std::vector<double> marginal =
+      ComputeMarginal(pair.base, AttrSet({0, 1}));
+  double total = 0.0;
+  for (double v : marginal) total += v;
+  EXPECT_EQ(total, 50.0);
+}
+
+// ------------------------------------------------------------- estimator --
+
+TEST(EstimatorTest, RegularizedIncompleteBetaKnownValues) {
+  // I_x(1, 1) = x (the uniform CDF).
+  for (double x : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(x, 1.0, 1.0), x, 1e-12);
+  }
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(0.3, 2.0, 5.0),
+              1.0 - RegularizedIncompleteBeta(0.7, 5.0, 2.0), 1e-12);
+  // I_{1/2}(a, a) = 1/2 for every symmetric Beta.
+  EXPECT_NEAR(RegularizedIncompleteBeta(0.5, 3.0, 3.0), 0.5, 1e-12);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(RegularizedIncompleteBeta(0.2, 1.0, 4.0),
+              1.0 - std::pow(0.8, 4.0), 1e-12);
+}
+
+TEST(EstimatorTest, ClopperPearsonBoundaries) {
+  // k = 0: lo pinned to 0, hi = 1 - (alpha/2)^(1/n).
+  const BinomialCi zero = ClopperPearsonCi(0, 10, 0.95);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_NEAR(zero.hi, 1.0 - std::pow(0.025, 0.1), 1e-9);
+  // k = n mirrors it.
+  const BinomialCi full = ClopperPearsonCi(10, 10, 0.95);
+  EXPECT_NEAR(full.lo, std::pow(0.025, 0.1), 1e-9);
+  EXPECT_EQ(full.hi, 1.0);
+}
+
+TEST(EstimatorTest, ClopperPearsonInteriorMatchesReference) {
+  // 5/10 at 95%: the textbook exact interval is (0.1871, 0.8129).
+  const BinomialCi ci = ClopperPearsonCi(5, 10, 0.95);
+  EXPECT_NEAR(ci.lo, 0.1871, 5e-4);
+  EXPECT_NEAR(ci.hi, 0.8129, 5e-4);
+  // The interval contains the point estimate and is a proper interval.
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+}
+
+TEST(EstimatorTest, ClopperPearsonWidensWithConfidence) {
+  const BinomialCi narrow = ClopperPearsonCi(30, 100, 0.90);
+  const BinomialCi wide = ClopperPearsonCi(30, 100, 0.99);
+  EXPECT_LT(wide.lo, narrow.lo);
+  EXPECT_GT(wide.hi, narrow.hi);
+}
+
+TEST(EstimatorTest, EpsFromRates) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // No advantage -> no bound.
+  EXPECT_EQ(EpsFromRates(0.5, 0.5, 1e-9), 0.0);
+  // Textbook point: eps >= log(0.9 / 0.1) = log 9.
+  EXPECT_NEAR(EpsFromRates(0.9, 0.1, 0.0), std::log(9.0), 1e-12);
+  // The reverse (TNR/FNR) direction binds when FPR is tiny and TPR modest.
+  EXPECT_NEAR(EpsFromRates(0.5, 0.01, 0.0),
+              std::max(std::log(0.5 / 0.01), std::log(0.99 / 0.5)), 1e-12);
+  // A perfect distinguisher is inconsistent with every finite epsilon.
+  EXPECT_EQ(EpsFromRates(1.0, 0.0, 1e-9), inf);
+  // The guess direction is fixed a priori (larger statistic = canary
+  // present), so an anti-correlated classifier yields no bound — flipping
+  // the guess after seeing the data would invalidate the confidence
+  // statement.
+  EXPECT_EQ(EpsFromRates(0.0, 0.9, 0.0), 0.0);
+  // Delta absorbs small advantages entirely.
+  EXPECT_EQ(EpsFromRates(0.05, 0.0, 0.1), 0.0);
+}
+
+TEST(EstimatorTest, EstimateEpsilonOrdersItsEdges) {
+  const EpsEstimate estimate = EstimateEpsilon(70, 30, 100, 1e-9, 0.95);
+  EXPECT_EQ(estimate.true_positives, 70);
+  EXPECT_EQ(estimate.false_positives, 30);
+  EXPECT_NEAR(estimate.tpr, 0.7, 1e-12);
+  EXPECT_NEAR(estimate.fpr, 0.3, 1e-12);
+  EXPECT_LE(estimate.eps_lower, estimate.eps_point);
+  EXPECT_LE(estimate.eps_point, estimate.eps_upper);
+  EXPECT_GT(estimate.eps_point, 0.0);
+  EXPECT_TRUE(std::isfinite(estimate.eps_upper));
+}
+
+// ---------------------------------------------------------------- attack --
+
+TEST(AttackTest, ParseRoundTrips) {
+  for (AttackStatistic statistic :
+       {AttackStatistic::kMeasurementCanaryMass,
+        AttackStatistic::kSyntheticCanaryLikelihood,
+        AttackStatistic::kSelectionTrace}) {
+    StatusOr<AttackStatistic> parsed =
+        ParseAttackStatistic(ToString(statistic));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, statistic);
+  }
+  EXPECT_FALSE(ParseAttackStatistic("no-such-statistic").ok());
+}
+
+TEST(AttackTest, MeasurementMassReadsTheLog) {
+  const Domain domain = Domain::WithSizes({3, 3});
+  const std::vector<int> canary = {2, 2};
+  MechanismResult result;
+  Measurement m;
+  m.attrs = AttrSet({0});
+  m.values = {1.0, 2.0, 5.0};  // canary cell = index 2
+  m.sigma = 2.0;
+  result.log.measurements.push_back(m);
+  Measurement m2;
+  m2.attrs = AttrSet({0, 1});
+  m2.values = std::vector<double>(9, 0.0);
+  m2.values[8] = 3.0;  // cell of (2,2) in row-major 3x3
+  m2.sigma = 1.0;
+  result.log.measurements.push_back(m2);
+  const double mass =
+      ExtractStatistic(AttackStatistic::kMeasurementCanaryMass, result,
+                       domain, canary);
+  EXPECT_NEAR(mass, 5.0 / 4.0 + 3.0 / 1.0, 1e-12);
+}
+
+TEST(AttackTest, SelectionTraceZeroWithoutRoundErrors) {
+  MechanismResult result;
+  RoundInfo round;
+  round.sigma = 0.0;
+  round.estimated_error_on_selected = 0.0;
+  result.log.rounds.push_back(round);
+  EXPECT_EQ(ExtractStatistic(AttackStatistic::kSelectionTrace, result,
+                             Domain::WithSizes({2}), {1}),
+            0.0);
+}
+
+// ----------------------------------------------------------------- audit --
+
+AuditOptions SmallAuditOptions() {
+  AuditOptions options;
+  options.epsilon = 1.0;
+  options.delta = 1e-9;
+  options.pairs = 12;
+  options.num_records = 200;
+  options.seed = 11;
+  return options;
+}
+
+MstMechanism SmallMst() { return MstMechanism(); }
+
+AimMechanism SmallAim() {
+  AimOptions options;
+  options.rounds_per_attribute = 4;
+  options.round_estimation.max_iters = 40;
+  options.final_estimation.max_iters = 60;
+  return AimMechanism(options);
+}
+
+TEST(AuditTest, RejectsBadOptions) {
+  const Domain domain = Domain::WithSizes({3, 3});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const MstMechanism mst = SmallMst();
+  AuditOptions options = SmallAuditOptions();
+  options.pairs = 0;
+  EXPECT_FALSE(RunAudit(mst, domain, workload, options).ok());
+  options = SmallAuditOptions();
+  options.delta = 0.0;
+  EXPECT_FALSE(RunAudit(mst, domain, workload, options).ok());
+  options = SmallAuditOptions();
+  options.confidence = 1.0;
+  EXPECT_FALSE(RunAudit(mst, domain, workload, options).ok());
+}
+
+TEST(AuditTest, PairedTrialsAreDeterministicAcrossThreadCounts) {
+  const Domain domain = Domain::WithSizes({3, 3, 3});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const MstMechanism mst = SmallMst();
+  const AuditOptions options = SmallAuditOptions();
+  SetParallelThreads(1);
+  const StatusOr<AuditResult> serial =
+      RunAudit(mst, domain, workload, options);
+  SetParallelThreads(8);
+  const StatusOr<AuditResult> parallel =
+      RunAudit(mst, domain, workload, options);
+  SetParallelThreads(0);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  // Bitwise-identical statistics, threshold, and bounds: the audit fan-out
+  // inherits the ParallelMap determinism contract.
+  EXPECT_EQ(serial->base_stats, parallel->base_stats);
+  EXPECT_EQ(serial->canary_stats, parallel->canary_stats);
+  EXPECT_EQ(serial->threshold, parallel->threshold);
+  EXPECT_EQ(serial->estimate.eps_lower, parallel->estimate.eps_lower);
+  EXPECT_EQ(serial->estimate.eps_upper, parallel->estimate.eps_upper);
+}
+
+TEST(AuditTest, FaultedPairsAreExcludedAndSurvivorsUnchanged) {
+  const Domain domain = Domain::WithSizes({3, 3, 3});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const MstMechanism mst = SmallMst();
+  const AuditOptions options = SmallAuditOptions();
+  const StatusOr<AuditResult> clean =
+      RunAudit(mst, domain, workload, options);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(static_cast<int>(clean->base_stats.size()), options.pairs);
+
+  StatusOr<AuditResult> faulted = InternalError("unset");
+  {
+    // Keyed fault: pair index 3 (hit key 3 = 4th hit) fails regardless of
+    // scheduling.
+    ScopedFaults faults("trial_run:n=4");
+    faulted = RunAudit(mst, domain, workload, options);
+  }
+  ASSERT_TRUE(faulted.ok());
+  ASSERT_EQ(faulted->failures.size(), 1u);
+  EXPECT_EQ(faulted->failures[0].pair, 3);
+  ASSERT_EQ(static_cast<int>(faulted->base_stats.size()),
+            options.pairs - 1);
+  // Survivors are bitwise identical to the clean run's corresponding
+  // trials: arming faults cannot change the trials that do not fire.
+  std::vector<double> expected_base, expected_canary;
+  for (int t = 0; t < options.pairs; ++t) {
+    if (t == 3) continue;
+    expected_base.push_back(clean->base_stats[static_cast<size_t>(t)]);
+    expected_canary.push_back(clean->canary_stats[static_cast<size_t>(t)]);
+  }
+  EXPECT_EQ(faulted->base_stats, expected_base);
+  EXPECT_EQ(faulted->canary_stats, expected_canary);
+  // The bound is computed from the survivors only.
+  EXPECT_EQ(faulted->estimate.pairs, options.pairs - 1);
+}
+
+TEST(AuditTest, AllPairsFailedIsAnError) {
+  const Domain domain = Domain::WithSizes({3, 3});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const MstMechanism mst = SmallMst();
+  AuditOptions options = SmallAuditOptions();
+  options.pairs = 3;
+  ScopedFaults faults("trial_run:after=0");  // every pair fails
+  EXPECT_FALSE(RunAudit(mst, domain, workload, options).ok());
+}
+
+TEST(AuditTest, StrongBudgetSeparatesPerfectly) {
+  // At eps = 100 the Gaussian noise is tiny against the canary's unit mass,
+  // so the measurement statistic separates the two sides completely and
+  // the sound lower bound is strictly positive (yet far below the claim —
+  // finite trials cannot certify eps = 100).
+  const Domain domain = Domain::WithSizes({3, 3, 3});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const MstMechanism mst = SmallMst();
+  AuditOptions options = SmallAuditOptions();
+  options.epsilon = 100.0;
+  options.pairs = 16;
+  const StatusOr<AuditResult> audit =
+      RunAudit(mst, domain, workload, options);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->estimate.tpr, 1.0);
+  EXPECT_EQ(audit->estimate.fpr, 0.0);
+  EXPECT_GT(audit->estimate.eps_lower, 0.0);
+  EXPECT_FALSE(audit->refuted);
+}
+
+TEST(AuditTest, MstClaimConsistentAtModestEpsilon) {
+  const Domain domain = Domain::WithSizes({4, 4, 4});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const MstMechanism mst = SmallMst();
+  AuditOptions options = SmallAuditOptions();
+  options.pairs = 40;
+  options.num_records = 500;
+  options.seed = 5;
+  const StatusOr<AuditResult> audit =
+      RunAudit(mst, domain, workload, options);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_FALSE(audit->refuted);
+  EXPECT_LE(audit->estimate.eps_lower, options.epsilon);
+  // The acceptance bar: even the OPTIMISTIC confidence edge stays within
+  // the accountant's claim at this operating point.
+  EXPECT_LE(audit->estimate.eps_upper, options.epsilon);
+}
+
+TEST(AuditTest, AimClaimConsistentAtModestEpsilon) {
+  const Domain domain = Domain::WithSizes({4, 4, 4});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const AimMechanism aim = SmallAim();
+  AuditOptions options = SmallAuditOptions();
+  options.pairs = 40;
+  options.num_records = 500;
+  options.seed = 5;
+  const StatusOr<AuditResult> audit =
+      RunAudit(aim, domain, workload, options);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_FALSE(audit->refuted);
+  EXPECT_LE(audit->estimate.eps_upper, options.epsilon);
+  // AIM fills the per-spend rho ledger; the audit's budget reconciliation
+  // depends on it ending exactly at rho_used.
+  EXPECT_GT(audit->base_stats.size(), 0u);
+}
+
+TEST(AuditTest, SyntheticStatisticSeparatesUnderStrongBudget) {
+  const Domain domain = Domain::WithSizes({3, 3, 3});
+  const Workload workload = AllKWayWorkload(domain, 2);
+  const MstMechanism mst = SmallMst();
+  AuditOptions options = SmallAuditOptions();
+  options.epsilon = 100.0;
+  options.pairs = 12;
+  options.statistic = AttackStatistic::kSyntheticCanaryLikelihood;
+  const StatusOr<AuditResult> audit =
+      RunAudit(mst, domain, workload, options);
+  ASSERT_TRUE(audit.ok());
+  // The canary runs assign the canary cell strictly more synthetic
+  // likelihood on average.
+  double base_mean = 0.0, canary_mean = 0.0;
+  for (double s : audit->base_stats) base_mean += s;
+  for (double s : audit->canary_stats) canary_mean += s;
+  EXPECT_GT(canary_mean, base_mean);
+}
+
+}  // namespace
+}  // namespace aim

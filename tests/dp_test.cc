@@ -115,6 +115,31 @@ TEST(AccountantTest, CdpEpsHugeRho) {
   }
 }
 
+TEST(AccountantTest, CdpEpsStaysWithinClosedFormBound) {
+  // Property: the Proposition-4 conversion is at least as tight as the
+  // standard closed form eps <= rho + 2*sqrt(rho*log(1/delta)) everywhere.
+  // Regression for the fixed golden-section bracket: with u capped at 40
+  // (alpha <= 1 + e^40), very small rho pushed the true minimizer past the
+  // bracket and CdpDelta overestimated, so CdpEps exceeded the closed form
+  // (the tiny-rho x tiny-delta corner of this grid fails pre-fix).
+  const double kRhos[] = {1e-42, 1e-40, 1e-36, 1e-32, 1e-20,
+                          1e-10, 1e-4,  1e-1,  1.0,   10.0};
+  const double kDeltas[] = {1e-300, 1e-30, 1e-9, 1e-3};
+  for (double rho : kRhos) {
+    for (double delta : kDeltas) {
+      const double eps = CdpEps(rho, delta);
+      const double bound = rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta));
+      ASSERT_TRUE(std::isfinite(eps)) << "rho=" << rho << " delta=" << delta;
+      EXPECT_LE(eps, bound * (1.0 + 1e-6) + 1e-300)
+          << "rho=" << rho << " delta=" << delta;
+      // Round-trip admissibility: the returned eps really does deliver the
+      // requested delta under the accountant's own CdpDelta.
+      EXPECT_LE(CdpDelta(rho, eps), delta * (1.0 + 1e-6))
+          << "rho=" << rho << " delta=" << delta;
+    }
+  }
+}
+
 TEST(AccountantTest, CdpEpsTinyDeltaHugeRhoCombined) {
   const double eps = CdpEps(1e8, 1e-300);
   ASSERT_TRUE(std::isfinite(eps));
@@ -166,6 +191,41 @@ TEST(PrivacyFilterTest, ToleratesFloatSlack) {
   filter.Spend(0.1);
   EXPECT_TRUE(filter.CanSpend(0.1));  // 0.30000000000000004 vs 0.3
   filter.Spend(0.1);
+  // The tolerance admits the last spend, but the ledger clamps to the
+  // exact budget: the filter never *reports* more than it was given.
+  EXPECT_EQ(filter.spent(), 0.3);
+  EXPECT_EQ(filter.remaining(), 0.0);
+}
+
+TEST(PrivacyFilterTest, ClampsFinalSpendToBudget) {
+  // Regression: 0.1 + 0.1 + 0.1 > 0.3 in doubles. Before the clamp, the
+  // final round of a budget split into floating-point slices left
+  // spent_ > budget_ — a ledger claiming more rho than the accountant
+  // granted, which the audit harness would flag as a reconciliation
+  // failure. Finish() asserts the invariant.
+  PrivacyFilter filter(0.3);
+  filter.Spend(0.1);
+  filter.Spend(0.1);
+  filter.Spend(0.1);
+  EXPECT_LE(filter.spent(), filter.budget());
+  EXPECT_EQ(filter.spent(), 0.3);
+  EXPECT_EQ(filter.Finish(), 0.3);
+}
+
+TEST(PrivacyFilterTest, LedgerRecordsEverySpend) {
+  PrivacyFilter filter(1.0);
+  filter.Spend(0.25);
+  filter.Spend(0.5);
+  filter.Spend(0.25);
+  ASSERT_EQ(filter.ledger().size(), 3u);
+  EXPECT_EQ(filter.ledger()[0], 0.25);
+  EXPECT_EQ(filter.ledger()[1], 0.75);
+  EXPECT_EQ(filter.ledger()[2], 1.0);
+  EXPECT_EQ(filter.ledger().back(), filter.spent());
+  // A restore replaces the history with the restored position.
+  ASSERT_TRUE(filter.RestoreSpent(0.4).ok());
+  ASSERT_EQ(filter.ledger().size(), 1u);
+  EXPECT_EQ(filter.ledger()[0], 0.4);
 }
 
 TEST(PrivacyFilterDeathTest, RefusesOverspend) {
@@ -190,8 +250,10 @@ TEST(PrivacyFilterTest, RestoreSpentBoundaries) {
   EXPECT_TRUE(filter.RestoreSpent(0.0).ok());
   EXPECT_TRUE(filter.RestoreSpent(0.3).ok());
   // The Spend/CanSpend float slack applies: three 0.1 spends sum to
-  // 0.30000000000000004, and a snapshot of that ledger must restore.
+  // 0.30000000000000004, and a snapshot of that ledger must restore —
+  // clamped to the exact budget, preserving the spent <= budget invariant.
   EXPECT_TRUE(filter.RestoreSpent(0.1 + 0.1 + 0.1).ok());
+  EXPECT_EQ(filter.spent(), 0.3);
   // Beyond the tolerance is an input error (a corrupt or foreign
   // snapshot), reported as a Status rather than a crash.
   Status overspent = filter.RestoreSpent(0.31);
@@ -203,7 +265,7 @@ TEST(PrivacyFilterTest, RestoreSpentBoundaries) {
   Status nan = filter.RestoreSpent(std::nan(""));
   EXPECT_FALSE(nan.ok());
   // A failed restore leaves the ledger untouched.
-  EXPECT_EQ(filter.spent(), 0.1 + 0.1 + 0.1);
+  EXPECT_EQ(filter.spent(), 0.3);
 }
 
 // ------------------------------------------------------------ gaussian ----
@@ -281,6 +343,62 @@ TEST(NoisyMaxTest, ZeroScaleIsArgmax) {
   Rng rng(7);
   std::vector<double> scores = {0.5, -1.0, 2.0};
   EXPECT_EQ(NoisyMax(scores, 0.0, rng), 2);
+}
+
+TEST(NoisyMaxTest, AllNegInfSelectsUniformly) {
+  // Regression: when every candidate is filtered to -inf, Gumbel noise
+  // leaves every perturbed score at -inf, `s > best_score` never fired, and
+  // index 0 was returned deterministically — a biased choice. The fix falls
+  // back to a uniform draw.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> scores(3, -inf);
+  Rng rng(11);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    int pick = NoisyMax(scores, 1.0, rng);
+    ASSERT_GE(pick, 0);
+    ASSERT_LT(pick, 3);
+    ++counts[pick];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(NoisyMaxTest, AllNegInfFallbackIsDeterministic) {
+  // The fallback consumes the RNG deterministically: the same seed replays
+  // the same picks (checkpoint/resume and the audit's paired trials depend
+  // on byte-stable replay).
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> scores(5, -inf);
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(NoisyMax(scores, 2.0, a), NoisyMax(scores, 2.0, b));
+  }
+}
+
+TEST(NoisyMaxTest, OneFiniteScoreAmongNegInfWins) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> scores = {-inf, 3.0, -inf};
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(NoisyMax(scores, 1.0, rng), 1);
+  }
+}
+
+TEST(ExponentialMechanismTest, AllNegInfSelectsUniformly) {
+  // The exponential mechanism delegates to NoisyMax, so an all-filtered
+  // slate is uniform there too.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> scores(4, -inf);
+  Rng rng(17);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[ExponentialMechanism(scores, 1.0, 1.0, rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.02);
+  }
 }
 
 }  // namespace
