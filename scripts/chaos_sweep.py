@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Chaos sweep: deterministic fault injection against the real CLI binaries.
+
+For every fault point a binary registers (discovered via
+`--list-fault-points`) and a set of injection modes (one-shot, later-shot,
+seeded coin flips), run the tool with AIM_FAULTS armed and assert the
+failure-containment invariant the repo documents in DESIGN.md
+("Failure model & recovery"):
+
+  * the process exits with a documented typed code (0, 1, 2, 4, 5, 6, 7, 8)
+    — never a signal death, never an abort;
+  * exit 0 => the output artifact exists and is bitwise-identical to the
+    fault-free reference run (faults that were retried away or only cost
+    checkpoints/trace lines must not perturb the result);
+  * exit != 0 => NO output artifact is left behind (no partial or torn
+    files; recovery artifacts like checkpoints and traces are exempt).
+
+On top of the sweep, a corrupted-checkpoint kill/resume case: crash a
+checkpointed run mid-flight, flip a byte in the NEWEST checkpoint
+generation, and require the resume to fall back to an older generation and
+still reproduce the reference output bitwise — at --threads=1 and
+--threads=8.
+
+Usage: scripts/chaos_sweep.py [--build-dir build] [--work-dir DIR]
+Exits 0 when every case holds; prints each violation and exits 1 otherwise.
+The work dir is kept on failure so CI can upload it as an artifact.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+TYPED_EXITS = {0, 1, 2, 4, 5, 6, 7, 8}
+FAULT_SPECS = ["n=1", "n=3", "p=0.5,seed=9"]
+
+failures = []
+
+
+def report(case, message):
+    failures.append(f"{case}: {message}")
+    print(f"FAIL {case}: {message}", flush=True)
+
+
+def run(cmd, faults=None, timeout=300):
+    env = dict(os.environ)
+    env.pop("AIM_FAULTS", None)
+    env.pop("AIM_TRACE", None)
+    if faults:
+        env["AIM_FAULTS"] = faults
+    return subprocess.run(cmd, env=env, capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def flip_byte(path, offset_divisor=2):
+    data = bytearray(read_bytes(path))
+    data[len(data) // offset_divisor] ^= 0x01
+    with open(path, "wb") as f:
+        f.write(bytes(data))
+
+
+def write_precoded_csv(path, rows=4000):
+    """Deterministic integer-coded dataset (domain sizes 2,3,4,3,2)."""
+    sizes = [2, 3, 4, 3, 2]
+    lines = [",".join(f"a{i}" for i in range(len(sizes)))]
+    state = 42
+    for _ in range(rows):
+        values = []
+        for size in sizes:
+            state = (state * 1103515245 + 12345) % 2147483648
+            values.append(str(state % size))
+        lines.append(",".join(values))
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    return ",".join(str(s) for s in sizes)
+
+
+def list_fault_points(binary):
+    proc = run([binary, "--list-fault-points"])
+    if proc.returncode != 0:
+        report(f"{os.path.basename(binary)} --list-fault-points",
+               f"exit {proc.returncode}: {proc.stderr.strip()}")
+        return []
+    return [line for line in proc.stdout.splitlines() if line]
+
+
+def check_exit(case, proc):
+    """Typed exit code, never a signal death. Returns False on violation."""
+    if proc.returncode < 0:
+        report(case, f"killed by signal {-proc.returncode} "
+                     f"(stderr: {proc.stderr.strip()[-300:]})")
+        return False
+    if proc.returncode not in TYPED_EXITS:
+        report(case, f"undocumented exit code {proc.returncode} "
+                     f"(stderr: {proc.stderr.strip()[-300:]})")
+        return False
+    return True
+
+
+def sweep_aim_cli(cli, store_path, work):
+    """Fault sweep over aim_cli running synthesis from a sharded store."""
+    base_flags = [
+        f"--input={store_path}", "--epsilon=0.5", "--workload=all2way",
+        "--seed=7", "--threads=2",
+    ]
+
+    ref_dir = os.path.join(work, "aim_ref")
+    os.makedirs(ref_dir, exist_ok=True)
+    ref_out = os.path.join(ref_dir, "synth.csv")
+    proc = run([cli] + base_flags + [
+        f"--output={ref_out}",
+        f"--checkpoint-out={os.path.join(ref_dir, 'ckpt.snap')}",
+        "--checkpoint-generations=2",
+        f"--trace-out={os.path.join(ref_dir, 'trace.jsonl')}",
+    ])
+    if proc.returncode != 0:
+        report("aim_cli reference", f"exit {proc.returncode}: {proc.stderr}")
+        return None
+    reference = read_bytes(ref_out)
+
+    for point in list_fault_points(cli):
+        for spec in FAULT_SPECS:
+            case = f"aim_cli {point}:{spec}"
+            case_dir = os.path.join(work, f"aim_{point}_{spec.split('=')[0]}"
+                                          f"_{spec.replace('=', '').replace(',', '_').replace('.', '')}")
+            shutil.rmtree(case_dir, ignore_errors=True)
+            os.makedirs(case_dir)
+            out = os.path.join(case_dir, "synth.csv")
+            proc = run([cli] + base_flags + [
+                f"--output={out}",
+                f"--checkpoint-out={os.path.join(case_dir, 'ckpt.snap')}",
+                "--checkpoint-generations=2",
+                f"--trace-out={os.path.join(case_dir, 'trace.jsonl')}",
+            ], faults=f"{point}:{spec}")
+            if not check_exit(case, proc):
+                continue
+            if proc.returncode == 0:
+                if not os.path.exists(out):
+                    report(case, "exit 0 but no output file")
+                elif read_bytes(out) != reference:
+                    report(case, "exit 0 but output differs from the "
+                                 "fault-free reference")
+            else:
+                if os.path.exists(out):
+                    report(case, f"exit {proc.returncode} left an output "
+                                 "artifact behind")
+            print(f"ok   {case} (exit {proc.returncode})", flush=True)
+    return reference
+
+
+def store_files(store_path):
+    """The manifest/single file plus any shards next to it."""
+    directory = os.path.dirname(store_path)
+    stem = os.path.basename(store_path)
+    if stem.endswith(".aim"):
+        stem = stem[: -len(".aim")]
+    found = []
+    for name in sorted(os.listdir(directory)):
+        if name == os.path.basename(store_path) or (
+                name.startswith(stem + ".") and name.endswith(".aim")):
+            found.append(os.path.join(directory, name))
+    return found
+
+
+def sweep_csv2aim(csv2aim, precoded_csv, domain_sizes, work):
+    """Fault sweep over csv2aim (sharded conversion + cleanup contract)."""
+    ref_dir = os.path.join(work, "csv2aim_ref")
+    os.makedirs(ref_dir, exist_ok=True)
+    ref_store = os.path.join(ref_dir, "data.aim")
+    flags = [f"--input={precoded_csv}", f"--domain-sizes={domain_sizes}",
+             "--shard-rows=1500"]
+    proc = run([csv2aim] + flags + [f"--output={ref_store}"])
+    if proc.returncode != 0:
+        report("csv2aim reference", f"exit {proc.returncode}: {proc.stderr}")
+        return None
+    reference = {os.path.basename(p): read_bytes(p)
+                 for p in store_files(ref_store)}
+
+    for point in list_fault_points(csv2aim):
+        for spec in FAULT_SPECS:
+            case = f"csv2aim {point}:{spec}"
+            case_dir = os.path.join(
+                work, f"c2a_{point}_{spec.replace('=', '').replace(',', '_').replace('.', '')}")
+            shutil.rmtree(case_dir, ignore_errors=True)
+            os.makedirs(case_dir)
+            out = os.path.join(case_dir, "data.aim")
+            proc = run([csv2aim] + flags + [f"--output={out}"],
+                       faults=f"{point}:{spec}")
+            if not check_exit(case, proc):
+                continue
+            produced = store_files(out)
+            if proc.returncode == 0:
+                got = {os.path.basename(p): read_bytes(p) for p in produced}
+                if got != reference:
+                    report(case, "exit 0 but the store differs from the "
+                                 "fault-free conversion")
+            else:
+                # The cleanup contract: a failed conversion leaves the
+                # output location EMPTY — no shards, no manifest.
+                if produced:
+                    report(case, f"exit {proc.returncode} left partial "
+                                 f"store files behind: "
+                                 f"{[os.path.basename(p) for p in produced]}")
+            print(f"ok   {case} (exit {proc.returncode})", flush=True)
+    return reference
+
+
+def kill_resume_case(cli, store_path, work, threads, reference):
+    """Crash mid-run, corrupt the NEWEST checkpoint generation, resume."""
+    case = f"kill-resume corrupted-gen threads={threads}"
+    case_dir = os.path.join(work, f"resume_t{threads}")
+    shutil.rmtree(case_dir, ignore_errors=True)
+    os.makedirs(case_dir)
+    snap = os.path.join(case_dir, "ckpt.snap")
+    flags = [f"--input={store_path}", "--epsilon=0.5", "--workload=all2way",
+             "--seed=7", f"--threads={threads}"]
+
+    crash_out = os.path.join(case_dir, "crashed.csv")
+    proc = run([cli] + flags + [
+        f"--output={crash_out}", f"--checkpoint-out={snap}",
+        "--checkpoint-every=1", "--checkpoint-generations=3",
+    ], faults="aim_round:n=4")
+    if proc.returncode == 0:
+        report(case, "crash run unexpectedly succeeded (fixture too small "
+                     "for aim_round:n=4?)")
+        return
+    if not check_exit(case + " (crash leg)", proc):
+        return
+    if os.path.exists(crash_out):
+        report(case, "crashed run left an output artifact behind")
+        return
+    for generation in (snap, snap + ".gen1", snap + ".gen2"):
+        if not os.path.exists(generation):
+            report(case, f"missing checkpoint generation {generation}")
+            return
+
+    # Damage the newest generation — the single-file scheme would now lose
+    # every measurement the crashed run paid privacy budget for.
+    flip_byte(snap)
+
+    resume_out = os.path.join(case_dir, "resumed.csv")
+    proc = run([cli] + flags + [f"--output={resume_out}",
+                                f"--resume={snap}"])
+    if proc.returncode != 0:
+        report(case, f"resume failed (exit {proc.returncode}): "
+                     f"{proc.stderr.strip()[-400:]}")
+        return
+    if "falling back to checkpoint generation" not in proc.stderr:
+        report(case, "resume did not report the generation fallback")
+        return
+    if read_bytes(resume_out) != reference:
+        report(case, "resumed output differs from the fault-free reference")
+        return
+    print(f"ok   {case}", flush=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--work-dir", default="/tmp/aim_chaos_sweep")
+    args = parser.parse_args()
+
+    cli = os.path.join(args.build_dir, "tools", "aim_cli")
+    csv2aim = os.path.join(args.build_dir, "tools", "csv2aim")
+    for binary in (cli, csv2aim):
+        if not os.access(binary, os.X_OK):
+            print(f"chaos_sweep: missing binary {binary}", file=sys.stderr)
+            return 2
+
+    work = args.work_dir
+    shutil.rmtree(work, ignore_errors=True)
+    os.makedirs(work)
+
+    # Shared fixture: a precoded CSV converted (fault-free) to a sharded
+    # .aim store, so the aim_cli sweep exercises manifest/shard fault points.
+    precoded_csv = os.path.join(work, "input.csv")
+    domain_sizes = write_precoded_csv(precoded_csv)
+    store_path = os.path.join(work, "input.aim")
+    proc = run([csv2aim, f"--input={precoded_csv}",
+                f"--domain-sizes={domain_sizes}", "--shard-rows=1500",
+                f"--output={store_path}"])
+    if proc.returncode != 0:
+        print(f"chaos_sweep: fixture conversion failed: {proc.stderr}",
+              file=sys.stderr)
+        return 2
+
+    reference = sweep_aim_cli(cli, store_path, work)
+    sweep_csv2aim(csv2aim, precoded_csv, domain_sizes, work)
+    if reference is not None:
+        for threads in (1, 8):
+            kill_resume_case(cli, store_path, work, threads, reference)
+
+    if failures:
+        print(f"\nchaos_sweep: {len(failures)} violation(s); work dir kept "
+              f"at {work}", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nchaos_sweep: all cases hold; work dir {work}")
+    shutil.rmtree(work, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "robust/fault.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -12,6 +13,7 @@ namespace aim {
 namespace {
 
 const FaultPointRegistration kCsvReadFault{"csv_read"};
+const FaultPointRegistration kCsvWriteFault{"csv_write"};
 
 // Per-field size cap: a field this large is a corrupt or hostile file, not
 // data, and must become a Status rather than an allocation blow-up deep in
@@ -119,23 +121,26 @@ StatusOr<RawTable> ReadCsv(const std::string& path) {
 }
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) return InvalidArgumentError("cannot open " + path + " for write");
+  // Built in memory and committed via the atomic tmp+fsync+rename writer:
+  // a crash (or injected fault) mid-write never leaves a truncated output
+  // CSV behind — the chaos-sweep invariant for every tool output file.
+  Status fault = FaultStatus("csv_write");
+  if (!fault.ok()) return fault;
+  std::string out;
   const Domain& domain = dataset.domain();
   for (int a = 0; a < domain.num_attributes(); ++a) {
-    if (a > 0) file << ',';
-    file << domain.name(a);
+    if (a > 0) out += ',';
+    out += domain.name(a);
   }
-  file << '\n';
+  out += '\n';
   for (int64_t row = 0; row < dataset.num_records(); ++row) {
     for (int a = 0; a < domain.num_attributes(); ++a) {
-      if (a > 0) file << ',';
-      file << dataset.value(row, a);
+      if (a > 0) out += ',';
+      out += std::to_string(dataset.value(row, a));
     }
-    file << '\n';
+    out += '\n';
   }
-  if (!file) return InternalError("write failed for " + path);
-  return Status::Ok();
+  return AtomicWriteFile(path, out, "csv");
 }
 
 }  // namespace aim

@@ -16,6 +16,8 @@
 #include "pgm/junction_tree.h"
 #include "pgm/synthetic.h"
 #include "robust/fault.h"
+#include "robust/generations.h"
+#include "robust/retry.h"
 #include "robust/snapshot.h"
 #include "util/logging.h"
 #include "util/math.h"
@@ -178,6 +180,9 @@ MechanismResult AimMechanism::Run(const DataSource& source,
   static Counter& deadline_counter =
       registry.counter("aim.deadline_expirations");
   static Counter& resume_counter = registry.counter("aim.resumes");
+  static Counter& fallback_resume_counter =
+      registry.counter("aim.checkpoint_fallbacks");
+  static Counter& cancel_counter = registry.counter("aim.cancellations");
   static Histogram& filter_hist =
       registry.histogram("aim.phase.filter_seconds");
   static Histogram& score_hist = registry.histogram("aim.phase.score_seconds");
@@ -240,11 +245,30 @@ MechanismResult AimMechanism::Run(const DataSource& source,
       AimRunFingerprint(domain, workload, options_, rho);
   std::optional<AimSnapshot> resume;
   if (!options_.resume_path.empty()) {
-    StatusOr<AimSnapshot> loaded = ReadSnapshot(options_.resume_path);
+    // Generation-aware load: scan <resume_path>, .gen1, ... newest-first
+    // and take the first snapshot passing checksum + fingerprint + budget
+    // validation. A rejected newer generation is survivable (every
+    // generation is a complete run description), but worth shouting about.
+    StatusOr<LoadedGeneration> loaded =
+        LoadLatestValidGeneration(options_.resume_path, fingerprint, rho);
     AIM_CHECK(loaded.ok()) << loaded.status().ToString();
-    Status valid = ValidateSnapshot(*loaded, fingerprint, rho);
-    AIM_CHECK(valid.ok()) << valid.ToString();
-    resume = *std::move(loaded);
+    if (!loaded->rejected.empty()) {
+      if (metered) fallback_resume_counter.Add(1);
+      if (traced) {
+        std::string rejected;
+        for (const std::string& r : loaded->rejected) {
+          if (!rejected.empty()) rejected += "; ";
+          rejected += r;
+        }
+        EmitTrace(TraceEvent("aim_warning")
+                      .Set("kind", "checkpoint_fallback")
+                      .Set("path", loaded->path)
+                      .Set("generation", loaded->generation)
+                      .Set("round", loaded->snapshot.round)
+                      .Set("rejected", rejected));
+      }
+    }
+    resume = std::move(loaded->snapshot);
     Status restored = filter.RestoreSpent(resume->rho_spent);
     AIM_CHECK(restored.ok()) << restored.ToString();
     result.resumed_from_round = resume->round;
@@ -393,9 +417,12 @@ MechanismResult AimMechanism::Run(const DataSource& source,
          time_estimate = 0.0;
 
   // ---- Checkpointing: one atomic snapshot after the initial fit and then
-  // every checkpoint_every_rounds completed rounds. A failed write is a
-  // warning, never an abort — losing a checkpoint must not lose the run.
+  // every checkpoint_every_rounds completed rounds, rotated through
+  // checkpoint_generations slots. A transient write failure retries with
+  // deterministic backoff; a persistent one is a warning, never an abort —
+  // losing a checkpoint must not lose the run.
   const bool checkpointing = !options_.checkpoint_path.empty();
+  const RetryPolicy checkpoint_retry{};
   auto write_checkpoint = [&]() {
     AimSnapshot snap;
     snap.fingerprint = fingerprint;
@@ -408,7 +435,9 @@ MechanismResult AimMechanism::Run(const DataSource& source,
     snap.rng = rng.SaveState();
     snap.measurements = measurements;
     snap.rounds = result.log.rounds;
-    Status s = WriteSnapshot(snap, options_.checkpoint_path);
+    Status s = WriteSnapshotGeneration(snap, options_.checkpoint_path,
+                                       options_.checkpoint_generations,
+                                       &checkpoint_retry);
     if (!s.ok()) {
       if (metered) checkpoint_fail_counter.Add(1);
       if (traced) {
@@ -428,6 +457,21 @@ MechanismResult AimMechanism::Run(const DataSource& source,
   // ---- Main loop (Lines 10-18).
   while (filter.remaining() > budget_floor && round < max_rounds) {
     MaybeThrowFault("aim_round");
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      // Watchdog / SLO wind-down: same graceful degradation as a deadline,
+      // but externally triggered. The forced checkpoint below preserves
+      // every paid-for measurement for a later resume.
+      result.cancelled = true;
+      if (metered) cancel_counter.Add(1);
+      if (traced) {
+        EmitTrace(TraceEvent("aim_warning")
+                      .Set("kind", "cancelled")
+                      .Set("round", round)
+                      .Set("rho_spent", filter.spent())
+                      .Set("rho_remaining", filter.remaining()));
+      }
+      break;
+    }
     if (options_.deadline_seconds > 0.0) {
       const double elapsed = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - start_time)
@@ -658,6 +702,11 @@ MechanismResult AimMechanism::Run(const DataSource& source,
       write_checkpoint();
     }
   }
+  if (checkpointing && result.cancelled) {
+    // Forced final checkpoint: the cancelled run must be resumable from
+    // exactly where it stopped.
+    write_checkpoint();
+  }
 
   // ---- Final estimation and generation (Line 19). A deadline can expire
   // before anything was measured (use_initialization=false); the uniform
@@ -692,6 +741,7 @@ MechanismResult AimMechanism::Run(const DataSource& source,
                   .Set("rho_used", result.rho_used)
                   .Set("total_estimate", total)
                   .Set("deadline_expired", result.deadline_expired)
+                  .Set("cancelled", result.cancelled)
                   .Set("resumed_from", result.resumed_from_round)
                   .Set("final_est_iterations", final_stats.iterations)
                   .Set("final_est_objective", final_stats.final_objective)

@@ -13,6 +13,7 @@
 
 #include "mechanisms/mechanism.h"
 #include "pgm/estimation.h"
+#include "util/cancel.h"
 
 namespace aim {
 
@@ -109,13 +110,18 @@ struct AimOptions {
   // (Algorithm 2); false starts from the uniform model.
   bool use_initialization = true;
 
-  // --- Fault tolerance (DESIGN.md "Fault tolerance"). ---
+  // --- Fault tolerance (DESIGN.md "Failure model & recovery"). ---
   // When non-empty, an AimSnapshot is written here atomically after the
   // initial fit and then after every `checkpoint_every_rounds` completed
-  // rounds; a failed write warns (aim_warning kind=checkpoint_failed) and
-  // the run continues.
+  // rounds; a failed write retries with deterministic backoff, then warns
+  // (aim_warning kind=checkpoint_failed) and the run continues.
   std::string checkpoint_path;
   int checkpoint_every_rounds = 1;
+  // Snapshot generations kept at checkpoint_path: 1 keeps the single file,
+  // N > 1 rotates checkpoint_path.gen1 .. .genN-1 behind it (atomic rename
+  // chain + GC; robust/generations.h). Resume scans newest-first and falls
+  // back past corrupt generations.
+  int checkpoint_generations = 1;
   // When non-empty, the run resumes from this snapshot instead of starting
   // fresh: the model is refit by replaying the persisted measurement log,
   // and the round loop continues with the restored accountant, annealing,
@@ -129,6 +135,12 @@ struct AimOptions {
   // estimation + generation from the measurements it has (under-spending
   // rho is always DP-safe). <= 0 disables the deadline.
   double deadline_seconds = 0.0;
+  // Cooperative cancellation (stall watchdog / daemon SLO): when set and
+  // cancelled, the round loop stops at the next round boundary, forces a
+  // final checkpoint (if checkpointing), and synthesizes from the
+  // measurements in hand — exactly the deadline degradation path, but
+  // triggered externally. Not owned.
+  CancelToken* cancel = nullptr;
 };
 
 // Hash of everything a snapshot must agree on to be resumable under this

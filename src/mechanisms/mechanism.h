@@ -78,6 +78,10 @@ struct MechanismResult {
   // resumed from (-1 for a fresh start).
   bool deadline_expired = false;
   int64_t resumed_from_round = -1;
+  // The round loop was wound down by a CancelToken (stall watchdog or a
+  // daemon SLO); a final checkpoint was forced first, so the run is
+  // resumable from where it stopped.
+  bool cancelled = false;
 
   // Final fitted model and (for AIM) the model one estimation step before
   // the end — p̂_{T-1} — used by the Corollary-2 confidence bounds.

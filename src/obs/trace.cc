@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "obs/metrics.h"
+#include "robust/fault.h"
 #include "util/logging.h"
 
 namespace aim {
@@ -136,6 +137,30 @@ Counter& WriteFailureCounter() {
   return counter;
 }
 
+// The sink retries failed writes inline rather than through RetryPolicy:
+// aim_retry links aim_obs for its counters, so depending on it here would
+// be a cycle. The loop keeps the same bounded-attempt semantics and bumps
+// the same robust.retry.* counters by name.
+constexpr int kTraceWriteAttempts = 3;
+
+const FaultPointRegistration kTraceWriteFault{"trace_write"};
+
+Counter& TraceRetryAttemptsCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().counter("robust.retry.attempts");
+  return counter;
+}
+Counter& TraceRetrySuccessesCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().counter("robust.retry.successes");
+  return counter;
+}
+Counter& TraceRetryExhaustedCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().counter("robust.retry.exhausted");
+  return counter;
+}
+
 }  // namespace
 
 JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
@@ -186,8 +211,27 @@ void JsonlTraceSink::Emit(const TraceEvent& event) {
   std::string line = event.ToJson();
   line += '\n';
   std::lock_guard<std::mutex> lock(mu_);
-  *out_ << line;
-  if (out_->fail()) RecordWriteFailure();
+  // A full line either lands or is retried whole: stream failures leave the
+  // buffered ostream unflushed, so clearing the error state and rewriting
+  // never duplicates committed bytes. The "trace_write" fault point models
+  // a failed attempt (the write is skipped entirely for that attempt).
+  for (int attempt = 1;; ++attempt) {
+    bool injected = ShouldInjectFault("trace_write");
+    if (!injected) {
+      *out_ << line;
+      if (!out_->fail()) {
+        if (attempt > 1) TraceRetrySuccessesCounter().Add();
+        return;
+      }
+      out_->clear();
+    }
+    if (attempt >= kTraceWriteAttempts) {
+      TraceRetryExhaustedCounter().Add();
+      RecordWriteFailure();
+      return;
+    }
+    TraceRetryAttemptsCounter().Add();
+  }
 }
 
 void JsonlTraceSink::Flush() {

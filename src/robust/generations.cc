@@ -1,0 +1,93 @@
+#include "robust/generations.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+namespace aim {
+namespace {
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string GenerationPath(const std::string& base, int generation) {
+  if (generation <= 0) return base;
+  return base + ".gen" + std::to_string(generation);
+}
+
+Status WriteSnapshotGeneration(const AimSnapshot& snapshot,
+                               const std::string& base, int max_generations,
+                               const RetryPolicy* retry) {
+  if (max_generations > 1 && PathExists(base)) {
+    // GC the slot that would fall off the ladder, then shift everything
+    // down by one rename each. Renames are atomic, so a crash mid-chain
+    // leaves complete snapshots (perhaps with a vacant slot); rename
+    // failures are non-fatal because the new write below is still atomic
+    // against the current <base>.
+    std::string oldest = GenerationPath(base, max_generations - 1);
+    if (PathExists(oldest) && ::remove(oldest.c_str()) != 0) {
+      return InternalError("failed to remove old checkpoint generation '" +
+                           oldest + "': " + std::strerror(errno));
+    }
+    for (int k = max_generations - 2; k >= 0; --k) {
+      std::string from = GenerationPath(base, k);
+      if (!PathExists(from)) continue;
+      std::string to = GenerationPath(base, k + 1);
+      if (::rename(from.c_str(), to.c_str()) != 0) {
+        return InternalError("failed to rotate checkpoint generation '" +
+                             from + "' -> '" + to +
+                             "': " + std::strerror(errno));
+      }
+    }
+  }
+  auto write = [&] { return WriteSnapshot(snapshot, base); };
+  if (retry != nullptr) return retry->Run("snapshot_write", write);
+  return write();
+}
+
+StatusOr<LoadedGeneration> LoadLatestValidGeneration(
+    const std::string& base, uint64_t expected_fingerprint, double rho_budget) {
+  std::vector<std::string> rejected;
+  bool any_file = false;
+  for (int k = 0; k <= kGenerationScanLimit; ++k) {
+    std::string path = GenerationPath(base, k);
+    StatusOr<AimSnapshot> snap = ReadSnapshot(path);
+    if (!snap.ok()) {
+      if (snap.status().code() == StatusCode::kNotFound) continue;  // vacant
+      any_file = true;
+      rejected.push_back(path + ": " + snap.status().ToString());
+      continue;
+    }
+    any_file = true;
+    Status valid =
+        ValidateSnapshot(*snap, expected_fingerprint, rho_budget);
+    if (!valid.ok()) {
+      rejected.push_back(path + ": " + valid.ToString());
+      continue;
+    }
+    LoadedGeneration loaded;
+    loaded.snapshot = *std::move(snap);
+    loaded.generation = k;
+    loaded.path = path;
+    loaded.rejected = std::move(rejected);
+    return loaded;
+  }
+  if (!any_file) {
+    return NotFoundError("no checkpoint found at '" + base +
+                         "' or any generation");
+  }
+  std::string detail;
+  for (const std::string& r : rejected) {
+    if (!detail.empty()) detail += "; ";
+    detail += r;
+  }
+  return InvalidArgumentError("no valid checkpoint generation at '" + base +
+                              "': " + detail);
+}
+
+}  // namespace aim

@@ -1,0 +1,103 @@
+#include "robust/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace aim {
+namespace {
+
+Counter& RetryAttemptsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("robust.retry.attempts");
+  return c;
+}
+Counter& RetrySuccessesCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("robust.retry.successes");
+  return c;
+}
+Counter& RetryExhaustedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("robust.retry.exhausted");
+  return c;
+}
+
+// SplitMix64 finalizer: full-avalanche mix for the jitter hash.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+double RetryPolicy::BackoffMs(std::string_view what, int attempt) const {
+  if (attempt < 1) attempt = 1;
+  double backoff = options_.initial_backoff_ms;
+  for (int i = 1; i < attempt && backoff < options_.max_backoff_ms; ++i) {
+    backoff *= options_.multiplier;
+  }
+  backoff = std::min(backoff, options_.max_backoff_ms);
+  if (options_.jitter > 0.0) {
+    uint64_t h = Mix64(options_.seed ^ 0x72657472ULL);  // "retr"
+    for (char c : what) h = Mix64(h ^ static_cast<uint8_t>(c));
+    h = Mix64(h ^ static_cast<uint64_t>(attempt));
+    // Map the top 53 bits to [0, 1): the same unit-uniform construction the
+    // library's Rng uses, but fed from the hash so it is position-pure.
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    backoff *= 1.0 + options_.jitter * u;
+  }
+  return backoff;
+}
+
+Status RetryPolicy::Run(std::string_view what,
+                        const std::function<Status()>& op) const {
+  int attempt = 1;
+  for (;; ++attempt) {
+    Status status = op();
+    if (status.ok() || !IsRetryableStatus(status)) {
+      if (attempt > 1 && status.ok()) NoteSuccessAfterRetry();
+      return status;
+    }
+    if (attempt >= MaxAttempts()) {
+      NoteExhausted();
+      return AnnotateExhausted(status, attempt);
+    }
+    NoteRetry(what, attempt);
+  }
+}
+
+int RetryPolicy::MaxAttempts() const {
+  return std::max(1, options_.max_attempts);
+}
+
+void RetryPolicy::NoteRetry(std::string_view what, int attempt) const {
+  RetryAttemptsCounter().Add();
+  double ms = BackoffMs(what, attempt);
+  if (options_.sleep) {
+    options_.sleep(ms);
+  } else if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+void RetryPolicy::NoteSuccessAfterRetry() const {
+  RetrySuccessesCounter().Add();
+}
+
+void RetryPolicy::NoteExhausted() const { RetryExhaustedCounter().Add(); }
+
+Status RetryPolicy::AnnotateExhausted(const Status& status, int attempts) {
+  return Status(status.code(), status.message() + " (retries exhausted after " +
+                                   std::to_string(attempts) + " attempts)");
+}
+
+}  // namespace aim

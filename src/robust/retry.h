@@ -1,0 +1,101 @@
+// Deterministic retry with capped exponential backoff.
+//
+// Transient failures (a torn read under memory pressure, a full-then-freed
+// disk, an injected "store_read" fault) deserve another attempt; corruption
+// and caller bugs do not — retrying a checksum mismatch can only waste time
+// or, worse, mask a real defect. The classifier below draws that line by
+// StatusCode: kInternal and kUnavailable are retryable, everything else is
+// fatal on first sight.
+//
+// Determinism contract (mirrors src/robust/fault.h): backoff jitter is
+// derived by hashing (seed, site name, attempt index), never from a global
+// RNG or the clock, so a retried run consumes exactly the same mechanism
+// randomness as an untroubled one and replays bit-identically. Tests swap
+// the sleep function out entirely.
+//
+// Observability: the policy bumps process-wide counters
+//   robust.retry.attempts   every re-attempt after a retryable failure
+//   robust.retry.successes  recoveries (an op that failed, then succeeded)
+//   robust.retry.exhausted  ops that stayed retryable through max_attempts
+// unconditionally (cold path; same policy as the obs sink failure counters).
+
+#ifndef AIM_ROBUST_RETRY_H_
+#define AIM_ROBUST_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace aim {
+
+// True for status codes worth another attempt (kInternal, kUnavailable).
+// Corruption surfaces as kInvalidArgument and missing inputs as kNotFound;
+// both are fatal by design — see DESIGN.md "Failure model & recovery".
+bool IsRetryableStatus(const Status& status);
+
+struct RetryOptions {
+  int max_attempts = 3;           // total attempts, including the first
+  double initial_backoff_ms = 1.0;
+  double max_backoff_ms = 100.0;  // cap applied before jitter
+  double multiplier = 2.0;
+  double jitter = 0.25;           // adds up to this fraction, deterministically
+  uint64_t seed = 0;              // jitter hash seed
+
+  // Test seam: replaces the real sleep. Called with the backoff in ms
+  // before every re-attempt.
+  std::function<void(double)> sleep;
+};
+
+class RetryPolicy {
+ public:
+  RetryPolicy() = default;
+  explicit RetryPolicy(RetryOptions options) : options_(std::move(options)) {}
+
+  const RetryOptions& options() const { return options_; }
+
+  // Deterministic backoff before re-attempt `attempt` (1-based: the delay
+  // taken after the attempt-th failure). Exponential with cap, plus jitter
+  // hashed from (seed, what, attempt).
+  double BackoffMs(std::string_view what, int attempt) const;
+
+  // Runs `op` up to max_attempts times, sleeping BackoffMs between
+  // attempts, while the result is a retryable failure. Returns the first
+  // non-retryable result (success or fatal error), or the last retryable
+  // error annotated with the attempt count once attempts are exhausted.
+  Status Run(std::string_view what, const std::function<Status()>& op) const;
+
+  // StatusOr flavor: same policy for value-returning ops.
+  template <typename Op>
+  auto RunOr(std::string_view what, Op&& op) const -> decltype(op()) {
+    int attempt = 1;
+    for (;; ++attempt) {
+      auto result = op();
+      if (result.ok() || !IsRetryableStatus(result.status())) {
+        if (attempt > 1 && result.ok()) NoteSuccessAfterRetry();
+        return result;
+      }
+      if (attempt >= MaxAttempts()) {
+        NoteExhausted();
+        return AnnotateExhausted(result.status(), attempt);
+      }
+      NoteRetry(what, attempt);
+    }
+  }
+
+ private:
+  int MaxAttempts() const;
+  void NoteRetry(std::string_view what, int attempt) const;  // counts + sleeps
+  void NoteSuccessAfterRetry() const;
+  void NoteExhausted() const;
+  static Status AnnotateExhausted(const Status& status, int attempts);
+
+  RetryOptions options_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_ROBUST_RETRY_H_

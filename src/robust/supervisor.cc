@@ -1,0 +1,81 @@
+#include "robust/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace aim {
+
+std::function<int64_t()> AimRoundProgressProbe() {
+  Counter& rounds = MetricsRegistry::Global().counter("aim.rounds");
+  return [&rounds] { return rounds.value(); };
+}
+
+RunSupervisor::RunSupervisor(CancelToken* token,
+                             std::function<int64_t()> progress,
+                             SupervisorOptions options)
+    : token_(token), progress_(std::move(progress)), options_(options) {
+  options_.stall_window_seconds = std::max(options_.stall_window_seconds, 1e-3);
+  options_.poll_interval_seconds =
+      std::clamp(options_.poll_interval_seconds, 1e-3,
+                 options_.stall_window_seconds);
+  thread_ = std::thread([this] { WatchLoop(); });
+}
+
+RunSupervisor::~RunSupervisor() { Stop(); }
+
+void RunSupervisor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool RunSupervisor::stall_detected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stalled_;
+}
+
+Status RunSupervisor::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void RunSupervisor::WatchLoop() {
+  using Clock = std::chrono::steady_clock;
+  int64_t last_value = progress_();
+  Clock::time_point last_change = Clock::now();
+  const auto poll = std::chrono::duration<double>(options_.poll_interval_seconds);
+  const auto window = std::chrono::duration<double>(options_.stall_window_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, poll, [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    int64_t value = progress_();
+    Clock::time_point now = Clock::now();
+    bool trip = false;
+    if (value != last_value) {
+      last_value = value;
+      last_change = now;
+    } else if (now - last_change >= window) {
+      trip = true;
+    }
+    lock.lock();
+    if (trip) {
+      stalled_ = true;
+      status_ = DeadlineExceededError(
+          "watchdog: no round progress within " +
+          std::to_string(options_.stall_window_seconds) + "s stall window");
+      MetricsRegistry::Global().counter("robust.supervisor.stalls").Add();
+      token_->Cancel();
+      return;  // fired once; the run winds down cooperatively
+    }
+  }
+}
+
+}  // namespace aim

@@ -1,0 +1,75 @@
+// RunSupervisor: a wall-clock stall watchdog for long-running jobs.
+//
+// A background thread polls a progress probe (by default the obs round
+// counter "aim.rounds"). If the probe makes no progress within the
+// configured stall window, the supervisor trips: it cancels the supplied
+// CancelToken so the run winds down cooperatively at the next round
+// boundary — forcing a final checkpoint on the way out — and records a
+// kDeadlineExceeded status instead of letting the job hang forever. This
+// is the per-request SLO seam the aimd daemon (ROADMAP) will sit on.
+//
+// The supervisor never touches mechanism state or randomness; a run that
+// makes progress is bitwise-unaffected by having a watchdog attached.
+
+#ifndef AIM_ROBUST_SUPERVISOR_H_
+#define AIM_ROBUST_SUPERVISOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace aim {
+
+struct SupervisorOptions {
+  // Trip when the progress probe is unchanged for this long.
+  double stall_window_seconds = 60.0;
+  // Probe cadence; clamped to [1ms, stall window].
+  double poll_interval_seconds = 0.05;
+};
+
+// Progress probe reading the process-wide "aim.rounds" counter (requires
+// metrics to be enabled — callers wiring a watchdog turn them on).
+std::function<int64_t()> AimRoundProgressProbe();
+
+class RunSupervisor {
+ public:
+  // Starts watching immediately. `token` must outlive the supervisor.
+  RunSupervisor(CancelToken* token, std::function<int64_t()> progress,
+                SupervisorOptions options);
+  ~RunSupervisor();  // joins the watchdog thread
+
+  RunSupervisor(const RunSupervisor&) = delete;
+  RunSupervisor& operator=(const RunSupervisor&) = delete;
+
+  // Stops the watchdog without tripping it (normal end of run).
+  void Stop();
+
+  // True once the watchdog has tripped.
+  bool stall_detected() const;
+
+  // DeadlineExceededError after a trip, OK otherwise.
+  Status status() const;
+
+ private:
+  void WatchLoop();
+
+  CancelToken* token_;
+  std::function<int64_t()> progress_;
+  SupervisorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stalled_ = false;
+  Status status_;
+  std::thread thread_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_ROBUST_SUPERVISOR_H_

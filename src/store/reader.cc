@@ -17,6 +17,7 @@
 
 #include "obs/metrics.h"
 #include "robust/fault.h"
+#include "robust/retry.h"
 #include "store/format.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
@@ -28,6 +29,16 @@ using namespace store_format;
 namespace {
 
 const FaultPointRegistration kStoreReadFault{"store_read"};
+const FaultPointRegistration kManifestOpenFault{"manifest_open"};
+
+// Shard and manifest opens sit behind a retry: a transient open/map failure
+// (kInternal/kUnavailable, including injected "store_read" faults) gets
+// re-attempted with deterministic backoff, while corruption
+// (kInvalidArgument) and missing files (kNotFound) fail immediately.
+const RetryPolicy& StoreRetryPolicy() {
+  static const RetryPolicy policy{};
+  return policy;
+}
 
 constexpr size_t kPageSize = 4096;
 
@@ -364,7 +375,8 @@ StatusOr<std::unique_ptr<StoreSource>> StoreSource::Open(
 
   std::unique_ptr<StoreSource> source(new StoreSource());
   if (std::memcmp(lead, kMagic, sizeof(kMagic)) == 0) {
-    StatusOr<StoreReader> reader = StoreReader::Open(path, options);
+    StatusOr<StoreReader> reader = StoreRetryPolicy().RunOr(
+        "store_read", [&] { return StoreReader::Open(path, options); });
     if (!reader.ok()) return reader.status();
     source->domain_ = reader->domain();
     source->total_records_ = reader->num_records();
@@ -372,7 +384,12 @@ StatusOr<std::unique_ptr<StoreSource>> StoreSource::Open(
     return source;
   }
 
-  StatusOr<std::string> content = ReadFileToString(path, "store manifest");
+  StatusOr<std::string> content = StoreRetryPolicy().RunOr(
+      "manifest_open", [&]() -> StatusOr<std::string> {
+        Status fault = FaultStatus("manifest_open");
+        if (!fault.ok()) return fault;
+        return ReadFileToString(path, "store manifest");
+      });
   if (!content.ok()) return content.status();
   if (content->compare(0, std::strlen(kManifestMagic), kManifestMagic) !=
       0) {
@@ -389,7 +406,8 @@ StatusOr<std::unique_ptr<StoreSource>> StoreSource::Open(
       slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
   for (size_t i = 0; i < shards->size(); ++i) {
     const auto& [name, rows] = (*shards)[i];
-    StatusOr<StoreReader> reader = StoreReader::Open(dir + name, options);
+    StatusOr<StoreReader> reader = StoreRetryPolicy().RunOr(
+        "store_read", [&] { return StoreReader::Open(dir + name, options); });
     if (!reader.ok()) return reader.status();
     if (reader->num_records() != rows) {
       return CorruptError(dir + name,

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "robust/fault.h"
 #include "store/format.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
@@ -13,6 +14,11 @@ namespace aim {
 using namespace store_format;
 
 namespace {
+
+// Fires before each shard/manifest write, so an injected failure models a
+// full disk or torn write during conversion (csv2aim's cleanup regression
+// test arms it).
+const FaultPointRegistration kStoreWriteFault{"store_write"};
 
 // "data.aim" -> "data", "data" -> "data" (shard names derive from the stem
 // so `csv2aim --output=foo.aim --shard-rows=N` produces foo.00000.aim ...).
@@ -145,9 +151,11 @@ Status StoreWriter::FlushShard() {
       sharded ? ShardFileName(PathStem(path_), shards_flushed_) : path_;
   const std::string payload =
       SerializeStoreShard(domain_, columns_, shard_rows_buffered_);
-  Status s = AtomicWriteFile(shard_path, payload, "store");
+  Status s = FaultStatus("store_write");
+  if (s.ok()) s = AtomicWriteFile(shard_path, payload, "store");
   if (!s.ok()) return s;
   shard_files_.emplace_back(BaseName(shard_path), shard_rows_buffered_);
+  written_paths_.push_back(shard_path);
   ++shards_flushed_;
   shard_rows_buffered_ = 0;
   for (std::string& column : columns_) column.clear();
@@ -182,7 +190,17 @@ Status StoreWriter::Finish() {
   manifest += "checksum ";
   manifest += checksum;
   manifest += '\n';
-  return status_ = AtomicWriteFile(path_, manifest, "store manifest");
+  status_ = FaultStatus("store_write");
+  if (status_.ok()) status_ = AtomicWriteFile(path_, manifest, "store manifest");
+  if (status_.ok()) written_paths_.push_back(path_);
+  return status_;
+}
+
+void StoreWriter::RemovePartialOutputs() {
+  for (const std::string& path : written_paths_) {
+    std::remove(path.c_str());
+  }
+  written_paths_.clear();
 }
 
 Status WriteStore(const Dataset& data, const std::string& path,

@@ -46,8 +46,21 @@ class StoreWriter {
   // called exactly once; no Append may follow.
   Status Finish();
 
+  // Best-effort removal of every file this writer has created (flushed
+  // shards and the manifest), so a failed conversion leaves the output
+  // location empty instead of a truncated store or a manifest naming
+  // missing shards. Only paths this writer wrote are touched. csv2aim
+  // calls this on every failure path.
+  void RemovePartialOutputs();
+
   int64_t rows_written() const { return total_rows_; }
   int shards_written() const { return shards_flushed_; }
+
+  // Absolute/relative paths of every file written so far (shards, then the
+  // manifest once Finish succeeds), for cleanup and tests.
+  const std::vector<std::string>& written_paths() const {
+    return written_paths_;
+  }
 
  private:
   Status FlushShard();
@@ -62,6 +75,7 @@ class StoreWriter {
   int shards_flushed_ = 0;
   bool finished_ = false;
   std::vector<std::pair<std::string, int64_t>> shard_files_;  // name, rows
+  std::vector<std::string> written_paths_;  // full paths, for cleanup
   Status status_;  // first error, sticky
 };
 

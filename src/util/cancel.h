@@ -1,0 +1,32 @@
+// Cooperative cancellation: a CancelToken is set by a supervisor (watchdog,
+// daemon request handler) and polled by long-running loops, which wind down
+// at the next safe point — for AIM that means "after finishing the current
+// round and writing a final checkpoint", never mid-measurement, so every
+// unit of spent privacy budget remains resumable.
+
+#ifndef AIM_UTIL_CANCEL_H_
+#define AIM_UTIL_CANCEL_H_
+
+#include <atomic>
+
+namespace aim {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace aim
+
+#endif  // AIM_UTIL_CANCEL_H_

@@ -16,6 +16,10 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -42,6 +46,35 @@ Status FailedPreconditionError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInternal:
+      return 1;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    // 3 is reserved for audit_cli claim refutation.
+    case StatusCode::kNotFound:
+      return 4;
+    case StatusCode::kFailedPrecondition:
+      return 5;
+    case StatusCode::kOutOfRange:
+      return 6;
+    case StatusCode::kDeadlineExceeded:
+      return 7;
+    case StatusCode::kUnavailable:
+      return 8;
+  }
+  return 1;
 }
 
 }  // namespace aim

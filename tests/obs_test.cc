@@ -23,6 +23,7 @@
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 #include "parallel/parallel.h"
+#include "robust/fault.h"
 #include "util/rng.h"
 
 namespace aim {
@@ -381,6 +382,58 @@ TEST_F(ObsTest, JsonlSinkWriteFailureIsCountedAndReported) {
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find("lost"), std::string::npos)
       << status.ToString();
+}
+
+TEST_F(ObsTest, JsonlSinkRetriesPastATransientWriteFault) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const int64_t failures_before =
+      registry.counter("obs_sink_write_failures").value();
+  const int64_t attempts_before =
+      registry.counter("robust.retry.attempts").value();
+  const int64_t successes_before =
+      registry.counter("robust.retry.successes").value();
+
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  ScopedFaults faults("trace_write:n=1");  // first write attempt fails
+  sink.Emit(TraceEvent("recovered").Set("x", int64_t{1}));
+
+  // The retry wrote the line exactly once; nothing was lost.
+  EXPECT_TRUE(sink.ok());
+  const std::string written = out.str();
+  EXPECT_NE(written.find("\"recovered\""), std::string::npos) << written;
+  EXPECT_EQ(written.find("\"recovered\""),
+            written.rfind("\"recovered\""));
+  EXPECT_EQ(registry.counter("obs_sink_write_failures").value(),
+            failures_before);
+  EXPECT_EQ(registry.counter("robust.retry.attempts").value(),
+            attempts_before + 1);
+  EXPECT_EQ(registry.counter("robust.retry.successes").value(),
+            successes_before + 1);
+}
+
+TEST_F(ObsTest, JsonlSinkPersistentWriteFaultExhaustsAndLosesOneEvent) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const int64_t failures_before =
+      registry.counter("obs_sink_write_failures").value();
+  const int64_t exhausted_before =
+      registry.counter("robust.retry.exhausted").value();
+
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  ScopedFaults faults("trace_write:after=0");  // every attempt fails
+  sink.Emit(TraceEvent("doomed").Set("x", int64_t{1}));
+
+  // Retries exhausted: exactly ONE lost event (not one per attempt), the
+  // sink reports it, and nothing reached the stream.
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(out.str().empty()) << out.str();
+  EXPECT_EQ(registry.counter("obs_sink_write_failures").value(),
+            failures_before + 1);
+  EXPECT_EQ(registry.counter("robust.retry.exhausted").value(),
+            exhausted_before + 1);
+  EXPECT_NE(sink.status().message().find("lost"), std::string::npos)
+      << sink.status().ToString();
 }
 
 TEST_F(ObsTest, LapClockDisabledReadsNothing) {

@@ -1,10 +1,16 @@
 // Tests for src/robust/: deterministic fault injection, crash-safe
-// snapshots, resume identity, deadline degradation, and trial isolation.
+// snapshots, retry/backoff, checkpoint generations, the stall watchdog,
+// resume identity, deadline degradation, and trial isolation.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,12 +22,18 @@
 #include "marginal/workload.h"
 #include "mechanisms/aim.h"
 #include "mechanisms/independent.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "pgm/estimation.h"
 #include "robust/fault.h"
+#include "robust/generations.h"
+#include "robust/retry.h"
 #include "robust/snapshot.h"
+#include "robust/supervisor.h"
+#include "util/cancel.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace aim {
 namespace {
@@ -700,6 +712,580 @@ TEST(DeadlineTest, GenerousDeadlineChangesNothing) {
   MechanismResult bounded = RunAim(options, rho, 29);
   EXPECT_FALSE(bounded.deadline_expired);
   ExpectIdenticalResults(plain, bounded);
+}
+
+// ------------------------------------------------------ retry policy ----
+
+int64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().counter(name).value();
+}
+
+TEST(RetryTest, ClassifiesStatusCodes) {
+  EXPECT_TRUE(IsRetryableStatus(InternalError("torn read")));
+  EXPECT_TRUE(IsRetryableStatus(UnavailableError("busy")));
+
+  EXPECT_FALSE(IsRetryableStatus(Status::Ok()));
+  EXPECT_FALSE(IsRetryableStatus(InvalidArgumentError("corrupt")));
+  EXPECT_FALSE(IsRetryableStatus(NotFoundError("missing")));
+  EXPECT_FALSE(IsRetryableStatus(FailedPreconditionError("stale")));
+  EXPECT_FALSE(IsRetryableStatus(OutOfRangeError("past end")));
+  EXPECT_FALSE(IsRetryableStatus(DeadlineExceededError("stalled")));
+}
+
+TEST(RetryTest, BackoffIsDeterministicCappedAndJittered) {
+  RetryOptions options;
+  options.initial_backoff_ms = 1.0;
+  options.max_backoff_ms = 8.0;
+  options.multiplier = 2.0;
+  options.jitter = 0.25;
+  options.seed = 7;
+  const RetryPolicy policy(options);
+
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double base =
+        std::min(options.max_backoff_ms,
+                 options.initial_backoff_ms *
+                     std::pow(options.multiplier, attempt - 1));
+    const double b = policy.BackoffMs("site", attempt);
+    EXPECT_GE(b, base) << attempt;
+    EXPECT_LE(b, base * (1.0 + options.jitter)) << attempt;
+    // Same (seed, site, attempt) -> the same delay, bit for bit: a replayed
+    // run backs off identically.
+    EXPECT_EQ(Bits(b), Bits(RetryPolicy(options).BackoffMs("site", attempt)));
+  }
+  // Jitter decorrelates sites and attempts.
+  EXPECT_NE(Bits(policy.BackoffMs("site_a", 4)),
+            Bits(policy.BackoffMs("site_b", 4)));
+
+  RetryOptions reseeded = options;
+  reseeded.seed = 8;
+  EXPECT_NE(Bits(policy.BackoffMs("site", 1)),
+            Bits(RetryPolicy(reseeded).BackoffMs("site", 1)));
+}
+
+TEST(RetryTest, RunRecoversFromTransientFailureAndCounts) {
+  std::vector<double> slept;
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.sleep = [&slept](double ms) { slept.push_back(ms); };
+  const RetryPolicy policy(options);
+
+  const int64_t attempts_before = CounterValue("robust.retry.attempts");
+  const int64_t successes_before = CounterValue("robust.retry.successes");
+  int calls = 0;
+  Status status = policy.Run("flaky", [&calls] {
+    ++calls;
+    return calls < 3 ? InternalError("transient") : Status::Ok();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(slept.size(), 2u);  // one backoff per re-attempt
+  EXPECT_EQ(Bits(slept[0]), Bits(policy.BackoffMs("flaky", 1)));
+  EXPECT_EQ(Bits(slept[1]), Bits(policy.BackoffMs("flaky", 2)));
+  EXPECT_EQ(CounterValue("robust.retry.attempts"), attempts_before + 2);
+  EXPECT_EQ(CounterValue("robust.retry.successes"), successes_before + 1);
+}
+
+TEST(RetryTest, FatalErrorsPassThroughWithoutRetry) {
+  int calls = 0;
+  RetryOptions options;
+  options.sleep = [](double) { FAIL() << "fatal errors must not back off"; };
+  Status status = RetryPolicy(options).Run("corrupt", [&calls] {
+    ++calls;
+    return InvalidArgumentError("checksum mismatch");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "checksum mismatch");  // unannotated
+}
+
+TEST(RetryTest, ExhaustionKeepsTheCodeAndAnnotates) {
+  int calls = 0;
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.sleep = [](double) {};
+  const int64_t exhausted_before = CounterValue("robust.retry.exhausted");
+  Status status = RetryPolicy(options).Run("doomed", [&calls] {
+    ++calls;
+    return InternalError("still broken");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("still broken"), std::string::npos);
+  EXPECT_NE(status.message().find("retries exhausted after 3 attempts"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(CounterValue("robust.retry.exhausted"), exhausted_before + 1);
+}
+
+TEST(RetryTest, RunOrRecoversValues) {
+  RetryOptions options;
+  options.sleep = [](double) {};
+  const RetryPolicy policy(options);
+  int calls = 0;
+  StatusOr<int> result = policy.RunOr("value_op", [&calls]() -> StatusOr<int> {
+    ++calls;
+    if (calls < 2) return InternalError("transient");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+
+  StatusOr<int> fatal = policy.RunOr(
+      "fatal_op", []() -> StatusOr<int> { return NotFoundError("gone"); });
+  ASSERT_FALSE(fatal.ok());
+  EXPECT_EQ(fatal.status().code(), StatusCode::kNotFound);
+}
+
+// -------------------------------------------------- exit-code contract ----
+
+TEST(ExitCodeTest, MapsEveryStatusCategory) {
+  EXPECT_EQ(ExitCodeForStatus(Status::Ok()), 0);
+  EXPECT_EQ(ExitCodeForStatus(InternalError("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(InvalidArgumentError("x")), 2);
+  // 3 is reserved for audit_cli's claim-refutation verdict.
+  EXPECT_EQ(ExitCodeForStatus(NotFoundError("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(FailedPreconditionError("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(OutOfRangeError("x")), 6);
+  EXPECT_EQ(ExitCodeForStatus(DeadlineExceededError("x")), 7);
+  EXPECT_EQ(ExitCodeForStatus(UnavailableError("x")), 8);
+}
+
+// ------------------------------------------- checkpoint generations ----
+
+bool PathExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+void CorruptFile(const std::string& path, size_t offset_divisor = 2) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / offset_divisor] ^= 0x01;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+TEST(GenerationTest, PathLayout) {
+  EXPECT_EQ(GenerationPath("/tmp/c.snap", 0), "/tmp/c.snap");
+  EXPECT_EQ(GenerationPath("/tmp/c.snap", 1), "/tmp/c.snap.gen1");
+  EXPECT_EQ(GenerationPath("/tmp/c.snap", 7), "/tmp/c.snap.gen7");
+}
+
+TEST(GenerationTest, SingleGenerationKeepsOnlyTheBaseFile) {
+  const std::string base = ::testing::TempDir() + "/gen_single.snap";
+  AimSnapshot snapshot = SampleSnapshot();
+  for (int round = 1; round <= 3; ++round) {
+    snapshot.round = round;
+    ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 1).ok());
+  }
+  StatusOr<AimSnapshot> read = ReadSnapshot(base);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->round, 3);
+  EXPECT_FALSE(PathExists(GenerationPath(base, 1)));
+}
+
+TEST(GenerationTest, RotationKeepsTheLastNAndGcsOlder) {
+  const std::string base = ::testing::TempDir() + "/gen_rotate.snap";
+  AimSnapshot snapshot = SampleSnapshot();
+  for (int round = 1; round <= 5; ++round) {
+    snapshot.round = round;
+    ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 3).ok());
+  }
+  // Ladder after 5 writes with N=3: base=5, gen1=4, gen2=3; older GC'd.
+  StatusOr<AimSnapshot> newest = ReadSnapshot(base);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->round, 5);
+  StatusOr<AimSnapshot> gen1 = ReadSnapshot(GenerationPath(base, 1));
+  ASSERT_TRUE(gen1.ok());
+  EXPECT_EQ(gen1->round, 4);
+  StatusOr<AimSnapshot> gen2 = ReadSnapshot(GenerationPath(base, 2));
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_EQ(gen2->round, 3);
+  EXPECT_FALSE(PathExists(GenerationPath(base, 3)));
+}
+
+TEST(GenerationTest, LoadPrefersNewestValidGeneration) {
+  const std::string base = ::testing::TempDir() + "/gen_load.snap";
+  AimSnapshot snapshot = SampleSnapshot();
+  for (int round = 1; round <= 4; ++round) {
+    snapshot.round = round;
+    ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 3).ok());
+  }
+  StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+      base, snapshot.fingerprint, snapshot.rho_budget);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->generation, 0);
+  EXPECT_EQ(loaded->path, base);
+  EXPECT_EQ(loaded->snapshot.round, 4);
+  EXPECT_TRUE(loaded->rejected.empty());
+}
+
+TEST(GenerationTest, LoadFallsBackPastCorruptNewest) {
+  const std::string base = ::testing::TempDir() + "/gen_fallback.snap";
+  AimSnapshot snapshot = SampleSnapshot();
+  for (int round = 1; round <= 4; ++round) {
+    snapshot.round = round;
+    ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 3).ok());
+  }
+  CorruptFile(base);
+
+  StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+      base, snapshot.fingerprint, snapshot.rho_budget);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->generation, 1);
+  EXPECT_EQ(loaded->path, GenerationPath(base, 1));
+  EXPECT_EQ(loaded->snapshot.round, 3);
+  ASSERT_EQ(loaded->rejected.size(), 1u);
+  EXPECT_NE(loaded->rejected[0].find(base), std::string::npos);
+}
+
+TEST(GenerationTest, LoadToleratesVacantSlots) {
+  // A crash mid-rotation can leave a hole in the ladder: base and gen1
+  // damaged/missing, gen2 intact. Resume must keep scanning.
+  const std::string base = ::testing::TempDir() + "/gen_vacant.snap";
+  AimSnapshot snapshot = SampleSnapshot();
+  for (int round = 1; round <= 4; ++round) {
+    snapshot.round = round;
+    ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 3).ok());
+  }
+  CorruptFile(base);
+  ASSERT_EQ(std::remove(GenerationPath(base, 1).c_str()), 0);
+
+  StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+      base, snapshot.fingerprint, snapshot.rho_budget);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->generation, 2);
+  EXPECT_EQ(loaded->snapshot.round, 2);
+  ASSERT_EQ(loaded->rejected.size(), 1u);  // the corrupt base, not the hole
+}
+
+TEST(GenerationTest, LoadWithNoFilesIsNotFound) {
+  StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+      ::testing::TempDir() + "/gen_never_written.snap", 1, 1.0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GenerationTest, LoadWithOnlyInvalidFilesListsEveryRejection) {
+  const std::string base = ::testing::TempDir() + "/gen_all_bad.snap";
+  AimSnapshot snapshot = SampleSnapshot();
+  snapshot.round = 1;
+  ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 2).ok());
+  snapshot.round = 2;
+  ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 2).ok());
+  CorruptFile(base);
+  CorruptFile(GenerationPath(base, 1));
+
+  StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+      base, snapshot.fingerprint, snapshot.rho_budget);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(base), std::string::npos);
+  EXPECT_NE(loaded.status().message().find(GenerationPath(base, 1)),
+            std::string::npos);
+
+  // A fingerprint mismatch on otherwise-intact files is also a rejection,
+  // not a fallback target.
+  const std::string base2 = ::testing::TempDir() + "/gen_wrong_fp.snap";
+  ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base2, 1).ok());
+  StatusOr<LoadedGeneration> mismatched = LoadLatestValidGeneration(
+      base2, snapshot.fingerprint + 1, snapshot.rho_budget);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GenerationTest, WriteRetriesPastATransientSnapshotFault) {
+  const std::string base = ::testing::TempDir() + "/gen_retry.snap";
+  RetryOptions retry_options;
+  retry_options.sleep = [](double) {};
+  const RetryPolicy retry(retry_options);
+  AimSnapshot snapshot = SampleSnapshot();
+  snapshot.round = 9;
+
+  ScopedFaults faults("snapshot_write:n=1");
+  ASSERT_TRUE(WriteSnapshotGeneration(snapshot, base, 3, &retry).ok());
+  EXPECT_EQ(FaultHitCount("snapshot_write"), 2);  // failed once, then wrote
+  StatusOr<AimSnapshot> read = ReadSnapshot(base);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->round, 9);
+}
+
+// ------------------------------------------------------ stall watchdog ----
+
+TEST(SupervisorTest, TripsOnStalledProgressAndCancels) {
+  CancelToken token;
+  SupervisorOptions options;
+  options.stall_window_seconds = 0.05;
+  options.poll_interval_seconds = 0.005;
+  const int64_t stalls_before = CounterValue("robust.supervisor.stalls");
+  RunSupervisor supervisor(&token, [] { return int64_t{0}; }, options);
+
+  // The watchdog must cancel within a couple of windows; poll generously.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!token.cancelled() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(supervisor.stall_detected());
+  EXPECT_EQ(supervisor.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(supervisor.status().message().find("stall window"),
+            std::string::npos)
+      << supervisor.status().ToString();
+  EXPECT_EQ(CounterValue("robust.supervisor.stalls"), stalls_before + 1);
+  supervisor.Stop();  // idempotent after a trip
+}
+
+TEST(SupervisorTest, NeverTripsWhileProgressAdvances) {
+  CancelToken token;
+  SupervisorOptions options;
+  options.stall_window_seconds = 0.05;
+  options.poll_interval_seconds = 0.005;
+  std::atomic<int64_t> progress{0};
+  RunSupervisor supervisor(
+      &token, [&progress] { return progress.fetch_add(1) + 1; }, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  supervisor.Stop();
+  EXPECT_FALSE(supervisor.stall_detected());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(supervisor.status().ok());
+}
+
+TEST(SupervisorTest, StopBeforeTheWindowNeverTrips) {
+  CancelToken token;
+  SupervisorOptions options;
+  options.stall_window_seconds = 3600.0;
+  RunSupervisor supervisor(&token, [] { return int64_t{0}; }, options);
+  supervisor.Stop();
+  EXPECT_FALSE(supervisor.stall_detected());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(SupervisorTest, AimRoundProbeReadsTheRoundCounter) {
+  SetMetricsEnabled(true);
+  std::function<int64_t()> probe = AimRoundProgressProbe();
+  const int64_t before = probe();
+  MetricsRegistry::Global().counter("aim.rounds").Add(1);
+  EXPECT_EQ(probe(), before + 1);
+  SetMetricsEnabled(false);
+}
+
+// ------------------------------------------- cooperative cancellation ----
+
+TEST(CancelTest, CancelledRunWindsDownWithAFinalCheckpoint) {
+  const double rho = CdpRho(1.0, 1e-9);
+  const uint64_t seed = 67;
+  const std::string checkpoint =
+      ::testing::TempDir() + "/cancel_final.snap";
+
+  MechanismResult plain = RunAim(FastAimOptions(), rho, seed);
+  ASSERT_GE(plain.rounds, 2);
+
+  // Pre-cancelled token: the loop stops at the FIRST round boundary, after
+  // initialization but before any round completes.
+  CancelToken token;
+  token.Cancel();
+  AimOptions options = FastAimOptions();
+  options.cancel = &token;
+  options.checkpoint_path = checkpoint;
+  MemoryTraceSink sink;
+  ScopedTraceSink scoped(&sink);
+  MechanismResult cancelled = RunAim(options, rho, seed);
+
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_EQ(cancelled.rounds, 0);
+  EXPECT_FALSE(cancelled.deadline_expired);
+  // The degraded output is still a real model over the init measurements.
+  EXPECT_GT(cancelled.synthetic.num_records(), 0);
+  EXPECT_GT(cancelled.rho_used, 0.0);
+  bool saw_cancel_warning = false;
+  for (const TraceEvent& event : sink.events_of_type("aim_warning")) {
+    if (event.GetString("kind") == "cancelled") saw_cancel_warning = true;
+  }
+  EXPECT_TRUE(saw_cancel_warning);
+
+  // The forced final checkpoint is on disk, valid, and resumable: resuming
+  // it WITHOUT the cancel signal completes the run bitwise-identically to
+  // the uninterrupted control.
+  StatusOr<AimSnapshot> snapshot = ReadSnapshot(checkpoint);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  AimOptions resume_options = FastAimOptions();
+  resume_options.resume_path = checkpoint;
+  MechanismResult resumed = RunAim(resume_options, rho, seed);
+  ExpectIdenticalResults(plain, resumed);
+}
+
+TEST(CancelTest, UncancelledTokenChangesNothing) {
+  const double rho = 0.05;
+  MechanismResult plain = RunAim(FastAimOptions(), rho, 71);
+  CancelToken token;
+  AimOptions options = FastAimOptions();
+  options.cancel = &token;
+  MechanismResult watched = RunAim(options, rho, 71);
+  EXPECT_FALSE(watched.cancelled);
+  ExpectIdenticalResults(plain, watched);
+}
+
+// ------------------------------------- generation fallback, end to end ----
+
+TEST(GenerationResumeTest, CorruptNewestGenerationResumesIdentically) {
+  const double rho = CdpRho(1.0, 1e-9);
+  const uint64_t seed = 31;
+
+  for (int threads : {1, 8}) {
+    SetParallelThreads(threads);
+    const std::string checkpoint = ::testing::TempDir() +
+                                   "/gen_resume_t" +
+                                   std::to_string(threads) + ".snap";
+    // Make sure no ladder from a previous (failed) test run interferes.
+    for (int k = 0; k < kGenerationScanLimit; ++k) {
+      std::remove(GenerationPath(checkpoint, k).c_str());
+    }
+
+    MechanismResult uninterrupted = RunAim(FastAimOptions(), rho, seed);
+    ASSERT_GE(uninterrupted.rounds, 3);
+
+    // Crash at the top of round 3 with a 3-deep generation ladder: the
+    // ladder holds rounds 2 (base), 1 (gen1), 0 (gen2).
+    AimOptions crash_options = FastAimOptions();
+    crash_options.checkpoint_path = checkpoint;
+    crash_options.checkpoint_every_rounds = 1;
+    crash_options.checkpoint_generations = 3;
+    bool threw = false;
+    try {
+      ScopedFaults faults("aim_round:n=3");
+      (void)RunAim(crash_options, rho, seed);
+    } catch (const FaultInjectedError&) {
+      threw = true;
+    }
+    ASSERT_TRUE(threw);
+
+    // The newest generation is damaged after the crash (the scenario the
+    // ladder exists for). Resume must fall back to gen1 (round 1), warn,
+    // and still finish bitwise-identical to the uninterrupted run.
+    CorruptFile(checkpoint);
+    AimOptions resume_options = FastAimOptions();
+    resume_options.resume_path = checkpoint;
+    MemoryTraceSink sink;
+    ScopedTraceSink scoped(&sink);
+    MechanismResult resumed = RunAim(resume_options, rho, seed);
+    EXPECT_EQ(resumed.resumed_from_round, 1);
+    ExpectIdenticalResults(uninterrupted, resumed);
+
+    bool saw_fallback = false;
+    for (const TraceEvent& event : sink.events_of_type("aim_warning")) {
+      if (event.GetString("kind") == "checkpoint_fallback") {
+        saw_fallback = true;
+        EXPECT_EQ(event.GetString("path"), GenerationPath(checkpoint, 1));
+        EXPECT_NE(event.GetString("rejected").find(checkpoint),
+                  std::string::npos);
+      }
+    }
+    EXPECT_TRUE(saw_fallback);
+  }
+  SetParallelThreads(0);
+}
+
+TEST(GenerationResumeTest, EveryGenerationIsAValidResumePoint) {
+  // Resuming from ANY surviving rung of the ladder — not just the newest —
+  // replays to the same bits: damage base AND gen1, land on gen2 (round 0).
+  const double rho = CdpRho(1.0, 1e-9);
+  const uint64_t seed = 31;
+  const std::string checkpoint =
+      ::testing::TempDir() + "/gen_resume_deep.snap";
+  for (int k = 0; k < kGenerationScanLimit; ++k) {
+    std::remove(GenerationPath(checkpoint, k).c_str());
+  }
+
+  MechanismResult uninterrupted = RunAim(FastAimOptions(), rho, seed);
+  AimOptions crash_options = FastAimOptions();
+  crash_options.checkpoint_path = checkpoint;
+  crash_options.checkpoint_every_rounds = 1;
+  crash_options.checkpoint_generations = 3;
+  try {
+    ScopedFaults faults("aim_round:n=3");
+    (void)RunAim(crash_options, rho, seed);
+    FAIL() << "fault did not fire";
+  } catch (const FaultInjectedError&) {
+  }
+  CorruptFile(checkpoint);
+  ASSERT_EQ(std::remove(GenerationPath(checkpoint, 1).c_str()), 0);
+
+  AimOptions resume_options = FastAimOptions();
+  resume_options.resume_path = checkpoint;
+  MechanismResult resumed = RunAim(resume_options, rho, seed);
+  EXPECT_EQ(resumed.resumed_from_round, 0);
+  ExpectIdenticalResults(uninterrupted, resumed);
+}
+
+// ------------------------------------------- snapshot corruption fuzz ----
+
+uint64_t SnapshotFuzzMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+TEST(SnapshotFuzzTest, MutatedSnapshotsAreRejectedTypedNeverAccepted) {
+  // 320 seeded mutations (byte flips and truncations) of a valid snapshot.
+  // Every mutant must fail ParseSnapshot with a typed, non-empty error —
+  // the whole payload is checksummed, so no flip can survive — and none
+  // may crash the parser.
+  const std::string clean = SerializeSnapshot(SampleSnapshot());
+  ASSERT_GT(clean.size(), 64u);
+  int flips = 0, truncations = 0;
+  for (uint64_t seed = 0; seed < 320; ++seed) {
+    std::string mutant = clean;
+    const uint64_t r = SnapshotFuzzMix(seed);
+    if (seed % 4 == 3) {
+      mutant.resize(r % clean.size());  // strict prefix, possibly empty
+      ++truncations;
+    } else {
+      const size_t pos = r % clean.size();
+      mutant[pos] = static_cast<char>(
+          mutant[pos] ^ static_cast<char>(1u << (SnapshotFuzzMix(r) % 8)));
+      ++flips;
+    }
+    StatusOr<AimSnapshot> parsed = ParseSnapshot(mutant);
+    ASSERT_FALSE(parsed.ok())
+        << "seed " << seed << " produced an accepted mutant";
+    EXPECT_FALSE(parsed.status().message().empty()) << "seed " << seed;
+    EXPECT_NE(parsed.status().code(), StatusCode::kOk);
+  }
+  EXPECT_EQ(flips + truncations, 320);
+  EXPECT_GT(truncations, 0);
+}
+
+TEST(SnapshotFuzzTest, MutatedSnapshotFilesNeverResumeTheMechanism) {
+  // The same property end-to-end through the generation loader: a damaged
+  // single-generation checkpoint is a typed InvalidArgument, never a load.
+  const std::string base = ::testing::TempDir() + "/fuzz_resume.snap";
+  AimSnapshot snapshot = SampleSnapshot();
+  const std::string clean = SerializeSnapshot(snapshot);
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    std::string mutant = clean;
+    const size_t pos = SnapshotFuzzMix(seed) % clean.size();
+    mutant[pos] = static_cast<char>(mutant[pos] ^ 0x10);
+    {
+      std::ofstream out(base, std::ios::binary | std::ios::trunc);
+      out.write(mutant.data(), static_cast<std::streamsize>(mutant.size()));
+    }
+    StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+        base, snapshot.fingerprint, snapshot.rho_budget);
+    ASSERT_FALSE(loaded.ok()) << "seed " << seed;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << "seed " << seed << ": " << loaded.status().ToString();
+  }
+  std::remove(base.c_str());
 }
 
 }  // namespace

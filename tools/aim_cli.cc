@@ -30,10 +30,14 @@
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "robust/fault.h"
+#include "robust/generations.h"
 #include "robust/snapshot.h"
+#include "robust/supervisor.h"
 #include "store/reader.h"
 #include "uncertainty/bounds.h"
+#include "util/cancel.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace {
@@ -54,8 +58,10 @@ struct CliFlags {
   std::string metrics_out;  // metrics JSON dump ("-" = stdout)
   std::string checkpoint_out;  // atomic AimSnapshot written at round ends
   int64_t checkpoint_every = 1;
-  std::string resume;       // snapshot to resume from
+  int64_t checkpoint_generations = 1;  // rotated snapshot generations
+  std::string resume;       // snapshot (generation base) to resume from
   double deadline_s = 0.0;  // wall-clock budget; <= 0 = none
+  double stall_timeout_s = 0.0;  // watchdog stall window; <= 0 = none
 };
 
 int Usage() {
@@ -80,14 +86,32 @@ int Usage() {
                "(- for stdout)\n"
             << "  --checkpoint-out=F        crash-safe snapshot, written "
                "atomically every --checkpoint-every=N rounds (default 1)\n"
+            << "  --checkpoint-generations=N  rotated snapshot generations "
+               "kept at F, F.gen1, ... (default 1)\n"
             << "  --resume=F                resume from a snapshot written "
-               "by --checkpoint-out (same data/flags/seed required)\n"
+               "by --checkpoint-out (same data/flags/seed required); falls "
+               "back to the newest valid generation\n"
             << "  --deadline-s=F            wall-clock budget; on expiry "
                "AIM stops selecting and synthesizes from what it has\n"
+            << "  --stall-timeout-s=F       watchdog: if no round completes "
+               "within F seconds, checkpoint and exit 7 "
+               "(DEADLINE_EXCEEDED)\n"
+            << "  --list-fault-points       print registered fault points, "
+               "one per line, and exit\n"
             << "  --seed=N --report\n"
             << "  (AIM_FAULTS env arms deterministic fault injection; see "
-               "DESIGN.md)\n";
+               "DESIGN.md. Exit codes map Status categories: 0 OK, "
+               "1 INTERNAL, 2 usage/INVALID_ARGUMENT, 4 NOT_FOUND, "
+               "5 FAILED_PRECONDITION, 6 OUT_OF_RANGE, 7 DEADLINE_EXCEEDED, "
+               "8 UNAVAILABLE — see README.)\n";
   return 2;
+}
+
+// Uniform error epilogue: print and map the typed status to the documented
+// exit code.
+int Fail(const aim::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return aim::ExitCodeForStatus(status);
 }
 
 bool Consume(const std::string& arg, const std::string& prefix,
@@ -99,13 +123,20 @@ bool Consume(const std::string& arg, const std::string& prefix,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int RunCli(int argc, char** argv) {
   using namespace aim;
   CliFlags flags;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i], value;
     if (arg == "--report") {
       flags.report = true;
+    } else if (arg == "--list-fault-points") {
+      // Discovery hook for the chaos sweep (scripts/chaos_sweep.py): every
+      // fault point whose TU is linked into this binary, one per line.
+      for (const std::string& point : RegisteredFaultPoints()) {
+        std::cout << point << "\n";
+      }
+      return 0;
     } else if (Consume(arg, "--input=", &value) ||
                Consume(arg, "--data=", &value)) {
       flags.input = value;
@@ -144,10 +175,18 @@ int main(int argc, char** argv) {
           flags.checkpoint_every <= 0) {
         return Usage();
       }
+    } else if (Consume(arg, "--checkpoint-generations=", &value)) {
+      if (!ParseInt64(value, &flags.checkpoint_generations) ||
+          flags.checkpoint_generations <= 0 ||
+          flags.checkpoint_generations > kGenerationScanLimit) {
+        return Usage();
+      }
     } else if (Consume(arg, "--resume=", &value)) {
       flags.resume = value;
     } else if (Consume(arg, "--deadline-s=", &value)) {
       if (!ParseDouble(value, &flags.deadline_s)) return Usage();
+    } else if (Consume(arg, "--stall-timeout-s=", &value)) {
+      if (!ParseDouble(value, &flags.stall_timeout_s)) return Usage();
     } else {
       return Usage();
     }
@@ -163,9 +202,8 @@ int main(int argc, char** argv) {
   if (!flags.trace_out.empty()) {
     trace_sink = std::make_unique<JsonlTraceSink>(flags.trace_out);
     if (!trace_sink->ok()) {
-      std::cerr << "error: cannot open trace output '" << flags.trace_out
-                << "'\n";
-      return 1;
+      return Fail(InternalError("cannot open trace output '" +
+                                flags.trace_out + "'"));
     }
     SetGlobalTraceSink(trace_sink.get());
   } else {
@@ -184,10 +222,7 @@ int main(int argc, char** argv) {
   if (IsStoreFile(flags.input)) {
     StatusOr<std::unique_ptr<StoreSource>> opened =
         StoreSource::Open(flags.input);
-    if (!opened.ok()) {
-      std::cerr << "error: " << opened.status().ToString() << "\n";
-      return 1;
-    }
+    if (!opened.ok()) return Fail(opened.status());
     store = std::move(*opened);
     source = store.get();
     std::cerr << "mapped store: " << store->num_records() << " records, "
@@ -196,17 +231,11 @@ int main(int argc, char** argv) {
               << (store->mapped_bytes() >> 20) << " MB\n";
   } else {
     StatusOr<RawTable> table = ReadCsv(flags.input);
-    if (!table.ok()) {
-      std::cerr << "error: " << table.status().ToString() << "\n";
-      return 1;
-    }
+    if (!table.ok()) return Fail(table.status());
     PreprocessOptions prep_options;
     prep_options.num_bins = flags.bins;
     StatusOr<PreprocessResult> preprocessed = Preprocess(*table, prep_options);
-    if (!preprocessed.ok()) {
-      std::cerr << "error: " << preprocessed.status().ToString() << "\n";
-      return 1;
-    }
+    if (!preprocessed.ok()) return Fail(preprocessed.status());
     prep.emplace(*std::move(preprocessed));
     csv_source.emplace(prep->dataset);
     source = &*csv_source;
@@ -227,8 +256,7 @@ int main(int argc, char** argv) {
     std::string name = flags.workload.substr(7);
     int target = domain.IndexOf(name);
     if (target < 0) {
-      std::cerr << "error: no attribute named '" << name << "'\n";
-      return 1;
+      return Fail(InvalidArgumentError("no attribute named '" + name + "'"));
     }
     workload = TargetWorkload(
         domain, std::min(3, domain.num_attributes()), target);
@@ -248,45 +276,69 @@ int main(int argc, char** argv) {
   options.record_candidates = flags.report;
   options.checkpoint_path = flags.checkpoint_out;
   options.checkpoint_every_rounds = static_cast<int>(flags.checkpoint_every);
+  options.checkpoint_generations =
+      static_cast<int>(flags.checkpoint_generations);
   options.resume_path = flags.resume;
   options.deadline_seconds = flags.deadline_s;
 
   // Pre-validate a resume snapshot here so a stale or mismatched file is a
-  // clean CLI error rather than a CHECK failure inside Run.
+  // clean CLI error rather than a CHECK failure inside Run. The
+  // generation-aware loader scans newest-first; a corrupt newest generation
+  // is a warning (Run will fall back to the same older generation), only a
+  // ladder with no valid snapshot at all is fatal.
   if (!flags.resume.empty()) {
-    StatusOr<AimSnapshot> snapshot = ReadSnapshot(flags.resume);
-    if (!snapshot.ok()) {
-      std::cerr << "error: " << snapshot.status().ToString() << "\n";
-      return 1;
-    }
-    Status valid = ValidateSnapshot(
-        *snapshot, AimRunFingerprint(domain, workload, options, rho),
-        rho);
-    if (!valid.ok()) {
+    StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+        flags.resume, AimRunFingerprint(domain, workload, options, rho), rho);
+    if (!loaded.ok()) {
       std::cerr << "error: cannot resume from '" << flags.resume
-                << "': " << valid.ToString() << "\n";
-      return 1;
+                << "': " << loaded.status().ToString() << "\n";
+      return ExitCodeForStatus(loaded.status());
     }
-    std::cerr << "resuming from '" << flags.resume << "' (round "
-              << snapshot->round << ", rho spent " << snapshot->rho_spent
-              << ")\n";
+    for (const std::string& rejected : loaded->rejected) {
+      std::cerr << "warning: checkpoint generation rejected: " << rejected
+                << "\n";
+    }
+    if (loaded->generation > 0) {
+      std::cerr << "warning: falling back to checkpoint generation "
+                << loaded->generation << " ('" << loaded->path << "')\n";
+    }
+    std::cerr << "resuming from '" << loaded->path << "' (round "
+              << loaded->snapshot.round << ", rho spent "
+              << loaded->snapshot.rho_spent << ")\n";
+  }
+
+  // ---- Stall watchdog. Progress is read from the aim.rounds counter, so
+  // the watchdog implies metrics collection (cheap, and output-neutral).
+  CancelToken cancel;
+  std::optional<RunSupervisor> supervisor;
+  if (flags.stall_timeout_s > 0.0) {
+    SetMetricsEnabled(true);
+    options.cancel = &cancel;
+    SupervisorOptions sup_options;
+    sup_options.stall_window_seconds = flags.stall_timeout_s;
+    supervisor.emplace(&cancel, AimRoundProgressProbe(), sup_options);
   }
 
   AimMechanism mechanism(options);
   Rng rng(flags.seed + 0x41494D);
   MechanismResult result = mechanism.Run(*source, workload, rho, rng);
+  if (supervisor.has_value()) supervisor->Stop();
   std::cerr << "AIM: " << result.rounds << " rounds, "
             << result.log.measurements.size() << " measurements, "
             << result.seconds << "s"
             << (result.deadline_expired ? " (deadline expired)" : "")
+            << (result.cancelled ? " (cancelled by watchdog)" : "")
             << "\n";
+  if (supervisor.has_value() && supervisor->stall_detected()) {
+    // The run was wound down and checkpointed; report the typed stall
+    // status instead of writing output a caller would mistake for a
+    // completed synthesis.
+    return Fail(supervisor->status());
+  }
 
   // ---- Write output.
   Status status = WriteCsv(result.synthetic, flags.output);
-  if (!status.ok()) {
-    std::cerr << "error: " << status.ToString() << "\n";
-    return 1;
-  }
+  if (!status.ok()) return Fail(status);
   std::cerr << "wrote " << result.synthetic.num_records() << " records to "
             << flags.output << " (integer-coded; bins/categories per "
             << "Appendix-A preprocessing)\n";
@@ -328,13 +380,28 @@ int main(int argc, char** argv) {
     } else {
       std::ofstream out(flags.metrics_out);
       if (!out) {
-        std::cerr << "error: cannot open metrics output '"
-                  << flags.metrics_out << "'\n";
-        return 1;
+        return Fail(InternalError("cannot open metrics output '" +
+                                  flags.metrics_out + "'"));
       }
       MetricsRegistry::Global().WriteJson(out);
       out << "\n";
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // Containment: an injected fault (or any library exception) surfacing
+  // here must be a clean typed exit, never a std::terminate — the
+  // chaos-sweep invariant. Output files are written atomically, so an
+  // aborted run leaves no partial artifacts behind.
+  try {
+    return RunCli(argc, argv);
+  } catch (const aim::FaultInjectedError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return aim::ExitCodeForStatus(aim::InternalError(e.what()));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return aim::ExitCodeForStatus(aim::InternalError(e.what()));
+  }
 }

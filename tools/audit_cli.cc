@@ -13,10 +13,12 @@
 // Clopper-Pearson confidence edges next to the accountant's claimed
 // epsilon (see DESIGN.md "Privacy auditing").
 //
-// Exit codes: 0 success; 2 usage; 1 runtime error; 3 when --require-claim
-// is set and the empirical epsilon's upper confidence edge exceeds the
-// claimed epsilon (i.e. the audit could not certify consistency with the
-// claim at the configured confidence).
+// Exit codes follow the shared Status contract (util/status.h,
+// ExitCodeForStatus; see the README table): 0 success; 2 usage or invalid
+// argument; other failures map their StatusCode. Exit 3 is reserved here
+// for claim refutation: --require-claim is set and the empirical epsilon's
+// upper confidence edge exceeds the claimed epsilon (i.e. the audit could
+// not certify consistency with the claim at the configured confidence).
 
 #include <fstream>
 #include <iostream>
@@ -32,6 +34,7 @@
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "robust/fault.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace {
@@ -73,6 +76,7 @@ int Usage() {
       << "  --trace-out=F             JSONL audit trace (- or stderr)\n"
       << "  --metrics-out=F           metrics JSON dump at exit (- for "
          "stdout)\n"
+      << "  --list-fault-points       print registered fault points, exit\n"
       << "  (AIM_FAULTS env arms deterministic fault injection; failed "
          "pairs are excluded from the bound, never counted)\n";
   return 2;
@@ -85,14 +89,24 @@ bool Consume(const std::string& arg, const std::string& prefix,
   return true;
 }
 
-}  // namespace
+// Prints a typed error and maps its Status category to the process exit
+// code (exit 3 stays reserved for claim refutation, which is not a Status).
+int Fail(const aim::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return aim::ExitCodeForStatus(status);
+}
 
-int main(int argc, char** argv) {
+int RunCli(int argc, char** argv) {
   using namespace aim;
   CliFlags flags;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i], value;
-    if (arg == "--csv") {
+    if (arg == "--list-fault-points") {
+      for (const std::string& point : RegisteredFaultPoints()) {
+        std::cout << point << "\n";
+      }
+      return 0;
+    } else if (arg == "--csv") {
       flags.csv = true;
     } else if (arg == "--require-claim") {
       flags.require_claim = true;
@@ -139,9 +153,8 @@ int main(int argc, char** argv) {
   if (!flags.trace_out.empty()) {
     trace_sink = std::make_unique<JsonlTraceSink>(flags.trace_out);
     if (!trace_sink->ok()) {
-      std::cerr << "error: cannot open trace output '" << flags.trace_out
-                << "'\n";
-      return 1;
+      return Fail(InternalError("cannot open trace output '" +
+                                flags.trace_out + "'"));
     }
     SetGlobalTraceSink(trace_sink.get());
   } else {
@@ -156,8 +169,8 @@ int main(int argc, char** argv) {
   for (const std::string& part : SplitString(flags.domain, ',')) {
     int64_t v;
     if (!ParseInt64(part, &v) || v < 2) {
-      std::cerr << "error: bad --domain (want comma-separated sizes >= 2)\n";
-      return 2;
+      return Fail(InvalidArgumentError(
+          "bad --domain (want comma-separated sizes >= 2)"));
     }
     sizes.push_back(static_cast<int>(v));
   }
@@ -165,10 +178,7 @@ int main(int argc, char** argv) {
   const Domain domain = Domain::WithSizes(sizes);
 
   StatusOr<AttackStatistic> statistic = ParseAttackStatistic(flags.stat);
-  if (!statistic.ok()) {
-    std::cerr << "error: " << statistic.status().ToString() << "\n";
-    return 2;
-  }
+  if (!statistic.ok()) return Fail(statistic.status());
 
   // Modest estimation effort: the audit domain is tiny, so full paper-scale
   // iteration counts would only slow the fan-out down without changing the
@@ -179,8 +189,8 @@ int main(int argc, char** argv) {
   std::unique_ptr<Mechanism> mechanism =
       MechanismByName(flags.mechanism, registry_options);
   if (mechanism == nullptr) {
-    std::cerr << "error: unknown mechanism '" << flags.mechanism << "'\n";
-    return 2;
+    return Fail(
+        InvalidArgumentError("unknown mechanism '" + flags.mechanism + "'"));
   }
 
   const Workload workload =
@@ -197,10 +207,7 @@ int main(int argc, char** argv) {
 
   StatusOr<AuditResult> audit =
       RunAudit(*mechanism, domain, workload, options);
-  if (!audit.ok()) {
-    std::cerr << "error: " << audit.status().ToString() << "\n";
-    return 1;
-  }
+  if (!audit.ok()) return Fail(audit.status());
 
   TablePrinter table({"mechanism", "stat", "eps_claimed", "pairs", "failed",
                       "tpr", "fpr", "eps_point", "eps_lower", "eps_upper",
@@ -264,4 +271,17 @@ int main(int argc, char** argv) {
     }
   }
   return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Chaos-sweep containment: injected faults and library exceptions become
+  // clean typed exits, never std::terminate.
+  try {
+    return RunCli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return aim::ExitCodeForStatus(aim::InternalError(e.what()));
+  }
 }

@@ -17,8 +17,12 @@
 //
 // Output is written atomically (tmp + fsync + rename per shard); with
 // --shard-rows the target path becomes a shard manifest and the shards land
-// next to it as <stem>.00000.aim, <stem>.00001.aim, ...
+// next to it as <stem>.00000.aim, <stem>.00001.aim, ... On ANY conversion
+// failure every file already written is removed again, so the output
+// location ends up either fully valid (verified by re-opening) or empty —
+// never a truncated store or a manifest naming missing shards.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -26,8 +30,10 @@
 
 #include "data/csv.h"
 #include "data/preprocess.h"
+#include "robust/fault.h"
 #include "store/reader.h"
 #include "store/writer.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace {
@@ -41,7 +47,10 @@ int Usage() {
          "becomes a manifest listing <stem>.00000.aim, ...\n"
       << "  --domain-sizes=a,b  input is already integer-coded with these "
          "per-column domain sizes; converts in one streaming pass with "
-         "bounded memory (no preprocessing)\n";
+         "bounded memory (no preprocessing)\n"
+      << "  --list-fault-points print registered fault points and exit\n"
+      << "  (exit codes map Status categories — see README: 0 OK, "
+         "1 INTERNAL, 2 usage/INVALID_ARGUMENT, 4 NOT_FOUND, ...)\n";
   return 2;
 }
 
@@ -67,9 +76,117 @@ void SplitFields(const std::string& line, std::vector<std::string>* out) {
   }
 }
 
-}  // namespace
+struct ConvertStats {
+  int64_t rows = 0;
+  int shards = 0;
+  // Everything the writer put on disk (shards + manifest), so the
+  // verification step can clean up if the re-open rejects the store.
+  std::vector<std::string> written;
+};
 
-int main(int argc, char** argv) {
+// Streaming precoded pass: header line gives the attribute names; every
+// further line is one integer-coded record appended straight to the writer,
+// which buffers at most one shard. Cleans up written files on failure.
+aim::Status ConvertPrecoded(const std::string& input,
+                            const std::string& output,
+                            const std::vector<int>& domain_sizes,
+                            const aim::StoreWriterOptions& store_options,
+                            ConvertStats* stats) {
+  using namespace aim;
+  std::ifstream file(input);
+  if (!file) return NotFoundError("cannot open " + input);
+  std::string line;
+  if (!std::getline(file, line)) {
+    return InvalidArgumentError(input + " is empty (no header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  SplitFields(line, &fields);
+  if (fields.size() != domain_sizes.size()) {
+    return InvalidArgumentError(
+        "header has " + std::to_string(fields.size()) +
+        " columns, --domain-sizes lists " +
+        std::to_string(domain_sizes.size()));
+  }
+  StoreWriter writer(Domain(fields, domain_sizes), output, store_options);
+  auto fail = [&writer](Status s) {
+    writer.RemovePartialOutputs();
+    return s;
+  };
+  std::vector<int> record(domain_sizes.size());
+  int64_t line_number = 1;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    SplitFields(line, &fields);
+    if (fields.size() != record.size()) {
+      return fail(InvalidArgumentError(
+          input + ":" + std::to_string(line_number) + ": " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(record.size())));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      int64_t v;
+      if (!ParseInt64(fields[c], &v)) {
+        return fail(InvalidArgumentError(
+            input + ":" + std::to_string(line_number) + ": column " +
+            std::to_string(c + 1) + ": '" + fields[c] +
+            "' is not an integer code"));
+      }
+      record[c] = static_cast<int>(v);
+    }
+    Status s = writer.Append(record);
+    if (!s.ok()) {
+      return fail(Status(s.code(), input + ":" +
+                                       std::to_string(line_number) + ": " +
+                                       s.message()));
+    }
+  }
+  if (file.bad()) return fail(InternalError("read failed for " + input));
+  Status s = writer.Finish();
+  if (!s.ok()) return fail(s);
+  stats->rows = writer.rows_written();
+  stats->shards = writer.shards_written();
+  stats->written = writer.written_paths();
+  return Status::Ok();
+}
+
+// Preprocessed mode: identical discretization to aim_cli --input. Cleans up
+// written files on failure.
+aim::Status ConvertPreprocessed(const std::string& input,
+                                const std::string& output, int bins,
+                                const aim::StoreWriterOptions& store_options,
+                                ConvertStats* stats) {
+  using namespace aim;
+  StatusOr<RawTable> table = ReadCsv(input);
+  if (!table.ok()) return table.status();
+  PreprocessOptions prep_options;
+  prep_options.num_bins = bins;
+  StatusOr<PreprocessResult> prep = Preprocess(*table, prep_options);
+  if (!prep.ok()) return prep.status();
+  const Dataset& data = prep->dataset;
+  StoreWriter writer(data.domain(), output, store_options);
+  Status status;
+  std::vector<int> record(data.domain().num_attributes());
+  for (int64_t row = 0; row < data.num_records() && status.ok(); ++row) {
+    for (int a = 0; a < data.domain().num_attributes(); ++a) {
+      record[a] = data.value(row, a);
+    }
+    status = writer.Append(record);
+  }
+  if (status.ok()) status = writer.Finish();
+  if (!status.ok()) {
+    writer.RemovePartialOutputs();
+    return status;
+  }
+  stats->rows = writer.rows_written();
+  stats->shards = writer.shards_written();
+  stats->written = writer.written_paths();
+  return Status::Ok();
+}
+
+int RunCli(int argc, char** argv) {
   using namespace aim;
   std::string input, output;
   int bins = 32;
@@ -78,7 +195,12 @@ int main(int argc, char** argv) {
   bool precoded = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i], value;
-    if (Consume(arg, "--input=", &value)) {
+    if (arg == "--list-fault-points") {
+      for (const std::string& point : RegisteredFaultPoints()) {
+        std::cout << point << "\n";
+      }
+      return 0;
+    } else if (Consume(arg, "--input=", &value)) {
       input = value;
     } else if (Consume(arg, "--output=", &value)) {
       output = value;
@@ -103,104 +225,20 @@ int main(int argc, char** argv) {
     }
   }
   if (input.empty() || output.empty()) return Usage();
+  InitFaultsFromEnv();
 
   StoreWriterOptions store_options;
   store_options.shard_rows = shard_rows;
 
-  Status status;
-  int64_t rows = 0;
-  int shards = 0;
-  if (precoded) {
-    // Streaming pass: header line gives the attribute names; every further
-    // line is one integer-coded record appended straight to the writer,
-    // which buffers at most one shard.
-    std::ifstream file(input);
-    if (!file) {
-      std::cerr << "error: cannot open " << input << "\n";
-      return 1;
-    }
-    std::string line;
-    if (!std::getline(file, line)) {
-      std::cerr << "error: " << input << " is empty (no header)\n";
-      return 1;
-    }
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::vector<std::string> fields;
-    SplitFields(line, &fields);
-    if (fields.size() != domain_sizes.size()) {
-      std::cerr << "error: header has " << fields.size()
-                << " columns, --domain-sizes lists " << domain_sizes.size()
-                << "\n";
-      return 1;
-    }
-    StoreWriter writer(Domain(fields, domain_sizes), output, store_options);
-    std::vector<int> record(domain_sizes.size());
-    int64_t line_number = 1;
-    while (std::getline(file, line)) {
-      ++line_number;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      SplitFields(line, &fields);
-      if (fields.size() != record.size()) {
-        std::cerr << "error: " << input << ":" << line_number << ": "
-                  << fields.size() << " fields, expected " << record.size()
-                  << "\n";
-        return 1;
-      }
-      for (size_t c = 0; c < fields.size(); ++c) {
-        int64_t v;
-        if (!ParseInt64(fields[c], &v)) {
-          std::cerr << "error: " << input << ":" << line_number
-                    << ": column " << (c + 1) << ": '" << fields[c]
-                    << "' is not an integer code\n";
-          return 1;
-        }
-        record[c] = static_cast<int>(v);
-      }
-      status = writer.Append(record);
-      if (!status.ok()) {
-        std::cerr << "error: " << input << ":" << line_number << ": "
-                  << status.ToString() << "\n";
-        return 1;
-      }
-    }
-    if (file.bad()) {
-      std::cerr << "error: read failed for " << input << "\n";
-      return 1;
-    }
-    status = writer.Finish();
-    rows = writer.rows_written();
-    shards = writer.shards_written();
-  } else {
-    // Preprocessed mode: identical discretization to aim_cli --input.
-    StatusOr<RawTable> table = ReadCsv(input);
-    if (!table.ok()) {
-      std::cerr << "error: " << table.status().ToString() << "\n";
-      return 1;
-    }
-    PreprocessOptions prep_options;
-    prep_options.num_bins = bins;
-    StatusOr<PreprocessResult> prep = Preprocess(*table, prep_options);
-    if (!prep.ok()) {
-      std::cerr << "error: " << prep.status().ToString() << "\n";
-      return 1;
-    }
-    const Dataset& data = prep->dataset;
-    StoreWriter writer(data.domain(), output, store_options);
-    std::vector<int> record(data.domain().num_attributes());
-    for (int64_t row = 0; row < data.num_records() && status.ok(); ++row) {
-      for (int a = 0; a < data.domain().num_attributes(); ++a) {
-        record[a] = data.value(row, a);
-      }
-      status = writer.Append(record);
-    }
-    if (status.ok()) status = writer.Finish();
-    rows = writer.rows_written();
-    shards = writer.shards_written();
-  }
+  ConvertStats stats;
+  Status status =
+      precoded
+          ? ConvertPrecoded(input, output, domain_sizes, store_options,
+                            &stats)
+          : ConvertPreprocessed(input, output, bins, store_options, &stats);
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
-    return 1;
+    return ExitCodeForStatus(status);
   }
 
   // Re-open what was just written: proves the store round-trips (checksums
@@ -210,11 +248,27 @@ int main(int argc, char** argv) {
     std::cerr << "error: wrote " << output
               << " but it fails verification: " << check.status().ToString()
               << "\n";
-    return 1;
+    for (const std::string& path : stats.written) {
+      std::remove(path.c_str());
+    }
+    return ExitCodeForStatus(check.status());
   }
-  std::cerr << "wrote " << rows << " records, "
+  std::cerr << "wrote " << stats.rows << " records, "
             << (*check)->domain().num_attributes() << " attributes, "
-            << shards << " shard(s), " << (*check)->mapped_bytes()
+            << stats.shards << " shard(s), " << (*check)->mapped_bytes()
             << " bytes to " << output << "\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Chaos-sweep containment: injected faults and library exceptions become
+  // clean typed exits, never std::terminate.
+  try {
+    return RunCli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return aim::ExitCodeForStatus(aim::InternalError(e.what()));
+  }
 }
