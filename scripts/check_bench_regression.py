@@ -15,6 +15,16 @@ cancels out):
     e.g. the seed odometer kernels vs the flat kernels. The built-in
     Calibrate check is skipped in this mode.
 
+The baseline and current name sets must match exactly: a baseline entry
+missing from the current run AND a current benchmark absent from the
+baseline are both hard failures (a silently-dropped or silently-unbaselined
+benchmark is how perf gates rot). ``--allow-missing`` downgrades both
+set-mismatch directions to warnings — for intentionally transitional runs,
+e.g. landing a new benchmark before its baseline. Benchmarks named in an
+explicit ``--speedup`` triple are exempt from the escape hatch: if one of
+those is missing the gate always fails, because the speedup invariant
+simply was not checked.
+
 Usage:
   check_bench_regression.py BENCH_infer.json current.json [--max-ratio 2.0]
   check_bench_regression.py BENCH_factor.json current.json \
@@ -79,6 +89,10 @@ def main():
                         help="require current[SLOW]/current[FAST] >= MIN; "
                              "repeatable; replaces the built-in Calibrate "
                              "speedup check")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="downgrade baseline/current name-set mismatches "
+                             "to warnings (benchmarks named in --speedup "
+                             "triples still hard-fail when missing)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run")
     args = parser.parse_args()
@@ -91,9 +105,16 @@ def main():
 
     failures = []
     baseline = load_benchmarks(args.baseline)
+
+    def set_mismatch(message):
+        if args.allow_missing:
+            print(f"warning: {message} (--allow-missing)", file=sys.stderr)
+        else:
+            failures.append(message)
+
     for name, base_time in sorted(baseline.items()):
         if name not in current:
-            failures.append(f"{name}: missing from current run")
+            set_mismatch(f"{name}: missing from current run")
             continue
         ratio = current[name] / base_time
         status = "FAIL" if ratio > args.max_ratio else "ok"
@@ -102,6 +123,9 @@ def main():
         if ratio > args.max_ratio:
             failures.append(f"{name}: {ratio:.2f}x slower than baseline "
                             f"(limit {args.max_ratio}x)")
+    for name in sorted(set(current) - set(baseline)):
+        set_mismatch(f"{name}: present in current run but not in the "
+                     f"baseline (regenerate with --update)")
 
     if args.speedup:
         for slow, fast, min_ratio in args.speedup:

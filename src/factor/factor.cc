@@ -6,6 +6,7 @@
 
 #include "factor/kernel_plan.h"
 #include "factor/kernels.h"
+#include "factor/simd_dispatch.h"
 #include "factor/workspace.h"
 #include "parallel/parallel.h"
 #include "util/logging.h"
@@ -15,6 +16,7 @@ namespace aim {
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
 
 // True when `sub` (sorted ascending, distinct) is a subset of `super`
 // (same convention). Allocation-free replacement for building AttrSets.
@@ -121,17 +123,33 @@ void ForEachCellParallel(const std::vector<int>& sizes,
 
 // ---------------------------------------------------------------------------
 // Flat kernels: loop-collapsed executors over a KernelPlan. Each one visits
-// cells in exactly the seed order and performs the identical per-cell
-// floating-point operations, so results are bitwise equal to the odometer
-// path (see kernel_plan.h for the argument and factor_test.cc for the
-// assertion). The inner-stride specializations (0 = operand constant over
-// the run, 1 = operand contiguous — the only values sub-factor broadcasting
-// produces) give the compiler unit-stride loops it can vectorize.
+// cells in exactly the seed order; the unit-stride inner runs (inner stride
+// 0 = operand constant over the run, 1 = operand contiguous — the only
+// values sub-factor broadcasting produces) go through the SimdOps table
+// (simd_dispatch.h). The exact kernels are bitwise equal to the odometer
+// path at every SIMD level (see kernel_plan.h for the argument and
+// factor_test.cc for the assertion); the transcendental kernels
+// (LogSumExpTo pass 2) are bitwise equal at SimdLevel::kScalar and
+// ULP-gated above it.
 // ---------------------------------------------------------------------------
 
-template <typename Op>
+enum class BinKind { kAdd, kSub, kMul };
+
+template <BinKind K>
+inline double ApplyBin(double x, double y) {
+  if constexpr (K == BinKind::kAdd) {
+    return x + y;
+  } else if constexpr (K == BinKind::kSub) {
+    return x - y;
+  } else {
+    return x * y;
+  }
+}
+
+template <BinKind K>
 void RunBinaryRange(const KernelPlan& plan, double* dst, const double* av,
-                    const double* bv, Op op, int64_t lo, int64_t hi) {
+                    const double* bv, const SimdOps& ops, int64_t lo,
+                    int64_t hi) {
   const int64_t ia = plan.inner_strides[0];
   const int64_t ib = plan.inner_strides[1];
   if (ia == 1 && ib == 1) {
@@ -140,8 +158,12 @@ void RunBinaryRange(const KernelPlan& plan, double* dst, const double* av,
                          const double* pa = av + base[0];
                          const double* pb = bv + base[1];
                          double* pd = dst + cell;
-                         for (int64_t t = 0; t < len; ++t) {
-                           pd[t] = op(pa[t], pb[t]);
+                         if constexpr (K == BinKind::kAdd) {
+                           ops.add_vv(pd, pa, pb, len);
+                         } else if constexpr (K == BinKind::kSub) {
+                           ops.sub_vv(pd, pa, pb, len);
+                         } else {
+                           ops.mul_vv(pd, pa, pb, len);
                          }
                        });
   } else if (ia == 1 && ib == 0) {
@@ -150,8 +172,12 @@ void RunBinaryRange(const KernelPlan& plan, double* dst, const double* av,
                          const double* pa = av + base[0];
                          const double y = bv[base[1]];
                          double* pd = dst + cell;
-                         for (int64_t t = 0; t < len; ++t) {
-                           pd[t] = op(pa[t], y);
+                         if constexpr (K == BinKind::kAdd) {
+                           ops.add_vs(pd, pa, y, len);
+                         } else if constexpr (K == BinKind::kSub) {
+                           ops.sub_vs(pd, pa, y, len);
+                         } else {
+                           ops.mul_vs(pd, pa, y, len);
                          }
                        });
   } else if (ia == 0 && ib == 1) {
@@ -160,8 +186,12 @@ void RunBinaryRange(const KernelPlan& plan, double* dst, const double* av,
                          const double x = av[base[0]];
                          const double* pb = bv + base[1];
                          double* pd = dst + cell;
-                         for (int64_t t = 0; t < len; ++t) {
-                           pd[t] = op(x, pb[t]);
+                         if constexpr (K == BinKind::kAdd) {
+                           ops.add_vs(pd, pb, x, len);  // x + b == b + x
+                         } else if constexpr (K == BinKind::kSub) {
+                           ops.sub_sv(pd, x, pb, len);
+                         } else {
+                           ops.mul_vs(pd, pb, x, len);  // x * b == b * x
                          }
                        });
   } else {
@@ -169,34 +199,27 @@ void RunBinaryRange(const KernelPlan& plan, double* dst, const double* av,
                        [&](int64_t cell, const int64_t* base, int64_t len) {
                          double* pd = dst + cell;
                          for (int64_t t = 0; t < len; ++t) {
-                           pd[t] = op(av[base[0] + t * ia],
-                                      bv[base[1] + t * ib]);
+                           pd[t] = ApplyBin<K>(av[base[0] + t * ia],
+                                               bv[base[1] + t * ib]);
                          }
                        });
   }
 }
 
 void RunAddInPlaceRange(const KernelPlan& plan, double* dst,
-                        const double* src, double scale, int64_t lo,
-                        int64_t hi) {
+                        const double* src, double scale, const SimdOps& ops,
+                        int64_t lo, int64_t hi) {
   const int64_t is = plan.inner_strides[0];
   if (is == 1) {
     ForEachRunRange<1>(plan, lo, hi,
                        [&](int64_t cell, const int64_t* base, int64_t len) {
-                         const double* ps = src + base[0];
-                         double* pd = dst + cell;
-                         for (int64_t t = 0; t < len; ++t) {
-                           pd[t] += scale * ps[t];
-                         }
+                         ops.axpy(dst + cell, src + base[0], scale, len);
                        });
   } else if (is == 0) {
     ForEachRunRange<1>(plan, lo, hi,
                        [&](int64_t cell, const int64_t* base, int64_t len) {
                          const double add = scale * src[base[0]];
-                         double* pd = dst + cell;
-                         for (int64_t t = 0; t < len; ++t) {
-                           pd[t] += add;
-                         }
+                         ops.add_scalar(dst + cell, add, len);
                        });
   } else {
     ForEachRunRange<1>(plan, lo, hi,
@@ -214,9 +237,12 @@ void RunAddInPlaceRange(const KernelPlan& plan, double* dst,
 // happen in the same left-to-right order as the seed's per-cell
 // dst[idx] += src[cell], so the result is bitwise identical.
 void RunScatterAdd(const KernelPlan& plan, double* dst, const double* src,
-                   int64_t total) {
+                   const SimdOps& ops, int64_t total) {
   const int64_t os = plan.inner_strides[0];
   if (os == 0) {
+    // Order-sensitive reduction into one destination: stays scalar at every
+    // SIMD level so the left-to-right addition sequence (and therefore the
+    // result bits) matches the seed exactly.
     ForEachRunRange<1>(plan, 0, total,
                        [&](int64_t cell, const int64_t* base, int64_t len) {
                          const double* ps = src + cell;
@@ -229,11 +255,7 @@ void RunScatterAdd(const KernelPlan& plan, double* dst, const double* src,
   } else if (os == 1) {
     ForEachRunRange<1>(plan, 0, total,
                        [&](int64_t cell, const int64_t* base, int64_t len) {
-                         const double* ps = src + cell;
-                         double* pd = dst + base[0];
-                         for (int64_t t = 0; t < len; ++t) {
-                           pd[t] += ps[t];
-                         }
+                         ops.acc_add(dst + base[0], src + cell, len);
                        });
   } else {
     ForEachRunRange<1>(plan, 0, total,
@@ -246,20 +268,25 @@ void RunScatterAdd(const KernelPlan& plan, double* dst, const double* src,
   }
 }
 
-// Scatter-max (LogSumExpTo pass 1). max is exact, so accumulation into a
-// scalar matches the seed's per-cell sequence bit for bit.
+// Scatter-max (LogSumExpTo pass 1). max is exact, so accumulation matches
+// the seed's per-cell sequence bit for bit. NaN contributions poison the
+// destination with a canonical quiet NaN (the seed's `<`-based max silently
+// dropped them, yielding a wrong finite LogSumExpTo result — see the
+// regression test NanInputPoisonsLogSumExpCell); once poisoned, a cell
+// stays NaN because no later comparison against it can succeed.
 void RunScatterMax(const KernelPlan& plan, double* dst, const double* src,
-                   int64_t total) {
+                   const SimdOps& ops, int64_t total) {
   const int64_t os = plan.inner_strides[0];
   if (os == 0) {
     ForEachRunRange<1>(plan, 0, total,
                        [&](int64_t cell, const int64_t* base, int64_t len) {
-                         const double* ps = src + cell;
-                         double m = dst[base[0]];
-                         for (int64_t t = 0; t < len; ++t) {
-                           m = std::max(m, ps[t]);
-                         }
-                         dst[base[0]] = m;
+                         dst[base[0]] =
+                             ops.reduce_max(dst[base[0]], src + cell, len);
+                       });
+  } else if (os == 1) {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         ops.acc_max(dst + base[0], src + cell, len);
                        });
   } else {
     ForEachRunRange<1>(plan, 0, total,
@@ -267,7 +294,8 @@ void RunScatterMax(const KernelPlan& plan, double* dst, const double* src,
                          const double* ps = src + cell;
                          for (int64_t t = 0; t < len; ++t) {
                            double& d = dst[base[0] + t * os];
-                           d = std::max(d, ps[t]);
+                           const double v = ps[t];
+                           d = (v != v) ? kQuietNan : ((d < v) ? v : d);
                          }
                        });
   }
@@ -277,19 +305,21 @@ void RunScatterMax(const KernelPlan& plan, double* dst, const double* src,
 // structural-zero skip (per-destination max of -inf means every
 // contribution is skipped, which the run-level branch reproduces exactly).
 void RunScatterExpAcc(const KernelPlan& plan, double* dst, const double* mx,
-                      const double* src, int64_t total) {
+                      const double* src, const SimdOps& ops, int64_t total) {
   const int64_t os = plan.inner_strides[0];
   if (os == 0) {
     ForEachRunRange<1>(plan, 0, total,
                        [&](int64_t cell, const int64_t* base, int64_t len) {
                          const double m = mx[base[0]];
                          if (std::isinf(m) && m < 0) return;
-                         const double* ps = src + cell;
-                         double acc = dst[base[0]];
-                         for (int64_t t = 0; t < len; ++t) {
-                           acc += std::exp(ps[t] - m);
-                         }
-                         dst[base[0]] = acc;
+                         dst[base[0]] =
+                             ops.exp_acc(dst[base[0]], src + cell, m, len);
+                       });
+  } else if (os == 1) {
+    ForEachRunRange<1>(plan, 0, total,
+                       [&](int64_t cell, const int64_t* base, int64_t len) {
+                         ops.acc_exp(dst + base[0], mx + base[0], src + cell,
+                                     len);
                        });
   } else {
     ForEachRunRange<1>(plan, 0, total,
@@ -361,8 +391,8 @@ int Factor::AxisOf(int attr) const {
 
 namespace {
 
-template <typename Op>
-Factor BinaryOp(const Factor& a, const Factor& b, Op op) {
+template <BinKind K>
+Factor BinaryOp(const Factor& a, const Factor& b) {
   // Union domain.
   std::vector<int> attrs;
   std::vector<int> sizes;
@@ -401,14 +431,15 @@ Factor BinaryOp(const Factor& a, const Factor& b, Op op) {
   const KernelPlan* plan =
       FlatKernelsEnabled() ? ws.GetPlan(sizes, strides, 2) : nullptr;
   if (plan != nullptr) {
+    const SimdOps& ops = ActiveSimdOps();
     RunFlatParallel(out.num_cells(), [&](int64_t lo, int64_t hi) {
-      RunBinaryRange(*plan, dst, av, bv, op, lo, hi);
+      RunBinaryRange<K>(*plan, dst, av, bv, ops, lo, hi);
     });
     return out;
   }
   ForEachCellParallel<2>(sizes, strides, out.num_cells(),
                          [&](int64_t cell, const int64_t* idx) {
-                           dst[cell] = op(av[idx[0]], bv[idx[1]]);
+                           dst[cell] = ApplyBin<K>(av[idx[0]], bv[idx[1]]);
                          });
   return out;
 }
@@ -416,15 +447,15 @@ Factor BinaryOp(const Factor& a, const Factor& b, Op op) {
 }  // namespace
 
 Factor Factor::Add(const Factor& other) const {
-  return BinaryOp(*this, other, [](double x, double y) { return x + y; });
+  return BinaryOp<BinKind::kAdd>(*this, other);
 }
 
 Factor Factor::Subtract(const Factor& other) const {
-  return BinaryOp(*this, other, [](double x, double y) { return x - y; });
+  return BinaryOp<BinKind::kSub>(*this, other);
 }
 
 Factor Factor::Multiply(const Factor& other) const {
-  return BinaryOp(*this, other, [](double x, double y) { return x * y; });
+  return BinaryOp<BinKind::kMul>(*this, other);
 }
 
 void Factor::AddInPlace(const Factor& other, double scale) {
@@ -439,8 +470,9 @@ void Factor::AddInPlace(const Factor& other, double scale) {
   const KernelPlan* plan =
       FlatKernelsEnabled() ? ws.GetPlan(sizes_, strides, 1) : nullptr;
   if (plan != nullptr) {
+    const SimdOps& ops = ActiveSimdOps();
     RunFlatParallel(num_cells(), [&](int64_t lo, int64_t hi) {
-      RunAddInPlaceRange(*plan, dst, src, scale, lo, hi);
+      RunAddInPlaceRange(*plan, dst, src, scale, ops, lo, hi);
     });
     return;
   }
@@ -493,7 +525,7 @@ void Factor::SumToInto(const AttrSet& target, Factor* out) const {
   const KernelPlan* plan =
       FlatKernelsEnabled() ? ws.GetPlan(sizes_, strides, 1) : nullptr;
   if (plan != nullptr) {
-    RunScatterAdd(*plan, dst, src, num_cells());
+    RunScatterAdd(*plan, dst, src, ActiveSimdOps(), num_cells());
     return;
   }
   ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
@@ -515,8 +547,8 @@ void Factor::LogSumExpToInto(const AttrSet& target, Factor* out) const {
   StridesIntoBuf(attrs_, out->attrs_, out->sizes_, &out_strides);
   const std::vector<int64_t>* strides[1] = {&out_strides};
   const int64_t out_cells = out->num_cells();
-  std::vector<double>& max_buf = ws.DoubleBuf(0);
-  max_buf.assign(out_cells, kNegInf);
+  AlignedDoubleBuffer& max_buf = ws.DoubleBuf(0);
+  max_buf.Assign(out_cells, kNegInf);
   double* mx = max_buf.data();
   double* dst = out->values_.data();
   const double* src = values_.data();
@@ -524,13 +556,17 @@ void Factor::LogSumExpToInto(const AttrSet& target, Factor* out) const {
   const KernelPlan* plan =
       FlatKernelsEnabled() ? ws.GetPlan(sizes_, strides, 1) : nullptr;
   if (plan != nullptr) {
-    RunScatterMax(*plan, mx, src, num_cells());
-    RunScatterExpAcc(*plan, dst, mx, src, num_cells());
+    const SimdOps& ops = ActiveSimdOps();
+    RunScatterMax(*plan, mx, src, ops, num_cells());
+    RunScatterExpAcc(*plan, dst, mx, src, ops, num_cells());
   } else {
-    // Pass 1: per-destination max.
+    // Pass 1: per-destination max, NaN poisoning the cell (a NaN max makes
+    // pass 2 and the combine below produce NaN for that cell too).
     ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
                         [&](int64_t cell, const int64_t* idx) {
-                          mx[idx[0]] = std::max(mx[idx[0]], src[cell]);
+                          const double v = src[cell];
+                          double& d = mx[idx[0]];
+                          d = (v != v) ? kQuietNan : ((d < v) ? v : d);
                         });
     // Pass 2: accumulate exp(v - max).
     ForEachCellRange<1>(sizes_, strides, 0, num_cells(),
@@ -559,43 +595,58 @@ double Factor::Max() const {
   return m;
 }
 
+namespace {
+
+// Runs the elementwise kernel fn(dst_chunk, src_chunk, len) over [0, n)
+// with the factor engine's fixed serial threshold / chunk grain, so chunk
+// boundaries — and therefore results — are identical at every thread count.
+template <typename Fn>
+void RunElementwise(double* dst, const double* src, int64_t n, Fn&& fn) {
+  if (n < kParallelCellThreshold) {
+    fn(dst, src, n);
+    return;
+  }
+  ParallelForChunks(0, n, kCellGrain,
+                    [&](int64_t lo, int64_t hi, int64_t /*chunk*/) {
+                      fn(dst + lo, src + lo, hi - lo);
+                    });
+}
+
+}  // namespace
+
 Factor Factor::Exp(double shift) const {
   Factor out(attrs_, sizes_);
-  if (num_cells() < kParallelCellThreshold) {
-    for (int64_t i = 0; i < num_cells(); ++i) {
-      out.values_[i] = std::exp(values_[i] - shift);
-    }
-    return out;
-  }
-  ParallelFor(0, num_cells(), kCellGrain, [&](int64_t i) {
-    out.values_[i] = std::exp(values_[i] - shift);
-  });
+  // Degenerate shift: callers pass shift = Max(), which is -inf only for an
+  // all--inf (all-zero-probability) factor. Unguarded, exp(-inf - -inf)
+  // would turn every cell into NaN; the correct limit exp(v) is 0.
+  if (std::isinf(shift) && shift < 0) return out;  // constructed all-zero
+  const SimdOps& ops = ActiveSimdOps();
+  RunElementwise(out.values_.data(), values_.data(), num_cells(),
+                 [&](double* d, const double* s, int64_t len) {
+                   ops.vexp(d, s, shift, len);
+                 });
   return out;
 }
 
 void Factor::ExpInPlace(double shift) {
-  const int64_t n = num_cells();
-  if (n < kParallelCellThreshold) {
-    for (int64_t i = 0; i < n; ++i) {
-      values_[i] = std::exp(values_[i] - shift);
-    }
+  if (std::isinf(shift) && shift < 0) {  // see Exp()
+    std::fill(values_.begin(), values_.end(), 0.0);
     return;
   }
-  ParallelFor(0, n, kCellGrain,
-              [&](int64_t i) { values_[i] = std::exp(values_[i] - shift); });
+  const SimdOps& ops = ActiveSimdOps();
+  RunElementwise(values_.data(), values_.data(), num_cells(),
+                 [&](double* d, const double* s, int64_t len) {
+                   ops.vexp(d, s, shift, len);
+                 });
 }
 
 Factor Factor::Log() const {
   Factor out(attrs_, sizes_);
-  if (num_cells() < kParallelCellThreshold) {
-    for (int64_t i = 0; i < num_cells(); ++i) {
-      out.values_[i] = values_[i] > 0 ? std::log(values_[i]) : kNegInf;
-    }
-    return out;
-  }
-  ParallelFor(0, num_cells(), kCellGrain, [&](int64_t i) {
-    out.values_[i] = values_[i] > 0 ? std::log(values_[i]) : kNegInf;
-  });
+  const SimdOps& ops = ActiveSimdOps();
+  RunElementwise(out.values_.data(), values_.data(), num_cells(),
+                 [&](double* d, const double* s, int64_t len) {
+                   ops.vlog(d, s, len);
+                 });
   return out;
 }
 

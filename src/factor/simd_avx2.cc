@@ -1,0 +1,93 @@
+// AVX2+FMA bodies for the factor SIMD dispatch table. Compiled with
+// -mavx2 -mfma -ffp-contract=off (see src/factor/CMakeLists.txt); when the
+// toolchain cannot build AVX2 this TU degenerates to a nullptr stub.
+
+#include "factor/simd_dispatch.h"
+
+#if defined(AIM_BUILD_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+struct V {
+  using D = __m256d;
+  using M = __m256d;  // all-ones / all-zeros lanes from vcmppd
+  static constexpr int kWidth = 4;
+
+  static D Load(const double* p) { return _mm256_loadu_pd(p); }
+  static void Store(double* p, D v) { _mm256_storeu_pd(p, v); }
+  static D Splat(double x) { return _mm256_set1_pd(x); }
+  static D Zero() { return _mm256_setzero_pd(); }
+
+  static D Add(D a, D b) { return _mm256_add_pd(a, b); }
+  static D Sub(D a, D b) { return _mm256_sub_pd(a, b); }
+  static D Mul(D a, D b) { return _mm256_mul_pd(a, b); }
+  static D Div(D a, D b) { return _mm256_div_pd(a, b); }
+  static D Fma(D a, D b, D c) { return _mm256_fmadd_pd(a, b, c); }
+  static D Fnma(D a, D b, D c) { return _mm256_fnmadd_pd(a, b, c); }
+
+  static M Lt(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static M Le(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static M Gt(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static M Ge(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static M Eq(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_EQ_OQ); }
+  static M Unord(D a) { return _mm256_cmp_pd(a, a, _CMP_UNORD_Q); }
+  static M MOr(M a, M b) { return _mm256_or_pd(a, b); }
+  static M MFalse() { return _mm256_setzero_pd(); }
+  static bool AnyTrue(M m) { return _mm256_movemask_pd(m) != 0; }
+  static D Select(M m, D a, D b) { return _mm256_blendv_pd(b, a, m); }
+
+  // Round-to-nearest integral double -> int64 lanes via the 1.5*2^52
+  // magic constant (AVX2 has no packed int64 <-> double conversion).
+  static __m256i ToI64(D n) {
+    const D magic = _mm256_set1_pd(6755399441055744.0);
+    return _mm256_sub_epi64(_mm256_castpd_si256(_mm256_add_pd(n, magic)),
+                            _mm256_castpd_si256(magic));
+  }
+
+  // 2^n for integral-valued n with 1023 + n in (0, 2047).
+  static D Pow2(D n) {
+    __m256i k = _mm256_add_epi64(ToI64(n), _mm256_set1_epi64x(1023));
+    return _mm256_castsi256_pd(_mm256_slli_epi64(k, 52));
+  }
+
+  // x positive, finite, normal: *m in [0.5, 1) with x = *m * 2^(kb - 1022).
+  static void RawFrexp(D x, D* m, D* kb) {
+    const __m256i bits = _mm256_castpd_si256(x);
+    const __m256i k = _mm256_and_si256(_mm256_srli_epi64(bits, 52),
+                                       _mm256_set1_epi64x(0x7ff));
+    // int64 in [0, 2047] -> double via the OR-with-2^52 trick.
+    const __m256i two52 = _mm256_castpd_si256(_mm256_set1_pd(0x1p52));
+    *kb = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(k, two52)),
+                        _mm256_set1_pd(0x1p52));
+    const __m256i mant = _mm256_or_si256(
+        _mm256_and_si256(bits, _mm256_set1_epi64x(0x000fffffffffffffLL)),
+        _mm256_castpd_si256(_mm256_set1_pd(0.5)));
+    *m = _mm256_castsi256_pd(mant);
+  }
+};
+
+#include "factor/simd_body.inc.h"
+
+}  // namespace
+
+namespace aim {
+
+const SimdOps* GetAvx2SimdOps() { return MakeBodyOps(SimdLevel::kAvx2); }
+
+}  // namespace aim
+
+#else  // !defined(AIM_BUILD_AVX2)
+
+namespace aim {
+
+const SimdOps* GetAvx2SimdOps() { return nullptr; }
+
+}  // namespace aim
+
+#endif

@@ -1,0 +1,89 @@
+// AVX-512F bodies for the factor SIMD dispatch table. Compiled with
+// -mavx512f -ffp-contract=off (see src/factor/CMakeLists.txt); when the
+// toolchain cannot build AVX-512 this TU degenerates to a nullptr stub.
+
+#include "factor/simd_dispatch.h"
+
+#if defined(AIM_BUILD_AVX512)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+struct V {
+  using D = __m512d;
+  using M = __mmask8;
+  static constexpr int kWidth = 8;
+
+  static D Load(const double* p) { return _mm512_loadu_pd(p); }
+  static void Store(double* p, D v) { _mm512_storeu_pd(p, v); }
+  static D Splat(double x) { return _mm512_set1_pd(x); }
+  static D Zero() { return _mm512_setzero_pd(); }
+
+  static D Add(D a, D b) { return _mm512_add_pd(a, b); }
+  static D Sub(D a, D b) { return _mm512_sub_pd(a, b); }
+  static D Mul(D a, D b) { return _mm512_mul_pd(a, b); }
+  static D Div(D a, D b) { return _mm512_div_pd(a, b); }
+  static D Fma(D a, D b, D c) { return _mm512_fmadd_pd(a, b, c); }
+  static D Fnma(D a, D b, D c) { return _mm512_fnmadd_pd(a, b, c); }
+
+  static M Lt(D a, D b) { return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ); }
+  static M Le(D a, D b) { return _mm512_cmp_pd_mask(a, b, _CMP_LE_OQ); }
+  static M Gt(D a, D b) { return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ); }
+  static M Ge(D a, D b) { return _mm512_cmp_pd_mask(a, b, _CMP_GE_OQ); }
+  static M Eq(D a, D b) { return _mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ); }
+  static M Unord(D a) { return _mm512_cmp_pd_mask(a, a, _CMP_UNORD_Q); }
+  static M MOr(M a, M b) { return static_cast<M>(a | b); }
+  static M MFalse() { return 0; }
+  static bool AnyTrue(M m) { return m != 0; }
+  // _mm512_mask_blend_pd(k, a, b) picks b where k is set.
+  static D Select(M m, D a, D b) { return _mm512_mask_blend_pd(m, b, a); }
+
+  static __m512i ToI64(D n) {
+    const D magic = _mm512_set1_pd(6755399441055744.0);
+    return _mm512_sub_epi64(_mm512_castpd_si512(_mm512_add_pd(n, magic)),
+                            _mm512_castpd_si512(magic));
+  }
+
+  static D Pow2(D n) {
+    __m512i k = _mm512_add_epi64(ToI64(n), _mm512_set1_epi64(1023));
+    return _mm512_castsi512_pd(_mm512_slli_epi64(k, 52));
+  }
+
+  static void RawFrexp(D x, D* m, D* kb) {
+    const __m512i bits = _mm512_castpd_si512(x);
+    const __m512i k = _mm512_and_epi64(_mm512_srli_epi64(bits, 52),
+                                       _mm512_set1_epi64(0x7ff));
+    const __m512i two52 = _mm512_castpd_si512(_mm512_set1_pd(0x1p52));
+    *kb = _mm512_sub_pd(_mm512_castsi512_pd(_mm512_or_epi64(k, two52)),
+                        _mm512_set1_pd(0x1p52));
+    const __m512i mant = _mm512_or_epi64(
+        _mm512_and_epi64(bits, _mm512_set1_epi64(0x000fffffffffffffLL)),
+        _mm512_castpd_si512(_mm512_set1_pd(0.5)));
+    *m = _mm512_castsi512_pd(mant);
+  }
+};
+
+#include "factor/simd_body.inc.h"
+
+}  // namespace
+
+namespace aim {
+
+const SimdOps* GetAvx512SimdOps() { return MakeBodyOps(SimdLevel::kAvx512); }
+
+}  // namespace aim
+
+#else  // !defined(AIM_BUILD_AVX512)
+
+namespace aim {
+
+const SimdOps* GetAvx512SimdOps() { return nullptr; }
+
+}  // namespace aim
+
+#endif

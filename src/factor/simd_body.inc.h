@@ -1,0 +1,393 @@
+// Width-generic SIMD kernel bodies for the factor engine.
+//
+// This file is #included (inside an anonymous namespace) by one translation
+// unit per instruction set — simd_avx2.cc, simd_avx512.cc — after defining
+// a traits struct `V` that maps a small vector vocabulary onto that ISA:
+//
+//   V::D                     vector of V::kWidth doubles
+//   V::M                     comparison mask (vector or bitmask)
+//   Load/Store (unaligned), Splat, Zero
+//   Add/Sub/Mul/Div          lanewise IEEE ops
+//   Fma(a,b,c) = a*b + c     single rounding
+//   Fnma(a,b,c) = c - a*b    single rounding
+//   Lt/Le/Gt/Ge/Eq           ordered quiet compares -> M
+//   Unord(a)                 per-lane a != a -> M
+//   MOr(M,M), AnyTrue(M), MFalse()
+//   Select(m, a, b)          m ? a : b
+//   Pow2(n)                  2^n for integral-valued doubles n (valid
+//                            biased exponent range)
+//   RawFrexp(x, &m, &kb)     mantissa with exponent forced to 1022
+//                            (m in [0.5, 1)) and the biased exponent as a
+//                            double — x must be positive and finite
+//
+// Contract notes (see simd_dispatch.h): the exact kernels below perform
+// the same individual IEEE operations per lane as the scalar table — no
+// FMA, no re-association — so their outputs are bitwise identical. The
+// translation units are compiled with -ffp-contract=off so the scalar tail
+// loops cannot be silently contracted either. The transcendental kernels
+// (ExpCore / LogCore and everything built on them) are polynomial
+// implementations gated by the ULP tests in tests/simd_test.cc.
+//
+// The includer must #include <cmath>, <cstdint>, and <limits> BEFORE the
+// anonymous namespace — this file is included inside one, so it cannot
+// pull standard headers itself.
+
+// ---------------------------------------------------------------------------
+// Constants.
+// ---------------------------------------------------------------------------
+
+constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNegInfBody = -std::numeric_limits<double>::infinity();
+
+// log2(e); exp(x) = 2^(x * log2e).
+constexpr double kLog2e = 1.4426950408889634074;
+// ln(2) split: kLn2Hi has 21 significant bits, so n * kLn2Hi is exact for
+// |n| < 2^32; kLn2Hi + kLn2Lo rounds to ln(2) with ~1e-22 residual.
+constexpr double kLn2Hi = 6.93145751953125e-1;
+constexpr double kLn2Lo = 1.42860682030941723212e-6;
+// 1.5 * 2^52: adding then subtracting rounds to the nearest integer (ties
+// to even) for |x| < 2^51, entirely in double arithmetic.
+constexpr double kRoundMagic = 6755399441055744.0;
+// |x| beyond this: exp(x) saturates to +inf / 0 by mask (the polynomial
+// path handles everything in (-1000, 1000), including the gradual overflow
+// / underflow boundaries near +-709.78 / -745.13 by natural rounding of
+// the final power-of-two scaling).
+constexpr double kExpHuge = 1000.0;
+constexpr double kSqrtHalf = 0.70710678118654752440;
+
+// exp(r) Taylor coefficients 1/k!, k = 0..13. |r| <= ln(2)/2 after
+// reduction, where the degree-13 truncation error is ~4e-18 relative —
+// below half an ulp.
+constexpr double kExpC[14] = {
+    1.0,
+    1.0,
+    1.0 / 2,
+    1.0 / 6,
+    1.0 / 24,
+    1.0 / 120,
+    1.0 / 720,
+    1.0 / 5040,
+    1.0 / 40320,
+    1.0 / 362880,
+    1.0 / 3628800,
+    1.0 / 39916800,
+    1.0 / 479001600,
+    1.0 / 6227020800.0,
+};
+
+// log(m) = 2s + s^3 * P(s^2) with s = (m-1)/(m+1) (atanh series),
+// P coefficients 2/(2k+3), k = 0..9 — covers terms through s^21; |s| <=
+// 0.1716 makes the s^23 tail ~2e-19.
+constexpr double kLogC[10] = {
+    2.0 / 3,  2.0 / 5,  2.0 / 7,  2.0 / 9,  2.0 / 11,
+    2.0 / 13, 2.0 / 15, 2.0 / 17, 2.0 / 19, 2.0 / 21,
+};
+
+// ---------------------------------------------------------------------------
+// Transcendental cores.
+// ---------------------------------------------------------------------------
+
+// exp(x) per lane: |x| < kExpHuge runs the polynomial path with two-step
+// power-of-two scaling (gradual underflow to subnormals and overflow to
+// +inf fall out of the final multiplies' natural rounding); saturation and
+// NaN lanes are patched from the raw input afterwards.
+static inline typename V::D ExpCore(typename V::D x) {
+  using D = typename V::D;
+  const D magic = V::Splat(kRoundMagic);
+  D n = V::Sub(V::Add(V::Mul(x, V::Splat(kLog2e)), magic), magic);
+  D r = V::Fnma(n, V::Splat(kLn2Hi), x);
+  r = V::Fnma(n, V::Splat(kLn2Lo), r);
+  D p = V::Splat(kExpC[13]);
+  p = V::Fma(p, r, V::Splat(kExpC[12]));
+  p = V::Fma(p, r, V::Splat(kExpC[11]));
+  p = V::Fma(p, r, V::Splat(kExpC[10]));
+  p = V::Fma(p, r, V::Splat(kExpC[9]));
+  p = V::Fma(p, r, V::Splat(kExpC[8]));
+  p = V::Fma(p, r, V::Splat(kExpC[7]));
+  p = V::Fma(p, r, V::Splat(kExpC[6]));
+  p = V::Fma(p, r, V::Splat(kExpC[5]));
+  p = V::Fma(p, r, V::Splat(kExpC[4]));
+  p = V::Fma(p, r, V::Splat(kExpC[3]));
+  p = V::Fma(p, r, V::Splat(kExpC[2]));
+  p = V::Fma(p, r, V::Splat(kExpC[1]));
+  p = V::Fma(p, r, V::Splat(kExpC[0]));
+  // 2^n = 2^n1 * 2^n2 with n1 = round(n/2): p * 2^n1 stays normal (exact),
+  // the second multiply performs the single rounding into subnormal/inf.
+  D n1 = V::Sub(V::Add(V::Mul(n, V::Splat(0.5)), magic), magic);
+  D n2 = V::Sub(n, n1);
+  D res = V::Mul(V::Mul(p, V::Pow2(n1)), V::Pow2(n2));
+  res = V::Select(V::Ge(x, V::Splat(kExpHuge)), V::Splat(kInf), res);
+  res = V::Select(V::Le(x, V::Splat(-kExpHuge)), V::Zero(), res);
+  res = V::Select(V::Unord(x), x, res);  // NaN in -> NaN out
+  return res;
+}
+
+// Scalar-kernel log semantics per lane: x > 0 ? log(x) : -inf (NaN and
+// negatives map to -inf, matching Factor::Log); +inf -> +inf.
+static inline typename V::D LogCore(typename V::D x) {
+  using D = typename V::D;
+  using M = typename V::M;
+  const M pos = V::Gt(x, V::Zero());
+  // Pre-scale subnormals into the normal range (lanes that are <= 0 or NaN
+  // compute garbage here and are overwritten by the `pos` select below).
+  const M tiny =
+      V::Lt(x, V::Splat(std::numeric_limits<double>::min()));
+  D xs = V::Select(tiny, V::Mul(x, V::Splat(0x1p54)), x);
+  D eadj = V::Select(tiny, V::Splat(-54.0), V::Zero());
+  D m, kb;
+  V::RawFrexp(xs, &m, &kb);
+  D e = V::Add(V::Sub(kb, V::Splat(1022.0)), eadj);
+  const M small = V::Lt(m, V::Splat(kSqrtHalf));
+  m = V::Select(small, V::Add(m, m), m);
+  e = V::Sub(e, V::Select(small, V::Splat(1.0), V::Zero()));
+  D t = V::Sub(m, V::Splat(1.0));  // exact: m in [sqrt(1/2), sqrt(2))
+  D u = V::Add(m, V::Splat(1.0));
+  D s = V::Div(t, u);
+  D z = V::Mul(s, s);
+  D p = V::Splat(kLogC[9]);
+  p = V::Fma(p, z, V::Splat(kLogC[8]));
+  p = V::Fma(p, z, V::Splat(kLogC[7]));
+  p = V::Fma(p, z, V::Splat(kLogC[6]));
+  p = V::Fma(p, z, V::Splat(kLogC[5]));
+  p = V::Fma(p, z, V::Splat(kLogC[4]));
+  p = V::Fma(p, z, V::Splat(kLogC[3]));
+  p = V::Fma(p, z, V::Splat(kLogC[2]));
+  p = V::Fma(p, z, V::Splat(kLogC[1]));
+  p = V::Fma(p, z, V::Splat(kLogC[0]));
+  D tail = V::Fma(e, V::Splat(kLn2Lo), V::Mul(V::Mul(s, z), p));
+  D res = V::Fma(e, V::Splat(kLn2Hi), V::Add(V::Add(s, s), tail));
+  res = V::Select(V::Gt(x, V::Splat(std::numeric_limits<double>::max())),
+                  V::Splat(kInf), res);
+  res = V::Select(pos, res, V::Splat(kNegInfBody));
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Exact elementwise kernels (bitwise identical to the scalar table).
+// ---------------------------------------------------------------------------
+
+constexpr int kW = V::kWidth;
+
+static void BodyAddVV(double* d, const double* a, const double* b,
+                      int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Add(V::Load(a + i), V::Load(b + i)));
+  }
+  for (; i < n; ++i) d[i] = a[i] + b[i];
+}
+
+static void BodySubVV(double* d, const double* a, const double* b,
+                      int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Sub(V::Load(a + i), V::Load(b + i)));
+  }
+  for (; i < n; ++i) d[i] = a[i] - b[i];
+}
+
+static void BodyMulVV(double* d, const double* a, const double* b,
+                      int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Mul(V::Load(a + i), V::Load(b + i)));
+  }
+  for (; i < n; ++i) d[i] = a[i] * b[i];
+}
+
+static void BodyAddVS(double* d, const double* a, double s, int64_t n) {
+  const typename V::D vs = V::Splat(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Add(V::Load(a + i), vs));
+  }
+  for (; i < n; ++i) d[i] = a[i] + s;
+}
+
+static void BodySubVS(double* d, const double* a, double s, int64_t n) {
+  const typename V::D vs = V::Splat(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Sub(V::Load(a + i), vs));
+  }
+  for (; i < n; ++i) d[i] = a[i] - s;
+}
+
+static void BodyMulVS(double* d, const double* a, double s, int64_t n) {
+  const typename V::D vs = V::Splat(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Mul(V::Load(a + i), vs));
+  }
+  for (; i < n; ++i) d[i] = a[i] * s;
+}
+
+static void BodySubSV(double* d, double s, const double* b, int64_t n) {
+  const typename V::D vs = V::Splat(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Sub(vs, V::Load(b + i)));
+  }
+  for (; i < n; ++i) d[i] = s - b[i];
+}
+
+// d[i] += scale * a[i]. Separate multiply and add (no FMA): the scalar
+// path rounds twice, and the bitwise contract requires matching it.
+static void BodyAxpy(double* d, const double* a, double scale, int64_t n) {
+  const typename V::D vs = V::Splat(scale);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Add(V::Load(d + i), V::Mul(V::Load(a + i), vs)));
+  }
+  for (; i < n; ++i) {
+    const double t = scale * a[i];
+    d[i] = d[i] + t;
+  }
+}
+
+static void BodyAddScalar(double* d, double s, int64_t n) {
+  const typename V::D vs = V::Splat(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Add(V::Load(d + i), vs));
+  }
+  for (; i < n; ++i) d[i] = d[i] + s;
+}
+
+static void BodyAccAdd(double* d, const double* a, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, V::Add(V::Load(d + i), V::Load(a + i)));
+  }
+  for (; i < n; ++i) d[i] = d[i] + a[i];
+}
+
+// d[i] = nanmax(d[i], a[i]): the seed's (d < a ? a : d) select, except a
+// NaN contribution poisons the lane with a canonical quiet NaN.
+static void BodyAccMax(double* d, const double* a, int64_t n) {
+  const typename V::D qnan = V::Splat(kQuietNan);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const typename V::D va = V::Load(a + i);
+    const typename V::D vd = V::Load(d + i);
+    const typename V::M isnan = V::Unord(va);
+    typename V::D nd = V::Select(V::Lt(vd, va), va, vd);
+    nd = V::Select(isnan, qnan, nd);
+    V::Store(d + i, nd);
+  }
+  for (; i < n; ++i) {
+    const double v = a[i];
+    d[i] = (v != v) ? kQuietNan : ((d[i] < v) ? v : d[i]);
+  }
+}
+
+// Returns nanmax(m0, a[0..n)). max over doubles is order-independent (the
+// lanewise fold visits elements in a different order than the scalar
+// left-to-right chain but produces the same value; the one unobservable
+// exception — which signed zero wins a 0.0 vs -0.0 tie — cannot reach any
+// factor output, see DESIGN.md "SIMD backend").
+static double BodyReduceMax(double m0, const double* a, int64_t n) {
+  typename V::D macc = V::Splat(m0);
+  typename V::M nanacc = V::MFalse();
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const typename V::D va = V::Load(a + i);
+    nanacc = V::MOr(nanacc, V::Unord(va));
+    macc = V::Select(V::Lt(macc, va), va, macc);
+  }
+  double lanes[kW];
+  V::Store(lanes, macc);
+  double m = m0;
+  bool nan = V::AnyTrue(nanacc);
+  for (int lane = 0; lane < kW; ++lane) {
+    m = (m < lanes[lane]) ? lanes[lane] : m;
+  }
+  for (; i < n; ++i) {
+    const double v = a[i];
+    nan = nan || (v != v);
+    m = (m < v) ? v : m;
+  }
+  return nan ? kQuietNan : m;
+}
+
+// ---------------------------------------------------------------------------
+// Transcendental kernels (ULP-gated).
+// ---------------------------------------------------------------------------
+
+static void BodyVExp(double* d, const double* a, double shift, int64_t n) {
+  const typename V::D vshift = V::Splat(shift);
+  int64_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    const typename V::D r0 = ExpCore(V::Sub(V::Load(a + i), vshift));
+    const typename V::D r1 = ExpCore(V::Sub(V::Load(a + i + kW), vshift));
+    V::Store(d + i, r0);
+    V::Store(d + i + kW, r1);
+  }
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, ExpCore(V::Sub(V::Load(a + i), vshift)));
+  }
+  for (; i < n; ++i) d[i] = std::exp(a[i] - shift);
+}
+
+static void BodyVLog(double* d, const double* a, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V::Store(d + i, LogCore(V::Load(a + i)));
+  }
+  for (; i < n; ++i) {
+    d[i] = a[i] > 0 ? std::log(a[i]) : kNegInfBody;
+  }
+}
+
+static double BodyExpAcc(double acc0, const double* a, double m, int64_t n) {
+  const typename V::D vm = V::Splat(m);
+  typename V::D acc_a = V::Zero();
+  typename V::D acc_b = V::Zero();
+  int64_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    acc_a = V::Add(acc_a, ExpCore(V::Sub(V::Load(a + i), vm)));
+    acc_b = V::Add(acc_b, ExpCore(V::Sub(V::Load(a + i + kW), vm)));
+  }
+  for (; i + kW <= n; i += kW) {
+    acc_a = V::Add(acc_a, ExpCore(V::Sub(V::Load(a + i), vm)));
+  }
+  double lanes[kW];
+  V::Store(lanes, V::Add(acc_a, acc_b));
+  double acc = acc0;
+  for (int lane = 0; lane < kW; ++lane) acc += lanes[lane];
+  for (; i < n; ++i) acc += std::exp(a[i] - m);
+  return acc;
+}
+
+static void BodyAccExp(double* d, const double* m, const double* a,
+                       int64_t n) {
+  const typename V::D neg_inf = V::Splat(kNegInfBody);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const typename V::D vm = V::Load(m + i);
+    const typename V::M zero_group = V::Eq(vm, neg_inf);
+    const typename V::D vd = V::Load(d + i);
+    const typename V::D e = ExpCore(V::Sub(V::Load(a + i), vm));
+    V::Store(d + i, V::Select(zero_group, vd, V::Add(vd, e)));
+  }
+  for (; i < n; ++i) {
+    const double mi = m[i];
+    if (!(std::isinf(mi) && mi < 0)) d[i] += std::exp(a[i] - mi);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table.
+// ---------------------------------------------------------------------------
+
+static const aim::SimdOps* MakeBodyOps(aim::SimdLevel level) {
+  static const aim::SimdOps ops = {
+      level,
+      BodyAddVV,  BodySubVV,     BodyMulVV, BodyAddVS,
+      BodySubVS,  BodyMulVS,     BodySubSV, BodyAxpy,
+      BodyAddScalar, BodyAccAdd, BodyAccMax, BodyReduceMax,
+      BodyVExp,   BodyVLog,      BodyExpAcc, BodyAccExp,
+  };
+  return &ops;
+}

@@ -1,0 +1,213 @@
+// Scalar kernel table, CPU detection, and the active-table switch for the
+// factor SIMD dispatch layer. The scalar bodies here are the reference
+// semantics: every SIMD body is either bitwise-identical to them (exact
+// kernels) or ULP-gated against them (transcendental kernels).
+
+#include "factor/simd_dispatch.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace aim {
+namespace {
+
+constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// --- Scalar bodies: bit-for-bit the seed arithmetic (factor.cc loops). ---
+
+void ScalarAddVV(double* d, const double* a, const double* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = a[i] + b[i];
+}
+void ScalarSubVV(double* d, const double* a, const double* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = a[i] - b[i];
+}
+void ScalarMulVV(double* d, const double* a, const double* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = a[i] * b[i];
+}
+void ScalarAddVS(double* d, const double* a, double s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = a[i] + s;
+}
+void ScalarSubVS(double* d, const double* a, double s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = a[i] - s;
+}
+void ScalarMulVS(double* d, const double* a, double s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = a[i] * s;
+}
+void ScalarSubSV(double* d, double s, const double* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = s - b[i];
+}
+void ScalarAxpy(double* d, const double* a, double scale, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const double t = scale * a[i];
+    d[i] = d[i] + t;
+  }
+}
+void ScalarAddScalar(double* d, double s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = d[i] + s;
+}
+void ScalarAccAdd(double* d, const double* a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = d[i] + a[i];
+}
+void ScalarAccMax(double* d, const double* a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = a[i];
+    d[i] = (v != v) ? kQuietNan : ((d[i] < v) ? v : d[i]);
+  }
+}
+double ScalarReduceMax(double m0, const double* a, int64_t n) {
+  double m = m0;
+  bool nan = false;
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = a[i];
+    nan = nan || (v != v);
+    m = (m < v) ? v : m;
+  }
+  return nan ? kQuietNan : m;
+}
+void ScalarVExp(double* d, const double* a, double shift, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = std::exp(a[i] - shift);
+}
+void ScalarVLog(double* d, const double* a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    d[i] = a[i] > 0 ? std::log(a[i]) : kNegInf;
+  }
+}
+double ScalarExpAcc(double acc0, const double* a, double m, int64_t n) {
+  double acc = acc0;
+  for (int64_t i = 0; i < n; ++i) acc += std::exp(a[i] - m);
+  return acc;
+}
+void ScalarAccExp(double* d, const double* m, const double* a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const double mi = m[i];
+    if (!(std::isinf(mi) && mi < 0)) d[i] += std::exp(a[i] - mi);
+  }
+}
+
+const SimdOps kScalarOps = {
+    SimdLevel::kScalar,
+    ScalarAddVV,  ScalarSubVV,     ScalarMulVV, ScalarAddVS,
+    ScalarSubVS,  ScalarMulVS,     ScalarSubSV, ScalarAxpy,
+    ScalarAddScalar, ScalarAccAdd, ScalarAccMax, ScalarReduceMax,
+    ScalarVExp,   ScalarVLog,      ScalarExpAcc, ScalarAccExp,
+};
+
+// --- Detection / selection. ---
+
+SimdLevel ProbeDetectedLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (GetAvx512SimdOps() != nullptr &&
+      __builtin_cpu_supports("avx512f")) {
+    return SimdLevel::kAvx512;
+  }
+  if (GetAvx2SimdOps() != nullptr && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ClampToDetected(SimdLevel requested, const char* origin) {
+  const SimdLevel detected = DetectedSimdLevel();
+  if (static_cast<int>(requested) <= static_cast<int>(detected)) {
+    return requested;
+  }
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "aim: %s requested SIMD level %s but this CPU/binary "
+                 "supports at most %s; falling back.\n",
+                 origin, ToString(requested), ToString(detected));
+  }
+  return detected;
+}
+
+SimdLevel ParseEnvLevel() {
+  const char* env = std::getenv("AIM_SIMD");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "auto") == 0) {
+    return DetectedSimdLevel();
+  }
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    return ClampToDetected(SimdLevel::kAvx2, "AIM_SIMD");
+  }
+  if (std::strcmp(env, "avx512") == 0) {
+    return ClampToDetected(SimdLevel::kAvx512, "AIM_SIMD");
+  }
+  std::fprintf(stderr,
+               "aim: unknown AIM_SIMD value '%s' "
+               "(want auto|avx512|avx2|scalar); using auto.\n",
+               env);
+  return DetectedSimdLevel();
+}
+
+std::atomic<const SimdOps*>& ActiveOpsSlot() {
+  static std::atomic<const SimdOps*> active{
+      SimdOpsForLevel(DefaultSimdLevel())};
+  return active;
+}
+
+}  // namespace
+
+const char* ToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = ProbeDetectedLevel();
+  return detected;
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  return static_cast<int>(level) <=
+         static_cast<int>(DetectedSimdLevel());
+}
+
+SimdLevel DefaultSimdLevel() {
+  static const SimdLevel initial = ParseEnvLevel();
+  return initial;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return ActiveOpsSlot().load(std::memory_order_relaxed)->level;
+}
+
+const SimdOps& ActiveSimdOps() {
+  return *ActiveOpsSlot().load(std::memory_order_relaxed);
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  const SimdLevel installed = ClampToDetected(level, "SetSimdLevel");
+  ActiveOpsSlot().store(SimdOpsForLevel(installed),
+                        std::memory_order_relaxed);
+  return installed;
+}
+
+const SimdOps* SimdOpsForLevel(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &kScalarOps;
+    case SimdLevel::kAvx2:
+      return SimdLevelSupported(level) ? GetAvx2SimdOps() : nullptr;
+    case SimdLevel::kAvx512:
+      return SimdLevelSupported(level) ? GetAvx512SimdOps() : nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace aim

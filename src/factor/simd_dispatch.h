@@ -1,0 +1,113 @@
+// Runtime SIMD dispatch for the flat factor kernels.
+//
+// The loop-collapse planner (kernel_plan.h) reduces every hot factor op to
+// outer blocks x unit-stride inner runs. The inner-run bodies live behind
+// the function-pointer table below, with one implementation per instruction
+// set: a portable scalar set (always built, bit-for-bit the seed
+// arithmetic), an AVX2+FMA set, and an AVX-512F set. The active table is
+// chosen once, at first use, from a cpuid probe intersected with what the
+// compiler could build, and can be narrowed by the AIM_SIMD environment
+// variable or the SetSimdLevel() test seam.
+//
+// Kernel contract (DESIGN.md "SIMD backend"):
+//   * Exact kernels — add/sub/mul (elementwise and broadcast), AddInPlace
+//     accumulation, scatter-add, and the scatter-max used by LogSumExpTo
+//     pass 1 — produce bitwise-identical results at every level: each lane
+//     performs the same individual IEEE operations as the scalar loop, and
+//     order-sensitive reductions (contiguous scatter-add) stay scalar.
+//   * Transcendental kernels — vexp/vlog and the exp-accumulate of
+//     LogSumExpTo pass 2 — use a vector polynomial exp/log at the AVX
+//     levels. They are tolerance-gated: within a documented ULP bound of
+//     the scalar libm path (tests/simd_test.cc), not bitwise. AIM_SIMD=
+//     scalar restores the exact seed arithmetic everywhere.
+//   * NaN handling: scatter-max poisons its destination with a canonical
+//     quiet NaN when any contribution is NaN (at every level), and vexp /
+//     vlog handle NaN/+-inf lanes explicitly (vlog maps non-positive
+//     inputs, including NaN, to -inf — the scalar Factor::Log semantics).
+
+#ifndef AIM_FACTOR_SIMD_DISPATCH_H_
+#define AIM_FACTOR_SIMD_DISPATCH_H_
+
+#include <cstdint>
+
+namespace aim {
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+const char* ToString(SimdLevel level);
+
+// Per-kernel function-pointer table. Pointers are never null in a table
+// returned by the accessors below. "n" is the inner-run length in doubles;
+// all pointers may be unaligned.
+struct SimdOps {
+  SimdLevel level;
+  // --- Exact kernels (bitwise-identical at every level). ---
+  // d[i] = a[i] op b[i]
+  void (*add_vv)(double* d, const double* a, const double* b, int64_t n);
+  void (*sub_vv)(double* d, const double* a, const double* b, int64_t n);
+  void (*mul_vv)(double* d, const double* a, const double* b, int64_t n);
+  // d[i] = a[i] op s  (vs) and d[i] = s - b[i]  (sv; only sub needs it)
+  void (*add_vs)(double* d, const double* a, double s, int64_t n);
+  void (*sub_vs)(double* d, const double* a, double s, int64_t n);
+  void (*mul_vs)(double* d, const double* a, double s, int64_t n);
+  void (*sub_sv)(double* d, double s, const double* b, int64_t n);
+  // d[i] += scale * a[i]  /  d[i] += s  /  d[i] += a[i]
+  void (*axpy)(double* d, const double* a, double scale, int64_t n);
+  void (*add_scalar)(double* d, double s, int64_t n);
+  void (*acc_add)(double* d, const double* a, int64_t n);
+  // Scatter-max bodies (LogSumExpTo pass 1), NaN-poisoning: a NaN
+  // contribution turns the destination into a canonical quiet NaN.
+  //   acc_max: d[i] = nanmax(d[i], a[i])
+  //   reduce_max: returns nanmax(m0, a[0..n))
+  void (*acc_max)(double* d, const double* a, int64_t n);
+  double (*reduce_max)(double m0, const double* a, int64_t n);
+  // --- Transcendental kernels (ULP-gated at the AVX levels). ---
+  // d[i] = exp(a[i] - shift); d == a allowed (ExpInPlace).
+  void (*vexp)(double* d, const double* a, double shift, int64_t n);
+  // d[i] = a[i] > 0 ? log(a[i]) : -inf; d == a allowed.
+  void (*vlog)(double* d, const double* a, int64_t n);
+  // Returns acc0 + sum_i exp(a[i] - m)   (LogSumExpTo pass 2, contracted
+  // destination; caller has already handled m == -inf).
+  double (*exp_acc)(double acc0, const double* a, double m, int64_t n);
+  // d[i] += exp(a[i] - m[i]) for lanes where m[i] != -inf; other lanes
+  // (structural zeros) leave d[i] untouched (LogSumExpTo pass 2,
+  // unit-stride destination).
+  void (*acc_exp)(double* d, const double* m, const double* a, int64_t n);
+};
+
+// Widest level the current CPU *and* this binary support (cpuid probe
+// intersected with the per-file ISA flags CMake managed to enable).
+SimdLevel DetectedSimdLevel();
+
+// True when `level` can actually execute here (kScalar always can).
+bool SimdLevelSupported(SimdLevel level);
+
+// The level the process starts with: AIM_SIMD={auto,avx512,avx2,scalar}
+// clamped to DetectedSimdLevel() (unsupported requests warn once on stderr
+// and fall back). Unset or "auto" means DetectedSimdLevel().
+SimdLevel DefaultSimdLevel();
+
+// Current level / table. Reads are a single relaxed atomic load.
+SimdLevel ActiveSimdLevel();
+const SimdOps& ActiveSimdOps();
+
+// Test/bench seam: force a level. Requests above DetectedSimdLevel() are
+// clamped; returns the level actually installed.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+// Table for an explicit level, or nullptr when unsupported in this
+// binary/CPU. Lets tests sweep every available implementation directly.
+const SimdOps* SimdOpsForLevel(SimdLevel level);
+
+// Implemented in simd_avx2.cc / simd_avx512.cc (nullptr when the compiler
+// could not build that ISA). Internal to the dispatch layer and tests.
+const SimdOps* GetAvx2SimdOps();
+const SimdOps* GetAvx512SimdOps();
+
+}  // namespace aim
+
+#endif  // AIM_FACTOR_SIMD_DISPATCH_H_

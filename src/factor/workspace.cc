@@ -1,8 +1,28 @@
 #include "factor/workspace.h"
 
+#include <algorithm>
+#include <new>
+
 #include "util/logging.h"
 
 namespace aim {
+
+AlignedDoubleBuffer::~AlignedDoubleBuffer() {
+  ::operator delete(data_, std::align_val_t(kAlignment));
+}
+
+void AlignedDoubleBuffer::Assign(int64_t n, double fill) {
+  if (n > capacity_) {
+    const int64_t cap = std::max(n, capacity_ * 2);
+    ::operator delete(data_, std::align_val_t(kAlignment));
+    data_ = static_cast<double*>(::operator new(
+        static_cast<size_t>(cap) * sizeof(double),
+        std::align_val_t(kAlignment)));
+    capacity_ = cap;
+  }
+  size_ = n;
+  std::fill_n(data_, n, fill);
+}
 namespace {
 
 // FNV-1a over the (rank, num_operands, sizes, strides) key.
@@ -81,7 +101,7 @@ std::vector<int64_t>& FactorWorkspace::IndexBuf(int slot) {
   return index_bufs_[slot];
 }
 
-std::vector<double>& FactorWorkspace::DoubleBuf(int slot) {
+AlignedDoubleBuffer& FactorWorkspace::DoubleBuf(int slot) {
   AIM_CHECK(slot >= 0 && slot < kDoubleBufs);
   return double_bufs_[slot];
 }

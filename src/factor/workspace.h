@@ -31,6 +31,34 @@
 
 namespace aim {
 
+// Grow-only scratch array of doubles with 64-byte-aligned storage (a full
+// AVX-512 vector / cache line), so SIMD kernels reading a workspace buffer
+// start aligned. Replaces std::vector<double> in the workspace slots: same
+// reuse discipline (capacity never shrinks, so the steady state is
+// allocation-free), but with controlled alignment.
+class AlignedDoubleBuffer {
+ public:
+  AlignedDoubleBuffer() = default;
+  ~AlignedDoubleBuffer();
+  AlignedDoubleBuffer(const AlignedDoubleBuffer&) = delete;
+  AlignedDoubleBuffer& operator=(const AlignedDoubleBuffer&) = delete;
+
+  // Resize to n elements, all set to `fill` (like vector::assign).
+  // Reallocates only when n exceeds the high-water capacity.
+  void Assign(int64_t n, double fill);
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  int64_t size() const { return size_; }
+
+  static constexpr size_t kAlignment = 64;
+
+ private:
+  double* data_ = nullptr;
+  int64_t size_ = 0;
+  int64_t capacity_ = 0;
+};
+
 class FactorWorkspace {
  public:
   // The calling thread's arena (created on first use).
@@ -49,7 +77,7 @@ class FactorWorkspace {
   // Reusable scratch buffers (see slot discipline above). Contents are
   // unspecified on entry; callers assign/resize as needed.
   std::vector<int64_t>& IndexBuf(int slot);
-  std::vector<double>& DoubleBuf(int slot);
+  AlignedDoubleBuffer& DoubleBuf(int slot);
 
   // Cache statistics for tests.
   int64_t plan_hits() const { return plan_hits_; }
@@ -72,7 +100,7 @@ class FactorWorkspace {
 
   CacheSlot slots_[kCacheSlots];
   std::vector<int64_t> index_bufs_[kIndexBufs];
-  std::vector<double> double_bufs_[kDoubleBufs];
+  AlignedDoubleBuffer double_bufs_[kDoubleBufs];
   int64_t plan_hits_ = 0;
   int64_t plan_misses_ = 0;
 };

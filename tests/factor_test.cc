@@ -10,7 +10,9 @@
 
 #include "data/simulators.h"
 #include "factor/factor.h"
+#include "factor/kernel_plan.h"
 #include "factor/kernels.h"
+#include "factor/simd_dispatch.h"
 #include "factor/workspace.h"
 #include "marginal/workload.h"
 #include "mechanisms/aim.h"
@@ -311,13 +313,27 @@ INSTANTIATE_TEST_SUITE_P(Targets, FactorMarginalizeTest,
 // identical results to the seed odometer path. These tests run every
 // rewritten operation under both switch positions and memcmp the bits.
 
-// Restores the flat-kernel switch and thread count on test exit.
+// Restores the flat-kernel switch, SIMD level, and thread count on exit.
 struct KernelConfigGuard {
   ~KernelConfigGuard() {
     SetFlatKernelsEnabled(true);
+    SetSimdLevel(DefaultSimdLevel());
     SetParallelThreads(0);
   }
 };
+
+// Every SIMD level that can execute on this CPU/binary (always includes
+// kScalar).
+std::vector<SimdLevel> SupportedSimdLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (SimdLevelSupported(SimdLevel::kAvx2)) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  if (SimdLevelSupported(SimdLevel::kAvx512)) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  return levels;
+}
 
 void ExpectBitwiseEq(const std::vector<double>& a,
                      const std::vector<double>& b, const char* what) {
@@ -405,6 +421,10 @@ FactorPair RandomPair(Rng& rng) {
 
 TEST(FlatKernelTest, RandomizedShapesMatchSeedBitwise) {
   KernelConfigGuard guard;
+  // Bitwise identity to the seed odometer is promised by the *scalar* SIMD
+  // table; the AVX transcendental kernels are tolerance-gated instead
+  // (tests/simd_test.cc).
+  SetSimdLevel(SimdLevel::kScalar);
   Rng rng(4242);
   for (int trial = 0; trial < 40; ++trial) {
     FactorPair pair = RandomPair(rng);
@@ -418,6 +438,7 @@ TEST(FlatKernelTest, RandomizedShapesMatchSeedBitwise) {
 
 TEST(FlatKernelTest, LargeFactorsMatchSeedBitwiseAtAnyThreadCount) {
   KernelConfigGuard guard;
+  SetSimdLevel(SimdLevel::kScalar);  // see RandomizedShapesMatchSeedBitwise
   // 32*32*34 = 34816 cells >= the parallel threshold (1 << 15), so the
   // chunked parallel paths run; 1-thread and 8-thread runs must agree with
   // each other and with the seed path bit for bit.
@@ -470,6 +491,152 @@ TEST(FlatKernelTest, PlanCacheHitsOnRepeatedShapes) {
   EXPECT_GE(ws.plan_hits(), hits_before + 10);
 }
 
+// ----------------------------------------------- numeric edge cases ----
+
+// Regression: LogSumExpTo's pass-1 max scatter used `<` comparisons that
+// silently skip NaN, so a destination group consisting entirely of NaN
+// kept its -inf max, tripped the structural-zero guard in pass 2, and came
+// out as -inf — "this group has zero probability" — instead of propagating
+// the NaN. (A mixed NaN/finite group already produced NaN through pass 2's
+// exp(NaN - m).) A NaN contribution must poison exactly its destination
+// cell, on the seed odometer, the flat scalar kernels, and every SIMD body.
+TEST(FactorNumericEdgeCaseTest, NanInputPoisonsLogSumExpCell) {
+  KernelConfigGuard guard;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Rows long enough (37) that the AVX-512 vector loop engages and NaNs
+  // land inside full vectors, not just the scalar tail.
+  const int kCols = 37;
+
+  // Case 1 — contracted destination (marginalize the trailing axis,
+  // destination stride 0): row 0 all NaN, row 1 clean.
+  Factor by_row({0, 1}, {2, kCols});
+  Rng rng(3003);
+  for (double& v : by_row.mutable_values()) v = rng.Uniform(-2.0, 2.0);
+  for (int j = 0; j < kCols; ++j) by_row.mutable_values()[j] = nan;
+  double row1_max = kNegInf;
+  for (int j = 0; j < kCols; ++j) {
+    row1_max = std::max(row1_max, by_row.value(kCols + j));
+  }
+  double row1_acc = 0.0;
+  for (int j = 0; j < kCols; ++j) {
+    row1_acc += std::exp(by_row.value(kCols + j) - row1_max);
+  }
+  const double row1_lse = row1_max + std::log(row1_acc);
+
+  // Case 2 — unit-stride destination (marginalize the leading axis):
+  // column 17 all NaN, every other column clean. Also covers the mixed
+  // group through case 1's rows target below.
+  Factor by_col({0, 1}, {2, kCols});
+  for (double& v : by_col.mutable_values()) v = rng.Uniform(-2.0, 2.0);
+  by_col.mutable_values()[17] = nan;
+  by_col.mutable_values()[kCols + 17] = nan;
+
+  for (bool flat : {false, true}) {
+    SetFlatKernelsEnabled(flat);
+    for (SimdLevel level : SupportedSimdLevels()) {
+      SetSimdLevel(level);
+      Factor rows = by_row.LogSumExpTo(AttrSet({0}));
+      EXPECT_TRUE(std::isnan(rows.value(0)))
+          << "all-NaN row, flat=" << flat << " level=" << ToString(level);
+      EXPECT_NEAR(rows.value(1), row1_lse, 1e-12)
+          << "clean row, flat=" << flat << " level=" << ToString(level);
+      Factor cols = by_col.LogSumExpTo(AttrSet({1}));
+      for (int j = 0; j < kCols; ++j) {
+        if (j == 17) {
+          EXPECT_TRUE(std::isnan(cols.value(j)))
+              << "all-NaN column, flat=" << flat
+              << " level=" << ToString(level);
+        } else {
+          EXPECT_FALSE(std::isnan(cols.value(j)))
+              << "clean column " << j << ", flat=" << flat
+              << " level=" << ToString(level);
+        }
+      }
+      // Mixed NaN/finite group (row 0 of by_col contains one NaN).
+      Factor mixed = by_col.LogSumExpTo(AttrSet({0}));
+      EXPECT_TRUE(std::isnan(mixed.value(0)));
+      EXPECT_TRUE(std::isnan(mixed.value(1)));
+    }
+  }
+}
+
+// Regression: Exp/ExpInPlace with an all--inf factor (every probability
+// zero) computes shift = Max() = -inf, and exp(-inf - -inf) turned every
+// cell into NaN. The degenerate shift must yield the limit exp(v) = 0.
+TEST(FactorNumericEdgeCaseTest, ExpOfAllNegInfFactorIsZero) {
+  KernelConfigGuard guard;
+  for (SimdLevel level : SupportedSimdLevels()) {
+    SetSimdLevel(level);
+    Factor a({0}, {100}, kNegInf);
+    ASSERT_EQ(a.Max(), kNegInf);
+    Factor e = a.Exp(a.Max());
+    for (double v : e.values()) {
+      ASSERT_EQ(v, 0.0) << "Exp level=" << ToString(level);
+    }
+    Factor b = a;
+    b.ExpInPlace(b.Max());
+    for (double v : b.values()) {
+      ASSERT_EQ(v, 0.0) << "ExpInPlace level=" << ToString(level);
+    }
+  }
+}
+
+// ------------------------------------------- plan cache collisions ----
+
+bool PlansEqual(const KernelPlan& x, const KernelPlan& y) {
+  if (x.valid != y.valid || x.num_operands != y.num_operands ||
+      x.num_outer != y.num_outer || x.inner_size != y.inner_size ||
+      x.total != y.total) {
+    return false;
+  }
+  for (int k = 0; k < x.num_operands; ++k) {
+    if (x.inner_strides[k] != y.inner_strides[k]) return false;
+  }
+  for (int axis = 0; axis < x.num_outer; ++axis) {
+    if (x.outer_sizes[axis] != y.outer_sizes[axis]) return false;
+    for (int k = 0; k < x.num_operands; ++k) {
+      if (x.outer_strides[k][axis] != y.outer_strides[k][axis]) return false;
+    }
+  }
+  return true;
+}
+
+// The plan cache is direct-mapped with 256 slots, so distinct shapes can
+// hash to the same slot. Hammer it with thousands of random (sizes,
+// strides) keys — far more than 256, guaranteeing collisions — and check
+// the returned plan always equals a freshly built one (i.e. a collision
+// evicts, never aliases).
+TEST(FlatKernelTest, PlanCacheServesCorrectPlanUnderCollisions) {
+  FactorWorkspace& ws = FactorWorkspace::Get();
+  Rng rng(31337);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const int rank = 1 + static_cast<int>(rng.Uniform(0.0, 4.0));
+    std::vector<int> sizes(rank);
+    for (int& s : sizes) s = 1 + static_cast<int>(rng.Uniform(0.0, 5.0));
+    const int num_operands = rng.Uniform() < 0.5 ? 1 : 2;
+    std::vector<int64_t> stride_bufs[2];
+    for (int k = 0; k < num_operands; ++k) {
+      // Row-major strides of a random sub-factor: axes outside the subset
+      // get stride 0, exactly what StridesIntoBuf produces.
+      stride_bufs[k].assign(rank, 0);
+      int64_t stride = 1;
+      for (int axis = rank - 1; axis >= 0; --axis) {
+        if (rng.Uniform() < 0.7) {
+          stride_bufs[k][axis] = stride;
+          stride *= sizes[axis];
+        }
+      }
+    }
+    const std::vector<int64_t>* strides[2] = {&stride_bufs[0],
+                                              &stride_bufs[1]};
+    const KernelPlan* cached = ws.GetPlan(sizes, strides, num_operands);
+    const KernelPlan fresh = BuildKernelPlan(sizes, strides, num_operands);
+    ASSERT_NE(cached, nullptr);  // rank <= 4 is always plannable
+    ASSERT_TRUE(PlansEqual(*cached, fresh))
+        << "cached plan differs from fresh build at trial " << trial;
+  }
+}
+
 // --------------------------------------- zero-allocation steady state ----
 
 TEST(FlatKernelTest, CalibrateAllocatesNothingAfterWarmup) {
@@ -508,6 +675,10 @@ TEST(FlatKernelTest, CalibrateAllocatesNothingAfterWarmup) {
 
 TEST(FlatKernelEndToEndTest, AimSyntheticBytesInvariantToKernelsAndThreads) {
   KernelConfigGuard guard;
+  // Flat-off runs the seed odometer, which matches the flat path bitwise
+  // only at the scalar SIMD level (the e2e SIMD-vs-scalar comparison is
+  // tolerance-gated in tests/simd_test.cc).
+  SetSimdLevel(SimdLevel::kScalar);
   Domain domain = Domain::WithSizes({2, 3, 4, 2, 3});
   Rng data_rng(808);
   Dataset data = SampleRandomBayesNet(domain, 800, 2, 0.4, data_rng);
