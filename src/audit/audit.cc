@@ -68,6 +68,7 @@ StatusOr<AuditResult> RunAudit(const Mechanism& mechanism,
     double base = 0.0;
     double canary = 0.0;
     bool failed = false;
+    bool skipped = false;  // cancellation arrived before this pair started
     std::string message;
   };
   const bool traced = TraceEnabled();
@@ -83,6 +84,12 @@ StatusOr<AuditResult> RunAudit(const Mechanism& mechanism,
       ParallelMap(options.pairs, [&](int64_t t) {
         LapClock clock(traced || metered);
         PairOutcome outcome;
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+          // Wind down at the pair boundary: pairs already running finish
+          // (their statistics are simply discarded below), new ones stop.
+          outcome.skipped = true;
+          return outcome;
+        }
         try {
           if (ShouldInjectFault("trial_run", static_cast<uint64_t>(t))) {
             throw FaultInjectedError("trial_run");
@@ -130,6 +137,16 @@ StatusOr<AuditResult> RunAudit(const Mechanism& mechanism,
         return outcome;
       });
 
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    int64_t skipped = 0;
+    for (const PairOutcome& outcome : outcomes) {
+      if (outcome.skipped) ++skipped;
+    }
+    return CancelledError("audit interrupted; " + std::to_string(skipped) +
+                          " of " + std::to_string(outcomes.size()) +
+                          " pairs skipped, no bound computed");
+  }
+
   audit.base_stats.reserve(static_cast<size_t>(options.pairs));
   audit.canary_stats.reserve(static_cast<size_t>(options.pairs));
   for (int t = 0; t < options.pairs; ++t) {
@@ -165,14 +182,17 @@ StatusOr<AuditResult> RunAudit(const Mechanism& mechanism,
 
   if (metered) {
     MetricsRegistry& registry = MetricsRegistry::Global();
-    static Gauge& claimed_gauge = registry.gauge("audit.eps_claimed");
-    static Gauge& lower_gauge = registry.gauge("audit.eps_lower");
-    static Gauge& upper_gauge = registry.gauge("audit.eps_upper");
+    // Looked up per publish (not static) so a ScopedMetricLabel splits the
+    // verdict gauges per job — two concurrent audits in one process must
+    // not overwrite each other's epsilon bounds.
+    registry.gauge(ScopedMetricName("audit.eps_claimed"))
+        .Set(options.epsilon);
+    registry.gauge(ScopedMetricName("audit.eps_lower"))
+        .Set(audit.estimate.eps_lower);
+    registry.gauge(ScopedMetricName("audit.eps_upper"))
+        .Set(audit.estimate.eps_upper);
     static Counter& audits_counter = registry.counter("audit.audits");
     static Counter& refuted_counter = registry.counter("audit.refutations");
-    claimed_gauge.Set(options.epsilon);
-    lower_gauge.Set(audit.estimate.eps_lower);
-    upper_gauge.Set(audit.estimate.eps_upper);
     audits_counter.Add(1);
     if (audit.refuted) refuted_counter.Add(1);
   }

@@ -16,6 +16,7 @@
 #include "audit/estimator.h"
 #include "marginal/workload.h"
 #include "mechanisms/mechanism.h"
+#include "util/cancel.h"
 
 namespace aim {
 
@@ -40,6 +41,12 @@ struct AuditOptions {
   double confidence = 0.95;
 
   uint64_t seed = 0;
+
+  // Cooperative cancellation (SIGINT/SIGTERM): pairs not yet started when
+  // the token trips are skipped and RunAudit returns CancelledError — a
+  // partial pair set would silently widen the confidence interval, so an
+  // interrupted audit reports no bound at all. Not owned; may be null.
+  CancelToken* cancel = nullptr;
 };
 
 struct AuditResult {

@@ -175,11 +175,13 @@ double PrivacyFilter::Finish() const {
       << " budget=" << budget_;
   if (MetricsEnabled()) {
     MetricsRegistry& registry = MetricsRegistry::Global();
-    static Gauge& spent_gauge = registry.gauge("dp.filter.spent");
-    static Gauge& budget_gauge = registry.gauge("dp.filter.budget");
+    // Per-run gauges are looked up (not statically cached) so a job label
+    // scope splits them per job: concurrent aimd jobs must not clobber each
+    // other's spent/budget values. Finish runs once per mechanism run, so
+    // the registry mutex here is never hot.
+    registry.gauge(ScopedMetricName("dp.filter.spent")).Set(spent_);
+    registry.gauge(ScopedMetricName("dp.filter.budget")).Set(budget_);
     static Counter& finish_counter = registry.counter("dp.filter.finishes");
-    spent_gauge.Set(spent_);
-    budget_gauge.Set(budget_);
     finish_counter.Add(1);
   }
   return spent_;

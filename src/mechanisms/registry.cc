@@ -101,8 +101,12 @@ std::unique_ptr<Mechanism> MechanismByName(const std::string& name,
     o.final_estimation = FinalEstimation(options);
     o.checkpoint_path = options.checkpoint_path;
     o.checkpoint_every_rounds = options.checkpoint_every_rounds;
+    o.checkpoint_generations = options.checkpoint_generations;
     o.resume_path = options.resume_path;
     o.deadline_seconds = options.deadline_seconds;
+    o.synthetic_records = options.synthetic_records;
+    o.record_candidates = options.record_candidates;
+    o.cancel = options.cancel;
     return std::make_unique<AimMechanism>(o);
   }
   return nullptr;

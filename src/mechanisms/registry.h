@@ -5,11 +5,13 @@
 #ifndef AIM_MECHANISMS_REGISTRY_H_
 #define AIM_MECHANISMS_REGISTRY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "mechanisms/mechanism.h"
+#include "util/cancel.h"
 
 namespace aim {
 
@@ -30,8 +32,21 @@ struct RegistryOptions {
   // checkpointing, resume, and the wall-clock deadline.
   std::string checkpoint_path;
   int checkpoint_every_rounds = 1;
+  int checkpoint_generations = 1;
   std::string resume_path;
   double deadline_seconds = 0.0;
+
+  // --- Job-scoped options (the aimd daemon builds one mechanism per
+  // submitted job through this registry; these mirror the aim_cli knobs so
+  // a daemon job can be byte-identical to the equivalent CLI run). ---
+  // Synthetic records to emit; <= 0 means "the estimated total" (AIM).
+  int64_t synthetic_records = -1;
+  // Record per-round candidate sets in the measurement log (AIM). Part of
+  // the run fingerprint, so resumes must use the submitting value.
+  bool record_candidates = true;
+  // Cooperative cancellation polled at round boundaries (AIM): job
+  // cancellation and graceful daemon shutdown. Not owned; may be null.
+  CancelToken* cancel = nullptr;
 };
 
 // The evaluation roster of Section 6, in the paper's plotting order:

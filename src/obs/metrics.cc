@@ -52,6 +52,36 @@ void SetMetricsEnabled(bool enabled) {
   g_metrics_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+namespace {
+// Only the owning thread touches its label; a function-local static keeps
+// the thread_local's dynamic initialization lazy and ASan-clean.
+std::string& ThreadMetricLabel() {
+  thread_local std::string label;
+  return label;
+}
+}  // namespace
+
+const std::string& CurrentMetricLabel() { return ThreadMetricLabel(); }
+
+std::string ScopedMetricName(std::string_view base) {
+  const std::string& label = ThreadMetricLabel();
+  if (label.empty()) return std::string(base);
+  std::string name(base);
+  name += "{job=";
+  name += label;
+  name += '}';
+  return name;
+}
+
+ScopedMetricLabel::ScopedMetricLabel(std::string label)
+    : previous_(ThreadMetricLabel()) {
+  ThreadMetricLabel() = std::move(label);
+}
+
+ScopedMetricLabel::~ScopedMetricLabel() {
+  ThreadMetricLabel() = std::move(previous_);
+}
+
 void Histogram::Observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, v);

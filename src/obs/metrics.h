@@ -21,6 +21,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace aim {
 
@@ -28,6 +29,39 @@ namespace aim {
 // flags or SetMetricsEnabled(true) in tests.
 bool MetricsEnabled();
 void SetMetricsEnabled(bool enabled);
+
+// ---- Per-job metric label scoping. ----
+//
+// Gauges are last-writer-wins, so two jobs publishing e.g. dp.filter.spent
+// in one process would clobber each other — a correctness problem for the
+// aimd daemon, where per-tenant accounting is read off these values. A
+// thread-local label scope splits such instruments per job: while a
+// ScopedMetricLabel("j-000001") is active on a thread, ScopedMetricName
+// turns "dp.filter.spent" into "dp.filter.spent{job=j-000001}", giving
+// each job its own gauge. Counters stay unlabeled (process-wide totals are
+// their meaning). Call sites that publish per-run gauges must look the
+// gauge up via ScopedMetricName at publish time instead of caching a
+// static handle.
+
+// "base" with no active label, "base{job=<label>}" otherwise.
+std::string ScopedMetricName(std::string_view base);
+
+// The current thread's metric label ("" when none).
+const std::string& CurrentMetricLabel();
+
+// Installs `label` as this thread's metric label for the current scope and
+// restores the previous label on destruction.
+class ScopedMetricLabel {
+ public:
+  explicit ScopedMetricLabel(std::string label);
+  ~ScopedMetricLabel();
+
+  ScopedMetricLabel(const ScopedMetricLabel&) = delete;
+  ScopedMetricLabel& operator=(const ScopedMetricLabel&) = delete;
+
+ private:
+  std::string previous_;
+};
 
 // Monotonic event count.
 class Counter {

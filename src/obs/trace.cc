@@ -15,6 +15,10 @@ namespace {
 
 std::atomic<TraceSink*> g_trace_sink{nullptr};
 
+// Per-thread override (ScopedThreadTraceSink). Plain thread_local: only
+// the owning thread reads or writes it.
+thread_local TraceSink* t_trace_sink = nullptr;
+
 void AppendJsonString(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
@@ -262,8 +266,18 @@ std::vector<TraceEvent> MemoryTraceSink::events_of_type(
 }
 
 bool TraceEnabled() {
-  return g_trace_sink.load(std::memory_order_relaxed) != nullptr;
+  return t_trace_sink != nullptr ||
+         g_trace_sink.load(std::memory_order_relaxed) != nullptr;
 }
+
+TraceSink* ThreadTraceSink() { return t_trace_sink; }
+
+ScopedThreadTraceSink::ScopedThreadTraceSink(TraceSink* sink)
+    : previous_(t_trace_sink) {
+  t_trace_sink = sink;
+}
+
+ScopedThreadTraceSink::~ScopedThreadTraceSink() { t_trace_sink = previous_; }
 
 TraceSink* GlobalTraceSink() {
   return g_trace_sink.load(std::memory_order_acquire);
@@ -274,7 +288,8 @@ void SetGlobalTraceSink(TraceSink* sink) {
 }
 
 void EmitTrace(const TraceEvent& event) {
-  TraceSink* sink = GlobalTraceSink();
+  TraceSink* sink = t_trace_sink;
+  if (sink == nullptr) sink = GlobalTraceSink();
   if (sink != nullptr) sink->Emit(event);
 }
 

@@ -143,7 +143,8 @@ class MemoryTraceSink : public TraceSink {
 
 // ---- Global sink registration. ----
 
-// True when a global sink is installed (one relaxed load).
+// True when a sink is installed for the current thread (thread-local
+// override or the global sink).
 bool TraceEnabled();
 
 // The installed sink, or nullptr. The pointer is unowned; the installer
@@ -153,6 +154,34 @@ void SetGlobalTraceSink(TraceSink* sink);
 
 // Emits to the global sink if one is installed.
 void EmitTrace(const TraceEvent& event);
+
+// ---- Per-thread sink routing (the aimd daemon's per-job traces). ----
+//
+// A thread-local sink override: while installed on a thread, EmitTrace
+// calls from that thread route to it INSTEAD of the global sink, so two
+// jobs running concurrently in one process each get their own trace stream
+// with no interleaving. Events emitted from ParallelFor workers inside a
+// parallel region still go to the global sink (the AIM round/warning/
+// start/finish records and the estimation records are all emitted from the
+// job's own thread, which is what per-job progress tailing needs).
+
+// The current thread's override sink, or nullptr.
+TraceSink* ThreadTraceSink();
+
+// Installs `sink` as this thread's override for the current scope and
+// restores the previous override on destruction. The job runner wraps each
+// job body in one of these.
+class ScopedThreadTraceSink {
+ public:
+  explicit ScopedThreadTraceSink(TraceSink* sink);
+  ~ScopedThreadTraceSink();
+
+  ScopedThreadTraceSink(const ScopedThreadTraceSink&) = delete;
+  ScopedThreadTraceSink& operator=(const ScopedThreadTraceSink&) = delete;
+
+ private:
+  TraceSink* previous_;
+};
 
 // Installs a sink for the current scope and restores the previous one on
 // destruction (tests, CLI main).

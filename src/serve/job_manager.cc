@@ -1,0 +1,529 @@
+#include "serve/job_manager.h"
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "data/csv.h"
+#include "data/data_source.h"
+#include "data/preprocess.h"
+#include "dp/accountant.h"
+#include "marginal/workload.h"
+#include "mechanisms/aim.h"
+#include "mechanisms/registry.h"
+#include "obs/metrics.h"
+#include "robust/generations.h"
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+// mkdir -p for the job directory tree; EEXIST is success.
+Status MakeDirs(const std::string& path) {
+  std::string partial;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    partial = path.substr(0, end);
+    start = end + 1;
+    if (partial.empty()) continue;
+    if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return InternalError("cannot create directory '" + partial + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+// The same workload vocabulary as aim_cli --workload.
+StatusOr<Workload> BuildWorkload(const Domain& domain,
+                                 const std::string& name) {
+  if (name == "all3way") {
+    return AllKWayWorkload(domain, std::min(3, domain.num_attributes()));
+  }
+  if (name == "all2way") {
+    return AllKWayWorkload(domain, std::min(2, domain.num_attributes()));
+  }
+  if (name.rfind("target:", 0) == 0) {
+    const std::string attr = name.substr(7);
+    const int target = domain.IndexOf(attr);
+    if (target < 0) {
+      return InvalidArgumentError("no attribute named '" + attr + "'");
+    }
+    return TargetWorkload(domain, std::min(3, domain.num_attributes()),
+                          target);
+  }
+  return InvalidArgumentError("unknown workload '" + name +
+                              "' (expected all3way, all2way, or "
+                              "target:<attribute>)");
+}
+
+bool IsValidWorkloadName(const std::string& name) {
+  return name == "all3way" || name == "all2way" ||
+         (name.rfind("target:", 0) == 0 && name.size() > 7);
+}
+
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<JobSpec> ParseJobSpec(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return InvalidArgumentError("job spec must be a JSON object");
+  }
+  JobSpec spec;
+  spec.tenant = json.GetString("tenant", spec.tenant);
+  spec.dataset = json.GetString("dataset", "");
+  spec.mechanism = json.GetString("mechanism", spec.mechanism);
+  spec.workload = json.GetString("workload", spec.workload);
+  spec.resume_from = json.GetString("resume_from", "");
+  spec.epsilon = json.GetNumber("epsilon", spec.epsilon);
+  spec.delta = json.GetNumber("delta", spec.delta);
+  spec.max_size_mb = json.GetNumber("max_size_mb", spec.max_size_mb);
+  const double seed = json.GetNumber("seed", 0.0);
+  const double records = json.GetNumber("records", -1.0);
+  const double bins = json.GetNumber("bins", 32.0);
+
+  if (spec.tenant.empty()) {
+    return InvalidArgumentError("tenant must be non-empty");
+  }
+  if (spec.dataset.empty()) {
+    return InvalidArgumentError("job spec needs a 'dataset' path");
+  }
+  if (!(spec.epsilon > 0.0)) {
+    return InvalidArgumentError("epsilon must be positive");
+  }
+  if (!(spec.delta > 0.0 && spec.delta < 1.0)) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  if (!(spec.max_size_mb > 0.0)) {
+    return InvalidArgumentError("max_size_mb must be positive");
+  }
+  if (!IsValidWorkloadName(spec.workload)) {
+    return InvalidArgumentError("unknown workload '" + spec.workload + "'");
+  }
+  if (!(seed >= 0.0 && seed <= 9.0e15 && seed == std::floor(seed))) {
+    return InvalidArgumentError("seed must be a non-negative integer");
+  }
+  spec.seed = static_cast<uint64_t>(seed);
+  if (!(records == std::floor(records) && records <= 9.0e15)) {
+    return InvalidArgumentError("records must be an integer");
+  }
+  spec.records = static_cast<int64_t>(records);
+  if (!(bins >= 1.0 && bins <= 1.0e6 && bins == std::floor(bins))) {
+    return InvalidArgumentError("bins must be an integer in [1, 1e6]");
+  }
+  spec.bins = static_cast<int>(bins);
+  return spec;
+}
+
+void JobTraceSink::Emit(const TraceEvent& event) {
+  std::string line = event.ToJson();
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(std::move(line));
+  if (event.type() == "aim_round") ++rounds_;
+}
+
+std::vector<std::string> JobTraceSink::LinesFrom(size_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from >= lines_.size()) return {};
+  return std::vector<std::string>(lines_.begin() +
+                                      static_cast<ptrdiff_t>(from),
+                                  lines_.end());
+}
+
+size_t JobTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+int64_t JobTraceSink::rounds_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_;
+}
+
+const char* Job::StateName(State state) {
+  switch (state) {
+    case State::kQueued: return "queued";
+    case State::kRunning: return "running";
+    case State::kDone: return "done";
+    case State::kFailed: return "failed";
+    case State::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JsonValue Job::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.object()["id"] = JsonValue::MakeString(id);
+  out.object()["tenant"] = JsonValue::MakeString(spec.tenant);
+  out.object()["mechanism"] = JsonValue::MakeString(spec.mechanism);
+  out.object()["dataset"] = JsonValue::MakeString(spec.dataset);
+  out.object()["workload"] = JsonValue::MakeString(spec.workload);
+  out.object()["epsilon"] = JsonValue::MakeNumber(spec.epsilon);
+  out.object()["delta"] = JsonValue::MakeNumber(spec.delta);
+  out.object()["rho"] = JsonValue::MakeNumber(rho);
+  out.object()["events"] =
+      JsonValue::MakeNumber(static_cast<double>(trace.size()));
+  const int64_t live_rounds = trace.rounds_completed();
+  std::lock_guard<std::mutex> lock(mu);
+  out.object()["state"] = JsonValue::MakeString(StateName(state));
+  out.object()["rounds"] = JsonValue::MakeNumber(static_cast<double>(
+      rounds > live_rounds ? rounds : live_rounds));
+  out.object()["rho_used"] = JsonValue::MakeNumber(rho_used);
+  out.object()["seconds"] = JsonValue::MakeNumber(seconds);
+  out.object()["synthetic_records"] =
+      JsonValue::MakeNumber(static_cast<double>(synthetic_records));
+  out.object()["checkpoint"] = JsonValue::MakeString(checkpoint_path);
+  if (fingerprint != 0) {
+    out.object()["fingerprint"] =
+        JsonValue::MakeString(HexFingerprint(fingerprint));
+  }
+  if (!error.empty()) out.object()["error"] = JsonValue::MakeString(error);
+  return out;
+}
+
+JobManager::JobManager(const JobManagerOptions& options, TenantLedger* ledger)
+    : options_(options), ledger_(ledger) {
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobManager::~JobManager() { Shutdown(); }
+
+StatusOr<std::shared_ptr<Job>> JobManager::Submit(const JobSpec& spec) {
+  // Validate everything cheap BEFORE charging the tenant's ledger: a spec
+  // that can never run must not cost budget. (A job that fails later —
+  // corrupt CSV, mid-run fault — keeps its charge; see serve/tenant.h.)
+  if (!FileExists(spec.dataset)) {
+    return NotFoundError("dataset '" + spec.dataset + "' does not exist");
+  }
+  {
+    std::unique_ptr<Mechanism> probe = MechanismByName(spec.mechanism);
+    if (probe == nullptr) {
+      return InvalidArgumentError("unknown mechanism '" + spec.mechanism +
+                                  "'");
+    }
+  }
+  if (!spec.resume_from.empty() && spec.mechanism != "AIM") {
+    return InvalidArgumentError("resume_from requires mechanism AIM");
+  }
+  const double rho = CdpRho(spec.epsilon, spec.delta);
+  if (!(rho > 0.0)) {
+    return InvalidArgumentError("privacy budget converts to rho <= 0");
+  }
+
+  std::shared_ptr<Job> job = std::make_shared<Job>();
+  job->spec = spec;
+  job->rho = rho;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return UnavailableError("daemon is shutting down");
+    }
+    job->id = "j-" + std::to_string(next_id_++);
+  }
+  job->dir = options_.work_dir + "/jobs/" + job->id;
+  job->checkpoint_path = job->dir + "/checkpoint";
+  job->output_path = job->dir + "/synthetic.csv";
+  Status made = MakeDirs(job->dir);
+  if (!made.ok()) return made;
+
+  // The admission charge: the job's whole rho, atomically, under the
+  // ledger's own lock. This is the multi-tenant invariant — no interleaving
+  // of submissions can push a tenant's spent() past its budget().
+  Status reserved = ledger_->TryReserve(spec.tenant, rho);
+  if (!reserved.ok()) return reserved;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return UnavailableError("daemon is shutting down");
+    }
+    jobs_[job->id] = job;
+    queue_.push_back(job);
+  }
+  work_cv_.notify_one();
+  return job;
+}
+
+std::shared_ptr<Job> JobManager::Find(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Job>> JobManager::Jobs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Job>> jobs;
+  jobs.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) jobs.push_back(job);
+  return jobs;
+}
+
+Status JobManager::Cancel(const std::string& id) {
+  std::shared_ptr<Job> job = Find(id);
+  if (job == nullptr) return NotFoundError("no job '" + id + "'");
+  job->cancel.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->state == Job::State::kQueued) {
+      job->state = Job::State::kCancelled;
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> JobManager::QueryMarginal(
+    const std::string& id, const std::vector<std::string>& attr_names,
+    std::vector<int>* sizes) {
+  std::shared_ptr<Job> job = Find(id);
+  if (job == nullptr) return NotFoundError("no job '" + id + "'");
+  std::lock_guard<std::mutex> lock(job->mu);
+  if (!job->model.has_value()) {
+    return FailedPreconditionError("job '" + id +
+                                   "' has no fitted model to query (state " +
+                                   Job::StateName(job->state) + ")");
+  }
+  std::vector<int> attrs;
+  attrs.reserve(attr_names.size());
+  for (const std::string& name : attr_names) {
+    const int attr = job->domain.IndexOf(name);
+    if (attr < 0) {
+      return InvalidArgumentError("no attribute named '" + name + "'");
+    }
+    attrs.push_back(attr);
+  }
+  if (attrs.empty()) {
+    return InvalidArgumentError("query needs at least one attribute");
+  }
+  const AttrSet attr_set{std::vector<int>(attrs)};
+  if (sizes != nullptr) {
+    sizes->clear();
+    for (int attr : attr_set) sizes->push_back(job->domain.size(attr));
+  }
+  // Post-processing of the fitted model: answering any number of marginal
+  // queries here is privacy-free (the DP cost was paid by the
+  // measurements; the model is a deterministic function of them).
+  return job->model->MarginalVector(attr_set);
+}
+
+void JobManager::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::vector<std::shared_ptr<Job>> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+    // Queued jobs never start; running jobs get their token tripped and
+    // wind down at the next round boundary with a final checkpoint.
+    for (const std::shared_ptr<Job>& job : queue_) {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      if (job->state == Job::State::kQueued) {
+        job->state = Job::State::kCancelled;
+      }
+    }
+    queue_.clear();
+    for (const auto& [id, job] : jobs_) to_cancel.push_back(job);
+  }
+  for (const std::shared_ptr<Job>& job : to_cancel) job->cancel.Cancel();
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+bool JobManager::WaitIdle(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds), [this] {
+        return queue_.empty() && running_ == 0;
+      });
+}
+
+void JobManager::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      ++running_;
+    }
+    {
+      bool skip = false;
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        if (job->state != Job::State::kQueued) {
+          skip = true;  // cancelled while queued
+        } else {
+          job->state = Job::State::kRunning;
+        }
+      }
+      if (!skip) RunJob(job);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+StatusOr<std::shared_ptr<StoreSource>> JobManager::OpenStoreShared(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_cache_.find(path);
+    if (it != store_cache_.end()) return it->second;
+  }
+  StatusOr<std::unique_ptr<StoreSource>> opened = StoreSource::Open(path);
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<StoreSource> shared = std::move(*opened);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Two jobs racing to open the same store: keep the first mapping, drop
+  // ours — the cache guarantees one shared mapping per path at rest.
+  auto [it, inserted] = store_cache_.emplace(path, shared);
+  return it->second;
+}
+
+void JobManager::RunJob(const std::shared_ptr<Job>& job) {
+  // Route this thread's trace events to the job's buffer and label its
+  // gauge publishes, so concurrent jobs never interleave or clobber.
+  ScopedThreadTraceSink trace_scope(&job->trace);
+  ScopedMetricLabel metric_scope(job->id);
+
+  auto fail = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = Job::State::kFailed;
+    job->error = status.ToString();
+  };
+
+  try {
+    // ---- Load the dataset: shared mmap for stores, parse+preprocess for
+    // raw CSV (same auto-detection as aim_cli).
+    std::shared_ptr<StoreSource> store;
+    std::optional<PreprocessResult> prep;
+    std::optional<DatasetSource> csv_source;
+    const DataSource* source = nullptr;
+    if (IsStoreFile(job->spec.dataset)) {
+      StatusOr<std::shared_ptr<StoreSource>> opened =
+          OpenStoreShared(job->spec.dataset);
+      if (!opened.ok()) return fail(opened.status());
+      store = *opened;
+      source = store.get();
+    } else {
+      StatusOr<RawTable> table = ReadCsv(job->spec.dataset);
+      if (!table.ok()) return fail(table.status());
+      PreprocessOptions prep_options;
+      prep_options.num_bins = job->spec.bins;
+      StatusOr<PreprocessResult> preprocessed =
+          Preprocess(*table, prep_options);
+      if (!preprocessed.ok()) return fail(preprocessed.status());
+      prep.emplace(*std::move(preprocessed));
+      csv_source.emplace(prep->dataset);
+      source = &*csv_source;
+    }
+    const Domain& domain = source->domain();
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->domain = domain;
+    }
+
+    StatusOr<Workload> workload = BuildWorkload(domain, job->spec.workload);
+    if (!workload.ok()) return fail(workload.status());
+
+    // ---- Build the mechanism through the registry, with the job-scoped
+    // fault-tolerance and cancellation options.
+    RegistryOptions reg;
+    reg.max_size_mb = job->spec.max_size_mb;
+    reg.checkpoint_path = job->checkpoint_path;
+    reg.checkpoint_every_rounds = 1;
+    reg.checkpoint_generations = options_.checkpoint_generations;
+    reg.resume_path = job->spec.resume_from;
+    reg.synthetic_records = job->spec.records;
+    // aim_cli's default (no --report): keeps the fingerprint aligned with
+    // the CLI so checkpoints are portable between the daemon and the CLI.
+    reg.record_candidates = false;
+    reg.cancel = &job->cancel;
+    std::unique_ptr<Mechanism> mechanism =
+        MechanismByName(job->spec.mechanism, reg);
+    if (mechanism == nullptr) {
+      return fail(InvalidArgumentError("unknown mechanism '" +
+                                       job->spec.mechanism + "'"));
+    }
+
+    if (auto* an_aim = dynamic_cast<AimMechanism*>(mechanism.get())) {
+      const uint64_t fingerprint = AimRunFingerprint(
+          domain, *workload, an_aim->options(), job->rho);
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->fingerprint = fingerprint;
+      }
+      // Pre-validate a resume ladder so a stale or foreign snapshot is a
+      // typed job failure, not a CHECK abort that takes the daemon down.
+      if (!job->spec.resume_from.empty()) {
+        StatusOr<LoadedGeneration> loaded = LoadLatestValidGeneration(
+            job->spec.resume_from, fingerprint, job->rho);
+        if (!loaded.ok()) {
+          return fail(Status(loaded.status().code(),
+                             "cannot resume from '" + job->spec.resume_from +
+                                 "': " + loaded.status().message()));
+        }
+      }
+    }
+
+    // ---- Run. Same seed derivation as aim_cli, so a daemon job and the
+    // equivalent CLI invocation are byte-identical.
+    Rng rng(job->spec.seed + 0x41494D);
+    MechanismResult result =
+        mechanism->Run(*source, *workload, job->rho, rng);
+
+    Status written = Status::Ok();
+    if (result.has_synthetic) {
+      written = WriteCsv(result.synthetic, job->output_path);
+    }
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->rounds = result.rounds;
+    job->seconds = result.seconds;
+    job->rho_used = result.rho_used;
+    job->synthetic_records = result.synthetic.num_records();
+    job->model = std::move(result.final_model);
+    if (!written.ok()) {
+      job->state = Job::State::kFailed;
+      job->error = written.ToString();
+    } else if (result.cancelled) {
+      // Wound down at a round boundary: the output in hand is still a
+      // valid DP synthesis of the measurements so far, and the checkpoint
+      // ladder in the job directory resumes the rest.
+      job->state = Job::State::kCancelled;
+    } else {
+      job->state = Job::State::kDone;
+    }
+  } catch (const std::exception& e) {
+    fail(InternalError(e.what()));
+  }
+}
+
+}  // namespace aim

@@ -1,0 +1,577 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace aim {
+namespace {
+
+constexpr int kMaxJsonDepth = 64;
+
+// Recursive-descent JSON parser over a bounded buffer. No surprises: UTF-8
+// passes through untouched, \uXXXX escapes decode to UTF-8, numbers go
+// through strtod.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("json: trailing garbage at offset " +
+                                  std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxJsonDepth) {
+      return InvalidArgumentError("json: nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("json: unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status status = ParseString(&s);
+        if (!status.ok()) return status;
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = JsonValue::MakeBool(true);
+          return Status::Ok();
+        }
+        break;
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = JsonValue::MakeBool(false);
+          return Status::Ok();
+        }
+        break;
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = JsonValue();
+          return Status::Ok();
+        }
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        break;
+    }
+    return InvalidArgumentError("json: unexpected character at offset " +
+                                std::to_string(pos_));
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return InvalidArgumentError("json: expected object key");
+      }
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return InvalidArgumentError("json: expected ':' after key");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->object()[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("json: unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return InvalidArgumentError("json: expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->array().push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("json: unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return InvalidArgumentError("json: expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) {
+              return InvalidArgumentError("json: truncated \\u escape");
+            }
+            unsigned int code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return InvalidArgumentError("json: bad \\u escape");
+            }
+            pos_ += 4;
+            // Encode the BMP code point as UTF-8 (surrogate pairs are not
+            // recombined — lone surrogates encode as-is, which round-trips).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return InvalidArgumentError("json: bad escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return InvalidArgumentError("json: raw control character in string");
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return InvalidArgumentError("json: unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(begin, &end);
+    if (end == begin || errno == ERANGE || !std::isfinite(v)) {
+      return InvalidArgumentError("json: bad number at offset " +
+                                  std::to_string(pos_));
+    }
+    pos_ += static_cast<size_t>(end - begin);
+    *out = JsonValue::MakeNumber(v);
+    return Status::Ok();
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  // Integers render without a decimal point (job counters, ports, round
+  // numbers); everything else gets shortest-round-trip %.17g.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    out->append(std::to_string(static_cast<int64_t>(v)));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind() == Kind::kString) ? v->AsString()
+                                                      : fallback;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind() == Kind::kNumber) ? v->AsNumber()
+                                                      : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind() == Kind::kBool) ? v->AsBool() : fallback;
+}
+
+std::string JsonValue::ToJson() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      AppendNumber(&out, number_);
+      break;
+    case Kind::kString:
+      out = JsonQuote(string_);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.append(v.ToJson());
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, v] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.append(JsonQuote(key));
+        out.push_back(':');
+        out.append(v.ToJson());
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+StatusOr<HttpRequest> ParseHttpRequest(const std::string& raw) {
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return InvalidArgumentError("http: missing header terminator");
+  }
+  HttpRequest request;
+  request.body = raw.substr(header_end + 4);
+
+  size_t line_start = 0;
+  size_t line_end = raw.find("\r\n");
+  const std::string start_line = raw.substr(0, line_end);
+  const size_t sp1 = start_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return InvalidArgumentError("http: malformed request line");
+  }
+  request.method = start_line.substr(0, sp1);
+  std::string target = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = start_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    return InvalidArgumentError("http: unsupported version '" + version + "'");
+  }
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    request.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  if (target.empty() || target[0] != '/') {
+    return InvalidArgumentError("http: request target must be a path");
+  }
+  request.path = std::move(target);
+
+  line_start = line_end + 2;
+  while (line_start < header_end) {
+    line_end = raw.find("\r\n", line_start);
+    if (line_end == std::string::npos || line_end > header_end) {
+      line_end = header_end;
+    }
+    const std::string line = raw.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // tolerate junk header lines
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    request.headers[name] = line.substr(value_start);
+  }
+  return request;
+}
+
+StatusOr<HttpRequest> ReadHttpRequest(int fd) {
+  std::string buffer;
+  size_t header_end = std::string::npos;
+  char chunk[4096];
+  // Phase 1: read until the blank line that ends the headers.
+  while (header_end == std::string::npos) {
+    if (buffer.size() > kMaxRequestBytes) {
+      return InvalidArgumentError("http: request headers too large");
+    }
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return UnavailableError("http: peer closed before a full request");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("http: recv failed: ") +
+                              std::strerror(errno));
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+  // Phase 2: Content-Length framing for the body.
+  size_t content_length = 0;
+  {
+    // Cheap scan of the raw header block; ParseHttpRequest re-parses below.
+    const std::string headers = buffer.substr(0, header_end);
+    std::string lowered = headers;
+    for (char& c : lowered) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    const size_t at = lowered.find("content-length:");
+    if (at != std::string::npos) {
+      size_t p = at + std::strlen("content-length:");
+      while (p < headers.size() && headers[p] == ' ') ++p;
+      uint64_t parsed = 0;
+      const char* begin = headers.c_str() + p;
+      const char* end = headers.c_str() + headers.size();
+      auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc() || ptr == begin) {
+        return InvalidArgumentError("http: bad Content-Length");
+      }
+      content_length = static_cast<size_t>(parsed);
+    }
+  }
+  const size_t total = header_end + 4 + content_length;
+  if (total > kMaxRequestBytes) {
+    return InvalidArgumentError("http: request body too large");
+  }
+  while (buffer.size() < total) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return UnavailableError("http: peer closed mid-body");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("http: recv failed: ") +
+                              std::strerror(errno));
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  buffer.resize(total);  // ignore pipelined bytes past the first request
+  return ParseHttpRequest(buffer);
+}
+
+void WriteHttpResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer gone; nothing useful to do
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpResponse JsonErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":" + JsonQuote(message) + "}\n";
+  return response;
+}
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  while (start < path.size()) {
+    while (start < path.size() && path[start] == '/') ++start;
+    size_t end = start;
+    while (end < path.size() && path[end] != '/') ++end;
+    if (end > start) segments.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return segments;
+}
+
+}  // namespace aim

@@ -1,0 +1,128 @@
+// Wire protocol for the aimd daemon: a minimal HTTP/1.1 subset plus a
+// dependency-free JSON value type (DESIGN.md "Service layer").
+//
+// The daemon speaks plain HTTP so `curl` is the whole client story:
+// requests carry JSON bodies, responses are JSON objects, and the
+// per-job event stream is JSONL (one trace event per line — the same
+// records a --trace-out file holds). Parsing is deliberately strict and
+// small: one request per connection, Content-Length framing only (no
+// chunked encoding, no keep-alive), bounded sizes everywhere so a hostile
+// peer cannot balloon memory.
+
+#ifndef AIM_SERVE_PROTOCOL_H_
+#define AIM_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aim {
+
+// ---- JSON. ----
+
+// A parsed JSON value. Objects preserve no duplicate keys (last wins);
+// numbers are always doubles (the protocol's integer fields are small
+// enough for exact double representation).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  std::vector<JsonValue>& array() { return array_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  std::map<std::string, JsonValue>& object() { return object_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed object-member accessors with defaults, for protocol fields.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  // Serializes to compact JSON (stable key order for objects; non-finite
+  // numbers render as null, matching the trace sink convention).
+  std::string ToJson() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+// Depth- and size-bounded: nesting beyond 64 levels is an error.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+// Escapes and quotes `s` as a JSON string literal.
+std::string JsonQuote(const std::string& s);
+
+// ---- HTTP. ----
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST"
+  std::string path;    // path only, query string split off
+  std::string query;   // raw query string without '?', "" when absent
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// Parses one HTTP request from `raw` (start line + headers + body). The
+// caller has already framed the message (ReadHttpRequest does the
+// Content-Length handling); this validates and splits it.
+StatusOr<HttpRequest> ParseHttpRequest(const std::string& raw);
+
+// Reads one request from a connected socket fd: headers until CRLFCRLF,
+// then exactly Content-Length body bytes. Enforces kMaxRequestBytes and
+// the socket's receive timeout. Returns UnavailableError on EOF/timeout.
+StatusOr<HttpRequest> ReadHttpRequest(int fd);
+
+// Serializes `response` (Content-Length framed, Connection: close) and
+// writes it fully to `fd`. Best-effort: a peer that hung up mid-write is
+// the peer's problem, not the daemon's.
+void WriteHttpResponse(int fd, const HttpResponse& response);
+
+// Reason phrase for the handful of status codes the daemon emits.
+const char* HttpReasonPhrase(int status);
+
+// Hard cap on a request's total size (start line + headers + body).
+inline constexpr size_t kMaxRequestBytes = 1 << 20;
+
+// Convenience: a JSON error body {"error": message} with the given status.
+HttpResponse JsonErrorResponse(int status, const std::string& message);
+
+// Splits a URL path into segments ("/jobs/j-1/events" -> {"jobs", "j-1",
+// "events"}); empty segments are dropped.
+std::vector<std::string> SplitPath(const std::string& path);
+
+}  // namespace aim
+
+#endif  // AIM_SERVE_PROTOCOL_H_

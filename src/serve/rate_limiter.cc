@@ -1,0 +1,40 @@
+#include "serve/rate_limiter.h"
+
+namespace aim {
+
+RateLimiter::Bucket& RateLimiter::BucketFor(
+    const std::string& tenant, std::chrono::steady_clock::time_point now) {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    Bucket fresh;
+    fresh.tokens = burst_;
+    fresh.last_refill = now;
+    it = buckets_.emplace(tenant, fresh).first;
+  }
+  Bucket& bucket = it->second;
+  if (per_second_ > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    bucket.tokens += elapsed * per_second_;
+    if (bucket.tokens > burst_) bucket.tokens = burst_;
+  }
+  bucket.last_refill = now;
+  return bucket;
+}
+
+bool RateLimiter::Admit(const std::string& tenant) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = BucketFor(tenant, now);
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+double RateLimiter::Available(const std::string& tenant) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  return BucketFor(tenant, now).tokens;
+}
+
+}  // namespace aim

@@ -1,0 +1,51 @@
+// Per-tenant token-bucket rate limiting for job submissions.
+//
+// Each tenant gets an independent bucket: `burst` tokens of capacity,
+// refilled continuously at `per_second` tokens/s. A submission costs one
+// token; an empty bucket means HTTP 429. The bucket is intentionally
+// simple — admission control so one tenant cannot monopolize the worker
+// pool with a submit loop, not a fairness scheduler.
+
+#ifndef AIM_SERVE_RATE_LIMITER_H_
+#define AIM_SERVE_RATE_LIMITER_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace aim {
+
+class RateLimiter {
+ public:
+  // `burst` >= 1 tokens of capacity per tenant, refilled at `per_second`
+  // tokens per second. per_second <= 0 disables refill (the bucket is a
+  // hard per-process cap — used by tests for determinism).
+  RateLimiter(double burst, double per_second)
+      : burst_(burst < 1.0 ? 1.0 : burst), per_second_(per_second) {}
+
+  // Consumes one token from `tenant`'s bucket; false when empty. Buckets
+  // are created full on first sight of a tenant.
+  bool Admit(const std::string& tenant);
+
+  // Remaining tokens (after refill accrual), for /tenants introspection.
+  double Available(const std::string& tenant);
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  Bucket& BucketFor(const std::string& tenant,
+                    std::chrono::steady_clock::time_point now);
+
+  const double burst_;
+  const double per_second_;
+  std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SERVE_RATE_LIMITER_H_

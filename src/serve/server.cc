@@ -1,0 +1,329 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace aim {
+namespace {
+
+// Receive timeout on accepted connections: a client that stalls mid-request
+// can hold the (serial) accept loop for at most this long.
+constexpr int kClientTimeoutMs = 2000;
+
+size_t ParseFromParam(const std::string& query) {
+  // "from=N" is the only query parameter the daemon understands.
+  const size_t at = query.find("from=");
+  if (at == std::string::npos) return 0;
+  const char* begin = query.c_str() + at + 5;
+  const char* end = query.c_str() + query.size();
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc()) return 0;
+  return static_cast<size_t>(value);
+}
+
+}  // namespace
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    // A budget refusal is an authorization decision, not a malformed
+    // request: the tenant asked for more rho than it has left.
+    case StatusCode::kFailedPrecondition: return 403;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kUnavailable: return 503;
+    case StatusCode::kDeadlineExceeded: return 503;
+    case StatusCode::kCancelled: return 409;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      tenants_(options.default_tenant_rho),
+      rate_limiter_(options.rate_burst, options.rate_per_second),
+      jobs_(std::make_unique<JobManager>(options.jobs, &tenants_)) {}
+
+Server::~Server() {
+  Shutdown();
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+Status Server::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("cannot parse host '" + options_.host + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return UnavailableError("bind " + options_.host + ":" +
+                            std::to_string(options_.port) + ": " +
+                            std::strerror(errno));
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    return UnavailableError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::Ok();
+}
+
+void Server::ServeForever(CancelToken* cancel) {
+  AIM_CHECK(listen_fd_ >= 0) << "ServeForever before Start";
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (cancel != nullptr && cancel->cancelled()) break;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal; loop re-checks the token
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval timeout{};
+    timeout.tv_sec = kClientTimeoutMs / 1000;
+    timeout.tv_usec = (kClientTimeoutMs % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    HandleConnection(fd);
+    close(fd);
+  }
+  // Out of the accept loop (shutdown or signal): drain the jobs.
+  jobs_->Shutdown();
+}
+
+void Server::Shutdown() {
+  stop_.store(true, std::memory_order_release);
+  jobs_->Shutdown();
+}
+
+void Server::HandleConnection(int fd) {
+  StatusOr<HttpRequest> request = ReadHttpRequest(fd);
+  if (!request.ok()) {
+    // EOF/timeout before a full request: nothing useful to answer.
+    if (request.status().code() != StatusCode::kUnavailable) {
+      WriteHttpResponse(fd,
+                        JsonErrorResponse(400, request.status().message()));
+    }
+    return;
+  }
+  WriteHttpResponse(fd, Handle(*request));
+}
+
+HttpResponse Server::Handle(const HttpRequest& request) {
+  const std::vector<std::string> path = SplitPath(request.path);
+  if (path.empty()) {
+    return JsonErrorResponse(404, "no route for '" + request.path + "'");
+  }
+  if (path[0] == "healthz" && path.size() == 1) {
+    HttpResponse ok;
+    ok.body = "{\"ok\":true}\n";
+    return ok;
+  }
+  if (path[0] == "tenants" && path.size() == 2 && request.method == "GET") {
+    return HandleTenant(path[1]);
+  }
+  if (path[0] == "jobs") {
+    if (path.size() == 1) {
+      if (request.method == "POST") return HandleSubmit(request);
+      if (request.method == "GET") {
+        JsonValue list = JsonValue::MakeArray();
+        for (const std::shared_ptr<Job>& job : jobs_->Jobs()) {
+          list.array().push_back(job->ToJson());
+        }
+        HttpResponse response;
+        response.body = list.ToJson() + "\n";
+        return response;
+      }
+      return JsonErrorResponse(405, "method not allowed on /jobs");
+    }
+    const std::string& id = path[1];
+    if (path.size() == 2 && request.method == "GET") return HandleJobGet(id);
+    if (path.size() == 3 && request.method == "GET" && path[2] == "events") {
+      return HandleEvents(id, request.query);
+    }
+    if (path.size() == 3 && request.method == "GET" && path[2] == "result") {
+      return HandleResult(id);
+    }
+    if (path.size() == 3 && request.method == "POST" &&
+        path[2] == "cancel") {
+      return HandleCancel(id);
+    }
+    if (path.size() == 3 && request.method == "POST" && path[2] == "query") {
+      return HandleQuery(id, request);
+    }
+  }
+  return JsonErrorResponse(404, "no route for '" + request.path + "'");
+}
+
+HttpResponse Server::HandleSubmit(const HttpRequest& request) {
+  StatusOr<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) {
+    return JsonErrorResponse(400, body.status().message());
+  }
+  StatusOr<JobSpec> spec = ParseJobSpec(*body);
+  if (!spec.ok()) {
+    return JsonErrorResponse(400, spec.status().message());
+  }
+  // Rate limit BEFORE the ledger: a submit flood must not reach budget
+  // accounting (or the filesystem) at all.
+  if (!rate_limiter_.Admit(spec->tenant)) {
+    return JsonErrorResponse(
+        429, "tenant '" + spec->tenant + "' is over its submission rate");
+  }
+  StatusOr<std::shared_ptr<Job>> job = jobs_->Submit(*spec);
+  if (!job.ok()) {
+    return JsonErrorResponse(HttpStatusForStatus(job.status()),
+                             job.status().message());
+  }
+  HttpResponse response;
+  response.status = 202;
+  response.body = (*job)->ToJson().ToJson() + "\n";
+  return response;
+}
+
+HttpResponse Server::HandleJobGet(const std::string& id) {
+  std::shared_ptr<Job> job = jobs_->Find(id);
+  if (job == nullptr) return JsonErrorResponse(404, "no job '" + id + "'");
+  HttpResponse response;
+  response.body = job->ToJson().ToJson() + "\n";
+  return response;
+}
+
+HttpResponse Server::HandleEvents(const std::string& id,
+                                  const std::string& query) {
+  std::shared_ptr<Job> job = jobs_->Find(id);
+  if (job == nullptr) return JsonErrorResponse(404, "no job '" + id + "'");
+  const size_t from = ParseFromParam(query);
+  HttpResponse response;
+  response.content_type = "application/x-ndjson";
+  std::string body;
+  for (const std::string& line : job->trace.LinesFrom(from)) {
+    body += line;
+    body += '\n';
+  }
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse Server::HandleResult(const std::string& id) {
+  std::shared_ptr<Job> job = jobs_->Find(id);
+  if (job == nullptr) return JsonErrorResponse(404, "no job '" + id + "'");
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->state != Job::State::kDone &&
+        job->state != Job::State::kCancelled) {
+      return JsonErrorResponse(
+          409, "job '" + id + "' is " + Job::StateName(job->state) +
+                   "; the result exists once it is done");
+    }
+  }
+  std::ifstream in(job->output_path, std::ios::binary);
+  if (!in) {
+    return JsonErrorResponse(404,
+                             "job '" + id + "' produced no synthetic CSV");
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  HttpResponse response;
+  response.content_type = "text/csv";
+  response.body = content.str();
+  return response;
+}
+
+HttpResponse Server::HandleCancel(const std::string& id) {
+  Status status = jobs_->Cancel(id);
+  if (!status.ok()) {
+    return JsonErrorResponse(HttpStatusForStatus(status), status.message());
+  }
+  HttpResponse response;
+  response.status = 202;
+  response.body = "{\"cancelling\":" + JsonQuote(id) + "}\n";
+  return response;
+}
+
+HttpResponse Server::HandleQuery(const std::string& id,
+                                 const HttpRequest& request) {
+  StatusOr<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) {
+    return JsonErrorResponse(400, body.status().message());
+  }
+  const JsonValue* attrs = body->Find("attrs");
+  if (attrs == nullptr || attrs->kind() != JsonValue::Kind::kArray) {
+    return JsonErrorResponse(400, "query body needs an 'attrs' array");
+  }
+  std::vector<std::string> names;
+  for (const JsonValue& v : attrs->array()) {
+    if (v.kind() != JsonValue::Kind::kString) {
+      return JsonErrorResponse(400, "'attrs' must hold attribute names");
+    }
+    names.push_back(v.AsString());
+  }
+  std::vector<int> sizes;
+  StatusOr<std::vector<double>> marginal =
+      jobs_->QueryMarginal(id, names, &sizes);
+  if (!marginal.ok()) {
+    return JsonErrorResponse(HttpStatusForStatus(marginal.status()),
+                             marginal.status().message());
+  }
+  JsonValue out = JsonValue::MakeObject();
+  JsonValue cells = JsonValue::MakeArray();
+  for (double v : *marginal) cells.array().push_back(JsonValue::MakeNumber(v));
+  JsonValue shape = JsonValue::MakeArray();
+  for (int s : sizes) {
+    shape.array().push_back(JsonValue::MakeNumber(static_cast<double>(s)));
+  }
+  out.object()["cells"] = std::move(cells);
+  out.object()["shape"] = std::move(shape);
+  HttpResponse response;
+  response.body = out.ToJson() + "\n";
+  return response;
+}
+
+HttpResponse Server::HandleTenant(const std::string& name) {
+  StatusOr<TenantLedger::TenantStatus> status = tenants_.GetStatus(name);
+  if (!status.ok()) {
+    return JsonErrorResponse(HttpStatusForStatus(status.status()),
+                             status.status().message());
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.object()["tenant"] = JsonValue::MakeString(name);
+  out.object()["rho_budget"] = JsonValue::MakeNumber(status->budget);
+  out.object()["rho_spent"] = JsonValue::MakeNumber(status->spent);
+  out.object()["jobs_admitted"] = JsonValue::MakeNumber(
+      static_cast<double>(status->jobs_admitted));
+  out.object()["rate_tokens"] =
+      JsonValue::MakeNumber(rate_limiter_.Available(name));
+  HttpResponse response;
+  response.body = out.ToJson() + "\n";
+  return response;
+}
+
+}  // namespace aim

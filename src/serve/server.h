@@ -1,0 +1,103 @@
+// The aimd HTTP front end: a blocking-socket accept loop over the job
+// manager, tenant ledger, and rate limiter.
+//
+// Routes (all responses JSON unless noted):
+//   GET  /healthz                 liveness probe
+//   POST /jobs                    submit a synthesis job (JobSpec JSON);
+//                                 400 bad spec, 403 budget exhausted,
+//                                 404 unknown dataset/tenant, 429 rate limit
+//   GET  /jobs                    list job status snapshots
+//   GET  /jobs/<id>               one job's status snapshot
+//   GET  /jobs/<id>/events?from=N the job's trace stream from line N
+//                                 (JSONL; tail by polling with the returned
+//                                 line count)
+//   GET  /jobs/<id>/result        the synthetic CSV (409 until done)
+//   POST /jobs/<id>/cancel        trip the job's CancelToken
+//   POST /jobs/<id>/query         {"attrs": [names]} -> post-hoc marginal
+//                                 from the fitted model (no privacy cost)
+//   GET  /tenants/<name>          ledger position + rate-limit tokens
+//
+// Requests are handled serially on the accept thread: every handler is a
+// quick in-memory operation (submission enqueues; the heavy lifting runs
+// on the job manager's workers), so a second listener thread would buy
+// nothing but locking subtlety. Graceful shutdown: Shutdown() (or the
+// process CancelToken, polled in ServeForever) stops accepting, then
+// drains the job manager — running jobs wind down at their next round
+// boundary with a final checkpoint before the daemon exits.
+
+#ifndef AIM_SERVE_SERVER_H_
+#define AIM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "serve/job_manager.h"
+#include "serve/protocol.h"
+#include "serve/rate_limiter.h"
+#include "serve/tenant.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace aim {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral (tests); port() reports the bound port
+  JobManagerOptions jobs;
+  double default_tenant_rho = 0.0;  // <= 0: unknown tenants are refused
+  double rate_burst = 8.0;          // token-bucket capacity per tenant
+  double rate_per_second = 1.0;     // refill rate; <= 0 disables refill
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  // Binds and listens. Must be called (successfully) before Serve*.
+  Status Start();
+
+  // The bound port (after Start), for ephemeral-port tests.
+  int port() const { return port_; }
+
+  TenantLedger& tenants() { return tenants_; }
+  JobManager& jobs() { return *jobs_; }
+
+  // Accept loop; returns after Shutdown() is called or `cancel` (may be
+  // null) trips. Polls at ~5 Hz between connections so shutdown is prompt
+  // even on an idle listener.
+  void ServeForever(CancelToken* cancel);
+
+  // Stops the accept loop and drains the job manager (graceful).
+  void Shutdown();
+
+  // Test hook: handles one already-parsed request (no sockets involved).
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  void HandleConnection(int fd);
+  HttpResponse HandleSubmit(const HttpRequest& request);
+  HttpResponse HandleJobGet(const std::string& id);
+  HttpResponse HandleEvents(const std::string& id, const std::string& query);
+  HttpResponse HandleResult(const std::string& id);
+  HttpResponse HandleCancel(const std::string& id);
+  HttpResponse HandleQuery(const std::string& id, const HttpRequest& request);
+  HttpResponse HandleTenant(const std::string& name);
+
+  const ServerOptions options_;
+  TenantLedger tenants_;
+  RateLimiter rate_limiter_;
+  std::unique_ptr<JobManager> jobs_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+// Maps a Status from the serve layer to the HTTP status it should produce
+// (FailedPrecondition -> 403 for budget refusals, NotFound -> 404, ...).
+int HttpStatusForStatus(const Status& status);
+
+}  // namespace aim
+
+#endif  // AIM_SERVE_SERVER_H_

@@ -1,0 +1,75 @@
+#include "serve/tenant.h"
+
+namespace aim {
+
+Status TenantLedger::Provision(const std::string& tenant, double rho_budget) {
+  if (!(rho_budget > 0.0)) {
+    return InvalidArgumentError("tenant '" + tenant +
+                                "': rho budget must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (accounts_.count(tenant) != 0) {
+    return InvalidArgumentError("tenant '" + tenant +
+                                "' is already provisioned");
+  }
+  Account account;
+  account.filter = std::make_unique<PrivacyFilter>(rho_budget);
+  accounts_.emplace(tenant, std::move(account));
+  return Status::Ok();
+}
+
+Status TenantLedger::TryReserve(const std::string& tenant, double rho) {
+  if (!(rho > 0.0)) {
+    return InvalidArgumentError("reservation rho must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    if (!(default_rho_ > 0.0)) {
+      return NotFoundError("tenant '" + tenant +
+                           "' is not provisioned and no default budget is "
+                           "configured");
+    }
+    Account account;
+    account.filter = std::make_unique<PrivacyFilter>(default_rho_);
+    it = accounts_.emplace(tenant, std::move(account)).first;
+  }
+  PrivacyFilter& filter = *it->second.filter;
+  if (!filter.CanSpend(rho)) {
+    return FailedPreconditionError(
+        "tenant '" + tenant + "': insufficient budget (requested rho=" +
+        std::to_string(rho) + ", remaining=" +
+        std::to_string(filter.remaining()) + " of " +
+        std::to_string(filter.budget()) + ")");
+  }
+  // Spend under the same lock that checked CanSpend, so two concurrent
+  // submissions can never both pass the check and jointly overspend;
+  // PrivacyFilter's clamp keeps spent() <= budget() exactly.
+  filter.Spend(rho);
+  ++it->second.jobs_admitted;
+  return Status::Ok();
+}
+
+StatusOr<TenantLedger::TenantStatus> TenantLedger::GetStatus(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return NotFoundError("tenant '" + tenant + "' has no account");
+  }
+  TenantStatus status;
+  status.budget = it->second.filter->budget();
+  status.spent = it->second.filter->spent();
+  status.jobs_admitted = it->second.jobs_admitted;
+  return status;
+}
+
+std::vector<std::string> TenantLedger::TenantNames() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(accounts_.size());
+  for (const auto& [name, account] : accounts_) names.push_back(name);
+  return names;
+}
+
+}  // namespace aim

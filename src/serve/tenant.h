@@ -1,0 +1,72 @@
+// Per-tenant zCDP budget ledgers for the aimd daemon.
+//
+// Every tenant is provisioned a lifetime rho budget at daemon startup
+// (--tenant=name:rho, or --default-tenant-rho for tenants first seen at
+// submission time). Each accepted job reserves its full rho = CdpRho(eps,
+// delta) from the tenant's PrivacyFilter BEFORE the job launches — the
+// reservation model, not pay-as-you-go: a job that is admitted can always
+// run to completion, and a tenant can never have more budget in flight
+// than the ledger holds. Cancelled or failed jobs do NOT refund: noisy
+// measurements may already have been released (written to checkpoints the
+// tenant can resume from), so the conservative ledger position is "spent
+// the moment it was promised". Resubmitting with resume_from replays the
+// already-paid measurement log, which is why resume costs full price only
+// once — the daemon charges the job's whole rho at admission either way,
+// keeping the ledger a simple monotone sum that inherits PrivacyFilter's
+// spent() <= budget() invariant.
+
+#ifndef AIM_SERVE_TENANT_H_
+#define AIM_SERVE_TENANT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "util/status.h"
+
+namespace aim {
+
+class TenantLedger {
+ public:
+  // `default_rho` is the lifetime budget provisioned to tenants not
+  // explicitly configured; <= 0 means unknown tenants are refused.
+  explicit TenantLedger(double default_rho) : default_rho_(default_rho) {}
+
+  // Provisions `tenant` with a lifetime budget (startup configuration).
+  // Re-provisioning an existing tenant is an error — the ledger is
+  // append-only by design.
+  Status Provision(const std::string& tenant, double rho_budget);
+
+  // Atomically reserves `rho` from the tenant's filter. Fails with
+  // FailedPreconditionError when the remaining budget is insufficient and
+  // NotFoundError when the tenant is unknown and no default is provisioned.
+  Status TryReserve(const std::string& tenant, double rho);
+
+  struct TenantStatus {
+    double budget = 0.0;
+    double spent = 0.0;
+    int64_t jobs_admitted = 0;
+  };
+
+  // Snapshot for /tenants/<name>; NotFoundError when never seen.
+  StatusOr<TenantStatus> GetStatus(const std::string& tenant);
+
+  std::vector<std::string> TenantNames();
+
+ private:
+  struct Account {
+    std::unique_ptr<PrivacyFilter> filter;
+    int64_t jobs_admitted = 0;
+  };
+
+  const double default_rho_;
+  std::mutex mu_;
+  std::map<std::string, Account> accounts_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SERVE_TENANT_H_

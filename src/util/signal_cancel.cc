@@ -1,0 +1,40 @@
+#include "util/signal_cancel.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace aim {
+namespace {
+
+std::atomic<int> g_cancel_signal{0};
+
+void HandleCancelSignal(int signum) {
+  // Async-signal-safe: CancelToken::Cancel is a lock-free atomic store, and
+  // so is recording the signal number. Everything else (checkpointing,
+  // sink flushing, typed exit) happens on the main thread when it observes
+  // the token. Restore the default disposition so a repeated signal
+  // terminates immediately — an operator mashing Ctrl-C during a slow
+  // wind-down must not be trapped.
+  g_cancel_signal.store(signum, std::memory_order_relaxed);
+  ProcessCancelToken().Cancel();
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+CancelToken& ProcessCancelToken() {
+  static CancelToken token;
+  return token;
+}
+
+void InstallSignalCancel() {
+  std::signal(SIGINT, HandleCancelSignal);
+  std::signal(SIGTERM, HandleCancelSignal);
+}
+
+int ReceivedCancelSignal() {
+  return g_cancel_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace aim

@@ -1,0 +1,37 @@
+// Process-wide SIGINT/SIGTERM -> CancelToken bridge for the CLIs and the
+// aimd daemon.
+//
+// A signal must never abandon a run mid-round: AIM polls a CancelToken at
+// round boundaries and winds down through the same degradation path a
+// watchdog trip takes — final checkpoint forced, measurements preserved,
+// trace/metrics sinks flushed by the caller — so every unit of spent
+// privacy budget stays resumable. The handler itself only performs
+// async-signal-safe work (two lock-free atomic stores), and after the first
+// signal it restores the default disposition, so a second Ctrl-C kills the
+// process immediately instead of being ignored while the wind-down runs.
+
+#ifndef AIM_UTIL_SIGNAL_CANCEL_H_
+#define AIM_UTIL_SIGNAL_CANCEL_H_
+
+#include "util/cancel.h"
+
+namespace aim {
+
+// The token cancelled by InstallSignalCancel's handlers. Long-running
+// entry points (aim_cli's AimOptions::cancel, csv2aim's row loops, the
+// audit pair fan-out, aimd's serve loop) poll this token.
+CancelToken& ProcessCancelToken();
+
+// Installs SIGINT and SIGTERM handlers that cancel ProcessCancelToken()
+// and record the signal number. Idempotent; call once at CLI startup after
+// flag parsing.
+void InstallSignalCancel();
+
+// The first cancellation signal received since InstallSignalCancel, or 0.
+// Callers use this to distinguish "interrupted by the operator" (typed
+// CANCELLED exit) from other CancelToken sources (stall watchdog).
+int ReceivedCancelSignal();
+
+}  // namespace aim
+
+#endif  // AIM_UTIL_SIGNAL_CANCEL_H_

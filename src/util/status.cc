@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -53,6 +55,9 @@ Status UnavailableError(std::string message) {
 Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
 
 int ExitCodeForStatus(const Status& status) {
   switch (status.code()) {
@@ -73,6 +78,8 @@ int ExitCodeForStatus(const Status& status) {
       return 7;
     case StatusCode::kUnavailable:
       return 8;
+    case StatusCode::kCancelled:
+      return 9;
   }
   return 1;
 }

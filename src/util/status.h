@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kUnavailable,
   kDeadlineExceeded,
+  kCancelled,
 };
 
 // Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -54,13 +55,15 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 // Maps a Status to the process exit code documented in the README (the
 // contract the chaos sweep asserts on): 0 OK, 1 INTERNAL, 2 INVALID_ARGUMENT
 // (also used for usage errors), 4 NOT_FOUND, 5 FAILED_PRECONDITION,
-// 6 OUT_OF_RANGE, 7 DEADLINE_EXCEEDED, 8 UNAVAILABLE. Exit code 3 is
-// reserved for audit_cli's claim-refutation verdict, which is a finding,
-// not an error.
+// 6 OUT_OF_RANGE, 7 DEADLINE_EXCEEDED, 8 UNAVAILABLE, 9 CANCELLED (the
+// typed "interrupted by SIGINT/SIGTERM" exit: the run wound down at a safe
+// point, checkpoints and sinks were flushed). Exit code 3 is reserved for
+// audit_cli's claim-refutation verdict, which is a finding, not an error.
 int ExitCodeForStatus(const Status& status);
 
 // Holds either a value of type T or a non-OK Status.

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
+#include <limits>
 
 namespace aim {
 
@@ -58,6 +59,33 @@ bool ParseInt64(std::string_view input, int64_t* out) {
   std::string stripped = StripWhitespace(input);
   if (stripped.empty()) return false;
   int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(
+      stripped.data(), stripped.data() + stripped.size(), value);
+  if (ec != std::errc() || ptr != stripped.data() + stripped.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt32(std::string_view input, int* out) {
+  int64_t value = 0;
+  if (!ParseInt64(input, &value)) return false;
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseUint64(std::string_view input, uint64_t* out) {
+  std::string stripped = StripWhitespace(input);
+  if (stripped.empty()) return false;
+  // from_chars for unsigned types rejects '-' itself, but be explicit about
+  // '+' too so every accepted string is a plain digit run.
+  if (stripped[0] == '-' || stripped[0] == '+') return false;
+  uint64_t value = 0;
   auto [ptr, ec] = std::from_chars(
       stripped.data(), stripped.data() + stripped.size(), value);
   if (ec != std::errc() || ptr != stripped.data() + stripped.size()) {

@@ -25,6 +25,16 @@ bool ParseDouble(std::string_view input, double* out);
 // Parses a signed 64-bit integer; returns false on malformed input.
 bool ParseInt64(std::string_view input, int64_t* out);
 
+// Parses a signed 32-bit integer; returns false on malformed input or a
+// value outside int's range. CLI flags that land in `int` fields must use
+// this instead of ParseInt64 + static_cast, which silently truncates.
+bool ParseInt32(std::string_view input, int* out);
+
+// Parses an unsigned 64-bit integer; returns false on malformed input,
+// overflow, or any sign character (a negative seed must be a usage error,
+// not a two's-complement bit reinterpretation).
+bool ParseUint64(std::string_view input, uint64_t* out);
+
 }  // namespace aim
 
 #endif  // AIM_UTIL_STRINGS_H_

@@ -12,6 +12,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -623,6 +624,107 @@ TEST_F(ObsTest, PerRoundRhoSumsToBudget) {
   EXPECT_EQ(finishes[0].GetInt("rounds"),
             static_cast<int64_t>(result.rounds));
   EXPECT_NEAR(finishes[0].GetDouble("rho_used"), result.rho_used, 0.0);
+}
+
+TEST(TraceRoutingTest, ThreadLocalSinkOverridesGlobal) {
+  MemoryTraceSink global_sink, job_sink;
+  ScopedTraceSink global_scope(&global_sink);
+  EmitTrace(TraceEvent("before"));
+  {
+    ScopedThreadTraceSink thread_scope(&job_sink);
+    EXPECT_TRUE(TraceEnabled());
+    EXPECT_EQ(ThreadTraceSink(), &job_sink);
+    EmitTrace(TraceEvent("inside"));
+  }
+  EXPECT_EQ(ThreadTraceSink(), nullptr);
+  EmitTrace(TraceEvent("after"));
+  // The override captured exactly the events emitted while active; the
+  // global sink saw everything else and nothing of the job's.
+  ASSERT_EQ(job_sink.events().size(), 1u);
+  EXPECT_EQ(job_sink.events()[0].type(), "inside");
+  ASSERT_EQ(global_sink.events().size(), 2u);
+  EXPECT_EQ(global_sink.events()[0].type(), "before");
+  EXPECT_EQ(global_sink.events()[1].type(), "after");
+}
+
+TEST(TraceRoutingTest, ThreadSinkEnablesTracingWithoutGlobal) {
+  ASSERT_EQ(GlobalTraceSink(), nullptr);
+  EXPECT_FALSE(TraceEnabled());
+  MemoryTraceSink job_sink;
+  ScopedThreadTraceSink scope(&job_sink);
+  EXPECT_TRUE(TraceEnabled());
+  EmitTrace(TraceEvent("routed"));
+  ASSERT_EQ(job_sink.events().size(), 1u);
+}
+
+TEST(TraceRoutingTest, ConcurrentJobsDoNotInterleave) {
+  // Two "jobs" on two threads, each with its own sink: every event lands in
+  // its own job's buffer, never the other's — the aimd per-job isolation
+  // contract.
+  MemoryTraceSink sink_a, sink_b;
+  auto run_job = [](MemoryTraceSink* sink, const char* tag, int events) {
+    ScopedThreadTraceSink scope(sink);
+    for (int i = 0; i < events; ++i) {
+      TraceEvent event("job_event");
+      event.Set("job", tag).Set("i", i);
+      EmitTrace(event);
+    }
+  };
+  std::thread a(run_job, &sink_a, "a", 200);
+  std::thread b(run_job, &sink_b, "b", 300);
+  a.join();
+  b.join();
+  ASSERT_EQ(sink_a.events().size(), 200u);
+  ASSERT_EQ(sink_b.events().size(), 300u);
+  for (const TraceEvent& event : sink_a.events()) {
+    EXPECT_EQ(event.GetString("job"), "a");
+  }
+  for (const TraceEvent& event : sink_b.events()) {
+    EXPECT_EQ(event.GetString("job"), "b");
+  }
+}
+
+TEST(MetricLabelTest, ScopedNameCarriesLabel) {
+  EXPECT_EQ(CurrentMetricLabel(), "");
+  EXPECT_EQ(ScopedMetricName("dp.filter.spent"), "dp.filter.spent");
+  {
+    ScopedMetricLabel label("j-1");
+    EXPECT_EQ(CurrentMetricLabel(), "j-1");
+    EXPECT_EQ(ScopedMetricName("dp.filter.spent"),
+              "dp.filter.spent{job=j-1}");
+    {
+      ScopedMetricLabel inner("j-2");
+      EXPECT_EQ(ScopedMetricName("x"), "x{job=j-2}");
+    }
+    EXPECT_EQ(CurrentMetricLabel(), "j-1");
+  }
+  EXPECT_EQ(ScopedMetricName("dp.filter.spent"), "dp.filter.spent");
+}
+
+TEST(MetricLabelTest, ConcurrentJobsGetSeparateGauges) {
+  SetMetricsEnabled(true);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.ResetForTesting();
+  // Two threads publish the same logical gauge under different job labels;
+  // both final values must be readable afterwards (no clobbering), and the
+  // unlabeled gauge must be untouched.
+  auto publish = [&](const std::string& job, double value) {
+    ScopedMetricLabel label(job);
+    for (int i = 0; i <= 100; ++i) {
+      registry.gauge(ScopedMetricName("test.labelled.spent"))
+          .Set(value * i / 100.0);
+    }
+  };
+  std::thread a(publish, "job-a", 1.0);
+  std::thread b(publish, "job-b", 2.0);
+  a.join();
+  b.join();
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("test.labelled.spent{job=job-a}").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("test.labelled.spent{job=job-b}").value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.labelled.spent").value(), 0.0);
+  SetMetricsEnabled(false);
 }
 
 TEST_F(ObsTest, AimPopulatesMetricsWhenEnabled) {

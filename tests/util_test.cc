@@ -8,6 +8,7 @@
 
 #include "util/math.h"
 #include "util/rng.h"
+#include "util/signal_cancel.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -332,6 +333,59 @@ TEST(StringsTest, ParseInt64) {
   EXPECT_EQ(v, -17);
   EXPECT_FALSE(ParseInt64("17.5", &v));
   EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringsTest, ParseInt32RangeChecks) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt32("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt32("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt32("2147483647", &v));
+  EXPECT_EQ(v, 2147483647);
+  EXPECT_TRUE(ParseInt32("-2147483648", &v));
+  EXPECT_EQ(v, -2147483647 - 1);
+  // The values the old int64->int truncation let through: 2^32+1 used to
+  // become 1, INT_MAX+1 used to wrap negative.
+  EXPECT_FALSE(ParseInt32("4294967297", &v));
+  EXPECT_FALSE(ParseInt32("2147483648", &v));
+  EXPECT_FALSE(ParseInt32("-2147483649", &v));
+  EXPECT_FALSE(ParseInt32("abc", &v));
+  EXPECT_FALSE(ParseInt32("", &v));
+}
+
+TEST(StringsTest, ParseUint64RejectsSigns) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  // "-1" used to bit-cast through int64 to 2^64-1; it must be an error.
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("+3", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // 2^64
+  EXPECT_FALSE(ParseUint64("3.5", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+}
+
+TEST(StatusTest, CancelledMapsToExitNine) {
+  const Status cancelled = CancelledError("interrupted");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ExitCodeForStatus(cancelled), 9);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+}
+
+TEST(SignalCancelTest, ProcessTokenIsProcessWide) {
+  // Same object from every call site, and settable/resettable like any
+  // CancelToken (the handler only ever Cancel()s it).
+  CancelToken& token = ProcessCancelToken();
+  EXPECT_EQ(&token, &ProcessCancelToken());
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(ProcessCancelToken().cancelled());
+  token.Reset();
+  EXPECT_FALSE(ProcessCancelToken().cancelled());
+  EXPECT_EQ(ReceivedCancelSignal(), 0);
 }
 
 }  // namespace

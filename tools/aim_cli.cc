@@ -37,6 +37,7 @@
 #include "uncertainty/bounds.h"
 #include "util/cancel.h"
 #include "util/rng.h"
+#include "util/signal_cancel.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -57,8 +58,8 @@ struct CliFlags {
   std::string trace_out;    // JSONL round trace ("-"/"stderr" = stderr)
   std::string metrics_out;  // metrics JSON dump ("-" = stdout)
   std::string checkpoint_out;  // atomic AimSnapshot written at round ends
-  int64_t checkpoint_every = 1;
-  int64_t checkpoint_generations = 1;  // rotated snapshot generations
+  int checkpoint_every = 1;
+  int checkpoint_generations = 1;  // rotated snapshot generations
   std::string resume;       // snapshot (generation base) to resume from
   double deadline_s = 0.0;  // wall-clock budget; <= 0 = none
   double stall_timeout_s = 0.0;  // watchdog stall window; <= 0 = none
@@ -103,7 +104,9 @@ int Usage() {
                "DESIGN.md. Exit codes map Status categories: 0 OK, "
                "1 INTERNAL, 2 usage/INVALID_ARGUMENT, 4 NOT_FOUND, "
                "5 FAILED_PRECONDITION, 6 OUT_OF_RANGE, 7 DEADLINE_EXCEEDED, "
-               "8 UNAVAILABLE — see README.)\n";
+               "8 UNAVAILABLE, 9 CANCELLED [SIGINT/SIGTERM: the run wound "
+               "down at a round boundary with a final checkpoint] — see "
+               "README.)\n";
   return 2;
 }
 
@@ -149,21 +152,22 @@ static int RunCli(int argc, char** argv) {
     } else if (Consume(arg, "--delta=", &value)) {
       if (!ParseDouble(value, &flags.delta)) return Usage();
     } else if (Consume(arg, "--bins=", &value)) {
-      int64_t v;
-      if (!ParseInt64(value, &v)) return Usage();
-      flags.bins = static_cast<int>(v);
+      // ParseInt32 range-checks, so "--bins=4294967297" is a usage error
+      // instead of truncating to 1 bin and silently flattening every
+      // numeric column.
+      if (!ParseInt32(value, &flags.bins) || flags.bins < 1) return Usage();
     } else if (Consume(arg, "--max_size_mb=", &value)) {
       if (!ParseDouble(value, &flags.max_size_mb)) return Usage();
     } else if (Consume(arg, "--records=", &value)) {
       if (!ParseInt64(value, &flags.records)) return Usage();
     } else if (Consume(arg, "--seed=", &value)) {
-      int64_t v;
-      if (!ParseInt64(value, &v)) return Usage();
-      flags.seed = static_cast<uint64_t>(v);
+      // Seeds are unsigned; "--seed=-1" used to bit-cast to 2^64-1 and
+      // synthesize from an RNG stream nobody could name. Usage error now.
+      if (!ParseUint64(value, &flags.seed)) return Usage();
     } else if (Consume(arg, "--threads=", &value)) {
-      int64_t v;
-      if (!ParseInt64(value, &v) || v < 0) return Usage();
-      flags.threads = static_cast<int>(v);
+      if (!ParseInt32(value, &flags.threads) || flags.threads < 0) {
+        return Usage();
+      }
     } else if (Consume(arg, "--trace-out=", &value)) {
       flags.trace_out = value;
     } else if (Consume(arg, "--metrics-out=", &value)) {
@@ -171,12 +175,12 @@ static int RunCli(int argc, char** argv) {
     } else if (Consume(arg, "--checkpoint-out=", &value)) {
       flags.checkpoint_out = value;
     } else if (Consume(arg, "--checkpoint-every=", &value)) {
-      if (!ParseInt64(value, &flags.checkpoint_every) ||
+      if (!ParseInt32(value, &flags.checkpoint_every) ||
           flags.checkpoint_every <= 0) {
         return Usage();
       }
     } else if (Consume(arg, "--checkpoint-generations=", &value)) {
-      if (!ParseInt64(value, &flags.checkpoint_generations) ||
+      if (!ParseInt32(value, &flags.checkpoint_generations) ||
           flags.checkpoint_generations <= 0 ||
           flags.checkpoint_generations > kGenerationScanLimit) {
         return Usage();
@@ -275,9 +279,8 @@ static int RunCli(int argc, char** argv) {
   options.synthetic_records = flags.records;
   options.record_candidates = flags.report;
   options.checkpoint_path = flags.checkpoint_out;
-  options.checkpoint_every_rounds = static_cast<int>(flags.checkpoint_every);
-  options.checkpoint_generations =
-      static_cast<int>(flags.checkpoint_generations);
+  options.checkpoint_every_rounds = flags.checkpoint_every;
+  options.checkpoint_generations = flags.checkpoint_generations;
   options.resume_path = flags.resume;
   options.deadline_seconds = flags.deadline_s;
 
@@ -307,13 +310,18 @@ static int RunCli(int argc, char** argv) {
               << loaded->snapshot.rho_spent << ")\n";
   }
 
-  // ---- Stall watchdog. Progress is read from the aim.rounds counter, so
-  // the watchdog implies metrics collection (cheap, and output-neutral).
-  CancelToken cancel;
+  // ---- Interrupt safety + stall watchdog. SIGINT/SIGTERM trip the
+  // process-wide token; AIM polls it at round boundaries, forces a final
+  // checkpoint, and winds down — so an interrupted run is resumable from
+  // its newest checkpoint generation. The stall watchdog shares the same
+  // token (its progress probe reads the aim.rounds counter, so it implies
+  // metrics collection — cheap, and output-neutral).
+  InstallSignalCancel();
+  CancelToken& cancel = ProcessCancelToken();
+  options.cancel = &cancel;
   std::optional<RunSupervisor> supervisor;
   if (flags.stall_timeout_s > 0.0) {
     SetMetricsEnabled(true);
-    options.cancel = &cancel;
     SupervisorOptions sup_options;
     sup_options.stall_window_seconds = flags.stall_timeout_s;
     supervisor.emplace(&cancel, AimRoundProgressProbe(), sup_options);
@@ -327,13 +335,38 @@ static int RunCli(int argc, char** argv) {
             << result.log.measurements.size() << " measurements, "
             << result.seconds << "s"
             << (result.deadline_expired ? " (deadline expired)" : "")
-            << (result.cancelled ? " (cancelled by watchdog)" : "")
+            << (result.cancelled ? " (cancelled)" : "")
             << "\n";
   if (supervisor.has_value() && supervisor->stall_detected()) {
     // The run was wound down and checkpointed; report the typed stall
     // status instead of writing output a caller would mistake for a
     // completed synthesis.
     return Fail(supervisor->status());
+  }
+  if (ReceivedCancelSignal() != 0) {
+    // Interrupted: the final checkpoint is on disk (when --checkpoint-out
+    // was given) and the partial synthesis is deliberately NOT written —
+    // an output file must always mean "the whole budget was spent".
+    // Flush the sinks so the rounds that did complete are on record, then
+    // exit with the typed interrupted code (9).
+    if (trace_sink != nullptr) {
+      SetGlobalTraceSink(nullptr);
+      trace_sink->Flush();
+    }
+    if (!flags.metrics_out.empty() && flags.metrics_out != "-") {
+      std::ofstream out(flags.metrics_out);
+      if (out) {
+        MetricsRegistry::Global().WriteJson(out);
+        out << "\n";
+      }
+    }
+    return Fail(CancelledError(
+        std::string("interrupted by signal ") +
+        std::to_string(ReceivedCancelSignal()) + " after " +
+        std::to_string(result.rounds) + " completed rounds" +
+        (flags.checkpoint_out.empty()
+             ? ""
+             : "; resume with --resume=" + flags.checkpoint_out)));
   }
 
   // ---- Write output.

@@ -34,6 +34,7 @@
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "robust/fault.h"
+#include "util/signal_cancel.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -43,7 +44,7 @@ struct CliFlags {
   std::string mechanism = "AIM";
   double epsilon = 1.0;
   double delta = 1e-9;
-  int64_t pairs = 100;
+  int pairs = 100;
   int64_t records = 500;
   std::string domain = "4,4,4";
   std::string stat = "measurement";
@@ -117,7 +118,9 @@ int RunCli(int argc, char** argv) {
     } else if (Consume(arg, "--delta=", &value)) {
       if (!ParseDouble(value, &flags.delta)) return Usage();
     } else if (Consume(arg, "--pairs=", &value)) {
-      if (!ParseInt64(value, &flags.pairs) || flags.pairs < 1) {
+      // ParseInt32 range-checks, so a --pairs past INT_MAX is a usage
+      // error instead of a silent truncation to some smaller pair count.
+      if (!ParseInt32(value, &flags.pairs) || flags.pairs < 1) {
         return Usage();
       }
     } else if (Consume(arg, "--records=", &value)) {
@@ -131,13 +134,14 @@ int RunCli(int argc, char** argv) {
     } else if (Consume(arg, "--confidence=", &value)) {
       if (!ParseDouble(value, &flags.confidence)) return Usage();
     } else if (Consume(arg, "--seed=", &value)) {
-      int64_t v;
-      if (!ParseInt64(value, &v)) return Usage();
-      flags.seed = static_cast<uint64_t>(v);
+      // Seeds are unsigned; "--seed=-1" used to bit-cast to 2^64-1, which
+      // silently audited a different RNG stream than the operator wrote
+      // down. Now it is a usage error.
+      if (!ParseUint64(value, &flags.seed)) return Usage();
     } else if (Consume(arg, "--threads=", &value)) {
-      int64_t v;
-      if (!ParseInt64(value, &v) || v < 0) return Usage();
-      flags.threads = static_cast<int>(v);
+      if (!ParseInt32(value, &flags.threads) || flags.threads < 0) {
+        return Usage();
+      }
     } else if (Consume(arg, "--trace-out=", &value)) {
       flags.trace_out = value;
     } else if (Consume(arg, "--metrics-out=", &value)) {
@@ -167,12 +171,12 @@ int RunCli(int argc, char** argv) {
   // count (which is what tightens the CI) go up instead.
   std::vector<int> sizes;
   for (const std::string& part : SplitString(flags.domain, ',')) {
-    int64_t v;
-    if (!ParseInt64(part, &v) || v < 2) {
+    int v;
+    if (!ParseInt32(part, &v) || v < 2) {
       return Fail(InvalidArgumentError(
           "bad --domain (want comma-separated sizes >= 2)"));
     }
-    sizes.push_back(static_cast<int>(v));
+    sizes.push_back(v);
   }
   if (sizes.empty()) return Usage();
   const Domain domain = Domain::WithSizes(sizes);
@@ -199,15 +203,28 @@ int RunCli(int argc, char** argv) {
   AuditOptions options;
   options.epsilon = flags.epsilon;
   options.delta = flags.delta;
-  options.pairs = static_cast<int>(flags.pairs);
+  options.pairs = flags.pairs;
   options.num_records = flags.records;
   options.statistic = *statistic;
   options.confidence = flags.confidence;
   options.seed = flags.seed;
+  // SIGINT/SIGTERM wind the pair fan-out down at the next pair boundary;
+  // the audit then reports CancelledError (a partial pair set must never
+  // masquerade as a bound) and we exit 9 with the sinks flushed.
+  InstallSignalCancel();
+  options.cancel = &ProcessCancelToken();
 
   StatusOr<AuditResult> audit =
       RunAudit(*mechanism, domain, workload, options);
-  if (!audit.ok()) return Fail(audit.status());
+  if (!audit.ok()) {
+    // Flush observability even on the error path: an interrupted audit's
+    // partial trace (the pairs that did finish) is still evidence.
+    if (trace_sink != nullptr) {
+      SetGlobalTraceSink(nullptr);
+      trace_sink->Flush();
+    }
+    return Fail(audit.status());
+  }
 
   TablePrinter table({"mechanism", "stat", "eps_claimed", "pairs", "failed",
                       "tpr", "fpr", "eps_point", "eps_lower", "eps_upper",

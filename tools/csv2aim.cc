@@ -33,6 +33,7 @@
 #include "robust/fault.h"
 #include "store/reader.h"
 #include "store/writer.h"
+#include "util/signal_cancel.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -117,6 +118,12 @@ aim::Status ConvertPrecoded(const std::string& input,
   int64_t line_number = 1;
   while (std::getline(file, line)) {
     ++line_number;
+    if ((line_number & 0x3FF) == 0 && ProcessCancelToken().cancelled()) {
+      // Interrupted mid-stream: remove every partial shard — the output
+      // location must end up fully valid or empty, same as any failure.
+      return fail(CancelledError("interrupted after " +
+                                 std::to_string(line_number) + " lines"));
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     SplitFields(line, &fields);
@@ -170,6 +177,11 @@ aim::Status ConvertPreprocessed(const std::string& input,
   Status status;
   std::vector<int> record(data.domain().num_attributes());
   for (int64_t row = 0; row < data.num_records() && status.ok(); ++row) {
+    if ((row & 0x3FF) == 0 && ProcessCancelToken().cancelled()) {
+      status = CancelledError("interrupted after " + std::to_string(row) +
+                              " rows");
+      break;
+    }
     for (int a = 0; a < data.domain().num_attributes(); ++a) {
       record[a] = data.value(row, a);
     }
@@ -205,9 +217,8 @@ int RunCli(int argc, char** argv) {
     } else if (Consume(arg, "--output=", &value)) {
       output = value;
     } else if (Consume(arg, "--bins=", &value)) {
-      int64_t v;
-      if (!ParseInt64(value, &v) || v < 1) return Usage();
-      bins = static_cast<int>(v);
+      // ParseInt32 range-checks; values past INT_MAX used to truncate.
+      if (!ParseInt32(value, &bins) || bins < 1) return Usage();
     } else if (Consume(arg, "--shard-rows=", &value)) {
       if (!ParseInt64(value, &shard_rows) || shard_rows < 1) return Usage();
     } else if (Consume(arg, "--domain-sizes=", &value)) {
@@ -215,9 +226,9 @@ int RunCli(int argc, char** argv) {
       std::vector<std::string> fields;
       SplitFields(value, &fields);
       for (const std::string& field : fields) {
-        int64_t v;
-        if (!ParseInt64(field, &v) || v < 1) return Usage();
-        domain_sizes.push_back(static_cast<int>(v));
+        int v;
+        if (!ParseInt32(field, &v) || v < 1) return Usage();
+        domain_sizes.push_back(v);
       }
       if (domain_sizes.empty()) return Usage();
     } else {
@@ -226,6 +237,10 @@ int RunCli(int argc, char** argv) {
   }
   if (input.empty() || output.empty()) return Usage();
   InitFaultsFromEnv();
+  // SIGINT/SIGTERM: the row loops poll the process token, remove partial
+  // shards, and exit 9 — an interrupted conversion never leaves a
+  // truncated store behind.
+  InstallSignalCancel();
 
   StoreWriterOptions store_options;
   store_options.shard_rows = shard_rows;
